@@ -1,0 +1,378 @@
+// Package repro's top-level benchmarks regenerate every evaluation artifact
+// of the paper (one benchmark per table/figure) and measure the ablations
+// called out in DESIGN.md §7. Figure benchmarks run on a reduced matrix so
+// `go test -bench=.` stays tractable; `cmd/isebench -all` runs the full
+// matrix.
+package repro
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/dfg"
+	"repro/internal/experiments"
+	"repro/internal/flow"
+	"repro/internal/graph"
+	"repro/internal/hwsw"
+	"repro/internal/machine"
+	"repro/internal/match"
+	"repro/internal/netlist"
+	"repro/internal/sched"
+	"repro/internal/vm"
+)
+
+// benchSuite shares one exploration-pool cache across all figure benchmarks.
+var benchSuite = sync.OnceValue(func() *experiments.Suite {
+	s := experiments.NewSuite(core.FastParams())
+	s.Benchmarks = []string{"crc32", "bitcount", "blowfish"}
+	s.Machines = []machine.Config{machine.New(2, 4, 2), machine.New(3, 6, 3)}
+	s.HotBlocks = 2
+	return s
+})
+
+// BenchmarkTable511 regenerates Table 5.1.1 (hardware option settings).
+func BenchmarkTable511(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RenderTable511(io.Discard)
+	}
+}
+
+// BenchmarkFigure16 regenerates Fig. 5.2.1 (reduction vs. area constraint).
+func BenchmarkFigure16(b *testing.B) {
+	s := benchSuite()
+	var last *experiments.AreaSweep
+	for i := 0; i < b.N; i++ {
+		as, err := s.RunAreaSweep()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = as
+	}
+	reportAvg(b, avgOfSeries(flatten(last.Reduction)))
+}
+
+// BenchmarkFigure17 regenerates Fig. 5.2.2 (reduction vs. number of ISEs).
+func BenchmarkFigure17(b *testing.B) {
+	s := benchSuite()
+	var last *experiments.CountSweep
+	for i := 0; i < b.N; i++ {
+		cs, err := s.RunCountSweep()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = cs
+	}
+	reportAvg(b, avgOfSeries(flatten(last.Reduction)))
+}
+
+// BenchmarkFigure18 regenerates Fig. 5.2.3 (area cost vs. reduction).
+func BenchmarkFigure18(b *testing.B) {
+	s := benchSuite()
+	var last *experiments.AreaVsTime
+	for i := 0; i < b.N; i++ {
+		v, err := s.RunAreaVsTime()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = v
+	}
+	reportAvg(b, avgOfSeries(last.Reduction[flow.MI]))
+}
+
+// BenchmarkHeadline regenerates the abstract's two headline numbers.
+func BenchmarkHeadline(b *testing.B) {
+	s := benchSuite()
+	var last *experiments.Headline
+	for i := 0; i < b.N; i++ {
+		h, err := s.RunHeadline()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = h
+	}
+	b.ReportMetric(100*last.OneISE.Avg, "oneISE-%")
+	b.ReportMetric(100*last.VsSI.Avg, "vsSI-pp")
+}
+
+// ablationDFG is the workload the ablation benchmarks explore: the hottest
+// block of crc32/O3 (a deep dependence chain with parallel byte handling).
+var ablationDFG = sync.OnceValue(func() *dfg.DFG {
+	bm, err := bench.Get("crc32", "O3")
+	if err != nil {
+		panic(err)
+	}
+	prof, err := bm.Run()
+	if err != nil {
+		panic(err)
+	}
+	hot := prof.HotBlocks(bm.Prog, 1)
+	return dfg.BuildAll(bm.Prog, hot, prof.BlockCounts)[0]
+})
+
+// runAblation explores the ablation DFG with modified parameters and reports
+// the achieved reduction so configurations can be compared from the bench
+// output.
+func runAblation(b *testing.B, mutate func(*core.Params)) {
+	d := ablationDFG()
+	cfg := machine.New(2, 4, 2)
+	p := core.FastParams()
+	mutate(&p)
+	var last *core.Result
+	for i := 0; i < b.N; i++ {
+		r, err := core.ExploreWithParams(d, cfg, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	reportAvg(b, last.Reduction())
+}
+
+// BenchmarkAblationFull is the reference point: the full algorithm.
+func BenchmarkAblationFull(b *testing.B) {
+	runAblation(b, func(p *core.Params) {})
+}
+
+// BenchmarkAblationGreedy replaces ACO roulette selection with argmax.
+func BenchmarkAblationGreedy(b *testing.B) {
+	runAblation(b, func(p *core.Params) { p.Greedy = true })
+}
+
+// BenchmarkAblationNoCP removes critical-path awareness from the merit
+// function — the distinction between this work and the legality-only
+// baseline, measured inside one code base.
+func BenchmarkAblationNoCP(b *testing.B) {
+	runAblation(b, func(p *core.Params) { p.NoCriticalPath = true })
+}
+
+// BenchmarkAblationNoMaxAEC disables the Max_AEC slack-aware area saving.
+func BenchmarkAblationNoMaxAEC(b *testing.B) {
+	runAblation(b, func(p *core.Params) { p.NoMaxAEC = true })
+}
+
+// BenchmarkAblationNoResched restricts exploration to a single round,
+// removing the re-scheduling between ISE generations (§1.4 consideration 2).
+func BenchmarkAblationNoResched(b *testing.B) {
+	runAblation(b, func(p *core.Params) { p.MaxRounds = 1 })
+}
+
+// BenchmarkVMProfile measures the profiling substrate: one full interpreted
+// run of the largest benchmark.
+func BenchmarkVMProfile(b *testing.B) {
+	bm, err := bench.Get("blowfish", "O3")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := vm.NewMachine(bench.MemSize)
+		if err := bm.Setup(m); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Run(bm.Prog, bench.MaxSteps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkListSchedule measures the scheduler on a real 183-operation block
+// (jpeg/O3), the largest DFG in the suite.
+func BenchmarkListSchedule(b *testing.B) {
+	bm, err := bench.Get("jpeg", "O3")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof, err := bm.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := dfg.BuildAll(bm.Prog, prof.HotBlocks(bm.Prog, 1), prof.BlockCounts)[0]
+	a := sched.AllSoftware(d.Len())
+	cfg := machine.New(4, 8, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.ListSchedule(d, a, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func reportAvg(b *testing.B, reduction float64) {
+	b.ReportMetric(100*reduction, "reduction-%")
+}
+
+func flatten(m map[string][]float64) []float64 {
+	var out []float64
+	for _, vs := range m {
+		out = append(out, vs...)
+	}
+	return out
+}
+
+func avgOfSeries(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vs {
+		sum += v
+	}
+	return sum / float64(len(vs))
+}
+
+// BenchmarkAblationPriorityMobility explores with the mobility-based
+// scheduling priority (paper §6 future work) for comparison with the
+// children-count default of BenchmarkAblationFull.
+func BenchmarkAblationPriorityMobility(b *testing.B) {
+	runAblation(b, func(p *core.Params) { p.Priority = core.PriorityMobility })
+}
+
+// BenchmarkAblationPriorityHeight uses the classic list-scheduling height
+// priority.
+func BenchmarkAblationPriorityHeight(b *testing.B) {
+	runAblation(b, func(p *core.Params) { p.Priority = core.PriorityHeight })
+}
+
+// BenchmarkMatchFind measures subgraph-isomorphism search: the CRC bit-step
+// pattern against the unrolled crc32/O3 block.
+func BenchmarkMatchFind(b *testing.B) {
+	bm, err := bench.Get("crc32", "O3")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof, err := bm.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := dfg.BuildAll(bm.Prog, prof.HotBlocks(bm.Prog, 1), prof.BlockCounts)[0]
+	// Pattern: the first five eligible ops (one bit-step).
+	pat := graph.NewNodeSet(d.Len())
+	for v := 0; v < d.Len() && pat.Len() < 5; v++ {
+		if d.Nodes[v].ISEEligible() {
+			pat.Add(v)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ms := match.Find(d, pat, d, 0); len(ms) == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}
+
+// BenchmarkNetlistEval measures evaluating the generated ASFU datapath of a
+// CRC bit-step ISE.
+func BenchmarkNetlistEval(b *testing.B) {
+	d := ablationDFG()
+	p := core.FastParams()
+	res, err := core.ExploreWithParams(d, machine.New(2, 4, 2), p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(res.ISEs) == 0 {
+		b.Fatal("no ISE to lower")
+	}
+	m, err := netlist.FromISE(d, res.ISEs[0], "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := map[string]uint32{}
+	for _, p := range m.Inputs {
+		inputs[p.Name] = 0xDEADBEEF
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Eval(inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHWSWPartition measures the future-work adaptation on a pipeline
+// task graph.
+func BenchmarkHWSWPartition(b *testing.B) {
+	g := hwsw.NewGraph()
+	prev := -1
+	for i := 0; i < 8; i++ {
+		id := g.AddTask(hwsw.Task{Name: "t", SWTime: 20 + i, HWTime: 4 + i, HWArea: 500})
+		if prev >= 0 {
+			g.AddEdge(prev, id, 3)
+		}
+		prev = id
+	}
+	p := hwsw.DefaultParams()
+	p.MaxIterations = 40
+	p.Restarts = 2
+	var last *hwsw.Result
+	for i := 0; i < b.N; i++ {
+		res, err := hwsw.Partition(g, 2000, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Speedup(), "speedup-x")
+}
+
+// BenchmarkExploreMI measures one full MI exploration (default parameters)
+// of the crc32/O3 hot block.
+func BenchmarkExploreMI(b *testing.B) {
+	d := ablationDFG()
+	cfg := machine.New(2, 4, 2)
+	p := core.DefaultParams()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ExploreWithParams(d, cfg, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExploreSI measures the single-issue baseline on the same block.
+func BenchmarkExploreSI(b *testing.B) {
+	d := ablationDFG()
+	cfg := machine.New(2, 4, 2)
+	p := core.DefaultParams()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.Explore(d, cfg, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildPool measures the full profile+explore+merge pipeline.
+func BenchmarkBuildPool(b *testing.B) {
+	bm, err := bench.Get("bitcount", "O3")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := flow.Options{Machine: machine.New(2, 4, 2), Params: core.FastParams(), Algorithm: flow.MI, HotBlocks: 2}
+	for i := 0; i < b.N; i++ {
+		if _, err := flow.BuildPool(bm, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationTwoASFUs explores with a second ASFU available —
+// measuring whether ISE-level parallelism buys anything on this workload.
+func BenchmarkAblationTwoASFUs(b *testing.B) {
+	d := ablationDFG()
+	cfg := machine.New(2, 4, 2).WithASFUs(2)
+	p := core.FastParams()
+	var last *core.Result
+	for i := 0; i < b.N; i++ {
+		r, err := core.ExploreWithParams(d, cfg, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	reportAvg(b, last.Reduction())
+}

@@ -1,0 +1,126 @@
+// Command isereport generates a complete Markdown customization report for
+// one benchmark: workload characteristics, the explored instruction-set
+// extensions, before/after schedules of the hot blocks, the selection under
+// the given constraints, and a Verilog appendix with every ASFU datapath.
+//
+// Usage:
+//
+//	isereport -bench crc32 -opt O3 -issue 2 -read 4 -write 2 > report.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/machine"
+	"repro/internal/netlist"
+	"repro/internal/replace"
+	"repro/internal/sched"
+	"repro/internal/selection"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("isereport: ")
+	var (
+		benchName = flag.String("bench", "crc32", "benchmark name")
+		optLevel  = flag.String("opt", "O3", "optimization level (O0 or O3)")
+		issue     = flag.Int("issue", 2, "issue width")
+		reads     = flag.Int("read", 4, "register file read ports")
+		writes    = flag.Int("write", 2, "register file write ports")
+		area      = flag.Float64("area", 0, "silicon area budget in µm² (0 = unlimited)")
+		maxISE    = flag.Int("ises", 0, "maximum number of ISEs (0 = unlimited)")
+		fast      = flag.Bool("fast", false, "reduced exploration effort")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	bm, err := bench.Get(*benchName, *optLevel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := machine.New(*issue, *reads, *writes)
+	params := core.DefaultParams()
+	if *fast {
+		params = core.FastParams()
+	}
+	params.Seed = *seed
+
+	pool, err := flow.BuildPool(bm, flow.Options{Machine: cfg, Params: params, Algorithm: flow.MI})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := pool.Evaluate(selection.Constraints{MaxAreaUM2: *area, MaxISEs: *maxISE})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	out := os.Stdout
+	fmt.Fprintf(out, "# Customization report: %s\n\n", bm.FullName())
+	fmt.Fprintf(out, "Target machine: **%s**, one ASFU, 100 MHz, 0.13 µm.\n\n", cfg.Name)
+
+	fmt.Fprintln(out, "## Summary")
+	fmt.Fprintln(out)
+	fmt.Fprintf(out, "| metric | value |\n|---|---|\n")
+	fmt.Fprintf(out, "| cycles without ISEs | %.0f |\n", rep.BaseCycles)
+	fmt.Fprintf(out, "| cycles with ISEs | %.0f |\n", rep.FinalCycles)
+	fmt.Fprintf(out, "| execution-time reduction | %.2f%% |\n", 100*rep.Reduction())
+	fmt.Fprintf(out, "| custom instructions | %d |\n", rep.NumISEs)
+	fmt.Fprintf(out, "| ASFU silicon area | %.0f µm² |\n", rep.AreaUM2)
+	fmt.Fprintln(out)
+
+	fmt.Fprintln(out, "## Selected instruction-set extensions")
+	fmt.Fprintln(out)
+	for i, cand := range rep.Selected {
+		e := cand.ISE
+		fmt.Fprintf(out, "### ISE %d (from %s)\n\n", i+1, cand.DFG.Name)
+		fmt.Fprintf(out, "%d operations, %.2f ns datapath, %d cycle(s), %.0f µm², %d read / %d write ports, weighted gain %.0f cycles.\n\n",
+			e.Size(), e.DelayNS, e.Cycles, e.AreaUM2, e.In, e.Out, cand.Gain)
+		fmt.Fprintln(out, "| op | instruction | cell | delay ns | area µm² |")
+		fmt.Fprintln(out, "|---|---|---|---|---|")
+		for _, v := range e.Nodes.Values() {
+			opt := cand.DFG.Nodes[v].HW[e.Option[v]]
+			fmt.Fprintf(out, "| n%d | `%s` | %s | %.2f | %.2f |\n",
+				v, cand.DFG.Nodes[v].Instr, opt.Name, opt.DelayNS, opt.AreaUM2)
+		}
+		fmt.Fprintln(out)
+	}
+
+	fmt.Fprintln(out, "## Hot-block schedules")
+	fmt.Fprintln(out)
+	for _, bi := range pool.Hot {
+		d := pool.DFGs[bi]
+		sw, err := sched.ListSchedule(d, sched.AllSoftware(d.Len()), cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		after, a, _, err := replace.Apply(d, cfg, rep.Selected)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(out, "### %s (executed %d times)\n\n", d.Name, d.Weight)
+		fmt.Fprintf(out, "Before: %d cycles. After: %d cycles.\n\n", sw.Length, after.Length)
+		fmt.Fprintln(out, "```")
+		after.Gantt(out, d, a)
+		fmt.Fprintln(out, "```")
+		fmt.Fprintln(out)
+	}
+
+	fmt.Fprintln(out, "## Appendix: ASFU datapaths (Verilog)")
+	fmt.Fprintln(out)
+	for i, cand := range rep.Selected {
+		mod, err := netlist.FromISE(cand.DFG, cand.ISE, fmt.Sprintf("%s_ise%d", bm.Name, i+1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(out, "```verilog")
+		fmt.Fprint(out, mod.Verilog())
+		fmt.Fprintln(out, "```")
+		fmt.Fprintln(out)
+	}
+}

@@ -1,0 +1,456 @@
+// Package baseline re-implements the comparison point of the paper's
+// evaluation: the ant-colony ISE exploration of Wu et al. (HiPEAC 2007,
+// reference [8]), which considers only the *legality* of operations — port,
+// convexity and eligibility constraints — and models a single-issue
+// processor. It has no notion of operation location: no instruction
+// scheduling, no critical path, no Max_AEC slack. Its figure of merit is the
+// serial cycle count (one instruction per cycle), so it happily packs
+// operations a multiple-issue machine would have executed in parallel anyway
+// — exactly the deficiency §1.4 of the paper demonstrates.
+//
+// Results are evaluated downstream on the multiple-issue machine by the same
+// design flow as the proposed algorithm ("schedule the result of
+// single-issue with ISE on a 2-issue processor", Fig. 1.3.1 case 1).
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/aco"
+	"repro/internal/core"
+	"repro/internal/dfg"
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/sched"
+)
+
+// Explore runs the legality-only single-issue exploration on d. The machine
+// configuration supplies only the register-port constraints Nin/Nout (the
+// single-issue model ignores issue width); the returned Result's Base and
+// Final cycle counts are nevertheless measured on cfg by the multiple-issue
+// scheduler so that results are directly comparable with core.Explore.
+func Explore(d *dfg.DFG, cfg machine.Config, p core.Params) (*core.Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("baseline: empty DFG %s", d.Name)
+	}
+	baseSched, err := sched.ListSchedule(d, sched.AllSoftware(d.Len()), cfg)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: base schedule of %s: %w", d.Name, err)
+	}
+	restarts := p.Restarts
+	if restarts < 1 {
+		restarts = 1
+	}
+	var best *core.Result
+	var bestSerial int
+	for r := 0; r < restarts; r++ {
+		res, serial, err := runOnce(d, cfg, p, p.Seed+int64(r)*104729, baseSched.Length)
+		if err != nil {
+			return nil, err
+		}
+		// The baseline optimizes its own (serial) objective; ties broken by
+		// area, faithfully ignorant of the multiple-issue outcome.
+		if best == nil || serial < bestSerial ||
+			(serial == bestSerial && res.AreaUM2() < best.AreaUM2()) {
+			best, bestSerial = res, serial
+		}
+	}
+	return best, nil
+}
+
+// explorer carries the baseline's per-DFG state.
+type explorer struct {
+	d     *dfg.DFG
+	cfg   machine.Config
+	p     core.Params
+	rng   *rand.Rand
+	trail [][]float64
+	merit [][]float64
+	numSW []int
+	fixed []*core.ISE
+	inISE []bool
+	topo  []int
+}
+
+func runOnce(d *dfg.DFG, cfg machine.Config, p core.Params, seed int64, baseCycles int) (*core.Result, int, error) {
+	rng := aco.NewRand(seed)
+	e := &explorer{d: d, cfg: cfg, p: p, rng: rng, inISE: make([]bool, d.Len())}
+	order, err := d.G.TopoOrder()
+	if err != nil {
+		return nil, 0, fmt.Errorf("baseline: %s: %w", d.Name, err)
+	}
+	e.topo = order
+
+	res := &core.Result{BaseCycles: baseCycles, FinalCycles: baseCycles}
+	curSerial := e.serialCycles(nil)
+	for round := 0; round < p.MaxRounds; round++ {
+		e.initTables()
+		iters := e.converge()
+		res.Iterations += iters
+		res.Rounds++
+		cand, serial := e.bestCandidate(curSerial)
+		if cand == nil {
+			break
+		}
+		cand.SavingCycles = curSerial - serial
+		e.fixed = append(e.fixed, cand)
+		for _, v := range cand.Nodes.Values() {
+			e.inISE[v] = true
+		}
+		curSerial = serial
+	}
+
+	res.ISEs = append(res.ISEs, e.fixed...)
+	res.Assignment = core.BuildAssignment(d, res.ISEs)
+	final, err := sched.ListSchedule(d, res.Assignment, cfg)
+	if err != nil {
+		return nil, 0, fmt.Errorf("baseline: final schedule of %s: %w", d.Name, err)
+	}
+	res.FinalCycles = final.Length
+	return res, curSerial, nil
+}
+
+func (e *explorer) initTables() {
+	n := e.d.Len()
+	e.trail = make([][]float64, n)
+	e.merit = make([][]float64, n)
+	e.numSW = make([]int, n)
+	for i := 0; i < n; i++ {
+		node := e.d.Nodes[i]
+		e.numSW[i] = len(node.SW)
+		opts := len(node.SW) + len(node.HW)
+		e.trail[i] = make([]float64, opts)
+		e.merit[i] = make([]float64, opts)
+		for o := 0; o < opts; o++ {
+			if o < e.numSW[i] {
+				e.merit[i][o] = e.p.InitMeritSW
+			} else {
+				e.merit[i][o] = e.p.InitMeritHW
+			}
+		}
+	}
+}
+
+// serialCycles is the single-issue execution-time model: one cycle per
+// software instruction plus the latency of each ISE, all strictly
+// sequential. chosen optionally provides per-node iteration choices for
+// nodes not in accepted ISEs.
+func (e *explorer) serialCycles(chosen []int) int {
+	d := e.d
+	cycles := 0
+	counted := make([]bool, d.Len())
+	for _, f := range e.fixed {
+		cycles += f.Cycles
+		for _, v := range f.Nodes.Values() {
+			counted[v] = true
+		}
+	}
+	if chosen != nil {
+		for _, g := range e.iterationGroups(chosen) {
+			cycles += e.groupCycles(g, chosen)
+			for _, v := range g.Values() {
+				counted[v] = true
+			}
+		}
+	}
+	for v := 0; v < d.Len(); v++ {
+		if !counted[v] {
+			cycles++
+		}
+	}
+	return cycles
+}
+
+// iterationGroups returns the connected components of hardware-chosen free
+// nodes under the iteration's choices.
+func (e *explorer) iterationGroups(chosen []int) []graph.NodeSet {
+	d := e.d
+	hw := graph.NewNodeSet(d.Len())
+	for v := 0; v < d.Len(); v++ {
+		if !e.inISE[v] && chosen[v] >= e.numSW[v] && d.Nodes[v].ISEEligible() {
+			hw.Add(v)
+		}
+	}
+	if hw.Empty() {
+		return nil
+	}
+	return d.G.ConnectedComponents(hw)
+}
+
+// groupCycles is the pipestage latency of a chosen-option group.
+func (e *explorer) groupCycles(s graph.NodeSet, chosen []int) int {
+	delay, _ := e.groupMetrics(s, chosen, -1, 0)
+	return sched.CyclesForDelay(delay)
+}
+
+// groupMetrics measures a group's combinational depth and area; if override
+// is a member, it uses hwIdx for that node instead of its chosen option.
+func (e *explorer) groupMetrics(s graph.NodeSet, chosen []int, override, hwIdx int) (delayNS, areaUM2 float64) {
+	d := e.d
+	depth := map[int]float64{}
+	for _, v := range e.topo {
+		if !s.Contains(v) {
+			continue
+		}
+		j := hwIdx
+		if v != override {
+			j = chosen[v] - e.numSW[v]
+			if j < 0 {
+				j = 0 // member chose software; assume its first cell
+			}
+		}
+		in := 0.0
+		for _, p := range d.G.Preds(v) {
+			if s.Contains(p) && depth[p] > in {
+				in = depth[p]
+			}
+		}
+		depth[v] = in + d.Nodes[v].HW[j].DelayNS
+		if depth[v] > delayNS {
+			delayNS = depth[v]
+		}
+		areaUM2 += d.Nodes[v].HW[j].AreaUM2
+	}
+	return delayNS, areaUM2
+}
+
+// converge runs option-selection iterations until P_END or the cap.
+func (e *explorer) converge() int {
+	tetOld := 1 << 30
+	for it := 1; it <= e.p.MaxIterations; it++ {
+		chosen := e.selectOptions()
+		tet := e.serialCycles(chosen)
+		improved := tet <= tetOld
+		e.trailUpdate(chosen, improved)
+		if improved {
+			tetOld = tet
+		}
+		e.meritUpdate(chosen)
+		if e.convergedNow() {
+			return it
+		}
+	}
+	return e.p.MaxIterations
+}
+
+// selectOptions draws one implementation option per free node (no ordering
+// decision: the baseline does not schedule).
+func (e *explorer) selectOptions() []int {
+	n := e.d.Len()
+	chosen := make([]int, n)
+	for x := 0; x < n; x++ {
+		if e.inISE[x] {
+			chosen[x] = -1
+			continue
+		}
+		w := make([]float64, len(e.trail[x]))
+		for o := range w {
+			w[o] = e.p.Alpha*e.trail[x][o] + (1-e.p.Alpha)*e.merit[x][o]
+		}
+		chosen[x] = aco.SelectWeighted(e.rng, w)
+	}
+	return chosen
+}
+
+func (e *explorer) trailUpdate(chosen []int, improved bool) {
+	for x := 0; x < e.d.Len(); x++ {
+		if e.inISE[x] {
+			continue
+		}
+		for o := range e.trail[x] {
+			sel := chosen[x] == o
+			switch {
+			case improved && sel:
+				e.trail[x][o] += e.p.Rho1
+			case improved:
+				e.trail[x][o] -= e.p.Rho2
+			case sel:
+				e.trail[x][o] -= e.p.Rho3
+			default:
+				e.trail[x][o] += e.p.Rho4
+			}
+			if e.trail[x][o] < 0 {
+				e.trail[x][o] = 0
+			}
+		}
+	}
+}
+
+// meritUpdate is the legality-only merit function: no critical-path case, no
+// slack case — only size, constraint violations, and serial cycle saving.
+func (e *explorer) meritUpdate(chosen []int) {
+	d := e.d
+	groups := e.iterationGroups(chosen)
+	groupOf := make([]int, d.Len())
+	for i := range groupOf {
+		groupOf[i] = -1
+	}
+	for gi, g := range groups {
+		for _, v := range g.Values() {
+			groupOf[v] = gi
+		}
+	}
+	for x := 0; x < d.Len(); x++ {
+		if e.inISE[x] {
+			continue
+		}
+		node := d.Nodes[x]
+		for i := 0; i < e.numSW[x]; i++ {
+			e.merit[x][i] *= float64(node.SW[i].Cycles)
+		}
+		if len(node.HW) > 0 {
+			e.hwMerit(chosen, groups, groupOf, x)
+		}
+		aco.Normalize(e.merit[x], 100*float64(len(e.merit[x])))
+	}
+}
+
+func (e *explorer) hwMerit(chosen []int, groups []graph.NodeSet, groupOf []int, x int) {
+	d := e.d
+	p := e.p
+	hw := d.Nodes[x].HW
+	base := e.numSW[x]
+
+	// vSx: x joined with its adjacent hardware group(s).
+	vs := graph.NewNodeSet(d.Len())
+	vs.Add(x)
+	for _, nb := range append(append([]int(nil), d.G.Succs(x)...), d.G.Preds(x)...) {
+		if groupOf[nb] >= 0 {
+			vs = vs.Union(groups[groupOf[nb]])
+		}
+	}
+	if groupOf[x] >= 0 {
+		vs = vs.Union(groups[groupOf[x]])
+	}
+
+	if vs.Len() == 1 {
+		for j := range hw {
+			e.merit[x][base+j] *= p.BetaSize
+		}
+		return
+	}
+	violated := false
+	if d.In(vs) > e.cfg.ReadPorts || d.Out(vs) > e.cfg.WritePorts {
+		for j := range hw {
+			e.merit[x][base+j] *= p.BetaIO
+		}
+		violated = true
+	}
+	if !d.IsConvex(vs) {
+		for j := range hw {
+			e.merit[x][base+j] *= p.BetaConvex
+		}
+		violated = true
+	}
+	if violated {
+		return
+	}
+	// Serial saving: the group replaces size(vS) one-cycle instructions.
+	minCycles, maxArea := 1<<30, 0.0
+	cyc := make([]int, len(hw))
+	area := make([]float64, len(hw))
+	for j := range hw {
+		dly, a := e.groupMetrics(vs, chosen, x, j)
+		cyc[j] = sched.CyclesForDelay(dly)
+		area[j] = a
+		if cyc[j] < minCycles {
+			minCycles = cyc[j]
+		}
+		if a > maxArea {
+			maxArea = a
+		}
+	}
+	for j := range hw {
+		m := &e.merit[x][base+j]
+		if p.MaxISECycles > 0 && cyc[j] > p.MaxISECycles {
+			*m *= p.BetaIO
+			continue
+		}
+		saving := vs.Len() - cyc[j]
+		switch {
+		case saving > 0:
+			*m *= float64(1 + saving)
+		case saving < 0:
+			*m /= float64(1 - saving)
+		}
+		if cyc[j] == minCycles {
+			if area[j] > 0 {
+				*m *= maxArea / area[j]
+			}
+		} else {
+			*m /= float64(1 + cyc[j] - minCycles)
+		}
+	}
+}
+
+func (e *explorer) convergedNow() bool {
+	for x := 0; x < e.d.Len(); x++ {
+		if e.inISE[x] || len(e.trail[x]) <= 1 {
+			continue
+		}
+		w := make([]float64, len(e.trail[x]))
+		for o := range w {
+			w[o] = e.p.Alpha*e.trail[x][o] + (1-e.p.Alpha)*e.merit[x][o]
+		}
+		share, _ := aco.MaxShare(w)
+		if share < e.p.PEnd {
+			return false
+		}
+	}
+	return true
+}
+
+// bestCandidate extracts the converged hardware selection, shapes it into
+// legal candidates, and returns the one with the best *serial* gain — the
+// single-issue objective — together with the resulting serial cycle count.
+func (e *explorer) bestCandidate(curSerial int) (*core.ISE, int) {
+	d := e.d
+	taken := graph.NewNodeSet(d.Len())
+	optOf := map[int]int{}
+	for x := 0; x < d.Len(); x++ {
+		if e.inISE[x] || !d.Nodes[x].ISEEligible() {
+			continue
+		}
+		w := make([]float64, len(e.trail[x]))
+		for o := range w {
+			w[o] = e.p.Alpha*e.trail[x][o] + (1-e.p.Alpha)*e.merit[x][o]
+		}
+		_, o := aco.MaxShare(w)
+		if o >= e.numSW[x] {
+			taken.Add(x)
+			optOf[x] = o - e.numSW[x]
+		}
+	}
+	if taken.Empty() {
+		return nil, curSerial
+	}
+	var best *core.ISE
+	bestSerial := curSerial
+	for _, comp := range d.G.ConnectedComponents(taken) {
+		for _, convex := range core.MakeConvex(d, comp) {
+			feasible := core.TrimPorts(d, convex, e.cfg.ReadPorts, e.cfg.WritePorts)
+			feasible = core.TrimLatency(d, feasible, optOf, e.p.MaxISECycles)
+			feasible = core.TrimPorts(d, feasible, e.cfg.ReadPorts, e.cfg.WritePorts)
+			for _, part := range d.G.ConnectedComponents(feasible) {
+				if part.Len() < 2 {
+					continue
+				}
+				ise := core.NewISE(d, part, optOf)
+				// Serial gain: members leave the 1-cycle stream, ISE joins.
+				serial := curSerial - part.Len() + ise.Cycles
+				if serial > curSerial {
+					continue
+				}
+				if best == nil || serial < bestSerial ||
+					(serial == bestSerial && ise.AreaUM2 < best.AreaUM2) {
+					best, bestSerial = ise, serial
+				}
+			}
+		}
+	}
+	return best, bestSerial
+}

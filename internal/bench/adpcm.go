@@ -1,0 +1,270 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/vm"
+)
+
+// ADPCM kernel: the IMA ADPCM decoder inner loop from MiBench adpcm. Each
+// 4-bit delta reconstructs one 16-bit sample through the step-size lattice
+//
+//	diff = step>>3 (+ step if bit2) (+ step>>1 if bit1) (+ step>>2 if bit0)
+//	valpred ± diff, clamped to [-32768, 32767]
+//	index += indexTable[delta], clamped to [0, 88]
+//
+// The -O0 variant decodes with explicit conditional branches (what an
+// unoptimized compile produces); the -O3 variant is the branchless
+// mask-arithmetic form with two samples unrolled per iteration, yielding one
+// large ALU-dense basic block.
+
+const (
+	adpcmDeltaAddr = 0x4000
+	adpcmOutAddr   = 0x4100
+	adpcmStepAddr  = 0x4600
+	adpcmIdxAddr   = 0x4800
+	adpcmSamples   = 48
+	adpcmSeed      = 0xadc0de11
+)
+
+var adpcmStepTable = []uint32{
+	7, 8, 9, 10, 11, 12, 13, 14, 16, 17,
+	19, 21, 23, 25, 28, 31, 34, 37, 41, 45,
+	50, 55, 60, 66, 73, 80, 88, 97, 107, 118,
+	130, 143, 157, 173, 190, 209, 230, 253, 279, 307,
+	337, 371, 408, 449, 494, 544, 598, 658, 724, 796,
+	876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+	2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358,
+	5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899,
+	15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
+}
+
+var adpcmIndexTable = []int32{
+	-1, -1, -1, -1, 2, 4, 6, 8,
+	-1, -1, -1, -1, 2, 4, 6, 8,
+}
+
+// adpcmRef decodes deltas with the reference IMA algorithm.
+func adpcmRef(deltas []byte) []uint32 {
+	out := make([]uint32, len(deltas))
+	valpred, index := int32(0), int32(0)
+	for i, d := range deltas {
+		step := int32(adpcmStepTable[index])
+		diff := step >> 3
+		if d&4 != 0 {
+			diff += step
+		}
+		if d&2 != 0 {
+			diff += step >> 1
+		}
+		if d&1 != 0 {
+			diff += step >> 2
+		}
+		if d&8 != 0 {
+			valpred -= diff
+		} else {
+			valpred += diff
+		}
+		if valpred < -32768 {
+			valpred = -32768
+		} else if valpred > 32767 {
+			valpred = 32767
+		}
+		index += adpcmIndexTable[d&15]
+		if index < 0 {
+			index = 0
+		} else if index > 88 {
+			index = 88
+		}
+		out[i] = uint32(valpred)
+	}
+	return out
+}
+
+// adpcmSampleBranchy emits the -O0 decode of the sample at the current
+// pointers, using conditional branches. lbl distinguishes label names across
+// call sites.
+func adpcmSampleBranchy(b *prog.Builder, lbl string) {
+	b.Load(isa.OpLBU, prog.T0, prog.S0, 0) // delta
+	b.I(isa.OpSLL, prog.T1, prog.S5, 2)
+	b.R(isa.OpADDU, prog.T1, prog.T1, prog.S2)
+	b.Load(isa.OpLW, prog.T2, prog.T1, 0) // step
+	b.I(isa.OpSRL, prog.T3, prog.T2, 3)   // diff
+	b.I(isa.OpANDI, prog.T4, prog.T0, 4)
+	b.Branch(isa.OpBEQ, prog.T4, prog.Zero, lbl+"_no4")
+	b.R(isa.OpADDU, prog.T3, prog.T3, prog.T2)
+	b.Label(lbl + "_no4")
+	b.I(isa.OpANDI, prog.T4, prog.T0, 2)
+	b.Branch(isa.OpBEQ, prog.T4, prog.Zero, lbl+"_no2")
+	b.I(isa.OpSRL, prog.T5, prog.T2, 1)
+	b.R(isa.OpADDU, prog.T3, prog.T3, prog.T5)
+	b.Label(lbl + "_no2")
+	b.I(isa.OpANDI, prog.T4, prog.T0, 1)
+	b.Branch(isa.OpBEQ, prog.T4, prog.Zero, lbl+"_no1")
+	b.I(isa.OpSRL, prog.T5, prog.T2, 2)
+	b.R(isa.OpADDU, prog.T3, prog.T3, prog.T5)
+	b.Label(lbl + "_no1")
+	b.I(isa.OpANDI, prog.T4, prog.T0, 8)
+	b.Branch(isa.OpBEQ, prog.T4, prog.Zero, lbl+"_pos")
+	b.R(isa.OpSUBU, prog.S4, prog.S4, prog.T3)
+	b.Jump(lbl + "_sgn")
+	b.Label(lbl + "_pos")
+	b.R(isa.OpADDU, prog.S4, prog.S4, prog.T3)
+	b.Label(lbl + "_sgn")
+	// Clamp valpred.
+	b.I(isa.OpSLTI, prog.T4, prog.S4, -32768)
+	b.Branch(isa.OpBEQ, prog.T4, prog.Zero, lbl+"_nolo")
+	b.I(isa.OpADDI, prog.S4, prog.Zero, -32768)
+	b.Label(lbl + "_nolo")
+	b.R(isa.OpSLT, prog.T4, prog.GP, prog.S4) // GP holds 32767
+	b.Branch(isa.OpBEQ, prog.T4, prog.Zero, lbl+"_nohi")
+	b.R(isa.OpADDU, prog.S4, prog.GP, prog.Zero)
+	b.Label(lbl + "_nohi")
+	// index += indexTable[delta], clamp to [0, 88] (88 lives in K0).
+	b.I(isa.OpSLL, prog.T4, prog.T0, 2)
+	b.R(isa.OpADDU, prog.T4, prog.T4, prog.S3)
+	b.Load(isa.OpLW, prog.T4, prog.T4, 0)
+	b.R(isa.OpADDU, prog.S5, prog.S5, prog.T4)
+	b.Branch1(isa.OpBGEZ, prog.S5, lbl+"_ipos")
+	b.R(isa.OpADDU, prog.S5, prog.Zero, prog.Zero)
+	b.Label(lbl + "_ipos")
+	b.R(isa.OpSLT, prog.T4, prog.K0, prog.S5)
+	b.Branch(isa.OpBEQ, prog.T4, prog.Zero, lbl+"_iok")
+	b.R(isa.OpADDU, prog.S5, prog.K0, prog.Zero)
+	b.Label(lbl + "_iok")
+	b.Store(isa.OpSW, prog.S4, prog.S1, 0)
+}
+
+// adpcmSampleBranchless emits the -O3 mask-arithmetic decode of the sample
+// at byte offset dOff in the delta stream (output word offset 4*dOff).
+func adpcmSampleBranchless(b *prog.Builder, dOff int32) {
+	b.Load(isa.OpLBU, prog.T0, prog.S0, dOff) // delta
+	b.I(isa.OpSLL, prog.T1, prog.S5, 2)
+	b.R(isa.OpADDU, prog.T1, prog.T1, prog.S2)
+	b.Load(isa.OpLW, prog.T2, prog.T1, 0) // step
+	b.I(isa.OpSRL, prog.T3, prog.T2, 3)   // diff
+	// bit 2: diff += step & -(bit2)
+	b.I(isa.OpSRL, prog.T4, prog.T0, 2)
+	b.I(isa.OpANDI, prog.T4, prog.T4, 1)
+	b.R(isa.OpSUBU, prog.T4, prog.Zero, prog.T4)
+	b.R(isa.OpAND, prog.T4, prog.T2, prog.T4)
+	b.R(isa.OpADDU, prog.T3, prog.T3, prog.T4)
+	// bit 1: diff += (step>>1) & -(bit1)
+	b.I(isa.OpSRL, prog.T4, prog.T0, 1)
+	b.I(isa.OpANDI, prog.T4, prog.T4, 1)
+	b.R(isa.OpSUBU, prog.T4, prog.Zero, prog.T4)
+	b.I(isa.OpSRL, prog.T5, prog.T2, 1)
+	b.R(isa.OpAND, prog.T4, prog.T5, prog.T4)
+	b.R(isa.OpADDU, prog.T3, prog.T3, prog.T4)
+	// bit 0: diff += (step>>2) & -(bit0)
+	b.I(isa.OpANDI, prog.T4, prog.T0, 1)
+	b.R(isa.OpSUBU, prog.T4, prog.Zero, prog.T4)
+	b.I(isa.OpSRL, prog.T5, prog.T2, 2)
+	b.R(isa.OpAND, prog.T4, prog.T5, prog.T4)
+	b.R(isa.OpADDU, prog.T3, prog.T3, prog.T4)
+	// sign: valpred += (diff ^ m) - m with m = -(bit3)
+	b.I(isa.OpSRL, prog.T4, prog.T0, 3)
+	b.I(isa.OpANDI, prog.T4, prog.T4, 1)
+	b.R(isa.OpSUBU, prog.T4, prog.Zero, prog.T4)
+	b.R(isa.OpXOR, prog.T5, prog.T3, prog.T4)
+	b.R(isa.OpSUBU, prog.T5, prog.T5, prog.T4)
+	b.R(isa.OpADDU, prog.S4, prog.S4, prog.T5)
+	// Clamp valpred low (FP holds -32768): v = (v &^ m) | (lo & m).
+	b.I(isa.OpSLTI, prog.T4, prog.S4, -32768)
+	b.R(isa.OpSUBU, prog.T4, prog.Zero, prog.T4)
+	b.R(isa.OpNOR, prog.T5, prog.T4, prog.Zero)
+	b.R(isa.OpAND, prog.T6, prog.S4, prog.T5)
+	b.R(isa.OpAND, prog.T7, prog.FP, prog.T4)
+	b.R(isa.OpOR, prog.S4, prog.T6, prog.T7)
+	// Clamp valpred high (GP holds 32767).
+	b.R(isa.OpSLT, prog.T4, prog.GP, prog.S4)
+	b.R(isa.OpSUBU, prog.T4, prog.Zero, prog.T4)
+	b.R(isa.OpNOR, prog.T5, prog.T4, prog.Zero)
+	b.R(isa.OpAND, prog.T6, prog.S4, prog.T5)
+	b.R(isa.OpAND, prog.T7, prog.GP, prog.T4)
+	b.R(isa.OpOR, prog.S4, prog.T6, prog.T7)
+	// index += indexTable[delta]
+	b.I(isa.OpSLL, prog.T4, prog.T0, 2)
+	b.R(isa.OpADDU, prog.T4, prog.T4, prog.S3)
+	b.Load(isa.OpLW, prog.T4, prog.T4, 0)
+	b.R(isa.OpADDU, prog.S5, prog.S5, prog.T4)
+	// Clamp index low at 0: idx &= ^(-(idx<0)).
+	b.R(isa.OpSLT, prog.T4, prog.S5, prog.Zero)
+	b.R(isa.OpSUBU, prog.T4, prog.Zero, prog.T4)
+	b.R(isa.OpNOR, prog.T5, prog.T4, prog.Zero)
+	b.R(isa.OpAND, prog.S5, prog.S5, prog.T5)
+	// Clamp index high at 88 (K0 holds 88).
+	b.R(isa.OpSLT, prog.T4, prog.K0, prog.S5)
+	b.R(isa.OpSUBU, prog.T4, prog.Zero, prog.T4)
+	b.R(isa.OpNOR, prog.T5, prog.T4, prog.Zero)
+	b.R(isa.OpAND, prog.T6, prog.S5, prog.T5)
+	b.R(isa.OpAND, prog.T7, prog.K0, prog.T4)
+	b.R(isa.OpOR, prog.S5, prog.T6, prog.T7)
+	b.Store(isa.OpSW, prog.S4, prog.S1, 4*dOff)
+}
+
+func newADPCM(opt string) *Benchmark {
+	b := prog.NewBuilder("adpcm-" + opt)
+	b.LI(prog.S0, adpcmDeltaAddr)
+	b.LI(prog.S1, adpcmOutAddr)
+	b.LI(prog.S2, adpcmStepAddr)
+	b.LI(prog.S3, adpcmIdxAddr)
+	b.R(isa.OpADDU, prog.S4, prog.Zero, prog.Zero) // valpred
+	b.R(isa.OpADDU, prog.S5, prog.Zero, prog.Zero) // index
+	b.LI(prog.S6, adpcmDeltaAddr+adpcmSamples)     // end pointer
+	b.I(isa.OpADDI, prog.FP, prog.Zero, -32768)
+	b.I(isa.OpORI, prog.GP, prog.Zero, 32767)
+	b.I(isa.OpORI, prog.K0, prog.Zero, 88)
+
+	b.Label("sample_loop")
+	if opt == "O0" {
+		adpcmSampleBranchy(b, "s")
+		b.I(isa.OpADDIU, prog.S0, prog.S0, 1)
+		b.I(isa.OpADDIU, prog.S1, prog.S1, 4)
+	} else {
+		adpcmSampleBranchless(b, 0)
+		adpcmSampleBranchless(b, 1)
+		b.I(isa.OpADDIU, prog.S0, prog.S0, 2)
+		b.I(isa.OpADDIU, prog.S1, prog.S1, 8)
+	}
+	b.Branch(isa.OpBNE, prog.S0, prog.S6, "sample_loop")
+	b.Halt()
+
+	deltas := bytesOf(adpcmSeed, adpcmSamples)
+	for i := range deltas {
+		deltas[i] &= 15
+	}
+	want := adpcmRef(deltas)
+	return &Benchmark{
+		Name: "adpcm",
+		Opt:  opt,
+		Prog: b.MustBuild(),
+		Setup: func(m *vm.Machine) error {
+			if err := m.StoreBytes(adpcmDeltaAddr, deltas); err != nil {
+				return err
+			}
+			if err := storeWords(m, adpcmStepAddr, adpcmStepTable); err != nil {
+				return err
+			}
+			idx := make([]uint32, len(adpcmIndexTable))
+			for i, v := range adpcmIndexTable {
+				idx[i] = uint32(v)
+			}
+			return storeWords(m, adpcmIdxAddr, idx)
+		},
+		Check: func(m *vm.Machine) error {
+			got, err := loadWords(m, adpcmOutAddr, adpcmSamples)
+			if err != nil {
+				return err
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					return fmt.Errorf("sample %d = %#x, want %#x", i, got[i], want[i])
+				}
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,251 @@
+package bench
+
+import (
+	"hash/crc32"
+	"testing"
+)
+
+func TestAllBenchmarksRunAndVerify(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.FullName(), func(t *testing.T) {
+			prof, err := b.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if prof.DynInstrs == 0 {
+				t.Fatal("no instructions executed")
+			}
+			if len(prof.HotBlocks(b.Prog, 1)) == 0 {
+				t.Fatal("no hot block recorded")
+			}
+		})
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != len(Extended())*len(Opts()) {
+		t.Fatalf("All() returned %d benchmarks, want %d", len(all), len(Extended())*len(Opts()))
+	}
+	seen := map[string]bool{}
+	for _, b := range all {
+		if seen[b.FullName()] {
+			t.Errorf("duplicate benchmark %s", b.FullName())
+		}
+		seen[b.FullName()] = true
+		if err := b.Prog.Validate(); err != nil {
+			t.Errorf("%s: %v", b.FullName(), err)
+		}
+	}
+}
+
+func TestGetErrors(t *testing.T) {
+	if _, err := Get("nope", "O0"); err == nil {
+		t.Error("unknown name accepted")
+	}
+	if _, err := Get("crc32", "O9"); err == nil {
+		t.Error("unknown opt accepted")
+	}
+	if b, err := Get("crc32", "O3"); err != nil || b.FullName() != "crc32/O3" {
+		t.Errorf("Get(crc32,O3) = %v, %v", b, err)
+	}
+}
+
+// maxBlockLen returns the longest basic block of the benchmark program.
+func maxBlockLen(b *Benchmark) int {
+	max := 0
+	for _, blk := range b.Prog.Blocks {
+		if len(blk.Instrs) > max {
+			max = len(blk.Instrs)
+		}
+	}
+	return max
+}
+
+func TestO3HasLargerBlocks(t *testing.T) {
+	// The whole point of the O0/O3 distinction (paper §5.2): O3 produces
+	// larger basic blocks with more exploitable parallelism.
+	for _, name := range Extended() {
+		o0, err := Get(name, "O0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		o3, err := Get(name, "O3")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if maxBlockLen(o3) <= maxBlockLen(o0) {
+			t.Errorf("%s: O3 max block %d not larger than O0 max block %d",
+				name, maxBlockLen(o3), maxBlockLen(o0))
+		}
+	}
+}
+
+func TestCRCReferenceMatchesStdlib(t *testing.T) {
+	// Our bitwise reference model must agree with hash/crc32 (IEEE,
+	// reflected) on the benchmark input, proving the assembly computes the
+	// genuine CRC-32.
+	data := bytesOf(crcSeed, crcDataLen)
+	if got, want := crcRef(data), crc32.ChecksumIEEE(data); got != want {
+		t.Fatalf("crcRef = %#x, stdlib = %#x", got, want)
+	}
+}
+
+func TestADPCMReferenceClamps(t *testing.T) {
+	// Force saturation in both directions with extreme delta streams.
+	up := make([]byte, 200)
+	for i := range up {
+		up[i] = 7 // maximum positive step
+	}
+	out := adpcmRef(up)
+	if int32(out[len(out)-1]) != 32767 {
+		t.Errorf("ascending stream saturated at %d, want 32767", int32(out[len(out)-1]))
+	}
+	down := make([]byte, 200)
+	for i := range down {
+		down[i] = 15 // maximum negative step
+	}
+	out = adpcmRef(down)
+	if int32(out[len(out)-1]) != -32768 {
+		t.Errorf("descending stream saturated at %d, want -32768", int32(out[len(out)-1]))
+	}
+}
+
+func TestDijkstraReferenceReachable(t *testing.T) {
+	from, to, w := djGraph()
+	dist := djRef(from, to, w)
+	if dist[0] != 0 {
+		t.Errorf("dist[0] = %d, want 0", dist[0])
+	}
+	reached := 0
+	for _, d := range dist {
+		if d < djInf {
+			reached++
+		}
+	}
+	if reached < 2 {
+		t.Errorf("only %d nodes reachable; graph degenerate", reached)
+	}
+}
+
+func TestJPEGRowRefDCConstantInput(t *testing.T) {
+	// For a constant row the DCT has only a DC term: y0 = 8c, all others 0.
+	x := []int32{5, 5, 5, 5, 5, 5, 5, 5}
+	y := jpegRowRef(x)
+	if y[0] != 40 {
+		t.Errorf("y0 = %d, want 40", y[0])
+	}
+	for i := 1; i < 8; i++ {
+		if y[i] != 0 {
+			t.Errorf("y[%d] = %d, want 0", i, y[i])
+		}
+	}
+}
+
+func TestBlowfishEncipherChangesAndIsKeyed(t *testing.T) {
+	k := newBFKey()
+	xl, xr := k.encipher(0x01234567, 0x89abcdef)
+	if xl == 0x01234567 && xr == 0x89abcdef {
+		t.Fatal("encipher is identity")
+	}
+	// A different block enciphers differently.
+	yl, yr := k.encipher(0x01234568, 0x89abcdef)
+	if yl == xl && yr == xr {
+		t.Fatal("encipher ignores plaintext")
+	}
+}
+
+func TestDeterministicInputs(t *testing.T) {
+	a := bytesOf(123, 16)
+	b := bytesOf(123, 16)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("bytesOf not deterministic")
+		}
+	}
+	w1 := wordsOf(9, 4)
+	w2 := wordsOf(9, 4)
+	for i := range w1 {
+		if w1[i] != w2[i] {
+			t.Fatal("wordsOf not deterministic")
+		}
+	}
+	if w1[0] == w1[1] && w1[1] == w1[2] {
+		t.Fatal("generator degenerate")
+	}
+}
+
+func TestBitcountReference(t *testing.T) {
+	if got := bitcountRef([]uint32{0, 0xffffffff, 1, 0x80000000}); got != 34 {
+		t.Fatalf("bitcountRef = %d, want 34", got)
+	}
+}
+
+func TestExtendedListsPaperSetFirst(t *testing.T) {
+	ext := Extended()
+	names := Names()
+	if len(ext) <= len(names) {
+		t.Fatal("no extension benchmarks registered")
+	}
+	for i, n := range names {
+		if ext[i] != n {
+			t.Fatalf("Extended()[%d] = %q, want %q", i, ext[i], n)
+		}
+	}
+}
+
+func TestSHAReferenceRotates(t *testing.T) {
+	if got := rol(0x80000001, 1); got != 3 {
+		t.Fatalf("rol(0x80000001,1) = %#x, want 3", got)
+	}
+	// One round by hand: with w[0]=0, a..e at init values.
+	w := make([]uint32, shaRounds)
+	st := shaRef(w[:])
+	// Recompute independently.
+	a, b2, c, d, e := uint32(shaInitA), uint32(shaInitB), uint32(shaInitC), uint32(shaInitD), uint32(shaInitE)
+	for t2 := 0; t2 < shaRounds; t2++ {
+		f := (b2 & c) | (^b2 & d)
+		temp := (a<<5 | a>>27) + f + e + shaK
+		e, d, c, b2, a = d, c, (b2<<30 | b2>>2), a, temp
+	}
+	if st != [5]uint32{a, b2, c, d, e} {
+		t.Fatalf("shaRef mismatch: %x vs %x", st, [5]uint32{a, b2, c, d, e})
+	}
+}
+
+func TestStringsearchReferenceFindsPlanted(t *testing.T) {
+	text, pat := ssData()
+	idx := ssRef(text, pat)
+	if idx < 0 {
+		t.Fatal("planted pattern not found")
+	}
+	for i, p := range pat {
+		if text[int(idx)+i] != p {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestRijndaelReferenceLinearity(t *testing.T) {
+	// MixColumns is linear over GF(2): ref(a^b) == ref(a)^ref(b).
+	a := bytesOf(1, 16)
+	b := bytesOf(2, 16)
+	ab := make([]byte, 16)
+	for i := range ab {
+		ab[i] = a[i] ^ b[i]
+	}
+	ra, rb, rab := rjRef(a), rjRef(b), rjRef(ab)
+	for i := range rab {
+		if rab[i] != ra[i]^rb[i] {
+			t.Fatalf("not linear at byte %d", i)
+		}
+	}
+	// xtime doubles: xtime(0x80) = 0x1B (with reduction).
+	if rjXtime(0x80) != 0x1B {
+		t.Fatalf("xtime(0x80) = %#x", rjXtime(0x80))
+	}
+	if rjXtime(0x01) != 0x02 {
+		t.Fatalf("xtime(1) = %#x", rjXtime(1))
+	}
+}

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/vm"
+)
+
+// Bitcount kernel: population count over a word array, from MiBench bitcount.
+// -O0 is the naive bit-serial loop (32 iterations per word); -O3 is the SWAR
+// popcount — a pure shift/and/add/mult chain processed two words per
+// iteration, a long straight-line block dense with ISE-eligible operations.
+
+const (
+	bcDataAddr   = 0x2000
+	bcWords      = 32
+	bcResultAddr = 0x0ff4
+	bcSeed       = 0xb17c0057
+)
+
+func bitcountRef(words []uint32) uint32 {
+	var total uint32
+	for _, w := range words {
+		total += uint32(bits.OnesCount32(w))
+	}
+	return total
+}
+
+// swarPopcount emits the SWAR popcount of the word at off(S0) and adds it to
+// the running total register. Constants live in s-registers set up once.
+func swarPopcount(b *prog.Builder, off int32, total prog.Reg) {
+	c55, c33, c0f, c01 := prog.S3, prog.S4, prog.S5, prog.S6
+	b.Load(isa.OpLW, prog.T0, prog.S0, off)
+	b.I(isa.OpSRL, prog.T1, prog.T0, 1)
+	b.R(isa.OpAND, prog.T1, prog.T1, c55)
+	b.R(isa.OpSUBU, prog.T0, prog.T0, prog.T1)
+	b.R(isa.OpAND, prog.T2, prog.T0, c33)
+	b.I(isa.OpSRL, prog.T1, prog.T0, 2)
+	b.R(isa.OpAND, prog.T1, prog.T1, c33)
+	b.R(isa.OpADDU, prog.T0, prog.T2, prog.T1)
+	b.I(isa.OpSRL, prog.T1, prog.T0, 4)
+	b.R(isa.OpADDU, prog.T0, prog.T0, prog.T1)
+	b.R(isa.OpAND, prog.T0, prog.T0, c0f)
+	b.Mult(isa.OpMULTU, prog.T0, c01)
+	b.MoveFrom(isa.OpMFLO, prog.T0)
+	b.I(isa.OpSRL, prog.T0, prog.T0, 24)
+	b.R(isa.OpADDU, total, total, prog.T0)
+}
+
+func newBitcount(opt string) *Benchmark {
+	b := prog.NewBuilder("bitcount-" + opt)
+	ptr, end, total := prog.S0, prog.S1, prog.S2
+
+	b.LI(ptr, bcDataAddr)
+	b.I(isa.OpADDIU, end, ptr, bcWords*4)
+	b.R(isa.OpADDU, total, prog.Zero, prog.Zero)
+
+	if opt == "O0" {
+		b.Label("word_loop")
+		b.Load(isa.OpLW, prog.T0, ptr, 0)
+		b.I(isa.OpORI, prog.T4, prog.Zero, 32)
+		b.Label("bit_loop")
+		b.I(isa.OpANDI, prog.T1, prog.T0, 1)
+		b.R(isa.OpADDU, total, total, prog.T1)
+		b.I(isa.OpSRL, prog.T0, prog.T0, 1)
+		b.I(isa.OpADDI, prog.T4, prog.T4, -1)
+		b.Branch(isa.OpBNE, prog.T4, prog.Zero, "bit_loop")
+		b.I(isa.OpADDIU, ptr, ptr, 4)
+		b.Branch(isa.OpBNE, ptr, end, "word_loop")
+	} else {
+		b.LI(prog.S3, 0x55555555)
+		b.LI(prog.S4, 0x33333333)
+		b.LI(prog.S5, 0x0F0F0F0F)
+		b.LI(prog.S6, 0x01010101)
+		b.Label("word_loop")
+		swarPopcount(b, 0, total)
+		swarPopcount(b, 4, total)
+		b.I(isa.OpADDIU, ptr, ptr, 8)
+		b.Branch(isa.OpBNE, ptr, end, "word_loop")
+	}
+
+	b.R(isa.OpADDU, prog.V0, total, prog.Zero)
+	b.LI(prog.T5, bcResultAddr)
+	b.Store(isa.OpSW, prog.V0, prog.T5, 0)
+	b.Halt()
+
+	words := wordsOf(bcSeed, bcWords)
+	want := bitcountRef(words)
+	return &Benchmark{
+		Name: "bitcount",
+		Opt:  opt,
+		Prog: b.MustBuild(),
+		Setup: func(m *vm.Machine) error {
+			return storeWords(m, bcDataAddr, words)
+		},
+		Check: func(m *vm.Machine) error {
+			got, err := m.LoadWord(bcResultAddr)
+			if err != nil {
+				return err
+			}
+			if got != want {
+				return fmt.Errorf("bitcount = %d, want %d", got, want)
+			}
+			return nil
+		},
+	}
+}

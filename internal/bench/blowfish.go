@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/vm"
+)
+
+// Blowfish kernel: the 16-round Feistel encipher loop from MiBench blowfish.
+// The F function
+//
+//	F(x) = ((S0[x>>24] + S1[(x>>16)&0xff]) ^ S2[(x>>8)&0xff]) + S3[x&0xff]
+//
+// is an add/xor/add reduction fed by four table loads; the surrounding xor
+// lattice is classic ISE material. -O0 runs one round per loop iteration with
+// explicit register swaps; -O3 runs the standard double-round unrolling that
+// eliminates the swaps.
+
+const (
+	bfSboxAddr = 0x5000 // 4 × 256 words
+	bfPAddr    = 0x6000 // 18 words
+	bfDataAddr = 0x6100 // bfBlocks × 2 words, transformed in place
+	bfBlocks   = 8
+	bfSeed     = 0xb1035157
+)
+
+// bfKey holds the randomized S-boxes and P-array shared by the assembly and
+// the reference model.
+type bfKey struct {
+	sbox [4][]uint32 // each 256 words
+	p    []uint32    // 18 words
+}
+
+func newBFKey() *bfKey {
+	k := &bfKey{}
+	for i := range k.sbox {
+		k.sbox[i] = wordsOf(bfSeed+uint32(i)+1, 256)
+	}
+	k.p = wordsOf(bfSeed, 18)
+	return k
+}
+
+func (k *bfKey) f(x uint32) uint32 {
+	a := k.sbox[0][x>>24]
+	b := k.sbox[1][(x>>16)&0xff]
+	c := k.sbox[2][(x>>8)&0xff]
+	d := k.sbox[3][x&0xff]
+	return ((a + b) ^ c) + d
+}
+
+// encipher is the reference model (double-round form, equivalent to the
+// swap form used at -O0).
+func (k *bfKey) encipher(xl, xr uint32) (uint32, uint32) {
+	for i := 0; i < 16; i += 2 {
+		xl ^= k.p[i]
+		xr ^= k.f(xl)
+		xr ^= k.p[i+1]
+		xl ^= k.f(xr)
+	}
+	xr ^= k.p[16]
+	xl ^= k.p[17]
+	return xl, xr
+}
+
+// bfF emits F(x) into dst using T1..T4 as temporaries. The S-box base lives
+// in S0; box i is at byte offset 1024*i.
+func bfF(b *prog.Builder, x, dst prog.Reg) {
+	b.I(isa.OpSRL, prog.T1, x, 24)
+	b.I(isa.OpSLL, prog.T1, prog.T1, 2)
+	b.R(isa.OpADDU, prog.T1, prog.T1, prog.S0)
+	b.Load(isa.OpLW, prog.T1, prog.T1, 0) // S0[a]
+	b.I(isa.OpSRL, prog.T2, x, 16)
+	b.I(isa.OpANDI, prog.T2, prog.T2, 0xff)
+	b.I(isa.OpSLL, prog.T2, prog.T2, 2)
+	b.R(isa.OpADDU, prog.T2, prog.T2, prog.S0)
+	b.Load(isa.OpLW, prog.T2, prog.T2, 1024) // S1[b]
+	b.R(isa.OpADDU, prog.T1, prog.T1, prog.T2)
+	b.I(isa.OpSRL, prog.T3, x, 8)
+	b.I(isa.OpANDI, prog.T3, prog.T3, 0xff)
+	b.I(isa.OpSLL, prog.T3, prog.T3, 2)
+	b.R(isa.OpADDU, prog.T3, prog.T3, prog.S0)
+	b.Load(isa.OpLW, prog.T3, prog.T3, 2048) // S2[c]
+	b.R(isa.OpXOR, prog.T1, prog.T1, prog.T3)
+	b.I(isa.OpANDI, prog.T4, x, 0xff)
+	b.I(isa.OpSLL, prog.T4, prog.T4, 2)
+	b.R(isa.OpADDU, prog.T4, prog.T4, prog.S0)
+	b.Load(isa.OpLW, prog.T4, prog.T4, 3072) // S3[d]
+	b.R(isa.OpADDU, dst, prog.T1, prog.T4)
+}
+
+func newBlowfish(opt string) *Benchmark {
+	b := prog.NewBuilder("blowfish-" + opt)
+	xl, xr := prog.S2, prog.S3
+	b.LI(prog.S0, bfSboxAddr)
+	b.LI(prog.S1, bfPAddr)
+	b.LI(prog.S4, bfDataAddr)
+	b.LI(prog.S5, bfDataAddr+bfBlocks*8)
+
+	b.Label("block_loop")
+	b.Load(isa.OpLW, xl, prog.S4, 0)
+	b.Load(isa.OpLW, xr, prog.S4, 4)
+
+	if opt == "O0" {
+		// Swap form: 16 rounds, pointer S6 walks the P array to &P[16] (S7).
+		b.R(isa.OpADDU, prog.S6, prog.S1, prog.Zero)
+		b.I(isa.OpADDIU, prog.S7, prog.S1, 64)
+		b.Label("round_loop")
+		b.Load(isa.OpLW, prog.T0, prog.S6, 0)
+		b.R(isa.OpXOR, xl, xl, prog.T0)
+		bfF(b, xl, prog.T0)
+		b.R(isa.OpXOR, xr, xr, prog.T0)
+		b.R(isa.OpADDU, prog.T5, xl, prog.Zero) // swap
+		b.R(isa.OpADDU, xl, xr, prog.Zero)
+		b.R(isa.OpADDU, xr, prog.T5, prog.Zero)
+		b.I(isa.OpADDIU, prog.S6, prog.S6, 4)
+		b.Branch(isa.OpBNE, prog.S6, prog.S7, "round_loop")
+		// After an even number of swap rounds the state equals the
+		// double-round form, so post-whitening applies directly.
+		b.Load(isa.OpLW, prog.T0, prog.S7, 0)
+		b.R(isa.OpXOR, xr, xr, prog.T0)
+		b.Load(isa.OpLW, prog.T0, prog.S7, 4)
+		b.R(isa.OpXOR, xl, xl, prog.T0)
+	} else {
+		// Double-round form: P pointer S6 advances 8 bytes per iteration.
+		b.R(isa.OpADDU, prog.S6, prog.S1, prog.Zero)
+		b.I(isa.OpADDIU, prog.S7, prog.S1, 64)
+		b.Label("round_loop")
+		b.Load(isa.OpLW, prog.T0, prog.S6, 0)
+		b.R(isa.OpXOR, xl, xl, prog.T0)
+		bfF(b, xl, prog.T0)
+		b.R(isa.OpXOR, xr, xr, prog.T0)
+		b.Load(isa.OpLW, prog.T0, prog.S6, 4)
+		b.R(isa.OpXOR, xr, xr, prog.T0)
+		bfF(b, xr, prog.T0)
+		b.R(isa.OpXOR, xl, xl, prog.T0)
+		b.I(isa.OpADDIU, prog.S6, prog.S6, 8)
+		b.Branch(isa.OpBNE, prog.S6, prog.S7, "round_loop")
+		b.Load(isa.OpLW, prog.T0, prog.S7, 0)
+		b.R(isa.OpXOR, xr, xr, prog.T0)
+		b.Load(isa.OpLW, prog.T0, prog.S7, 4)
+		b.R(isa.OpXOR, xl, xl, prog.T0)
+	}
+
+	b.Store(isa.OpSW, xl, prog.S4, 0)
+	b.Store(isa.OpSW, xr, prog.S4, 4)
+	b.I(isa.OpADDIU, prog.S4, prog.S4, 8)
+	b.Branch(isa.OpBNE, prog.S4, prog.S5, "block_loop")
+	b.Halt()
+
+	key := newBFKey()
+	data := wordsOf(bfSeed+99, bfBlocks*2)
+	want := make([]uint32, len(data))
+	for i := 0; i < bfBlocks; i++ {
+		want[2*i], want[2*i+1] = key.encipher(data[2*i], data[2*i+1])
+	}
+	return &Benchmark{
+		Name: "blowfish",
+		Opt:  opt,
+		Prog: b.MustBuild(),
+		Setup: func(m *vm.Machine) error {
+			for i, box := range key.sbox {
+				if err := storeWords(m, bfSboxAddr+uint32(1024*i), box); err != nil {
+					return err
+				}
+			}
+			if err := storeWords(m, bfPAddr, key.p); err != nil {
+				return err
+			}
+			return storeWords(m, bfDataAddr, data)
+		},
+		Check: func(m *vm.Machine) error {
+			got, err := loadWords(m, bfDataAddr, len(want))
+			if err != nil {
+				return err
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					return fmt.Errorf("word %d = %#x, want %#x", i, got[i], want[i])
+				}
+			}
+			return nil
+		},
+	}
+}

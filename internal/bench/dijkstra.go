@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/vm"
+)
+
+// Dijkstra kernel: the edge-relaxation loop of shortest-path search from
+// MiBench dijkstra, run Bellman-Ford style over an edge list for a fixed
+// number of passes:
+//
+//	alt = dist[u] + w;  if alt < dist[v] { dist[v] = alt }
+//
+// -O0 relaxes one edge per iteration with a conditional branch; -O3 uses the
+// branchless slt/mask minimum and relaxes two edges per iteration.
+
+const (
+	djFromAddr = 0x8000
+	djToAddr   = 0x8100
+	djWAddr    = 0x8200
+	djDistAddr = 0x8300
+	djNodes    = 16
+	djEdges    = 48
+	djPasses   = 6
+	djInf      = 1 << 20
+	djSeed     = 0xd1785a77
+)
+
+// djGraph builds the deterministic random edge list.
+func djGraph() (from, to, w []uint32) {
+	ws := wordsOf(djSeed, 3*djEdges)
+	from = make([]uint32, djEdges)
+	to = make([]uint32, djEdges)
+	w = make([]uint32, djEdges)
+	for i := 0; i < djEdges; i++ {
+		from[i] = ws[3*i] % djNodes
+		to[i] = ws[3*i+1] % djNodes
+		if to[i] == from[i] {
+			to[i] = (to[i] + 1) % djNodes
+		}
+		w[i] = 1 + ws[3*i+2]%255
+	}
+	return from, to, w
+}
+
+// djRef runs the fixed-pass relaxation in Go.
+func djRef(from, to, w []uint32) []uint32 {
+	dist := make([]uint32, djNodes)
+	for i := range dist {
+		dist[i] = djInf
+	}
+	dist[0] = 0
+	for p := 0; p < djPasses; p++ {
+		for e := range from {
+			alt := dist[from[e]] + w[e]
+			if int32(alt) < int32(dist[to[e]]) {
+				dist[to[e]] = alt
+			}
+		}
+	}
+	return dist
+}
+
+// djLoadEdge emits the shared address arithmetic: for the edge at byte
+// offset off from the walking offset S4, leave alt in T3, &dist[v] in T4 and
+// dist[v] in T5.
+func djLoadEdge(b *prog.Builder, off int32) {
+	b.R(isa.OpADDU, prog.T0, prog.S0, prog.S4)
+	b.Load(isa.OpLW, prog.T0, prog.T0, off) // u
+	b.I(isa.OpSLL, prog.T0, prog.T0, 2)
+	b.R(isa.OpADDU, prog.T0, prog.T0, prog.S3)
+	b.Load(isa.OpLW, prog.T1, prog.T0, 0) // dist[u]
+	b.R(isa.OpADDU, prog.T2, prog.S2, prog.S4)
+	b.Load(isa.OpLW, prog.T2, prog.T2, off) // w
+	b.R(isa.OpADDU, prog.T3, prog.T1, prog.T2)
+	b.R(isa.OpADDU, prog.T4, prog.S1, prog.S4)
+	b.Load(isa.OpLW, prog.T4, prog.T4, off) // v
+	b.I(isa.OpSLL, prog.T4, prog.T4, 2)
+	b.R(isa.OpADDU, prog.T4, prog.T4, prog.S3)
+	b.Load(isa.OpLW, prog.T5, prog.T4, 0) // dist[v]
+}
+
+func newDijkstra(opt string) *Benchmark {
+	b := prog.NewBuilder("dijkstra-" + opt)
+	b.LI(prog.S0, djFromAddr)
+	b.LI(prog.S1, djToAddr)
+	b.LI(prog.S2, djWAddr)
+	b.LI(prog.S3, djDistAddr)
+	b.LI(prog.S6, djPasses) // pass counter
+
+	b.Label("pass_loop")
+	b.R(isa.OpADDU, prog.S4, prog.Zero, prog.Zero) // edge byte offset
+	b.LI(prog.S5, djEdges*4)
+
+	b.Label("edge_loop")
+	if opt == "O0" {
+		djLoadEdge(b, 0)
+		b.R(isa.OpSLT, prog.T6, prog.T3, prog.T5)
+		b.Branch(isa.OpBEQ, prog.T6, prog.Zero, "skip")
+		b.Store(isa.OpSW, prog.T3, prog.T4, 0)
+		b.Label("skip")
+		b.I(isa.OpADDIU, prog.S4, prog.S4, 4)
+	} else {
+		for k := int32(0); k < 2; k++ {
+			djLoadEdge(b, 4*k)
+			// Branchless min: dv = dv ^ ((alt^dv) & -(alt<dv)).
+			b.R(isa.OpSLT, prog.T6, prog.T3, prog.T5)
+			b.R(isa.OpSUBU, prog.T6, prog.Zero, prog.T6)
+			b.R(isa.OpXOR, prog.T7, prog.T3, prog.T5)
+			b.R(isa.OpAND, prog.T7, prog.T7, prog.T6)
+			b.R(isa.OpXOR, prog.T7, prog.T7, prog.T5)
+			b.Store(isa.OpSW, prog.T7, prog.T4, 0)
+		}
+		b.I(isa.OpADDIU, prog.S4, prog.S4, 8)
+	}
+	b.Branch(isa.OpBNE, prog.S4, prog.S5, "edge_loop")
+	b.I(isa.OpADDI, prog.S6, prog.S6, -1)
+	b.Branch(isa.OpBNE, prog.S6, prog.Zero, "pass_loop")
+	b.Halt()
+
+	from, to, w := djGraph()
+	want := djRef(from, to, w)
+	return &Benchmark{
+		Name: "dijkstra",
+		Opt:  opt,
+		Prog: b.MustBuild(),
+		Setup: func(m *vm.Machine) error {
+			dist := make([]uint32, djNodes)
+			for i := range dist {
+				dist[i] = djInf
+			}
+			dist[0] = 0
+			for _, blk := range []struct {
+				addr uint32
+				ws   []uint32
+			}{
+				{djFromAddr, from}, {djToAddr, to}, {djWAddr, w}, {djDistAddr, dist},
+			} {
+				if err := storeWords(m, blk.addr, blk.ws); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Check: func(m *vm.Machine) error {
+			got, err := loadWords(m, djDistAddr, djNodes)
+			if err != nil {
+				return err
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					return fmt.Errorf("dist[%d] = %d, want %d", i, got[i], want[i])
+				}
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/vm"
+)
+
+// FFT kernel: one radix-2 decimation-in-time stage of a 64-point fixed-point
+// (Q15) FFT — the butterfly loop at the heart of MiBench fft. Each butterfly
+// is four multiplies plus an add/sub/shift lattice:
+//
+//	tr = (ar[j]*wr - ai[j]*wi) >> 15
+//	ti = (ar[j]*wi + ai[j]*wr) >> 15
+//	ar[j], ar[i] = ar[i]-tr, ar[i]+tr
+//	ai[j], ai[i] = ai[i]-ti, ai[i]+ti
+
+const (
+	fftN        = 64 // points; one stage pairs i with i+32
+	fftHalf     = fftN / 2
+	fftRealAddr = 0x3000
+	fftImagAddr = 0x3400
+	fftWRAddr   = 0x3800
+	fftWIAddr   = 0x3A00
+	fftSeed     = 0xfa57f007
+)
+
+// fftTwiddles returns the Q15 twiddle factors for the final stage.
+func fftTwiddles() (wr, wi []uint32) {
+	wr = make([]uint32, fftHalf)
+	wi = make([]uint32, fftHalf)
+	for k := 0; k < fftHalf; k++ {
+		ang := -2 * math.Pi * float64(k) / float64(fftN)
+		wr[k] = uint32(int32(math.Round(math.Cos(ang) * 32767)))
+		wi[k] = uint32(int32(math.Round(math.Sin(ang) * 32767)))
+	}
+	return wr, wi
+}
+
+// fftInput returns Q15 sample arrays bounded to 14 bits so the butterfly
+// arithmetic cannot overflow 32 bits.
+func fftInput() (re, im []uint32) {
+	ws := wordsOf(fftSeed, 2*fftN)
+	re = make([]uint32, fftN)
+	im = make([]uint32, fftN)
+	for i := 0; i < fftN; i++ {
+		re[i] = uint32(int32(ws[i]%16384) - 8192)
+		im[i] = uint32(int32(ws[fftN+i]%16384) - 8192)
+	}
+	return re, im
+}
+
+// fftRef applies the butterfly stage in Go over copies of the inputs.
+func fftRef(re, im, wr, wi []uint32) (outRe, outIm []uint32) {
+	outRe = append([]uint32(nil), re...)
+	outIm = append([]uint32(nil), im...)
+	for i := 0; i < fftHalf; i++ {
+		j := i + fftHalf
+		arj, aij := int32(outRe[j]), int32(outIm[j])
+		w_r, w_i := int32(wr[i]), int32(wi[i])
+		tr := (arj*w_r - aij*w_i) >> 15
+		ti := (arj*w_i + aij*w_r) >> 15
+		ari, aii := int32(outRe[i]), int32(outIm[i])
+		outRe[j] = uint32(ari - tr)
+		outRe[i] = uint32(ari + tr)
+		outIm[j] = uint32(aii - ti)
+		outIm[i] = uint32(aii + ti)
+	}
+	return outRe, outIm
+}
+
+// fftButterfly emits one butterfly. The loop byte offset for element i lives
+// in S4; byteOff shifts it for unrolled iterations. Element j = i + fftHalf
+// is addressed at byteOff + fftHalf*4.
+func fftButterfly(b *prog.Builder, byteOff int32) {
+	jOff := byteOff + fftHalf*4
+	b.R(isa.OpADDU, prog.T0, prog.S0, prog.S4) // &ar[i]
+	b.Load(isa.OpLW, prog.T1, prog.T0, byteOff)
+	b.Load(isa.OpLW, prog.T2, prog.T0, jOff)
+	b.R(isa.OpADDU, prog.T3, prog.S1, prog.S4) // &ai[i]
+	b.Load(isa.OpLW, prog.T4, prog.T3, byteOff)
+	b.Load(isa.OpLW, prog.T5, prog.T3, jOff)
+	b.R(isa.OpADDU, prog.T6, prog.S2, prog.S4)
+	b.Load(isa.OpLW, prog.T6, prog.T6, byteOff) // wr
+	b.R(isa.OpADDU, prog.T7, prog.S3, prog.S4)
+	b.Load(isa.OpLW, prog.T7, prog.T7, byteOff) // wi
+
+	b.Mult(isa.OpMULT, prog.T2, prog.T6) // ar[j]*wr
+	b.MoveFrom(isa.OpMFLO, prog.T8)
+	b.Mult(isa.OpMULT, prog.T5, prog.T7) // ai[j]*wi
+	b.MoveFrom(isa.OpMFLO, prog.T9)
+	b.R(isa.OpSUBU, prog.T8, prog.T8, prog.T9)
+	b.I(isa.OpSRA, prog.T8, prog.T8, 15) // tr
+	b.Mult(isa.OpMULT, prog.T2, prog.T7) // ar[j]*wi
+	b.MoveFrom(isa.OpMFLO, prog.T9)
+	b.Mult(isa.OpMULT, prog.T5, prog.T6) // ai[j]*wr
+	b.MoveFrom(isa.OpMFLO, prog.S7)
+	b.R(isa.OpADDU, prog.T9, prog.T9, prog.S7)
+	b.I(isa.OpSRA, prog.T9, prog.T9, 15) // ti
+
+	b.R(isa.OpSUBU, prog.S7, prog.T1, prog.T8)
+	b.Store(isa.OpSW, prog.S7, prog.T0, jOff)
+	b.R(isa.OpADDU, prog.S7, prog.T1, prog.T8)
+	b.Store(isa.OpSW, prog.S7, prog.T0, byteOff)
+	b.R(isa.OpSUBU, prog.S7, prog.T4, prog.T9)
+	b.Store(isa.OpSW, prog.S7, prog.T3, jOff)
+	b.R(isa.OpADDU, prog.S7, prog.T4, prog.T9)
+	b.Store(isa.OpSW, prog.S7, prog.T3, byteOff)
+}
+
+func newFFT(opt string) *Benchmark {
+	b := prog.NewBuilder("fft-" + opt)
+	b.LI(prog.S0, fftRealAddr)
+	b.LI(prog.S1, fftImagAddr)
+	b.LI(prog.S2, fftWRAddr)
+	b.LI(prog.S3, fftWIAddr)
+	b.R(isa.OpADDU, prog.S4, prog.Zero, prog.Zero)
+	b.LI(prog.S5, fftHalf*4)
+
+	b.Label("bf_loop")
+	if opt == "O0" {
+		fftButterfly(b, 0)
+		b.I(isa.OpADDIU, prog.S4, prog.S4, 4)
+	} else {
+		// -O3: two butterflies per iteration.
+		fftButterfly(b, 0)
+		fftButterfly(b, 4)
+		b.I(isa.OpADDIU, prog.S4, prog.S4, 8)
+	}
+	b.Branch(isa.OpBNE, prog.S4, prog.S5, "bf_loop")
+	b.Halt()
+
+	re, im := fftInput()
+	wr, wi := fftTwiddles()
+	wantRe, wantIm := fftRef(re, im, wr, wi)
+	return &Benchmark{
+		Name: "fft",
+		Opt:  opt,
+		Prog: b.MustBuild(),
+		Setup: func(m *vm.Machine) error {
+			for _, blk := range []struct {
+				addr uint32
+				ws   []uint32
+			}{
+				{fftRealAddr, re}, {fftImagAddr, im}, {fftWRAddr, wr}, {fftWIAddr, wi},
+			} {
+				if err := storeWords(m, blk.addr, blk.ws); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Check: func(m *vm.Machine) error {
+			gotRe, err := loadWords(m, fftRealAddr, fftN)
+			if err != nil {
+				return err
+			}
+			gotIm, err := loadWords(m, fftImagAddr, fftN)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < fftN; i++ {
+				if gotRe[i] != wantRe[i] {
+					return fmt.Errorf("re[%d] = %#x, want %#x", i, gotRe[i], wantRe[i])
+				}
+				if gotIm[i] != wantIm[i] {
+					return fmt.Errorf("im[%d] = %#x, want %#x", i, gotIm[i], wantIm[i])
+				}
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,194 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/vm"
+)
+
+// JPEG kernel: the row pass of the 8-point integer forward DCT from the JPEG
+// encoder — a branch-free butterfly lattice of adds, subtracts, fixed-point
+// multiplies and arithmetic shifts over an 8×8 sample block. Because the
+// source is straight-line, even -O0 yields one large basic block; -O3
+// processes two rows per loop iteration, doubling it.
+
+const (
+	jpegInAddr  = 0x7000 // 8×8 int32 samples
+	jpegOutAddr = 0x7200
+	jpegRows    = 8
+	jpegSeed    = 0x0dc70123
+	jpegShift   = 13
+)
+
+// Q13 fixed-point DCT-II cosine coefficients.
+const (
+	jW1 = 8035 // cos(π/16)  · 2^13
+	jW3 = 6811 // cos(3π/16) · 2^13
+	jW5 = 4551 // cos(5π/16) · 2^13
+	jW7 = 1598 // cos(7π/16) · 2^13
+	jC2 = 7568 // cos(2π/16) · 2^13
+	jC6 = 3135 // cos(6π/16) · 2^13
+)
+
+// jpegRowRef computes the butterfly row DCT in Go (the reference model of
+// the assembly below).
+func jpegRowRef(x []int32) []int32 {
+	s07, d07 := x[0]+x[7], x[0]-x[7]
+	s16, d16 := x[1]+x[6], x[1]-x[6]
+	s25, d25 := x[2]+x[5], x[2]-x[5]
+	s34, d34 := x[3]+x[4], x[3]-x[4]
+	t0, t3 := s07+s34, s07-s34
+	t1, t2 := s16+s25, s16-s25
+	y := make([]int32, 8)
+	y[0] = t0 + t1
+	y[4] = t0 - t1
+	y[2] = (t2*jC6 + t3*jC2) >> jpegShift
+	y[6] = (t3*jC6 - t2*jC2) >> jpegShift
+	y[1] = (d07*jW1 + d16*jW3 + d25*jW5 + d34*jW7) >> jpegShift
+	y[3] = (d07*jW3 - d16*jW7 - d25*jW1 - d34*jW5) >> jpegShift
+	y[5] = (d07*jW5 - d16*jW1 + d25*jW7 + d34*jW3) >> jpegShift
+	y[7] = (d07*jW7 - d16*jW5 + d25*jW3 - d34*jW1) >> jpegShift
+	return y
+}
+
+// macTerm emits acc op= (src*coef)>>0 where op is add or sub, accumulating
+// into acc via AT.
+func macTerm(b *prog.Builder, acc, src, coef prog.Reg, negate bool) {
+	b.Mult(isa.OpMULT, src, coef)
+	b.MoveFrom(isa.OpMFLO, prog.AT)
+	if negate {
+		b.R(isa.OpSUBU, acc, acc, prog.AT)
+	} else {
+		b.R(isa.OpADDU, acc, acc, prog.AT)
+	}
+}
+
+// jpegRowAsm emits the row DCT for the row at byte offset off from the in
+// (S0) and out (S1) pointers. Coefficient registers: W1=A0 W3=A1 W5=A2 W7=A3
+// C2=K0 C6=K1.
+func jpegRowAsm(b *prog.Builder, off int32) {
+	// Load x0..x7 into T0..T7.
+	for i := 0; i < 8; i++ {
+		b.Load(isa.OpLW, prog.T0+prog.Reg(i), prog.S0, off+int32(4*i))
+	}
+	b.R(isa.OpADDU, prog.T8, prog.T0, prog.T7) // s07
+	b.R(isa.OpSUBU, prog.T9, prog.T0, prog.T7) // d07
+	b.R(isa.OpADDU, prog.V0, prog.T1, prog.T6) // s16
+	b.R(isa.OpSUBU, prog.V1, prog.T1, prog.T6) // d16
+	b.R(isa.OpADDU, prog.S3, prog.T2, prog.T5) // s25
+	b.R(isa.OpSUBU, prog.S4, prog.T2, prog.T5) // d25
+	b.R(isa.OpADDU, prog.S5, prog.T3, prog.T4) // s34
+	b.R(isa.OpSUBU, prog.S6, prog.T3, prog.T4) // d34
+	b.R(isa.OpADDU, prog.T0, prog.T8, prog.S5) // t0
+	b.R(isa.OpSUBU, prog.T3, prog.T8, prog.S5) // t3
+	b.R(isa.OpADDU, prog.T1, prog.V0, prog.S3) // t1
+	b.R(isa.OpSUBU, prog.T2, prog.V0, prog.S3) // t2
+
+	b.R(isa.OpADDU, prog.S7, prog.T0, prog.T1) // y0
+	b.Store(isa.OpSW, prog.S7, prog.S1, off+0)
+	b.R(isa.OpSUBU, prog.S7, prog.T0, prog.T1) // y4
+	b.Store(isa.OpSW, prog.S7, prog.S1, off+16)
+
+	// y2 = (t2*C6 + t3*C2) >> 13
+	b.Mult(isa.OpMULT, prog.T2, prog.K1)
+	b.MoveFrom(isa.OpMFLO, prog.S7)
+	macTerm(b, prog.S7, prog.T3, prog.K0, false)
+	b.I(isa.OpSRA, prog.S7, prog.S7, jpegShift)
+	b.Store(isa.OpSW, prog.S7, prog.S1, off+8)
+	// y6 = (t3*C6 - t2*C2) >> 13
+	b.Mult(isa.OpMULT, prog.T3, prog.K1)
+	b.MoveFrom(isa.OpMFLO, prog.S7)
+	macTerm(b, prog.S7, prog.T2, prog.K0, true)
+	b.I(isa.OpSRA, prog.S7, prog.S7, jpegShift)
+	b.Store(isa.OpSW, prog.S7, prog.S1, off+24)
+
+	odd := []struct {
+		out   int32
+		coefs [4]prog.Reg
+		neg   [4]bool
+	}{
+		{4, [4]prog.Reg{prog.A0, prog.A1, prog.A2, prog.A3}, [4]bool{false, false, false, false}}, // y1
+		{12, [4]prog.Reg{prog.A1, prog.A3, prog.A0, prog.A2}, [4]bool{false, true, true, true}},   // y3
+		{20, [4]prog.Reg{prog.A2, prog.A0, prog.A3, prog.A1}, [4]bool{false, true, false, false}}, // y5
+		{28, [4]prog.Reg{prog.A3, prog.A2, prog.A1, prog.A0}, [4]bool{false, true, false, true}},  // y7
+	}
+	diffs := [4]prog.Reg{prog.T9, prog.V1, prog.S4, prog.S6} // d07 d16 d25 d34
+	for _, o := range odd {
+		b.Mult(isa.OpMULT, diffs[0], o.coefs[0])
+		b.MoveFrom(isa.OpMFLO, prog.S7)
+		if o.neg[0] {
+			b.R(isa.OpSUBU, prog.S7, prog.Zero, prog.S7)
+		}
+		for k := 1; k < 4; k++ {
+			macTerm(b, prog.S7, diffs[k], o.coefs[k], o.neg[k])
+		}
+		b.I(isa.OpSRA, prog.S7, prog.S7, jpegShift)
+		b.Store(isa.OpSW, prog.S7, prog.S1, off+o.out)
+	}
+}
+
+func newJPEG(opt string) *Benchmark {
+	b := prog.NewBuilder("jpeg-" + opt)
+	b.LI(prog.S0, jpegInAddr)
+	b.LI(prog.S1, jpegOutAddr)
+	b.LI(prog.S2, jpegInAddr+jpegRows*32)
+	b.LI(prog.A0, jW1)
+	b.LI(prog.A1, jW3)
+	b.LI(prog.A2, jW5)
+	b.LI(prog.A3, jW7)
+	b.LI(prog.K0, jC2)
+	b.LI(prog.K1, jC6)
+
+	b.Label("row_loop")
+	if opt == "O0" {
+		jpegRowAsm(b, 0)
+		b.I(isa.OpADDIU, prog.S0, prog.S0, 32)
+		b.I(isa.OpADDIU, prog.S1, prog.S1, 32)
+	} else {
+		jpegRowAsm(b, 0)
+		jpegRowAsm(b, 32)
+		b.I(isa.OpADDIU, prog.S0, prog.S0, 64)
+		b.I(isa.OpADDIU, prog.S1, prog.S1, 64)
+	}
+	b.Branch(isa.OpBNE, prog.S0, prog.S2, "row_loop")
+	b.Halt()
+
+	// Level-shifted 8-bit samples.
+	ws := wordsOf(jpegSeed, jpegRows*8)
+	in := make([]uint32, len(ws))
+	var want []uint32
+	for i, w := range ws {
+		in[i] = uint32(int32(w%256) - 128)
+	}
+	for r := 0; r < jpegRows; r++ {
+		row := make([]int32, 8)
+		for i := range row {
+			row[i] = int32(in[r*8+i])
+		}
+		for _, y := range jpegRowRef(row) {
+			want = append(want, uint32(y))
+		}
+	}
+	return &Benchmark{
+		Name: "jpeg",
+		Opt:  opt,
+		Prog: b.MustBuild(),
+		Setup: func(m *vm.Machine) error {
+			return storeWords(m, jpegInAddr, in)
+		},
+		Check: func(m *vm.Machine) error {
+			got, err := loadWords(m, jpegOutAddr, len(want))
+			if err != nil {
+				return err
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					return fmt.Errorf("out[%d] = %#x, want %#x", i, got[i], want[i])
+				}
+			}
+			return nil
+		},
+	}
+}

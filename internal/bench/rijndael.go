@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/vm"
+)
+
+// Rijndael kernel: the AES MixColumns transformation over a 16-byte state
+// (MiBench rijndael). The GF(2⁸) doubling
+//
+//	xtime(a) = ((a << 1) ^ (0x1B & -(a >> 7))) & 0xFF
+//
+// is a branchless shift/mask/xor lattice and each output byte xors four
+// terms — textbook custom-instruction material. Like jpeg, the source is
+// straight-line, so -O0 already yields one sizable block; -O3 processes two
+// columns per iteration. An extension beyond the paper's seven
+// (bench.Extended).
+
+const (
+	rjInAddr  = 0xB000 // 16 state bytes, column-major (AES order)
+	rjOutAddr = 0xB010
+	rjSeed    = 0xAE51234
+
+	rjCols = 4
+)
+
+// rjXtime is GF(2^8) doubling.
+func rjXtime(a byte) byte {
+	t := a << 1
+	if a&0x80 != 0 {
+		t ^= 0x1B
+	}
+	return t
+}
+
+// rjRef applies MixColumns to the 16-byte state.
+func rjRef(state []byte) []byte {
+	out := make([]byte, 16)
+	for c := 0; c < 4; c++ {
+		a0, a1, a2, a3 := state[4*c], state[4*c+1], state[4*c+2], state[4*c+3]
+		b0, b1, b2, b3 := rjXtime(a0), rjXtime(a1), rjXtime(a2), rjXtime(a3)
+		out[4*c+0] = b0 ^ (a1 ^ b1) ^ a2 ^ a3
+		out[4*c+1] = a0 ^ b1 ^ (a2 ^ b2) ^ a3
+		out[4*c+2] = a0 ^ a1 ^ b2 ^ (a3 ^ b3)
+		out[4*c+3] = (a0 ^ b0) ^ a1 ^ a2 ^ b3
+	}
+	return out
+}
+
+// rjXtimeAsm emits xtime(src) into dst using t8/t9 as scratch.
+// dst must differ from src.
+func rjXtimeAsm(b *prog.Builder, dst, src prog.Reg) {
+	b.I(isa.OpSRL, prog.T8, src, 7)
+	b.R(isa.OpSUB, prog.T8, prog.Zero, prog.T8)
+	b.I(isa.OpANDI, prog.T8, prog.T8, 0x1B)
+	b.I(isa.OpSLL, prog.T9, src, 1)
+	b.R(isa.OpXOR, dst, prog.T9, prog.T8)
+	b.I(isa.OpANDI, dst, dst, 0xFF)
+}
+
+// rjColumnAsm emits MixColumns for the column at byte offset off: loads
+// a0..a3 into T0..T3, doubles into T4..T7, stores the four output bytes.
+func rjColumnAsm(b *prog.Builder, off int32) {
+	for i := int32(0); i < 4; i++ {
+		b.Load(isa.OpLBU, prog.T0+prog.Reg(i), prog.S0, off+i)
+	}
+	rjXtimeAsm(b, prog.T4, prog.T0)
+	rjXtimeAsm(b, prog.T5, prog.T1)
+	rjXtimeAsm(b, prog.T6, prog.T2)
+	rjXtimeAsm(b, prog.T7, prog.T3)
+	// out0 = b0 ^ a1 ^ b1 ^ a2 ^ a3
+	b.R(isa.OpXOR, prog.S3, prog.T4, prog.T1)
+	b.R(isa.OpXOR, prog.S3, prog.S3, prog.T5)
+	b.R(isa.OpXOR, prog.S3, prog.S3, prog.T2)
+	b.R(isa.OpXOR, prog.S3, prog.S3, prog.T3)
+	b.Store(isa.OpSB, prog.S3, prog.S1, off+0)
+	// out1 = a0 ^ b1 ^ a2 ^ b2 ^ a3
+	b.R(isa.OpXOR, prog.S3, prog.T0, prog.T5)
+	b.R(isa.OpXOR, prog.S3, prog.S3, prog.T2)
+	b.R(isa.OpXOR, prog.S3, prog.S3, prog.T6)
+	b.R(isa.OpXOR, prog.S3, prog.S3, prog.T3)
+	b.Store(isa.OpSB, prog.S3, prog.S1, off+1)
+	// out2 = a0 ^ a1 ^ b2 ^ a3 ^ b3
+	b.R(isa.OpXOR, prog.S3, prog.T0, prog.T1)
+	b.R(isa.OpXOR, prog.S3, prog.S3, prog.T6)
+	b.R(isa.OpXOR, prog.S3, prog.S3, prog.T3)
+	b.R(isa.OpXOR, prog.S3, prog.S3, prog.T7)
+	b.Store(isa.OpSB, prog.S3, prog.S1, off+2)
+	// out3 = a0 ^ b0 ^ a1 ^ a2 ^ b3
+	b.R(isa.OpXOR, prog.S3, prog.T0, prog.T4)
+	b.R(isa.OpXOR, prog.S3, prog.S3, prog.T1)
+	b.R(isa.OpXOR, prog.S3, prog.S3, prog.T2)
+	b.R(isa.OpXOR, prog.S3, prog.S3, prog.T7)
+	b.Store(isa.OpSB, prog.S3, prog.S1, off+3)
+}
+
+func newRijndael(opt string) *Benchmark {
+	b := prog.NewBuilder("rijndael-" + opt)
+	b.LI(prog.S0, rjInAddr)
+	b.LI(prog.S1, rjOutAddr)
+	b.R(isa.OpADDU, prog.S2, prog.Zero, prog.Zero) // column byte offset
+
+	b.Label("col")
+	if opt == "O0" {
+		// One column per iteration; pointers advance.
+		rjColumnAsm(b, 0)
+		b.I(isa.OpADDIU, prog.S0, prog.S0, 4)
+		b.I(isa.OpADDIU, prog.S1, prog.S1, 4)
+		b.I(isa.OpADDIU, prog.S2, prog.S2, 4)
+		b.I(isa.OpSLTI, prog.S4, prog.S2, 16)
+		b.Branch(isa.OpBNE, prog.S4, prog.Zero, "col")
+	} else {
+		// Two columns per iteration.
+		rjColumnAsm(b, 0)
+		rjColumnAsm(b, 4)
+		b.I(isa.OpADDIU, prog.S0, prog.S0, 8)
+		b.I(isa.OpADDIU, prog.S1, prog.S1, 8)
+		b.I(isa.OpADDIU, prog.S2, prog.S2, 8)
+		b.I(isa.OpSLTI, prog.S4, prog.S2, 16)
+		b.Branch(isa.OpBNE, prog.S4, prog.Zero, "col")
+	}
+	b.Halt()
+
+	state := bytesOf(rjSeed, 16)
+	want := rjRef(state)
+	return &Benchmark{
+		Name: "rijndael",
+		Opt:  opt,
+		Prog: b.MustBuild(),
+		Setup: func(m *vm.Machine) error {
+			return m.StoreBytes(rjInAddr, state)
+		},
+		Check: func(m *vm.Machine) error {
+			for i, w := range want {
+				got, err := m.LoadByte(rjOutAddr + uint32(i))
+				if err != nil {
+					return err
+				}
+				if got != w {
+					return fmt.Errorf("out[%d] = %#x, want %#x", i, got, w)
+				}
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/vm"
+)
+
+// Stringsearch kernel: naive substring search (MiBench stringsearch). The
+// inner loop is byte loads and compare-branches — the opposite extreme from
+// crc32/sha: loads and branches cannot join ISEs, so this benchmark bounds
+// how little a custom instruction can help control-dominated code. An
+// extension beyond the paper's seven (see bench.Extended).
+
+const (
+	ssTextAddr   = 0xA000
+	ssPatAddr    = 0xA400
+	ssResultAddr = 0x0ff8
+	ssTextLen    = 192
+	ssPatLen     = 8
+	ssSeed       = 0x57215ea5
+)
+
+// ssData builds a text with exactly one embedded occurrence of the pattern
+// near the end, so the search runs long.
+func ssData() (text, pat []byte) {
+	text = bytesOf(ssSeed, ssTextLen)
+	pat = bytesOf(ssSeed+1, ssPatLen)
+	// Make spurious prefix matches unlikely to hide the planted one.
+	pos := ssTextLen - 2*ssPatLen
+	copy(text[pos:], pat)
+	return text, pat
+}
+
+// ssRef returns the index of the first occurrence, or -1.
+func ssRef(text, pat []byte) int32 {
+	return int32(bytes.Index(text, pat))
+}
+
+func newStringsearch(opt string) *Benchmark {
+	b := prog.NewBuilder("stringsearch-" + opt)
+	// S0 = i (candidate offset), S1 = limit, S2 = &text, S3 = &pat,
+	// S4 = result.
+	b.R(isa.OpADDU, prog.S0, prog.Zero, prog.Zero)
+	b.LI(prog.S1, ssTextLen-ssPatLen+1)
+	b.LI(prog.S2, ssTextAddr)
+	b.LI(prog.S3, ssPatAddr)
+	b.I(isa.OpADDI, prog.S4, prog.Zero, -1)
+
+	b.Label("outer")
+	b.R(isa.OpADDU, prog.T0, prog.S2, prog.S0) // &text[i]
+	if opt == "O0" {
+		// Byte-at-a-time inner loop.
+		b.R(isa.OpADDU, prog.T1, prog.Zero, prog.Zero) // j
+		b.Label("inner")
+		b.R(isa.OpADDU, prog.T2, prog.T0, prog.T1)
+		b.Load(isa.OpLBU, prog.T3, prog.T2, 0)
+		b.R(isa.OpADDU, prog.T2, prog.S3, prog.T1)
+		b.Load(isa.OpLBU, prog.T4, prog.T2, 0)
+		b.Branch(isa.OpBNE, prog.T3, prog.T4, "miss")
+		b.I(isa.OpADDIU, prog.T1, prog.T1, 1)
+		b.I(isa.OpSLTI, prog.T5, prog.T1, ssPatLen)
+		b.Branch(isa.OpBNE, prog.T5, prog.Zero, "inner")
+	} else {
+		// -O3: compare two bytes per iteration with fewer address adds.
+		b.R(isa.OpADDU, prog.T1, prog.Zero, prog.Zero) // j
+		b.Label("inner")
+		b.R(isa.OpADDU, prog.T2, prog.T0, prog.T1)
+		b.Load(isa.OpLBU, prog.T3, prog.T2, 0)
+		b.Load(isa.OpLBU, prog.T6, prog.T2, 1)
+		b.R(isa.OpADDU, prog.T2, prog.S3, prog.T1)
+		b.Load(isa.OpLBU, prog.T4, prog.T2, 0)
+		b.Load(isa.OpLBU, prog.T7, prog.T2, 1)
+		b.Branch(isa.OpBNE, prog.T3, prog.T4, "miss")
+		b.Branch(isa.OpBNE, prog.T6, prog.T7, "miss")
+		b.I(isa.OpADDIU, prog.T1, prog.T1, 2)
+		b.I(isa.OpSLTI, prog.T5, prog.T1, ssPatLen)
+		b.Branch(isa.OpBNE, prog.T5, prog.Zero, "inner")
+	}
+	// Full match at offset i.
+	b.R(isa.OpADDU, prog.S4, prog.S0, prog.Zero)
+	b.Jump("done")
+	b.Label("miss")
+	b.I(isa.OpADDIU, prog.S0, prog.S0, 1)
+	b.Branch(isa.OpBNE, prog.S0, prog.S1, "outer")
+	b.Label("done")
+	b.LI(prog.T5, ssResultAddr)
+	b.Store(isa.OpSW, prog.S4, prog.T5, 0)
+	b.Halt()
+
+	text, pat := ssData()
+	want := uint32(ssRef(text, pat))
+	return &Benchmark{
+		Name: "stringsearch",
+		Opt:  opt,
+		Prog: b.MustBuild(),
+		Setup: func(m *vm.Machine) error {
+			if err := m.StoreBytes(ssTextAddr, text); err != nil {
+				return err
+			}
+			return m.StoreBytes(ssPatAddr, pat)
+		},
+		Check: func(m *vm.Machine) error {
+			got, err := m.LoadWord(ssResultAddr)
+			if err != nil {
+				return err
+			}
+			if got != want {
+				return fmt.Errorf("index = %d, want %d", int32(got), int32(want))
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,328 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/aco"
+	"repro/internal/dfg"
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/sched"
+)
+
+// Result is the outcome of exploring one DFG.
+type Result struct {
+	// ISEs are the accepted extensions in acceptance order.
+	ISEs []*ISE
+	// Assignment realizes the ISEs for the scheduler (remaining nodes
+	// software).
+	Assignment sched.Assignment
+	// BaseCycles is the all-software schedule length; FinalCycles the length
+	// with every accepted ISE deployed.
+	BaseCycles, FinalCycles int
+	// Rounds and Iterations count algorithm work for reporting.
+	Rounds, Iterations int
+}
+
+// AreaUM2 returns the total silicon area of the accepted ISEs.
+func (r *Result) AreaUM2() float64 {
+	total := 0.0
+	for _, e := range r.ISEs {
+		total += e.AreaUM2
+	}
+	return total
+}
+
+// Reduction returns the relative execution-time reduction of this DFG.
+func (r *Result) Reduction() float64 {
+	if r.BaseCycles == 0 {
+		return 0
+	}
+	return float64(r.BaseCycles-r.FinalCycles) / float64(r.BaseCycles)
+}
+
+func selectWeighted(r *rand.Rand, w []float64) int { return aco.SelectWeighted(r, w) }
+func normalize(w []float64, total float64)         { aco.Normalize(w, total) }
+
+// Explore runs the multiple-issue ISE exploration of Chapter 4 on one DFG
+// with default parameters.
+func Explore(d *dfg.DFG, cfg machine.Config) (*Result, error) {
+	return ExploreWithParams(d, cfg, DefaultParams())
+}
+
+// ExploreWithParams runs the exploration with explicit parameters. The whole
+// procedure is repeated p.Restarts times and the best result (shortest final
+// schedule, then least area) is returned, matching §5.1.
+func ExploreWithParams(d *dfg.DFG, cfg machine.Config, p Params) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("core: empty DFG %s", d.Name)
+	}
+	baseSched, err := sched.ListSchedule(d, sched.AllSoftware(d.Len()), cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: base schedule of %s: %w", d.Name, err)
+	}
+	restarts := p.Restarts
+	if restarts < 1 {
+		restarts = 1
+	}
+	var best *Result
+	for r := 0; r < restarts; r++ {
+		res, err := runOnce(d, cfg, p, p.Seed+int64(r)*7919, baseSched.Length)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil ||
+			res.FinalCycles < best.FinalCycles ||
+			(res.FinalCycles == best.FinalCycles && res.AreaUM2() < best.AreaUM2()) {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+// runOnce performs one full exploration: rounds of ACO iterations, each
+// producing at most one accepted ISE, until no further ISE improves the
+// schedule.
+func runOnce(d *dfg.DFG, cfg machine.Config, p Params, seed int64, baseCycles int) (*Result, error) {
+	e := &explorer{
+		d:            d,
+		cfg:          cfg,
+		p:            p,
+		rng:          aco.NewRand(seed),
+		fixedGroupOf: make([]int, d.Len()),
+		sp:           make([]float64, d.Len()),
+	}
+	for i := range e.fixedGroupOf {
+		e.fixedGroupOf[i] = -1
+	}
+	e.initPriority()
+
+	res := &Result{BaseCycles: baseCycles, FinalCycles: baseCycles}
+	curLen := baseCycles
+	for round := 0; round < p.MaxRounds; round++ {
+		e.initTables()
+		iterations := e.converge()
+		res.Iterations += iterations
+		res.Rounds++
+
+		cand := e.bestCandidate(curLen)
+		if cand == nil {
+			break
+		}
+		cand.ise.SavingCycles = curLen - cand.cycles
+		e.fixed = append(e.fixed, cand.ise)
+		for _, v := range cand.ise.Nodes.Values() {
+			e.fixedGroupOf[v] = len(e.fixed) - 1
+		}
+		curLen = cand.cycles
+	}
+
+	res.ISEs = append(res.ISEs, e.fixed...)
+	res.Assignment = BuildAssignment(d, res.ISEs)
+	final, err := sched.ListSchedule(d, res.Assignment, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: final schedule of %s: %w", d.Name, err)
+	}
+	res.FinalCycles = final.Length
+	return res, nil
+}
+
+// initPriority fills the scheduling-priority vector per Params.Priority.
+func (e *explorer) initPriority() {
+	d := e.d
+	n := d.Len()
+	switch e.p.Priority {
+	case PriorityChildren:
+		for i := 0; i < n; i++ {
+			e.sp[i] = float64(d.G.OutDegree(i))
+		}
+	case PriorityHeight, PriorityMobility:
+		order := e.topoOrder()
+		down := make([]int, n)
+		up := make([]int, n)
+		for _, v := range order {
+			in := 0
+			for _, p := range d.G.Preds(v) {
+				if down[p] > in {
+					in = down[p]
+				}
+			}
+			down[v] = in + 1
+		}
+		for i := n - 1; i >= 0; i-- {
+			v := order[i]
+			out := 0
+			for _, s := range d.G.Succs(v) {
+				if up[s] > out {
+					out = up[s]
+				}
+			}
+			up[v] = out + 1
+		}
+		for v := 0; v < n; v++ {
+			if e.p.Priority == PriorityHeight {
+				e.sp[v] = float64(up[v])
+			} else {
+				// Inverse mobility: the longest path through v. Critical
+				// nodes (zero slack) score the full path length best; every
+				// other node falls off by exactly its mobility.
+				e.sp[v] = float64(down[v] + up[v] - 1)
+			}
+		}
+	default:
+		panic(fmt.Sprintf("core: unknown priority %d", e.p.Priority))
+	}
+}
+
+// initTables seeds trail and merit for every free node at the start of a
+// round (trail 0; merit 100 software / 200 hardware).
+func (e *explorer) initTables() {
+	n := e.d.Len()
+	e.trail = make([][]float64, n)
+	e.merit = make([][]float64, n)
+	e.numSW = make([]int, n)
+	for i := 0; i < n; i++ {
+		node := e.d.Nodes[i]
+		e.numSW[i] = len(node.SW)
+		opts := len(node.SW) + len(node.HW)
+		e.trail[i] = make([]float64, opts)
+		e.merit[i] = make([]float64, opts)
+		for o := 0; o < opts; o++ {
+			if o < e.numSW[i] {
+				e.merit[i][o] = e.p.InitMeritSW
+			} else {
+				e.merit[i][o] = e.p.InitMeritHW
+			}
+		}
+	}
+}
+
+// converge runs ACO iterations until every free operation has one option
+// whose selected probability exceeds P_END, or the iteration cap is hit.
+// It returns the number of iterations performed.
+func (e *explorer) converge() int {
+	tetOld := 1 << 30
+	var prevOrder []int
+	for it := 1; it <= e.p.MaxIterations; it++ {
+		res := e.walk()
+		improved := res.tet <= tetOld
+		e.trailUpdate(res, improved, prevOrder)
+		if improved {
+			tetOld = res.tet
+		}
+		e.meritUpdate(res)
+		prevOrder = append([]int(nil), res.orderPos...)
+		if e.convergedNow() {
+			return it
+		}
+	}
+	return e.p.MaxIterations
+}
+
+// convergedNow checks the P_END condition of Eq. 3/4 over all free nodes.
+func (e *explorer) convergedNow() bool {
+	for x := 0; x < e.d.Len(); x++ {
+		if e.fixedGroupOf[x] >= 0 {
+			continue
+		}
+		if len(e.trail[x]) <= 1 {
+			continue // single option is trivially converged
+		}
+		share, _ := aco.MaxShare(e.spWeights(x))
+		if share < e.p.PEnd {
+			return false
+		}
+	}
+	return true
+}
+
+// spWeights returns the selected-probability weights (Eq. 3 numerators) of
+// node x.
+func (e *explorer) spWeights(x int) []float64 {
+	w := make([]float64, len(e.trail[x]))
+	for o := range w {
+		w[o] = e.p.Alpha*e.trail[x][o] + (1-e.p.Alpha)*e.merit[x][o]
+	}
+	return w
+}
+
+// takenOption returns the option with maximal selected probability.
+func (e *explorer) takenOption(x int) int {
+	_, idx := aco.MaxShare(e.spWeights(x))
+	return idx
+}
+
+type candidate struct {
+	ise    *ISE
+	cycles int
+}
+
+// bestCandidate extracts ISE candidates from the converged selection
+// (connected hardware-taken components, made convex and port-feasible),
+// evaluates each by rescheduling the DFG with the already-accepted ISEs plus
+// the candidate, and returns the one with the shortest schedule (area breaks
+// ties). Candidates that would lengthen the schedule are invalid; equal-
+// length candidates remain acceptable so later selection stages can still
+// harvest their cross-block reuse.
+func (e *explorer) bestCandidate(curLen int) *candidate {
+	d := e.d
+	taken := graph.NewNodeSet(d.Len())
+	optOf := map[int]int{}
+	for x := 0; x < d.Len(); x++ {
+		if e.fixedGroupOf[x] >= 0 || !d.Nodes[x].ISEEligible() {
+			continue
+		}
+		o := e.takenOption(x)
+		if e.isHWOption(x, o) {
+			taken.Add(x)
+			optOf[x] = o - e.numSW[x]
+		}
+	}
+	if taken.Empty() {
+		return nil
+	}
+	var best *candidate
+	for _, comp := range d.G.ConnectedComponents(taken) {
+		for _, convex := range MakeConvex(d, comp) {
+			feasible := TrimPorts(d, convex, e.cfg.ReadPorts, e.cfg.WritePorts)
+			feasible = TrimLatency(d, feasible, optOf, e.p.MaxISECycles)
+			feasible = TrimPorts(d, feasible, e.cfg.ReadPorts, e.cfg.WritePorts)
+			// A single operation cannot run faster than its 1-cycle software
+			// form; require at least two members.
+			for _, part := range d.G.ConnectedComponents(feasible) {
+				if part.Len() < 2 {
+					continue
+				}
+				ise := NewISE(d, part, optOf)
+				cyc, err := e.evaluate(ise)
+				if err != nil {
+					continue
+				}
+				if cyc > curLen {
+					continue
+				}
+				if best == nil || cyc < best.cycles ||
+					(cyc == best.cycles && ise.AreaUM2 < best.ise.AreaUM2) {
+					best = &candidate{ise: ise, cycles: cyc}
+				}
+			}
+		}
+	}
+	return best
+}
+
+// evaluate schedules the DFG with the accepted ISEs plus cand and returns
+// the resulting length.
+func (e *explorer) evaluate(cand *ISE) (int, error) {
+	ises := append(append([]*ISE(nil), e.fixed...), cand)
+	a := BuildAssignment(e.d, ises)
+	s, err := sched.ListSchedule(e.d, a, e.cfg)
+	if err != nil {
+		return 0, err
+	}
+	return s.Length, nil
+}

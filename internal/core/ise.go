@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dfg"
+	"repro/internal/graph"
+	"repro/internal/sched"
+)
+
+// ISE is one explored instruction-set extension: a convex set of DFG
+// operations realized as a single ASFU instruction.
+type ISE struct {
+	// Nodes are the member operation IDs within the source DFG.
+	Nodes graph.NodeSet
+	// Option[v] is the hardware implementation option index chosen for
+	// member v.
+	Option map[int]int
+	// DelayNS is the combinational depth of the chosen datapath.
+	DelayNS float64
+	// Cycles is the execution latency under the pipestage constraint.
+	Cycles int
+	// AreaUM2 is the silicon area of the chosen cells.
+	AreaUM2 float64
+	// In and Out are the register-port demands IN(S) and OUT(S).
+	In, Out int
+	// SavingCycles is the marginal schedule improvement measured when the
+	// exploring algorithm accepted this ISE (under its own machine model):
+	// the cycles the source block got shorter given the ISEs accepted
+	// before it. The design flow prices candidates with it.
+	SavingCycles int
+}
+
+// Size returns the number of member operations.
+func (e *ISE) Size() int { return e.Nodes.Len() }
+
+// String summarizes the ISE.
+func (e *ISE) String() string {
+	var ops []string
+	for _, v := range e.Nodes.Values() {
+		ops = append(ops, fmt.Sprintf("n%d", v))
+	}
+	return fmt.Sprintf("ISE{%s | %d cyc, %.0f µm², %d/%d ports}",
+		strings.Join(ops, " "), e.Cycles, e.AreaUM2, e.In, e.Out)
+}
+
+// NewISE measures a node set with the given per-node hardware options.
+func NewISE(d *dfg.DFG, nodes graph.NodeSet, opts map[int]int) *ISE {
+	a := make(sched.Assignment, d.Len())
+	for i := range a {
+		a[i] = sched.NodeChoice{Kind: sched.KindSW, Opt: 0, Group: -1}
+	}
+	option := map[int]int{}
+	for _, v := range nodes.Values() {
+		o := opts[v]
+		a[v] = sched.NodeChoice{Kind: sched.KindHW, Opt: o, Group: 0}
+		option[v] = o
+	}
+	delay := sched.GroupDelayNS(d, nodes, a)
+	return &ISE{
+		Nodes:   nodes.Clone(),
+		Option:  option,
+		DelayNS: delay,
+		Cycles:  sched.CyclesForDelay(delay),
+		AreaUM2: sched.GroupAreaUM2(d, nodes, a),
+		In:      d.In(nodes),
+		Out:     d.Out(nodes),
+	}
+}
+
+// MakeConvex splits a candidate node set into convex pieces (§4.3
+// Make-Convex): while a set has a path between members through an outside
+// node, it is divided along that node into the members above it and the
+// rest, recursively.
+func MakeConvex(d *dfg.DFG, s graph.NodeSet) []graph.NodeSet {
+	if d.IsConvex(s) {
+		return []graph.NodeSet{s}
+	}
+	viol := d.G.ConvexViolators(s)
+	w := viol[0]
+	above := d.G.ReachingTo(w).Intersect(s)
+	rest := s.Subtract(above)
+	var out []graph.NodeSet
+	if !above.Empty() {
+		out = append(out, MakeConvex(d, above)...)
+	}
+	if !rest.Empty() {
+		out = append(out, MakeConvex(d, rest)...)
+	}
+	return out
+}
+
+// TrimPorts shrinks a convex candidate until IN(S) ≤ nin and OUT(S) ≤ nout,
+// greedily removing the boundary node whose removal lowers the total port
+// demand most (ties: smallest resulting area loss, then largest node ID so
+// later operations are shed first). Removal keeps the set convex because
+// only extreme (source/sink within S) nodes are dropped.
+func TrimPorts(d *dfg.DFG, s graph.NodeSet, nin, nout int) graph.NodeSet {
+	cur := s.Clone()
+	for cur.Len() > 0 {
+		in, out := d.In(cur), d.Out(cur)
+		if in <= nin && out <= nout {
+			return cur
+		}
+		// Candidate removals: nodes with no predecessor inside (sources) or
+		// no successor inside (sinks) — removing an interior node would
+		// break convexity.
+		bestNode, bestCost := -1, 1<<30
+		for _, v := range cur.Values() {
+			hasPredIn, hasSuccIn := false, false
+			for _, p := range d.G.Preds(v) {
+				if cur.Contains(p) {
+					hasPredIn = true
+					break
+				}
+			}
+			for _, q := range d.G.Succs(v) {
+				if cur.Contains(q) {
+					hasSuccIn = true
+					break
+				}
+			}
+			if hasPredIn && hasSuccIn {
+				continue
+			}
+			trial := cur.Clone()
+			trial.Remove(v)
+			cost := d.In(trial) + d.Out(trial)
+			if cost < bestCost || (cost == bestCost && v > bestNode) {
+				bestCost, bestNode = cost, v
+			}
+		}
+		if bestNode < 0 {
+			// No extreme node (cannot happen in a DAG); bail out.
+			break
+		}
+		cur.Remove(bestNode)
+	}
+	return cur
+}
+
+// TrimLatency shrinks a candidate until its pipestage latency fits maxCycles
+// (0 = unlimited), repeatedly removing the deepest sink operation — the one
+// terminating the longest internal delay path. Removing sinks preserves
+// convexity.
+func TrimLatency(d *dfg.DFG, s graph.NodeSet, opts map[int]int, maxCycles int) graph.NodeSet {
+	if maxCycles <= 0 {
+		return s
+	}
+	cur := s.Clone()
+	order, err := d.G.TopoOrder()
+	if err != nil {
+		panic("core: cyclic DFG " + d.Name)
+	}
+	for cur.Len() > 0 {
+		// Internal delay depths under the chosen options.
+		depth := map[int]float64{}
+		worst, worstNode := 0.0, -1
+		for _, v := range order {
+			if !cur.Contains(v) {
+				continue
+			}
+			in := 0.0
+			for _, p := range d.G.Preds(v) {
+				if cur.Contains(p) && depth[p] > in {
+					in = depth[p]
+				}
+			}
+			depth[v] = in + d.Nodes[v].HW[opts[v]].DelayNS
+			// Only sinks (no internal successor) are removable.
+			isSink := true
+			for _, q := range d.G.Succs(v) {
+				if cur.Contains(q) {
+					isSink = false
+					break
+				}
+			}
+			if isSink && depth[v] > worst {
+				worst, worstNode = depth[v], v
+			}
+		}
+		if sched.CyclesForDelay(worst) <= maxCycles {
+			return cur
+		}
+		cur.Remove(worstNode)
+	}
+	return cur
+}
+
+// BuildAssignment converts accepted ISEs into a full scheduler assignment,
+// all remaining nodes software.
+func BuildAssignment(d *dfg.DFG, ises []*ISE) sched.Assignment {
+	a := sched.AllSoftware(d.Len())
+	for g, e := range ises {
+		for _, v := range e.Nodes.Values() {
+			a[v] = sched.NodeChoice{Kind: sched.KindHW, Opt: e.Option[v], Group: g}
+		}
+	}
+	return a
+}

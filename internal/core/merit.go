@@ -1,0 +1,324 @@
+package core
+
+import (
+	"repro/internal/graph"
+	"repro/internal/sched"
+)
+
+// trailUpdate applies Fig. 4.3.5: after an iteration whose execution time
+// TETnew improved on (or matched) TETold, selected options gain ρ1 and
+// unselected options lose ρ2; after a worsening iteration selected options
+// lose ρ3, unselected options regain ρ4, and every option of an operation
+// whose execution order moved earlier additionally loses ρ5. Trails are
+// clamped at zero (pheromone cannot go negative).
+func (e *explorer) trailUpdate(res *walkResult, improved bool, prevOrder []int) {
+	for x := 0; x < e.d.Len(); x++ {
+		if e.fixedGroupOf[x] >= 0 {
+			continue
+		}
+		movedEarlier := prevOrder != nil && res.orderPos[x] < prevOrder[x]
+		for o := range e.trail[x] {
+			sel := res.chosen[x] == o
+			switch {
+			case improved && sel:
+				e.trail[x][o] += e.p.Rho1
+			case improved:
+				e.trail[x][o] -= e.p.Rho2
+			case sel:
+				e.trail[x][o] -= e.p.Rho3
+			default:
+				e.trail[x][o] += e.p.Rho4
+			}
+			if !improved && movedEarlier {
+				e.trail[x][o] -= e.p.Rho5
+			}
+			if e.trail[x][o] < 0 {
+				e.trail[x][o] = 0
+			}
+		}
+	}
+}
+
+// virtualSubgraph returns vSx: operation x grouped with every reachable
+// operation that chose a hardware implementation option in this iteration
+// (Hardware-Grouping, §4.3). Reachability walks dependence edges in both
+// directions but only through hardware-chosen nodes.
+func (e *explorer) virtualSubgraph(res *walkResult, x int) graph.NodeSet {
+	d := e.d
+	vs := graph.NewNodeSet(d.Len())
+	vs.Add(x)
+	stack := []int{x}
+	isHW := func(y int) bool {
+		return res.chosen[y] >= 0 && e.isHWOption(y, res.chosen[y])
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, nb := range append(append([]int(nil), d.G.Succs(v)...), d.G.Preds(v)...) {
+			if vs.Contains(nb) || !isHW(nb) || e.fixedGroupOf[nb] >= 0 {
+				continue
+			}
+			vs.Add(nb)
+			stack = append(stack, nb)
+		}
+	}
+	return vs
+}
+
+// vsMetrics measures vSx assuming x uses hardware option hwIdx (index into
+// the node's HW table) and every other member keeps its iteration choice.
+func (e *explorer) vsMetrics(res *walkResult, vs graph.NodeSet, x, hwIdx int) (delayNS, areaUM2 float64, cycles int) {
+	d := e.d
+	delayOf := func(y int) float64 {
+		if y == x {
+			return d.Nodes[y].HW[hwIdx].DelayNS
+		}
+		if res.chosen[y] >= 0 && e.isHWOption(y, res.chosen[y]) {
+			return d.Nodes[y].HW[res.chosen[y]-e.numSW[y]].DelayNS
+		}
+		// Member never chose hardware this iteration (only possible for x
+		// itself, handled above); fall back to its first option.
+		return d.Nodes[y].HW[0].DelayNS
+	}
+	areaOf := func(y int) float64 {
+		if y == x {
+			return d.Nodes[y].HW[hwIdx].AreaUM2
+		}
+		if res.chosen[y] >= 0 && e.isHWOption(y, res.chosen[y]) {
+			return d.Nodes[y].HW[res.chosen[y]-e.numSW[y]].AreaUM2
+		}
+		return d.Nodes[y].HW[0].AreaUM2
+	}
+	depth := map[int]float64{}
+	for _, v := range e.topoOrder() {
+		if !vs.Contains(v) {
+			continue
+		}
+		in := 0.0
+		for _, p := range d.G.Preds(v) {
+			if vs.Contains(p) && depth[p] > in {
+				in = depth[p]
+			}
+		}
+		depth[v] = in + delayOf(v)
+		if depth[v] > delayNS {
+			delayNS = depth[v]
+		}
+		areaUM2 += areaOf(v)
+	}
+	return delayNS, areaUM2, sched.CyclesForDelay(delayNS)
+}
+
+// swDepth returns the longest dependence chain within vs at unit software
+// latency — the serial cycle count the subgraph costs when not packed.
+func (e *explorer) swDepth(vs graph.NodeSet) int {
+	d := e.d
+	depth := map[int]int{}
+	best := 0
+	for _, v := range e.topoOrder() {
+		if !vs.Contains(v) {
+			continue
+		}
+		in := 0
+		for _, p := range d.G.Preds(v) {
+			if vs.Contains(p) && depth[p] > in {
+				in = depth[p]
+			}
+		}
+		depth[v] = in + 1
+		if depth[v] > best {
+			best = depth[v]
+		}
+	}
+	return best
+}
+
+// mobility returns the ASAP/ALAP slack window (in cycles, ≥1) of the first
+// operation of vs against the iteration's schedule length — the paper's
+// maximal allowable execution cycle Max_AEC (Fig. 4.3.8): a non-critical
+// subgraph may take up to this many cycles without hurting the makespan.
+func (e *explorer) mobility(res *walkResult, vs graph.NodeSet) int {
+	// First operation: the member with the smallest ASAP.
+	first, bestASAP := -1, 1<<30
+	for _, v := range vs.Values() {
+		if e.asap[v] < bestASAP {
+			bestASAP, first = e.asap[v], v
+		}
+	}
+	if first < 0 {
+		return 1
+	}
+	alap := res.tet - e.tail[first] + 1
+	aec := alap - e.asap[first] + 1
+	if aec < 1 {
+		aec = 1
+	}
+	return aec
+}
+
+// refreshMobility recomputes the unit-latency ASAP and tail arrays shared by
+// every mobility query of one iteration.
+func (e *explorer) refreshMobility() {
+	d := e.d
+	n := d.Len()
+	if e.asap == nil {
+		e.asap = make([]int, n)
+		e.tail = make([]int, n)
+	}
+	order := e.topoOrder()
+	for _, v := range order {
+		in := 0
+		for _, p := range d.G.Preds(v) {
+			if e.asap[p] > in {
+				in = e.asap[p]
+			}
+		}
+		e.asap[v] = in + 1
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		out := 0
+		for _, s := range d.G.Succs(v) {
+			if e.tail[s] > out {
+				out = e.tail[s]
+			}
+		}
+		e.tail[v] = out + 1
+	}
+}
+
+// meritUpdate implements the merit function (Eq. 3 software part and
+// Fig. 4.3.7 hardware part) followed by per-operation normalization.
+func (e *explorer) meritUpdate(res *walkResult) {
+	d := e.d
+	e.refreshMobility()
+	for x := 0; x < d.Len(); x++ {
+		if e.fixedGroupOf[x] >= 0 {
+			continue
+		}
+		node := d.Nodes[x]
+		// Software part: merit ×= ET(x, SW-i), the option's execution time.
+		for i := 0; i < e.numSW[x]; i++ {
+			e.merit[x][i] *= float64(node.SW[i].Cycles)
+		}
+		if len(node.HW) > 0 {
+			e.hwMerit(res, x)
+		}
+		// Normalization keeps operation-vs-operation selection fair and the
+		// multiplicative dynamics bounded (§4.3 after step 8).
+		normalize(e.merit[x], 100*float64(len(e.merit[x])))
+	}
+}
+
+// hwMerit applies the four cases of Fig. 4.3.7 to every hardware option of
+// operation x.
+func (e *explorer) hwMerit(res *walkResult, x int) {
+	d := e.d
+	p := e.p
+	hw := d.Nodes[x].HW
+	base := e.numSW[x]
+
+	// Case 1: critical-path boost.
+	if res.critical.Contains(x) && !p.NoCriticalPath {
+		for j := range hw {
+			e.merit[x][base+j] /= p.BetaCP
+		}
+	}
+
+	vs := e.virtualSubgraph(res, x)
+
+	// Case 2: singleton subgraph cannot shorten anything.
+	if vs.Len() == 1 {
+		for j := range hw {
+			e.merit[x][base+j] *= p.BetaSize
+		}
+		return
+	}
+
+	// Case 3: constraint violations.
+	violated := false
+	if d.In(vs) > e.cfg.ReadPorts || d.Out(vs) > e.cfg.WritePorts {
+		for j := range hw {
+			e.merit[x][base+j] *= p.BetaIO
+		}
+		violated = true
+	}
+	if !d.IsConvex(vs) {
+		for j := range hw {
+			e.merit[x][base+j] *= p.BetaConvex
+		}
+		violated = true
+	}
+	if violated {
+		return
+	}
+
+	// Case 4: performance and area shaping.
+	swDepth := e.swDepth(vs)
+	cyclesOf := make([]int, len(hw))
+	areaOf := make([]float64, len(hw))
+	minCycles, maxArea := 1<<30, 0.0
+	for j := range hw {
+		_, area, cyc := e.vsMetrics(res, vs, x, j)
+		cyclesOf[j], areaOf[j] = cyc, area
+		if cyc < minCycles {
+			minCycles = cyc
+		}
+		if area > maxArea {
+			maxArea = area
+		}
+	}
+	onCritical := false
+	for _, v := range vs.Values() {
+		if res.critical.Contains(v) {
+			onCritical = true
+			break
+		}
+	}
+	if p.NoCriticalPath {
+		onCritical = false
+	}
+	if p.NoMaxAEC {
+		onCritical = true
+	}
+	maxAEC := 0
+	if !onCritical {
+		maxAEC = e.mobility(res, vs)
+	}
+	for j := range hw {
+		m := &e.merit[x][base+j]
+		// Pipestage timing: options pushing the subgraph beyond the stage
+		// budget are damped like any other constraint violation.
+		if p.MaxISECycles > 0 && cyclesOf[j] > p.MaxISECycles {
+			*m *= p.BetaIO
+			continue
+		}
+		// Performance improvement check: scale by the cycle saving the
+		// subgraph achieves over its software chain.
+		saving := swDepth - cyclesOf[j]
+		switch {
+		case saving > 0:
+			*m *= float64(1 + saving)
+		case saving < 0:
+			*m /= float64(1 - saving)
+		}
+		// Hardware usage check.
+		if onCritical {
+			if cyclesOf[j] == minCycles {
+				if areaOf[j] > 0 {
+					*m *= maxArea / areaOf[j]
+				}
+			} else {
+				*m /= float64(1 + cyclesOf[j] - minCycles)
+			}
+		} else {
+			if cyclesOf[j] <= maxAEC {
+				if areaOf[j] > 0 {
+					*m *= maxArea / areaOf[j]
+				}
+			} else {
+				*m /= float64(1 + cyclesOf[j] - maxAEC)
+			}
+		}
+	}
+}

@@ -1,0 +1,497 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/dfg"
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/sched"
+)
+
+// explorer carries the per-DFG exploration state across rounds and
+// iterations.
+type explorer struct {
+	d   *dfg.DFG
+	cfg machine.Config
+	p   Params
+	rng *rand.Rand
+
+	// fixed are ISEs accepted in earlier rounds; their members no longer
+	// make choices.
+	fixed        []*ISE
+	fixedGroupOf []int // node -> index into fixed, or -1
+
+	// Option tables for free nodes. Options are indexed software first
+	// (numSW of them), hardware after.
+	trail [][]float64
+	merit [][]float64
+	numSW []int
+	sp    []float64 // scheduling priority per node (child count)
+
+	// topo caches the DFG's topological order; asap/tail are per-iteration
+	// unit-latency longest-path arrays reused by the merit computation.
+	topo []int
+	asap []int
+	tail []int
+}
+
+// topoOrder returns the cached topological order of the DFG.
+func (e *explorer) topoOrder() []int {
+	if e.topo == nil {
+		order, err := e.d.G.TopoOrder()
+		if err != nil {
+			panic("core: cyclic DFG " + e.d.Name)
+		}
+		e.topo = order
+	}
+	return e.topo
+}
+
+// walkGroup is an ISE instruction formed during one iteration's ant walk.
+type walkGroup struct {
+	nodes   graph.NodeSet
+	cycle   int // issue cycle
+	lat     int
+	reads   int
+	writes  int
+	delayNS float64
+}
+
+// walkResult captures one iteration's constructed schedule.
+type walkResult struct {
+	tet      int
+	chosen   []int // option index per node (-1 for fixed members / none)
+	orderPos []int // scheduling position of each node's unit
+	groupOf  []int // iteration group per node, -1 if software/fixed
+	groups   []*walkGroup
+	critical graph.NodeSet
+	depthNS  []float64 // combinational depth of each HW node within its group
+}
+
+// isHWOption reports whether option index o of node x selects hardware.
+func (e *explorer) isHWOption(x, o int) bool { return o >= e.numSW[x] }
+
+// hwDelay returns the delay of hardware option o (global index) of node x.
+func (e *explorer) hwDelay(x, o int) float64 {
+	return e.d.Nodes[x].HW[o-e.numSW[x]].DelayNS
+}
+
+// units returns the contraction of the DFG into schedulable units: each
+// fixed ISE is one unit, every other node its own. unitNodes[u] lists member
+// nodes; unitOf maps node->unit.
+func (e *explorer) units() (unitNodes [][]int, unitOf []int) {
+	n := e.d.Len()
+	unitOf = make([]int, n)
+	for i := range unitOf {
+		unitOf[i] = -1
+	}
+	for _, f := range e.fixed {
+		u := len(unitNodes)
+		unitNodes = append(unitNodes, f.Nodes.Values())
+		for _, v := range f.Nodes.Values() {
+			unitOf[v] = u
+		}
+	}
+	for i := 0; i < n; i++ {
+		if unitOf[i] < 0 {
+			unitOf[i] = len(unitNodes)
+			unitNodes = append(unitNodes, []int{i})
+		}
+	}
+	return unitNodes, unitOf
+}
+
+// walk runs one iteration: it constructs a complete schedule by repeatedly
+// selecting an (operation, implementation option) from the Ready-Matrix with
+// the chosen probability of Eq. 1 and scheduling it per Figs. 4.3.3/4.3.4.
+func (e *explorer) walk() *walkResult {
+	d := e.d
+	n := d.Len()
+	unitNodes, unitOf := e.units()
+	nu := len(unitNodes)
+
+	// Unit dependence counts.
+	indeg := make([]int, nu)
+	seen := map[[2]int]bool{}
+	for u := 0; u < n; u++ {
+		for _, v := range d.G.Succs(u) {
+			a, b := unitOf[u], unitOf[v]
+			if a == b || seen[[2]int{a, b}] {
+				continue
+			}
+			seen[[2]int{a, b}] = true
+			indeg[b]++
+		}
+	}
+
+	res := &walkResult{
+		chosen:   make([]int, n),
+		orderPos: make([]int, n),
+		groupOf:  make([]int, n),
+		depthNS:  make([]float64, n),
+	}
+	for i := range res.chosen {
+		res.chosen[i] = -1
+		res.groupOf[i] = -1
+	}
+
+	table := sched.NewTable(e.cfg)
+	doneCycle := make([]int, n) // completion cycle, 0 = unscheduled
+	issued := make([]bool, nu)
+	issueCycle := make([]int, n)
+	var ready []int
+	for u := 0; u < nu; u++ {
+		if indeg[u] == 0 {
+			ready = append(ready, u)
+		}
+	}
+
+	pos := 0
+	for len(ready) > 0 {
+		// Ready-Matrix: every implementation option of every ready unit.
+		type entry struct {
+			unit, opt int
+			weight    float64
+		}
+		var entries []entry
+		for _, u := range ready {
+			if len(unitNodes[u]) > 1 || e.fixedGroupOf[unitNodes[u][0]] >= 0 {
+				// Fixed ISE pseudo-operation: single implied option.
+				entries = append(entries, entry{u, -1, e.p.InitMeritHW})
+				continue
+			}
+			x := unitNodes[u][0]
+			for o := range e.trail[x] {
+				w := e.p.Alpha*e.trail[x][o] + (1-e.p.Alpha)*e.merit[x][o] + e.p.Lambda*e.sp[x]
+				entries = append(entries, entry{u, o, w})
+			}
+		}
+		weights := make([]float64, len(entries))
+		for i, en := range entries {
+			weights[i] = en.weight
+		}
+		var pickIdx int
+		if e.p.Greedy {
+			for i := 1; i < len(weights); i++ {
+				if weights[i] > weights[pickIdx] {
+					pickIdx = i
+				}
+			}
+		} else {
+			pickIdx = selectWeighted(e.rng, weights)
+		}
+		pick := entries[pickIdx]
+		u := pick.unit
+
+		// LTS: latest completion among predecessors (0 if none).
+		lts, lp := 0, -1
+		for _, x := range unitNodes[u] {
+			for _, p := range d.G.Preds(x) {
+				if unitOf[p] == u {
+					continue
+				}
+				if doneCycle[p] >= lts {
+					lts = doneCycle[p]
+					lp = p
+				}
+			}
+		}
+
+		switch {
+		case pick.opt < 0:
+			// Fixed ISE group.
+			f := e.fixed[e.fixedGroupOf[unitNodes[u][0]]]
+			cts := lts + 1
+			for !table.FitsNewISE(cts, f.Cycles, f.In, f.Out) {
+				cts++
+			}
+			table.ReserveNewISE(cts, f.Cycles, f.In, f.Out)
+			for _, x := range unitNodes[u] {
+				issueCycle[x] = cts
+				doneCycle[x] = cts + f.Cycles - 1
+				res.orderPos[x] = pos
+			}
+		case !e.isHWOption(unitNodes[u][0], pick.opt):
+			// Software Operation-Scheduling (Fig. 4.3.3).
+			x := unitNodes[u][0]
+			class := d.Nodes[x].SW[pick.opt].Class
+			reads, writes := len(d.Nodes[x].Inputs), 0
+			if _, ok := d.Nodes[x].Instr.Defs(); ok {
+				writes = 1
+			}
+			cts := lts + 1
+			for !table.FitsSW(cts, class, reads, writes) {
+				cts++
+			}
+			table.ReserveSW(cts, class, reads, writes)
+			res.chosen[x] = pick.opt
+			issueCycle[x] = cts
+			doneCycle[x] = cts + d.Nodes[x].SW[pick.opt].Cycles - 1
+			res.orderPos[x] = pos
+		default:
+			// Hardware Operation-Scheduling (Fig. 4.3.4): try to pack with
+			// the latest parent's iteration ISE, else open a new one.
+			x := unitNodes[u][0]
+			e.scheduleHW(res, table, x, pick.opt, lts, lp, doneCycle, issueCycle)
+			res.orderPos[x] = pos
+		}
+		pos++
+
+		// Retire the unit, release successors.
+		issued[u] = true
+		ready = removeUnit(ready, u)
+		for _, x := range unitNodes[u] {
+			for _, v := range d.G.Succs(x) {
+				b := unitOf[v]
+				if b == u || issued[b] {
+					continue
+				}
+				if seen[[2]int{u, b}] {
+					seen[[2]int{u, b}] = false // consume the edge once
+					indeg[b]--
+					if indeg[b] == 0 {
+						ready = append(ready, b)
+					}
+				}
+			}
+		}
+	}
+
+	for _, c := range doneCycle {
+		if c > res.tet {
+			res.tet = c
+		}
+	}
+	res.critical = e.criticalNodes(res, unitNodes, unitOf)
+	return res
+}
+
+// scheduleHW implements Fig. 4.3.4: if the latest parent lp is a member of a
+// hardware group formed this iteration, try to pack x into that group at the
+// group's issue cycle; otherwise issue a fresh single-operation ISE after
+// lts.
+func (e *explorer) scheduleHW(res *walkResult, table *sched.Table, x, opt, lts, lp int, doneCycle, issueCycle []int) {
+	d := e.d
+	delay := e.hwDelay(x, opt)
+	if lp >= 0 && res.groupOf[lp] >= 0 {
+		g := res.groups[res.groupOf[lp]]
+		c := g.cycle
+		if e.tryPack(res, table, g, x, opt, delay, c, doneCycle, issueCycle) {
+			res.chosen[x] = opt
+			return
+		}
+	}
+	// New single-op ISE.
+	lat := sched.CyclesForDelay(delay)
+	single := graph.NodeSetOf(d.Len(), x)
+	reads, writes := d.In(single), d.Out(single)
+	cts := lts + 1
+	for !table.FitsNewISE(cts, lat, reads, writes) {
+		cts++
+	}
+	table.ReserveNewISE(cts, lat, reads, writes)
+	g := &walkGroup{nodes: single, cycle: cts, lat: lat, reads: reads, writes: writes, delayNS: delay}
+	res.groupOf[x] = len(res.groups)
+	res.groups = append(res.groups, g)
+	res.chosen[x] = opt
+	res.depthNS[x] = delay
+	issueCycle[x] = cts
+	doneCycle[x] = cts + lat - 1
+}
+
+// tryPack attempts to grow group g with node x at the group's issue cycle c.
+func (e *explorer) tryPack(res *walkResult, table *sched.Table, g *walkGroup, x, opt int, delay float64, c int, doneCycle, issueCycle []int) bool {
+	d := e.d
+	// Every external operand of x must be available before c.
+	for _, p := range d.G.Preds(x) {
+		if g.nodes.Contains(p) {
+			continue
+		}
+		if doneCycle[p] >= c {
+			return false
+		}
+	}
+	// Combinational depth of x inside the grown group.
+	depth := 0.0
+	for _, p := range d.G.Preds(x) {
+		if g.nodes.Contains(p) && res.depthNS[p] > depth {
+			depth = res.depthNS[p]
+		}
+	}
+	depth += delay
+	newDelay := g.delayNS
+	if depth > newDelay {
+		newDelay = depth
+	}
+	newLat := sched.CyclesForDelay(newDelay)
+	if e.p.MaxISECycles > 0 && newLat > e.p.MaxISECycles {
+		return false
+	}
+	grown := g.nodes.Clone()
+	grown.Add(x)
+	newReads, newWrites := d.In(grown), d.Out(grown)
+	if !table.FitsISEUpdate(c, g.lat, newLat, g.reads, newReads, g.writes, newWrites) {
+		return false
+	}
+	// Extending the latency must not invalidate already scheduled consumers
+	// of the group's results.
+	if newLat > g.lat {
+		for _, m := range g.nodes.Values() {
+			for _, y := range d.Nodes[m].DataSuccs {
+				if grown.Contains(y) || doneCycle[y] == 0 {
+					continue
+				}
+				if issueCycle[y] < c+newLat {
+					return false
+				}
+			}
+		}
+	}
+	table.UpdateISE(c, g.lat, newLat, g.reads, newReads, g.writes, newWrites)
+	g.nodes = grown
+	g.lat = newLat
+	g.reads, g.writes = newReads, newWrites
+	g.delayNS = newDelay
+	res.groupOf[x] = indexOfGroup(res.groups, g)
+	res.depthNS[x] = depth
+	issueCycle[x] = c
+	done := c + newLat - 1
+	for _, m := range g.nodes.Values() {
+		doneCycle[m] = done
+	}
+	return true
+}
+
+// criticalNodes computes the latency-weighted critical path of the
+// iteration's contracted schedule graph (walk groups, fixed ISEs, software
+// nodes) and marks member nodes.
+func (e *explorer) criticalNodes(res *walkResult, unitNodes [][]int, unitOf []int) graph.NodeSet {
+	d := e.d
+	n := d.Len()
+	// Final contraction: iteration groups override the unit view for free
+	// HW nodes.
+	finalOf := make([]int, n)
+	var members [][]int
+	var lats []int
+	addUnit := func(nodes []int, lat int) int {
+		id := len(members)
+		members = append(members, nodes)
+		lats = append(lats, lat)
+		for _, v := range nodes {
+			finalOf[v] = id
+		}
+		return id
+	}
+	for i := range finalOf {
+		finalOf[i] = -1
+	}
+	for _, g := range res.groups {
+		addUnit(g.nodes.Values(), g.lat)
+	}
+	for _, f := range e.fixed {
+		addUnit(f.Nodes.Values(), f.Cycles)
+	}
+	for i := 0; i < n; i++ {
+		if finalOf[i] < 0 {
+			lat := 1
+			if res.chosen[i] >= 0 && !e.isHWOption(i, res.chosen[i]) {
+				lat = d.Nodes[i].SW[res.chosen[i]].Cycles
+			}
+			addUnit([]int{i}, lat)
+		}
+	}
+	nu := len(members)
+	succs := make([][]int, nu)
+	preds := make([][]int, nu)
+	seen := map[[2]int]bool{}
+	for u := 0; u < n; u++ {
+		for _, v := range d.G.Succs(u) {
+			a, b := finalOf[u], finalOf[v]
+			if a == b || seen[[2]int{a, b}] {
+				continue
+			}
+			seen[[2]int{a, b}] = true
+			succs[a] = append(succs[a], b)
+			preds[b] = append(preds[b], a)
+		}
+	}
+	down := make([]int, nu)
+	up := make([]int, nu)
+	order := topoUnits(nu, succs, preds)
+	best := 0
+	for _, m := range order {
+		in := 0
+		for _, p := range preds[m] {
+			if down[p] > in {
+				in = down[p]
+			}
+		}
+		down[m] = in + lats[m]
+		if down[m] > best {
+			best = down[m]
+		}
+	}
+	for i := nu - 1; i >= 0; i-- {
+		m := order[i]
+		out := 0
+		for _, s := range succs[m] {
+			if up[s] > out {
+				out = up[s]
+			}
+		}
+		up[m] = out + lats[m]
+	}
+	crit := graph.NewNodeSet(n)
+	for m := 0; m < nu; m++ {
+		if down[m]+up[m]-lats[m] == best {
+			for _, v := range members[m] {
+				crit.Add(v)
+			}
+		}
+	}
+	return crit
+}
+
+func topoUnits(n int, succs, preds [][]int) []int {
+	indeg := make([]int, n)
+	for m := 0; m < n; m++ {
+		indeg[m] = len(preds[m])
+	}
+	var ready, order []int
+	for m := 0; m < n; m++ {
+		if indeg[m] == 0 {
+			ready = append(ready, m)
+		}
+	}
+	for len(ready) > 0 {
+		m := ready[0]
+		ready = ready[1:]
+		order = append(order, m)
+		for _, s := range succs[m] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	return order
+}
+
+func indexOfGroup(groups []*walkGroup, g *walkGroup) int {
+	for i, h := range groups {
+		if h == g {
+			return i
+		}
+	}
+	return -1
+}
+
+func removeUnit(s []int, v int) []int {
+	for i, x := range s {
+		if x == v {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}

@@ -1,0 +1,297 @@
+// Package dfg builds per-basic-block dataflow graphs — the G of the paper —
+// and the extended graph G+ in which every operation carries its
+// implementation-option (IO) table. It also answers the subgraph-level
+// queries the ISE formulation of §4.2 needs: IN(S), OUT(S) value counts and
+// convexity.
+package dfg
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// ValueSource identifies where a node input value comes from: another node
+// of the same block (Producer >= 0) or a block live-in register
+// (Producer == -1, Reg names it).
+type ValueSource struct {
+	Producer int
+	Reg      prog.Reg
+}
+
+// Node is one operation of the DFG with its implementation-option table
+// attached (the G+ extension of §4.1).
+type Node struct {
+	ID    int
+	Instr prog.Instr
+	// SW and HW are the software and hardware implementation options. HW is
+	// empty for operations that cannot join an ISE.
+	SW []isa.SWOption
+	HW []isa.HWOption
+	// Inputs are the register data inputs (excluding $zero, which is wired
+	// constant and consumes no read port).
+	Inputs []ValueSource
+	// DataSuccs are nodes consuming this node's value.
+	DataSuccs []int
+	// LiveOut reports whether this node produces the final definition of a
+	// register that is live out of the block.
+	LiveOut bool
+}
+
+// ISEEligible reports whether the node may be packed into an ISE.
+func (n *Node) ISEEligible() bool { return len(n.HW) > 0 }
+
+// DFG is the dataflow graph of one basic block, weighted by its profiled
+// execution count.
+type DFG struct {
+	Name       string
+	BlockIndex int
+	Weight     uint64
+	Nodes      []*Node
+	// G holds every scheduling dependence: data edges, memory-order edges
+	// and the store→terminator edge.
+	G *graph.Graph
+	// Data holds only true dataflow edges; candidate-ISE value counting
+	// runs on this graph.
+	Data *graph.Graph
+
+	reachMu   sync.Mutex
+	reach     []graph.NodeSet // lazy per-node descendant sets
+	reachDone []bool
+}
+
+// Build constructs the DFG of block blockIdx of p, weighted by weight.
+// liveOut is that block's live-out register set from global liveness.
+func Build(p *prog.Program, blockIdx int, weight uint64, liveOut prog.RegSet) *DFG {
+	bb := p.Blocks[blockIdx]
+	n := len(bb.Instrs)
+	d := &DFG{
+		Name:       fmt.Sprintf("%s/%s", p.Name, bb.Name()),
+		BlockIndex: blockIdx,
+		Weight:     weight,
+		G:          graph.New(n),
+		Data:       graph.New(n),
+	}
+	lastDef := map[prog.Reg]int{}
+	var lastStore = -1
+	var loadsSinceStore []int
+	for i, in := range bb.Instrs {
+		node := &Node{
+			ID:    i,
+			Instr: in,
+			SW:    isa.SoftwareOptions(in.Op),
+			HW:    isa.HardwareOptions(in.Op),
+		}
+		d.Nodes = append(d.Nodes, node)
+		for _, r := range in.Uses() {
+			if r == prog.Zero {
+				continue
+			}
+			if def, ok := lastDef[r]; ok {
+				d.G.AddEdge(def, i)
+				d.Data.AddEdge(def, i)
+				node.Inputs = append(node.Inputs, ValueSource{Producer: def, Reg: r})
+				d.Nodes[def].DataSuccs = appendUnique(d.Nodes[def].DataSuccs, i)
+			} else {
+				node.Inputs = append(node.Inputs, ValueSource{Producer: -1, Reg: r})
+			}
+		}
+		// Conservative memory ordering (no alias analysis): stores are
+		// ordered with every other memory access.
+		if isa.IsLoad(in.Op) {
+			if lastStore >= 0 {
+				d.G.AddEdge(lastStore, i)
+			}
+			loadsSinceStore = append(loadsSinceStore, i)
+		}
+		if isa.IsStore(in.Op) {
+			if lastStore >= 0 {
+				d.G.AddEdge(lastStore, i)
+			}
+			for _, l := range loadsSinceStore {
+				d.G.AddEdge(l, i)
+			}
+			lastStore = i
+			loadsSinceStore = nil
+		}
+		if dr, ok := in.Defs(); ok {
+			lastDef[dr] = i
+		}
+	}
+	// Stores must complete before control leaves the block.
+	if term, ok := bb.Terminator(); ok && isa.IsBranch(term.Op) {
+		ti := n - 1
+		if lastStore >= 0 && lastStore != ti {
+			d.G.AddEdge(lastStore, ti)
+		}
+	}
+	// Mark live-out producers.
+	for r, def := range lastDef {
+		if liveOut.Contains(r) {
+			d.Nodes[def].LiveOut = true
+		}
+	}
+	return d
+}
+
+func appendUnique(s []int, v int) []int {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+// Len returns the number of operations.
+func (d *DFG) Len() int { return len(d.Nodes) }
+
+// In returns IN(S): the number of distinct register values the subgraph
+// consumes from outside itself — reads of the ISE's register operands.
+func (d *DFG) In(s graph.NodeSet) int {
+	type key struct {
+		producer int
+		reg      prog.Reg
+	}
+	seen := map[key]bool{}
+	for _, id := range s.Values() {
+		for _, src := range d.Nodes[id].Inputs {
+			if src.Producer >= 0 && s.Contains(src.Producer) {
+				continue // internal value
+			}
+			k := key{src.Producer, src.Reg}
+			if src.Producer >= 0 {
+				k.reg = 0 // identified by producer alone
+			}
+			seen[k] = true
+		}
+	}
+	return len(seen)
+}
+
+// Out returns OUT(S): the number of nodes in S whose value escapes S —
+// consumed by an outside node or live out of the block.
+func (d *DFG) Out(s graph.NodeSet) int {
+	out := 0
+	for _, id := range s.Values() {
+		n := d.Nodes[id]
+		escapes := n.LiveOut
+		if !escapes {
+			for _, succ := range n.DataSuccs {
+				if !s.Contains(succ) {
+					escapes = true
+					break
+				}
+			}
+		}
+		if escapes {
+			out++
+		}
+	}
+	return out
+}
+
+// IsConvex reports whether S is convex in the full dependence graph.
+func (d *DFG) IsConvex(s graph.NodeSet) bool { return d.G.IsConvex(s) }
+
+// descendants returns (and caches) the set of nodes reachable from v.
+func (d *DFG) descendants(v int) graph.NodeSet {
+	d.reachMu.Lock()
+	defer d.reachMu.Unlock()
+	if d.reach == nil {
+		d.reach = make([]graph.NodeSet, d.Len())
+		d.reachDone = make([]bool, d.Len())
+	}
+	if !d.reachDone[v] {
+		d.reach[v] = d.G.ReachableFrom(v)
+		d.reachDone[v] = true
+	}
+	return d.reach[v]
+}
+
+// Reaches reports whether any node of from has a path to any node of to.
+func (d *DFG) Reaches(from, to graph.NodeSet) bool {
+	for _, v := range from.Values() {
+		if !d.descendants(v).Intersect(to).Empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// Interlocked reports whether two node sets are mutually dependent — each
+// reaches the other — which makes issuing both atomically impossible even
+// when each set is individually convex.
+func (d *DFG) Interlocked(a, b graph.NodeSet) bool {
+	return d.Reaches(a, b) && d.Reaches(b, a)
+}
+
+// AllEligible reports whether every node of S may join an ISE.
+func (d *DFG) AllEligible(s graph.NodeSet) bool {
+	for _, id := range s.Values() {
+		if !d.Nodes[id].ISEEligible() {
+			return false
+		}
+	}
+	return true
+}
+
+// CriticalPathLen returns the longest dependence chain length in
+// instructions (every node weighted 1) — the floor on execution cycles at
+// unit latency regardless of issue width.
+func (d *DFG) CriticalPathLen() int {
+	if d.Len() == 0 {
+		return 0
+	}
+	w := make([]float64, d.Len())
+	for i := range w {
+		w[i] = 1
+	}
+	dist := d.G.LongestPath(w)
+	best := 0.0
+	for _, v := range dist {
+		if v > best {
+			best = v
+		}
+	}
+	return int(best)
+}
+
+// String renders the DFG with one line per node.
+func (d *DFG) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "dfg %s (weight %d)\n", d.Name, d.Weight)
+	for _, n := range d.Nodes {
+		fmt.Fprintf(&sb, "  n%d: %-28s", n.ID, n.Instr.String())
+		if len(n.HW) > 0 {
+			fmt.Fprintf(&sb, " hw×%d", len(n.HW))
+		}
+		if n.LiveOut {
+			sb.WriteString(" live-out")
+		}
+		if succs := d.G.Succs(n.ID); len(succs) > 0 {
+			fmt.Fprintf(&sb, " -> %v", succs)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// BuildAll builds the DFG of every block listed in blocks, using the
+// program's liveness and the profile weights.
+func BuildAll(p *prog.Program, blocks []int, weights []uint64) []*DFG {
+	lv := prog.ComputeLiveness(p)
+	out := make([]*DFG, 0, len(blocks))
+	for _, bi := range blocks {
+		var w uint64 = 1
+		if bi < len(weights) {
+			w = weights[bi]
+		}
+		out = append(out, Build(p, bi, w, lv.LiveOut[bi]))
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package dfg
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// DOT renders the DFG in Graphviz format. Nodes listed in highlight groups
+// are clustered and filled — the form used to visualize explored ISEs.
+// Order edges (memory/control) are drawn dashed.
+func (d *DFG) DOT(w io.Writer, highlights ...graph.NodeSet) {
+	fmt.Fprintf(w, "digraph %q {\n", sanitizeDot(d.Name))
+	fmt.Fprintln(w, "  rankdir=TB;")
+	fmt.Fprintln(w, "  node [shape=box, fontname=\"monospace\", fontsize=10];")
+
+	inGroup := make([]int, d.Len())
+	for i := range inGroup {
+		inGroup[i] = -1
+	}
+	for gi, hs := range highlights {
+		for _, v := range hs.Values() {
+			inGroup[v] = gi
+		}
+	}
+	// Clusters for each highlight group.
+	for gi, hs := range highlights {
+		fmt.Fprintf(w, "  subgraph cluster_ise%d {\n", gi)
+		fmt.Fprintf(w, "    label=\"ISE %d\"; style=filled; color=lightgrey;\n", gi+1)
+		for _, v := range hs.Values() {
+			fmt.Fprintf(w, "    n%d [label=%q, style=filled, fillcolor=white];\n",
+				v, fmt.Sprintf("n%d: %s", v, d.Nodes[v].Instr))
+		}
+		fmt.Fprintln(w, "  }")
+	}
+	for v := 0; v < d.Len(); v++ {
+		if inGroup[v] >= 0 {
+			continue
+		}
+		attrs := ""
+		if !d.Nodes[v].ISEEligible() {
+			attrs = ", color=gray50, fontcolor=gray30"
+		}
+		fmt.Fprintf(w, "  n%d [label=%q%s];\n", v, fmt.Sprintf("n%d: %s", v, d.Nodes[v].Instr), attrs)
+	}
+	for u := 0; u < d.G.Len(); u++ {
+		for _, v := range d.G.Succs(u) {
+			if d.Data.HasEdge(u, v) {
+				fmt.Fprintf(w, "  n%d -> n%d;\n", u, v)
+			} else {
+				fmt.Fprintf(w, "  n%d -> n%d [style=dashed, color=gray50];\n", u, v)
+			}
+		}
+	}
+	fmt.Fprintln(w, "}")
+}
+
+func sanitizeDot(s string) string {
+	return strings.ReplaceAll(s, `"`, `'`)
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/flow"
+	"repro/internal/isa"
+)
+
+// RenderTable511 prints the hardware implementation-option settings in the
+// paper's Table 5.1.1 layout.
+func RenderTable511(w io.Writer) {
+	fmt.Fprintln(w, "Table 5.1.1: Hardware implementation option settings")
+	fmt.Fprintf(w, "%-28s %10s %12s\n", "Operations", "Delay (ns)", "Area (µm²)")
+	fmt.Fprintln(w, strings.Repeat("-", 52))
+	for _, row := range isa.Table511() {
+		names := make([]string, len(row.Ops))
+		for i, op := range row.Ops {
+			names[i] = op.String()
+		}
+		fmt.Fprintf(w, "%-28s %10.2f %12.2f\n", strings.Join(names, " "), row.DelayNS, row.AreaUM2)
+	}
+}
+
+// Render prints Fig. 5.2.1 as a table: one row per configuration label, one
+// column per area constraint.
+func (a *AreaSweep) Render(w io.Writer) {
+	fmt.Fprintln(w, "Figure 5.2.1: Execution time reduction under silicon area constraints")
+	fmt.Fprintf(w, "%-22s", "config \\ area µm²")
+	for _, c := range a.Caps {
+		fmt.Fprintf(w, " %7.0fk ", c/1000)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.Repeat("-", 22+10*len(a.Caps)))
+	for _, label := range a.Labels {
+		fmt.Fprintf(w, "%-22s", label)
+		for _, r := range a.Reduction[label] {
+			fmt.Fprintf(w, " %8.2f%%", 100*r)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Render prints Fig. 5.2.2 as a table: one row per configuration label, one
+// column per ISE-count budget.
+func (c *CountSweep) Render(w io.Writer) {
+	fmt.Fprintln(w, "Figure 5.2.2: Execution time reduction for different numbers of ISEs")
+	fmt.Fprintf(w, "%-22s", "config \\ #ISEs")
+	for _, n := range c.Counts {
+		fmt.Fprintf(w, " %8d ", n)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.Repeat("-", 22+10*len(c.Counts)))
+	for _, label := range c.Labels {
+		fmt.Fprintf(w, "%-22s", label)
+		for _, r := range c.Reduction[label] {
+			fmt.Fprintf(w, " %8.2f%%", 100*r)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Render prints Fig. 5.2.3: area cost and reduction per ISE count for both
+// algorithms.
+func (v *AreaVsTime) Render(w io.Writer) {
+	fmt.Fprintln(w, "Figure 5.2.3: Silicon area cost vs. execution time reduction")
+	fmt.Fprintf(w, "%6s %14s %14s %12s %12s\n", "#ISEs", "MI area µm²", "SI area µm²", "MI time", "SI time")
+	fmt.Fprintln(w, strings.Repeat("-", 64))
+	for i, n := range v.Counts {
+		fmt.Fprintf(w, "%6d %14.0f %14.0f %11.2f%% %11.2f%%\n",
+			n,
+			v.Area[flow.MI][i], v.Area[flow.SI][i],
+			100*v.Reduction[flow.MI][i], 100*v.Reduction[flow.SI][i])
+	}
+}
+
+// Render prints the headline comparison of the abstract.
+func (h *Headline) Render(w io.Writer) {
+	fmt.Fprintln(w, "Headline results")
+	fmt.Fprintf(w, "  one ISE vs no ISE:   max %.2f%% (%s)  min %.2f%% (%s)  avg %.2f%%\n",
+		100*h.OneISE.Max, h.OneISE.MaxName, 100*h.OneISE.Min, h.OneISE.MinName, 100*h.OneISE.Avg)
+	fmt.Fprintf(w, "  MI vs SI, same area: max %.2fpp (%s)  min %.2fpp (%s)  avg %.2fpp\n",
+		100*h.VsSI.Max, h.VsSI.MaxName, 100*h.VsSI.Min, h.VsSI.MinName, 100*h.VsSI.Avg)
+	fmt.Fprintln(w, "  (paper: 17.17/12.9/14.79% and 11.39/2.87/7.16%)")
+}
+
+// Render prints the per-benchmark breakdown table.
+func (b *Breakdown) Render(w io.Writer, benchmarks []string) {
+	fmt.Fprintf(w, "Per-benchmark breakdown on %s, %s (reduction at #ISEs)\n", b.Machine.Name, b.OptLevel)
+	fmt.Fprintf(w, "%-14s %-4s", "benchmark", "algo")
+	for _, n := range b.Counts {
+		fmt.Fprintf(w, " %7d", n)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.Repeat("-", 19+8*len(b.Counts)))
+	for _, name := range benchmarks {
+		for _, algo := range []flow.Algorithm{flow.MI, flow.SI} {
+			rs, ok := b.Reduction[algo][name]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(w, "%-14s %-4s", name, algo)
+			for _, r := range rs {
+				fmt.Fprintf(w, " %6.2f%%", 100*r)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/flow"
+)
+
+// This file renders the evaluation figures as standalone SVG documents —
+// grouped bar charts in the layout of the paper's Figs. 5.2.1-5.2.3 — using
+// only the standard library.
+
+// svgSeries is one legend entry of a grouped bar chart.
+type svgSeries struct {
+	Name   string
+	Values []float64 // one per category
+}
+
+// svgPalette cycles for series fills.
+var svgPalette = []string{
+	"#4878d0", "#ee854a", "#6acc64", "#d65f5f", "#956cb4",
+	"#8c613c", "#dc7ec0", "#797979", "#d5bb67", "#82c6e2",
+}
+
+// writeGroupedBars emits a grouped bar chart. Values are fractions rendered
+// as percentages on the Y axis.
+func writeGroupedBars(w io.Writer, title string, categories []string, series []svgSeries) {
+	const (
+		width   = 1280
+		height  = 480
+		marginL = 60
+		marginR = 20
+		marginT = 40
+		marginB = 150
+		plotW   = width - marginL - marginR
+		plotH   = height - marginT - marginB
+		yTicks  = 5
+	)
+	maxV := 0.0
+	for _, s := range series {
+		for _, v := range s.Values {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	maxV *= 1.1
+
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(w, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(w, `<text x="%d" y="20" font-size="15" font-weight="bold">%s</text>`+"\n", marginL, title)
+
+	// Y axis with percentage ticks.
+	for t := 0; t <= yTicks; t++ {
+		v := maxV * float64(t) / yTicks
+		y := float64(marginT+plotH) - float64(plotH)*float64(t)/yTicks
+		fmt.Fprintf(w, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n", marginL, y, marginL+plotW, y)
+		fmt.Fprintf(w, `<text x="%d" y="%.1f" text-anchor="end">%.0f%%</text>`+"\n", marginL-6, y+4, 100*v)
+	}
+
+	// Bars.
+	nCat := len(categories)
+	nSer := len(series)
+	if nCat > 0 && nSer > 0 {
+		catW := float64(plotW) / float64(nCat)
+		barW := catW * 0.8 / float64(nSer)
+		for ci, cat := range categories {
+			x0 := float64(marginL) + catW*float64(ci) + catW*0.1
+			for si, s := range series {
+				v := 0.0
+				if ci < len(s.Values) {
+					v = s.Values[ci]
+				}
+				h := float64(plotH) * v / maxV
+				x := x0 + barW*float64(si)
+				y := float64(marginT+plotH) - h
+				fmt.Fprintf(w, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+					x, y, barW, h, svgPalette[si%len(svgPalette)])
+			}
+			// Rotated category label.
+			lx := x0 + catW*0.4
+			ly := float64(marginT + plotH + 10)
+			fmt.Fprintf(w, `<text x="%.1f" y="%.1f" text-anchor="end" transform="rotate(-45 %.1f %.1f)">%s</text>`+"\n",
+				lx, ly, lx, ly, cat)
+		}
+	}
+
+	// Legend.
+	lx, ly := marginL, height-18
+	for si, s := range series {
+		fmt.Fprintf(w, `<rect x="%d" y="%d" width="12" height="12" fill="%s"/>`+"\n", lx, ly-10, svgPalette[si%len(svgPalette)])
+		fmt.Fprintf(w, `<text x="%d" y="%d">%s</text>`+"\n", lx+16, ly, s.Name)
+		lx += 16 + 9*len(s.Name) + 24
+	}
+	fmt.Fprintln(w, `</svg>`)
+}
+
+// SVG renders Fig. 5.2.1 as a grouped bar chart (configs on X, one bar per
+// area constraint).
+func (a *AreaSweep) SVG(w io.Writer) {
+	var series []svgSeries
+	for i, c := range a.Caps {
+		s := svgSeries{Name: fmt.Sprintf("%.0fk µm²", c/1000)}
+		for _, label := range a.Labels {
+			s.Values = append(s.Values, a.Reduction[label][i])
+		}
+		_ = i
+		series = append(series, s)
+	}
+	writeGroupedBars(w, "Figure 5.2.1: execution time reduction under silicon area constraints", a.Labels, series)
+}
+
+// SVG renders Fig. 5.2.2 (configs on X, one bar per ISE-count budget).
+func (c *CountSweep) SVG(w io.Writer) {
+	var series []svgSeries
+	for i, n := range c.Counts {
+		s := svgSeries{Name: fmt.Sprintf("%d ISEs", n)}
+		for _, label := range c.Labels {
+			s.Values = append(s.Values, c.Reduction[label][i])
+		}
+		_ = i
+		series = append(series, s)
+	}
+	writeGroupedBars(w, "Figure 5.2.2: execution time reduction for different numbers of ISEs", c.Labels, series)
+}
+
+// SVG renders Fig. 5.2.3: reduction bars for MI and SI per ISE budget, with
+// the area cost written above each group.
+func (v *AreaVsTime) SVG(w io.Writer) {
+	categories := make([]string, len(v.Counts))
+	for i, n := range v.Counts {
+		categories[i] = fmt.Sprintf("%d ISEs\n", n)
+		categories[i] = fmt.Sprintf("%d ISEs (MI %.0fk / SI %.0fk µm²)", n,
+			v.Area[flow.MI][i]/1000, v.Area[flow.SI][i]/1000)
+	}
+	series := []svgSeries{
+		{Name: "MI reduction", Values: v.Reduction[flow.MI]},
+		{Name: "SI reduction", Values: v.Reduction[flow.SI]},
+	}
+	writeGroupedBars(w, "Figure 5.2.3: silicon area cost vs. execution time reduction", categories, series)
+}

@@ -1,0 +1,259 @@
+// Package flow drives the complete ISE design flow of Fig. 3.1.1:
+// application profiling → basic-block selection → ISE exploration (the
+// proposed multiple-issue algorithm or the single-issue baseline) → ISE
+// merging → ISE selection with hardware sharing → ISE replacement and final
+// instruction scheduling. Its output is the whole-program execution time
+// with and without the customized instructions.
+package flow
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/baseline"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/dfg"
+	"repro/internal/machine"
+	"repro/internal/merging"
+	"repro/internal/replace"
+	"repro/internal/sched"
+	"repro/internal/selection"
+)
+
+// Algorithm names the exploration algorithm to use.
+type Algorithm string
+
+// The two competing exploration algorithms of the evaluation.
+const (
+	// MI is the proposed multiple-issue-aware exploration (internal/core).
+	MI Algorithm = "MI"
+	// SI is the legality-only single-issue baseline of Wu et al. [8].
+	SI Algorithm = "SI"
+)
+
+// Options configure a design-flow run.
+type Options struct {
+	Machine   machine.Config
+	Params    core.Params
+	Algorithm Algorithm
+	// HotBlocks is how many of the hottest basic blocks are explored
+	// (basic-block selection). Default 3.
+	HotBlocks int
+}
+
+// Pool is the result of the profile + exploration stages for one benchmark
+// on one machine: everything the constraint-dependent stages need. Building
+// a Pool is expensive; evaluating it under different selection constraints
+// is cheap, which is how the harness sweeps Figures 16-18 without
+// re-exploring.
+type Pool struct {
+	Benchmark *bench.Benchmark
+	Machine   machine.Config
+	Algorithm Algorithm
+
+	// DFGs covers every executed basic block, indexed as in the program.
+	DFGs map[int]*dfg.DFG
+	// Hot lists the explored block indices.
+	Hot []int
+	// BaseCycles is the whole-program cycle count without any ISE.
+	BaseCycles float64
+	// Groups are the merged candidate groups with gains attached.
+	Groups []merging.Group
+
+	// baseLen caches each block's all-software schedule length.
+	baseLen map[int]int
+}
+
+// blockBase returns the all-software schedule length of block d.
+func (p *Pool) blockBase(d *dfg.DFG) (int, error) {
+	if n, ok := p.baseLen[d.BlockIndex]; ok {
+		return n, nil
+	}
+	s, err := sched.ListSchedule(d, sched.AllSoftware(d.Len()), p.Machine)
+	if err != nil {
+		return 0, err
+	}
+	if p.baseLen == nil {
+		p.baseLen = map[int]int{}
+	}
+	p.baseLen[d.BlockIndex] = s.Length
+	return s.Length, nil
+}
+
+// Report is the outcome of one full flow evaluation.
+type Report struct {
+	Benchmark   string
+	OptLevel    string
+	Machine     string
+	Algorithm   Algorithm
+	BaseCycles  float64
+	FinalCycles float64
+	AreaUM2     float64
+	NumISEs     int
+	Selected    []*merging.Candidate
+}
+
+// Reduction returns the relative execution-time reduction.
+func (r *Report) Reduction() float64 {
+	if r.BaseCycles == 0 {
+		return 0
+	}
+	return (r.BaseCycles - r.FinalCycles) / r.BaseCycles
+}
+
+// BuildPool profiles the benchmark, builds DFGs for every executed block,
+// explores the hottest blocks with the chosen algorithm, measures each
+// candidate's gain, and merges candidates into hardware-sharing groups.
+func BuildPool(bm *bench.Benchmark, opts Options) (*Pool, error) {
+	if opts.HotBlocks <= 0 {
+		opts.HotBlocks = 3
+	}
+	prof, err := bm.Run()
+	if err != nil {
+		return nil, fmt.Errorf("flow: profiling: %w", err)
+	}
+	var executed []int
+	for bi, c := range prof.BlockCounts {
+		if c > 0 {
+			executed = append(executed, bi)
+		}
+	}
+	dfgs := dfg.BuildAll(bm.Prog, executed, prof.BlockCounts)
+	pool := &Pool{
+		Benchmark: bm,
+		Machine:   opts.Machine,
+		Algorithm: opts.Algorithm,
+		DFGs:      make(map[int]*dfg.DFG, len(dfgs)),
+		Hot:       prof.HotBlocks(bm.Prog, opts.HotBlocks),
+	}
+	for _, d := range dfgs {
+		pool.DFGs[d.BlockIndex] = d
+	}
+
+	// Whole-program baseline: every block all-software.
+	pool.baseLen = map[int]int{}
+	for _, d := range pool.DFGs {
+		s, err := sched.ListSchedule(d, sched.AllSoftware(d.Len()), opts.Machine)
+		if err != nil {
+			return nil, fmt.Errorf("flow: base schedule %s: %w", d.Name, err)
+		}
+		pool.baseLen[d.BlockIndex] = s.Length
+		pool.BaseCycles += float64(s.Length) * float64(d.Weight)
+	}
+
+	// Exploration on the hot blocks. Blocks are independent and each
+	// exploration is deterministically seeded, so they run concurrently;
+	// results are collected in block order to keep the pool deterministic.
+	if opts.Algorithm != MI && opts.Algorithm != SI {
+		return nil, fmt.Errorf("flow: unknown algorithm %q", opts.Algorithm)
+	}
+	perBlock := make([][]*merging.Candidate, len(pool.Hot))
+	errs := make([]error, len(pool.Hot))
+	var wg sync.WaitGroup
+	for hi, bi := range pool.Hot {
+		wg.Add(1)
+		go func(hi, bi int) {
+			defer wg.Done()
+			d := pool.DFGs[bi]
+			var ises []*core.ISE
+			var err error
+			switch opts.Algorithm {
+			case MI:
+				var r *core.Result
+				r, err = core.ExploreWithParams(d, opts.Machine, opts.Params)
+				if r != nil {
+					ises = r.ISEs
+				}
+			case SI:
+				var r *core.Result
+				r, err = baseline.Explore(d, opts.Machine, opts.Params)
+				if r != nil {
+					ises = r.ISEs
+				}
+			}
+			if err != nil {
+				errs[hi] = fmt.Errorf("flow: explore %s: %w", d.Name, err)
+				return
+			}
+			gains, err := realMarginalGains(d, opts.Machine, ises)
+			if err != nil {
+				errs[hi] = err
+				return
+			}
+			for i, ise := range ises {
+				perBlock[hi] = append(perBlock[hi], &merging.Candidate{ISE: ise, DFG: d, Gain: gains[i] * float64(d.Weight)})
+			}
+		}(hi, bi)
+	}
+	wg.Wait()
+	var cands []*merging.Candidate
+	for hi := range perBlock {
+		if errs[hi] != nil {
+			return nil, errs[hi]
+		}
+		cands = append(cands, perBlock[hi]...)
+	}
+	pool.Groups = merging.Merge(cands)
+	return pool, nil
+}
+
+// realMarginalGains prices each explored ISE by its marginal cycle saving on
+// the target machine, deploying the block's ISEs cumulatively in exploration
+// order. Both algorithms are priced identically — the paper runs the same
+// ISE selection for both (§5.1) — so the comparison isolates candidate
+// *quality*: the single-issue baseline's candidates pack operations the wide
+// machine already runs in parallel, which shows up here as little or no
+// marginal gain for their extra area.
+func realMarginalGains(d *dfg.DFG, cfg machine.Config, ises []*core.ISE) ([]float64, error) {
+	prev, err := sched.ListSchedule(d, sched.AllSoftware(d.Len()), cfg)
+	if err != nil {
+		return nil, fmt.Errorf("flow: pricing %s: %w", d.Name, err)
+	}
+	prevLen := prev.Length
+	gains := make([]float64, len(ises))
+	for i := range ises {
+		s, err := sched.ListSchedule(d, core.BuildAssignment(d, ises[:i+1]), cfg)
+		if err != nil {
+			return nil, fmt.Errorf("flow: pricing %s: %w", d.Name, err)
+		}
+		gains[i] = float64(prevLen - s.Length)
+		prevLen = s.Length
+	}
+	return gains, nil
+}
+
+// Evaluate runs the constraint-dependent stages — selection with hardware
+// sharing, replacement, final scheduling — and reports whole-program
+// results.
+func (p *Pool) Evaluate(c selection.Constraints) (*Report, error) {
+	dec := selection.Select(p.Groups, c)
+	rep := &Report{
+		Benchmark:  p.Benchmark.Name,
+		OptLevel:   p.Benchmark.Opt,
+		Machine:    p.Machine.Name,
+		Algorithm:  p.Algorithm,
+		BaseCycles: p.BaseCycles,
+		AreaUM2:    dec.AreaUM2,
+		NumISEs:    len(dec.Selected),
+		Selected:   dec.Selected,
+	}
+	for _, d := range p.DFGs {
+		s, _, _, err := replace.Apply(d, p.Machine, dec.Selected)
+		if err != nil {
+			return nil, err
+		}
+		rep.FinalCycles += float64(s.Length) * float64(d.Weight)
+	}
+	return rep, nil
+}
+
+// Run executes the whole flow for one benchmark under unlimited selection
+// constraints.
+func Run(bm *bench.Benchmark, opts Options) (*Report, error) {
+	pool, err := BuildPool(bm, opts)
+	if err != nil {
+		return nil, err
+	}
+	return pool.Evaluate(selection.Constraints{})
+}

@@ -1,0 +1,225 @@
+package flow
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/selection"
+)
+
+func testPool(t *testing.T, name, opt string, algo Algorithm) *Pool {
+	t.Helper()
+	bm, err := bench.Get(name, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.FastParams()
+	pool, err := BuildPool(bm, Options{
+		Machine:   machine.New(2, 4, 2),
+		Params:    p,
+		Algorithm: algo,
+		HotBlocks: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pool
+}
+
+func TestFlowEndToEndCRC(t *testing.T) {
+	pool := testPool(t, "crc32", "O0", MI)
+	if pool.BaseCycles <= 0 {
+		t.Fatal("no baseline cycles")
+	}
+	if len(pool.Hot) == 0 {
+		t.Fatal("no hot blocks")
+	}
+	rep, err := pool.Evaluate(selection.Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FinalCycles > rep.BaseCycles {
+		t.Fatalf("customization made things worse: %v -> %v", rep.BaseCycles, rep.FinalCycles)
+	}
+	if rep.NumISEs == 0 {
+		t.Fatal("no ISEs selected on crc32")
+	}
+	if rep.Reduction() <= 0 {
+		t.Fatalf("no reduction on crc32: %v", rep.Reduction())
+	}
+	if rep.AreaUM2 <= 0 {
+		t.Fatal("zero area with selected ISEs")
+	}
+}
+
+func TestFlowConstraintsMonotone(t *testing.T) {
+	pool := testPool(t, "bitcount", "O3", MI)
+	unlimited, err := pool.Evaluate(selection.Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := pool.Evaluate(selection.Constraints{MaxISEs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.NumISEs > 1 {
+		t.Fatalf("MaxISEs=1 selected %d", one.NumISEs)
+	}
+	if one.FinalCycles < unlimited.FinalCycles {
+		t.Errorf("1 ISE (%v) beats unlimited (%v)", one.FinalCycles, unlimited.FinalCycles)
+	}
+	small, err := pool.Evaluate(selection.Constraints{MaxAreaUM2: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.AreaUM2 > 2000 {
+		t.Fatalf("area cap violated: %v", small.AreaUM2)
+	}
+	if small.FinalCycles < unlimited.FinalCycles {
+		t.Errorf("tiny area (%v cycles) beats unlimited (%v)", small.FinalCycles, unlimited.FinalCycles)
+	}
+	// Zero area budget so small nothing fits: no ISEs, base cycles.
+	none, err := pool.Evaluate(selection.Constraints{MaxAreaUM2: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.NumISEs != 0 || none.FinalCycles != none.BaseCycles {
+		t.Errorf("1 µm² budget still selected %d ISEs (%v vs %v cycles)",
+			none.NumISEs, none.FinalCycles, none.BaseCycles)
+	}
+}
+
+func TestFlowSIAlgorithm(t *testing.T) {
+	pool := testPool(t, "crc32", "O0", SI)
+	rep, err := pool.Evaluate(selection.Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Algorithm != SI {
+		t.Errorf("algorithm tag = %v", rep.Algorithm)
+	}
+	if rep.FinalCycles > rep.BaseCycles {
+		t.Errorf("SI made program slower: %v -> %v", rep.BaseCycles, rep.FinalCycles)
+	}
+}
+
+func TestFlowUnknownAlgorithm(t *testing.T) {
+	bm, err := bench.Get("crc32", "O0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = BuildPool(bm, Options{Machine: machine.New(2, 4, 2), Params: core.FastParams(), Algorithm: "??"})
+	if err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestRunWrapper(t *testing.T) {
+	bm, err := bench.Get("dijkstra", "O0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(bm, Options{Machine: machine.New(3, 6, 3), Params: core.FastParams(), Algorithm: MI})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Benchmark != "dijkstra" || rep.OptLevel != "O0" {
+		t.Errorf("report identity wrong: %+v", rep)
+	}
+	if rep.BaseCycles <= 0 || rep.FinalCycles <= 0 {
+		t.Errorf("degenerate cycles: %+v", rep)
+	}
+}
+
+func TestMultiPoolCoDesign(t *testing.T) {
+	// One ISE set for crc32+sha: the exploration of either may serve both
+	// (both kernels share shift/xor chains).
+	var benches []*bench.Benchmark
+	for _, name := range []string{"crc32", "sha"} {
+		bm, err := bench.Get(name, "O0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		benches = append(benches, bm)
+	}
+	mp, err := BuildMultiPool(benches, Options{
+		Machine:   machine.New(2, 4, 2),
+		Params:    core.FastParams(),
+		Algorithm: MI,
+		HotBlocks: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := mp.Evaluate(selection.Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.PerApp) != 2 {
+		t.Fatalf("per-app reports = %d", len(rep.PerApp))
+	}
+	if rep.FinalCycles > rep.BaseCycles {
+		t.Fatalf("co-design made the suite slower: %v -> %v", rep.BaseCycles, rep.FinalCycles)
+	}
+	if rep.Reduction() <= 0 {
+		t.Fatalf("no suite-wide reduction: %v", rep.Reduction())
+	}
+	// Suite totals must equal the per-app sums.
+	var base, final float64
+	for _, app := range rep.PerApp {
+		base += app.BaseCycles
+		final += app.FinalCycles
+	}
+	if base != rep.BaseCycles || final != rep.FinalCycles {
+		t.Fatalf("totals inconsistent: %v/%v vs %v/%v", base, final, rep.BaseCycles, rep.FinalCycles)
+	}
+	// Constrained co-design respects the budget.
+	tight, err := mp.Evaluate(selection.Constraints{MaxAreaUM2: 4000, MaxISEs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.AreaUM2 > 4000 || tight.NumISEs > 1 {
+		t.Fatalf("constraints violated: %+v", tight)
+	}
+}
+
+func TestBuildMultiPoolEmpty(t *testing.T) {
+	if _, err := BuildMultiPool(nil, Options{Machine: machine.New(2, 4, 2), Params: core.FastParams(), Algorithm: MI}); err == nil {
+		t.Fatal("empty suite accepted")
+	}
+}
+
+// TestBuildPoolDeterministicUnderParallelism: per-block explorations run
+// concurrently, but the pool must be byte-identical across runs.
+func TestBuildPoolDeterministicUnderParallelism(t *testing.T) {
+	bm, err := bench.Get("blowfish", "O3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Machine: machine.New(2, 4, 2), Params: core.FastParams(), Algorithm: MI, HotBlocks: 3}
+	a, err := BuildPool(bm, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildPool(bm, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Groups) != len(b.Groups) {
+		t.Fatalf("groups differ: %d vs %d", len(a.Groups), len(b.Groups))
+	}
+	for i := range a.Groups {
+		ga, gb := a.Groups[i], b.Groups[i]
+		if len(ga.Members) != len(gb.Members) || ga.AreaUM2 != gb.AreaUM2 {
+			t.Fatalf("group %d differs", i)
+		}
+		for j := range ga.Members {
+			if !ga.Members[j].ISE.Nodes.Equal(gb.Members[j].ISE.Nodes) ||
+				ga.Members[j].Gain != gb.Members[j].Gain {
+				t.Fatalf("group %d member %d differs", i, j)
+			}
+		}
+	}
+}

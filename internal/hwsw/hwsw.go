@@ -1,0 +1,465 @@
+// Package hwsw adapts the paper's exploration algorithm to the
+// hardware/software partitioning problem its §6 names as future work (the
+// problem of Chatha & Vemuri and Kalavade & Lee: references [16, 17]):
+// given a task graph whose tasks each have a software implementation on the
+// CPU and a hardware implementation on an accelerator, choose a mapping and
+// a schedule that minimize the makespan under an area budget.
+//
+// The mapping is exactly the correspondence the paper sketches:
+//
+//	hardware-software partitioning  ↔  choosing the implementation kind
+//	design-space exploration        ↔  selecting an implementation option
+//	scheduling                      ↔  identifying the critical path
+//
+// so the ACO loop, the trail update of Fig. 4.3.5 and a critical-path-aware
+// merit function carry over with only the scheduling substrate replaced: a
+// CPU, one accelerator region, and a bus that charges transfer time when a
+// dependence crosses the partition boundary.
+package hwsw
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/aco"
+	"repro/internal/graph"
+)
+
+// Task is one coarse-grained computation.
+type Task struct {
+	Name   string
+	SWTime int     // execution cycles on the CPU
+	HWTime int     // execution cycles on the accelerator
+	HWArea float64 // silicon cost of the hardware implementation
+}
+
+// Graph is a task precedence graph with per-edge communication volumes.
+type Graph struct {
+	Tasks []Task
+	Prec  *graph.Graph
+	// Comm[u][v] is the bus transfer time charged when edge (u,v) crosses
+	// the hardware/software boundary.
+	comm map[[2]int]int
+}
+
+// NewGraph returns an empty task graph.
+func NewGraph() *Graph {
+	return &Graph{Prec: graph.New(0), comm: map[[2]int]int{}}
+}
+
+// AddTask appends a task and returns its ID.
+func (g *Graph) AddTask(t Task) int {
+	id := g.Prec.AddNode()
+	g.Tasks = append(g.Tasks, t)
+	return id
+}
+
+// AddEdge adds the precedence u -> v with the given boundary-crossing
+// transfer time.
+func (g *Graph) AddEdge(u, v, comm int) {
+	g.Prec.AddEdge(u, v)
+	g.comm[[2]int{u, v}] = comm
+}
+
+// Comm returns the transfer time of edge (u,v).
+func (g *Graph) Comm(u, v int) int { return g.comm[[2]int{u, v}] }
+
+// Validate checks the graph is usable.
+func (g *Graph) Validate() error {
+	if len(g.Tasks) == 0 {
+		return fmt.Errorf("hwsw: empty task graph")
+	}
+	if !g.Prec.IsAcyclic() {
+		return fmt.Errorf("hwsw: precedence graph is cyclic")
+	}
+	for i, t := range g.Tasks {
+		if t.SWTime <= 0 || t.HWTime <= 0 {
+			return fmt.Errorf("hwsw: task %d (%s) has non-positive time", i, t.Name)
+		}
+		if t.HWArea < 0 {
+			return fmt.Errorf("hwsw: task %d (%s) has negative area", i, t.Name)
+		}
+	}
+	return nil
+}
+
+// Params are the ACO constants; DefaultParams mirrors the paper's values.
+type Params struct {
+	Alpha                    float64
+	Rho1, Rho2, Rho3, Rho4   float64
+	BetaCP, BetaArea         float64
+	PEnd                     float64
+	InitMeritSW, InitMeritHW float64
+	MaxIterations, Restarts  int
+	Seed                     int64
+}
+
+// DefaultParams returns constants matching §5.1 of the paper.
+func DefaultParams() Params {
+	return Params{
+		Alpha: 0.25,
+		Rho1:  4, Rho2: 2, Rho3: 2, Rho4: 2,
+		BetaCP: 0.9, BetaArea: 0.8,
+		PEnd:        0.99,
+		InitMeritSW: 100, InitMeritHW: 200,
+		MaxIterations: 60,
+		Restarts:      5,
+		Seed:          1,
+	}
+}
+
+// Result is one partitioning outcome.
+type Result struct {
+	// InHW[i] reports whether task i maps to the accelerator.
+	InHW []bool
+	// Makespan is the schedule length of the chosen mapping.
+	Makespan int
+	// AreaUsed is the accelerator area consumed.
+	AreaUsed float64
+	// AllSoftware is the CPU-only makespan for reference.
+	AllSoftware int
+	// Iterations counts ACO work.
+	Iterations int
+}
+
+// Speedup returns the ratio of the all-software makespan to the partitioned
+// makespan.
+func (r *Result) Speedup() float64 {
+	if r.Makespan == 0 {
+		return 0
+	}
+	return float64(r.AllSoftware) / float64(r.Makespan)
+}
+
+// Partition searches for a mapping minimizing makespan under areaBudget
+// (0 = unlimited).
+func Partition(g *Graph, areaBudget float64, p Params) (*Result, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	allSW := make([]bool, len(g.Tasks))
+	base := Schedule(g, allSW)
+
+	restarts := p.Restarts
+	if restarts < 1 {
+		restarts = 1
+	}
+	var best *Result
+	for r := 0; r < restarts; r++ {
+		res := runOnce(g, areaBudget, p, p.Seed+int64(r)*6151)
+		res.AllSoftware = base
+		if best == nil || res.Makespan < best.Makespan ||
+			(res.Makespan == best.Makespan && res.AreaUsed < best.AreaUsed) {
+			prev := best
+			best = res
+			if prev != nil {
+				best.Iterations += prev.Iterations
+			}
+		} else {
+			best.Iterations += res.Iterations
+		}
+	}
+	return best, nil
+}
+
+func runOnce(g *Graph, areaBudget float64, p Params, seed int64) *Result {
+	rng := aco.NewRand(seed)
+	n := len(g.Tasks)
+	// Option 0 = software, option 1 = hardware.
+	trail := make([][2]float64, n)
+	merit := make([][2]float64, n)
+	for i := range merit {
+		merit[i] = [2]float64{p.InitMeritSW, p.InitMeritHW}
+	}
+
+	bestSpan := math.MaxInt
+	var bestMap []bool
+	tetOld := math.MaxInt
+	iters := 0
+	for it := 1; it <= p.MaxIterations; it++ {
+		iters = it
+		// Sample a mapping.
+		inHW := make([]bool, n)
+		for i := 0; i < n; i++ {
+			w := []float64{
+				p.Alpha*trail[i][0] + (1-p.Alpha)*merit[i][0],
+				p.Alpha*trail[i][1] + (1-p.Alpha)*merit[i][1],
+			}
+			inHW[i] = aco.SelectWeighted(rng, w) == 1
+		}
+		repairBudget(g, inHW, areaBudget)
+		span := Schedule(g, inHW)
+		if span < bestSpan {
+			bestSpan = span
+			bestMap = append([]bool(nil), inHW...)
+		}
+		// Trail update (Fig. 4.3.5 without the ordering term — tasks have
+		// no issue-order decision here).
+		improved := span <= tetOld
+		for i := 0; i < n; i++ {
+			sel := 0
+			if inHW[i] {
+				sel = 1
+			}
+			for o := 0; o < 2; o++ {
+				switch {
+				case improved && o == sel:
+					trail[i][o] += p.Rho1
+				case improved:
+					trail[i][o] -= p.Rho2
+				case o == sel:
+					trail[i][o] -= p.Rho3
+				default:
+					trail[i][o] += p.Rho4
+				}
+				if trail[i][o] < 0 {
+					trail[i][o] = 0
+				}
+			}
+		}
+		if improved {
+			tetOld = span
+		}
+		meritUpdate(g, inHW, merit, areaBudget, p)
+		if converged(trail, merit, p) {
+			break
+		}
+	}
+
+	repairBudget(g, bestMap, areaBudget)
+	area := 0.0
+	for i, hw := range bestMap {
+		if hw {
+			area += g.Tasks[i].HWArea
+		}
+	}
+	return &Result{
+		InHW:       bestMap,
+		Makespan:   Schedule(g, bestMap),
+		AreaUsed:   area,
+		Iterations: iters,
+	}
+}
+
+// repairBudget greedily evicts hardware tasks with the worst
+// area-per-cycle-saved ratio until the budget holds.
+func repairBudget(g *Graph, inHW []bool, budget float64) {
+	if budget <= 0 {
+		return
+	}
+	for {
+		area := 0.0
+		for i, hw := range inHW {
+			if hw {
+				area += g.Tasks[i].HWArea
+			}
+		}
+		if area <= budget {
+			return
+		}
+		worst, worstRatio := -1, -1.0
+		for i, hw := range inHW {
+			if !hw {
+				continue
+			}
+			saved := g.Tasks[i].SWTime - g.Tasks[i].HWTime
+			if saved < 1 {
+				saved = 1
+			}
+			ratio := g.Tasks[i].HWArea / float64(saved)
+			if ratio > worstRatio {
+				worst, worstRatio = i, ratio
+			}
+		}
+		if worst < 0 {
+			return
+		}
+		inHW[worst] = false
+	}
+}
+
+// meritUpdate boosts the faster option of critical tasks (the paper's
+// case 1), damps hardware for tasks whose mapping would break the budget,
+// and rewards cycle saving per area everywhere else.
+func meritUpdate(g *Graph, inHW []bool, merit [][2]float64, budget float64, p Params) {
+	crit := criticalTasks(g, inHW)
+	area := 0.0
+	for i, hw := range inHW {
+		if hw {
+			area += g.Tasks[i].HWArea
+		}
+	}
+	for i := range g.Tasks {
+		t := g.Tasks[i]
+		if crit.Contains(i) {
+			// Boost the faster implementation of critical tasks.
+			if t.HWTime < t.SWTime {
+				merit[i][1] /= p.BetaCP
+			} else {
+				merit[i][0] /= p.BetaCP
+			}
+		}
+		if budget > 0 && !inHW[i] && area+t.HWArea > budget {
+			merit[i][1] *= p.BetaArea
+		}
+		// Saving-per-area shaping for the hardware option.
+		if saved := t.SWTime - t.HWTime; saved > 0 && t.HWArea > 0 {
+			merit[i][1] *= 1 + float64(saved)/(1+t.HWArea/1000)
+		}
+		m := merit[i][:]
+		aco.Normalize(m, 200)
+	}
+}
+
+func converged(trail, merit [][2]float64, p Params) bool {
+	for i := range trail {
+		w := []float64{
+			p.Alpha*trail[i][0] + (1-p.Alpha)*merit[i][0],
+			p.Alpha*trail[i][1] + (1-p.Alpha)*merit[i][1],
+		}
+		share, _ := aco.MaxShare(w)
+		if share < p.PEnd {
+			return false
+		}
+	}
+	return true
+}
+
+// Schedule list-schedules the task graph under a mapping: the CPU and the
+// accelerator each run one task at a time; a dependence crossing the
+// boundary pays its bus transfer time. Priority is path height. The
+// returned makespan is the completion time of the last task.
+func Schedule(g *Graph, inHW []bool) int {
+	n := len(g.Tasks)
+	order, err := g.Prec.TopoOrder()
+	if err != nil {
+		panic("hwsw: cyclic task graph")
+	}
+	// Height priority.
+	height := make([]int, n)
+	for i := n - 1; i >= 0; i-- {
+		v := order[i]
+		h := 0
+		for _, s := range g.Prec.Succs(v) {
+			if height[s] > h {
+				h = height[s]
+			}
+		}
+		height[v] = h + g.Tasks[v].SWTime
+	}
+	timeOf := func(v int) int {
+		if inHW[v] {
+			return g.Tasks[v].HWTime
+		}
+		return g.Tasks[v].SWTime
+	}
+
+	done := make([]int, n) // completion time
+	started := make([]bool, n)
+	indeg := make([]int, n)
+	for v := 0; v < n; v++ {
+		indeg[v] = g.Prec.InDegree(v)
+	}
+	cpuFree, hwFree := 0, 0
+	remaining := n
+	for remaining > 0 {
+		// Pick the ready task with the greatest height.
+		best := -1
+		for v := 0; v < n; v++ {
+			if started[v] || indeg[v] > 0 {
+				continue
+			}
+			if best < 0 || height[v] > height[best] || (height[v] == height[best] && v < best) {
+				best = v
+			}
+		}
+		v := best
+		ready := 0
+		for _, u := range g.Prec.Preds(v) {
+			arrive := done[u]
+			if inHW[u] != inHW[v] {
+				arrive += g.Comm(u, v)
+			}
+			if arrive > ready {
+				ready = arrive
+			}
+		}
+		start := ready
+		if inHW[v] {
+			if hwFree > start {
+				start = hwFree
+			}
+			done[v] = start + timeOf(v)
+			hwFree = done[v]
+		} else {
+			if cpuFree > start {
+				start = cpuFree
+			}
+			done[v] = start + timeOf(v)
+			cpuFree = done[v]
+		}
+		started[v] = true
+		remaining--
+		for _, s := range g.Prec.Succs(v) {
+			indeg[s]--
+		}
+	}
+	span := 0
+	for _, d := range done {
+		if d > span {
+			span = d
+		}
+	}
+	return span
+}
+
+// criticalTasks marks tasks on the longest path of the mapped graph
+// (communication included).
+func criticalTasks(g *Graph, inHW []bool) graph.NodeSet {
+	n := len(g.Tasks)
+	order, _ := g.Prec.TopoOrder()
+	timeOf := func(v int) int {
+		if inHW[v] {
+			return g.Tasks[v].HWTime
+		}
+		return g.Tasks[v].SWTime
+	}
+	edgeCost := func(u, v int) int {
+		if inHW[u] != inHW[v] {
+			return g.Comm(u, v)
+		}
+		return 0
+	}
+	down := make([]int, n)
+	up := make([]int, n)
+	best := 0
+	for _, v := range order {
+		in := 0
+		for _, u := range g.Prec.Preds(v) {
+			if c := down[u] + edgeCost(u, v); c > in {
+				in = c
+			}
+		}
+		down[v] = in + timeOf(v)
+		if down[v] > best {
+			best = down[v]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		v := order[i]
+		out := 0
+		for _, s := range g.Prec.Succs(v) {
+			if c := up[s] + edgeCost(v, s); c > out {
+				out = c
+			}
+		}
+		up[v] = out + timeOf(v)
+	}
+	crit := graph.NewNodeSet(n)
+	for v := 0; v < n; v++ {
+		if down[v]+up[v]-timeOf(v) == best {
+			crit.Add(v)
+		}
+	}
+	return crit
+}

@@ -1,0 +1,212 @@
+package hwsw
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// chainGraph builds a serial pipeline of n tasks.
+func chainGraph(n, swTime, hwTime int, area float64, comm int) *Graph {
+	g := NewGraph()
+	prev := -1
+	for i := 0; i < n; i++ {
+		id := g.AddTask(Task{
+			Name:   "t",
+			SWTime: swTime,
+			HWTime: hwTime,
+			HWArea: area,
+		})
+		if prev >= 0 {
+			g.AddEdge(prev, id, comm)
+		}
+		prev = id
+	}
+	return g
+}
+
+func TestValidate(t *testing.T) {
+	if err := NewGraph().Validate(); err == nil {
+		t.Error("empty graph accepted")
+	}
+	g := NewGraph()
+	g.AddTask(Task{SWTime: 0, HWTime: 1})
+	if err := g.Validate(); err == nil {
+		t.Error("zero SW time accepted")
+	}
+	g2 := NewGraph()
+	g2.AddTask(Task{SWTime: 1, HWTime: 1, HWArea: -1})
+	if err := g2.Validate(); err == nil {
+		t.Error("negative area accepted")
+	}
+}
+
+func TestScheduleAllSoftwareSerial(t *testing.T) {
+	g := chainGraph(4, 10, 2, 100, 1)
+	if got := Schedule(g, make([]bool, 4)); got != 40 {
+		t.Fatalf("serial chain makespan = %d, want 40", got)
+	}
+}
+
+func TestScheduleAccountsForCommunication(t *testing.T) {
+	g := chainGraph(2, 10, 2, 100, 5)
+	// SW -> HW crossing pays the bus: 10 + 5 + 2.
+	if got := Schedule(g, []bool{false, true}); got != 17 {
+		t.Fatalf("crossing makespan = %d, want 17", got)
+	}
+	// Both in HW: no crossing, 2 + 2.
+	if got := Schedule(g, []bool{true, true}); got != 4 {
+		t.Fatalf("all-HW makespan = %d, want 4", got)
+	}
+}
+
+func TestScheduleParallelUnits(t *testing.T) {
+	// Two independent tasks: CPU and accelerator run them concurrently.
+	g := NewGraph()
+	g.AddTask(Task{SWTime: 10, HWTime: 10, HWArea: 1})
+	g.AddTask(Task{SWTime: 10, HWTime: 10, HWArea: 1})
+	if got := Schedule(g, []bool{false, true}); got != 10 {
+		t.Fatalf("parallel makespan = %d, want 10", got)
+	}
+	if got := Schedule(g, []bool{false, false}); got != 20 {
+		t.Fatalf("CPU-serial makespan = %d, want 20", got)
+	}
+}
+
+func TestPartitionChainSpeedsUp(t *testing.T) {
+	g := chainGraph(6, 10, 2, 50, 1)
+	p := DefaultParams()
+	p.MaxIterations = 40
+	p.Restarts = 2
+	res, err := Partition(g, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AllSoftware != 60 {
+		t.Fatalf("AllSoftware = %d", res.AllSoftware)
+	}
+	// Putting everything in hardware costs 12 + 0 crossings; the optimum is
+	// well below software.
+	if res.Makespan >= res.AllSoftware {
+		t.Fatalf("no speedup: %d >= %d", res.Makespan, res.AllSoftware)
+	}
+	if res.Speedup() <= 1 {
+		t.Fatalf("Speedup = %v", res.Speedup())
+	}
+}
+
+func TestPartitionRespectsBudget(t *testing.T) {
+	g := chainGraph(6, 10, 2, 50, 1)
+	p := DefaultParams()
+	p.MaxIterations = 40
+	p.Restarts = 2
+	res, err := Partition(g, 120, p) // at most 2 tasks in hardware
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AreaUsed > 120 {
+		t.Fatalf("budget violated: %v > 120", res.AreaUsed)
+	}
+	hwCount := 0
+	for _, hw := range res.InHW {
+		if hw {
+			hwCount++
+		}
+	}
+	if hwCount > 2 {
+		t.Fatalf("%d tasks in hardware under a 2-task budget", hwCount)
+	}
+}
+
+func TestPartitionBudgetMonotone(t *testing.T) {
+	g := chainGraph(6, 10, 2, 50, 1)
+	p := DefaultParams()
+	p.MaxIterations = 40
+	p.Restarts = 2
+	small, err := Partition(g, 60, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Partition(g, 300, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.Makespan > small.Makespan {
+		t.Fatalf("larger budget slower: %d vs %d", large.Makespan, small.Makespan)
+	}
+}
+
+func TestPartitionCommunicationDiscouragesPingPong(t *testing.T) {
+	// Heavy communication: crossing the boundary costs more than hardware
+	// saves, so the best mapping keeps the chain on one side.
+	g := chainGraph(5, 4, 3, 10, 50)
+	p := DefaultParams()
+	p.MaxIterations = 60
+	p.Restarts = 3
+	res, err := Partition(g, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crossings := 0
+	for v := 0; v < len(res.InHW)-1; v++ {
+		if res.InHW[v] != res.InHW[v+1] {
+			crossings++
+		}
+	}
+	if crossings > 0 && res.Makespan > res.AllSoftware {
+		t.Fatalf("partition crosses %d times and is slower (%d > %d)",
+			crossings, res.Makespan, res.AllSoftware)
+	}
+	if res.Makespan > res.AllSoftware {
+		t.Fatalf("worse than all-software: %d > %d", res.Makespan, res.AllSoftware)
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	g := chainGraph(5, 8, 3, 20, 2)
+	p := DefaultParams()
+	p.MaxIterations = 30
+	p.Restarts = 2
+	a, err := Partition(g, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Partition(g, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || a.AreaUsed != b.AreaUsed {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestPartitionRandomGraphsNeverWorseThanSoftware(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		g := NewGraph()
+		n := 3 + r.Intn(10)
+		for i := 0; i < n; i++ {
+			sw := 2 + r.Intn(20)
+			hw := 1 + r.Intn(sw)
+			g.AddTask(Task{SWTime: sw, HWTime: hw, HWArea: float64(10 + r.Intn(100))})
+		}
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if r.Intn(4) == 0 {
+					g.AddEdge(u, v, r.Intn(6))
+				}
+			}
+		}
+		p := DefaultParams()
+		p.MaxIterations = 25
+		p.Restarts = 1
+		p.Seed = int64(trial)
+		res, err := Partition(g, 0, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Makespan > res.AllSoftware {
+			t.Errorf("trial %d: partition slower than software (%d > %d)",
+				trial, res.Makespan, res.AllSoftware)
+		}
+	}
+}

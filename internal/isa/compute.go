@@ -1,0 +1,70 @@
+package isa
+
+import "fmt"
+
+// Compute evaluates an ISE-eligible operation on concrete operands: the
+// combinational function its ASFU cell realizes. For immediate-form opcodes
+// b is ignored and imm supplies the second operand. The result is 64 bits
+// wide so that mult/multu return the full HI:LO product; every other opcode
+// yields a zero-extended 32-bit value.
+//
+// Compute is the single source of truth for these opcodes' semantics: the
+// interpreter (internal/vm) and the netlist evaluator (internal/netlist)
+// both delegate here, so they can never diverge.
+func Compute(op Opcode, a, b uint32, imm int32) (uint64, error) {
+	u := uint32(imm)
+	switch op {
+	case OpADD, OpADDU:
+		return uint64(a + b), nil
+	case OpADDI, OpADDIU:
+		return uint64(a + u), nil
+	case OpSUB, OpSUBU:
+		return uint64(a - b), nil
+	case OpMULT:
+		return uint64(int64(int32(a)) * int64(int32(b))), nil
+	case OpMULTU:
+		return uint64(a) * uint64(b), nil
+	case OpAND:
+		return uint64(a & b), nil
+	case OpANDI:
+		return uint64(a & (u & 0xffff)), nil
+	case OpOR:
+		return uint64(a | b), nil
+	case OpORI:
+		return uint64(a | (u & 0xffff)), nil
+	case OpXOR:
+		return uint64(a ^ b), nil
+	case OpXORI:
+		return uint64(a ^ (u & 0xffff)), nil
+	case OpNOR:
+		return uint64(^(a | b)), nil
+	case OpSLT:
+		return boolBit(int32(a) < int32(b)), nil
+	case OpSLTI:
+		return boolBit(int32(a) < imm), nil
+	case OpSLTU:
+		return boolBit(a < b), nil
+	case OpSLTIU:
+		return boolBit(a < u), nil
+	case OpSLL:
+		return uint64(a << (u & 31)), nil
+	case OpSLLV:
+		return uint64(a << (b & 31)), nil
+	case OpSRL:
+		return uint64(a >> (u & 31)), nil
+	case OpSRLV:
+		return uint64(a >> (b & 31)), nil
+	case OpSRA:
+		return uint64(uint32(int32(a) >> (u & 31))), nil
+	case OpSRAV:
+		return uint64(uint32(int32(a) >> (b & 31))), nil
+	}
+	return 0, fmt.Errorf("isa: Compute: %v is not a combinational operation", op)
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,70 @@
+package isa
+
+import "testing"
+
+func TestComputeTable(t *testing.T) {
+	cases := []struct {
+		op   Opcode
+		a, b uint32
+		imm  int32
+		want uint64
+	}{
+		{OpADD, 7, 5, 0, 12},
+		{OpADDU, 0xFFFFFFFF, 1, 0, 0}, // wraps
+		{OpADDI, 7, 0, -3, 4},
+		{OpADDIU, 0, 0, -1, 0xFFFFFFFF},
+		{OpSUB, 5, 7, 0, 0xFFFFFFFE},
+		{OpSUBU, 7, 5, 0, 2},
+		{OpMULT, 0xFFFFFFFE, 3, 0, 0xFFFFFFFFFFFFFFFA}, // -2*3 = -6 sign-extended
+		{OpMULTU, 0x10000, 0x10000, 0, 1 << 32},        // full 64-bit product
+		{OpAND, 0b1100, 0b1010, 0, 0b1000},
+		{OpANDI, 0xFFFFFFFF, 0, 0x0F0F, 0x0F0F},
+		{OpANDI, 0xFFFFFFFF, 0, -1, 0xFFFF}, // imm masked to 16 bits
+		{OpOR, 0b1100, 0b1010, 0, 0b1110},
+		{OpORI, 0xF0000000, 0, 0x00FF, 0xF00000FF},
+		{OpXOR, 0b1100, 0b1010, 0, 0b0110},
+		{OpXORI, 0xFF, 0, 0x0F, 0xF0},
+		{OpNOR, 0, 0, 0, 0xFFFFFFFF},
+		{OpSLT, 0xFFFFFFFF, 0, 0, 1},  // -1 < 0 signed
+		{OpSLTU, 0xFFFFFFFF, 0, 0, 0}, // max > 0 unsigned
+		{OpSLTI, 5, 0, 10, 1},
+		{OpSLTIU, 5, 0, -1, 1}, // unsigned compare against 0xFFFFFFFF
+		{OpSLL, 1, 0, 4, 16},
+		{OpSLLV, 1, 33, 0, 2}, // shift amount mod 32
+		{OpSRL, 0x80000000, 0, 31, 1},
+		{OpSRLV, 0x80000000, 4, 0, 0x08000000},
+		{OpSRA, 0x80000000, 0, 31, 0xFFFFFFFF}, // arithmetic
+		{OpSRAV, 0x80000000, 4, 0, 0xF8000000},
+	}
+	for _, c := range cases {
+		got, err := Compute(c.op, c.a, c.b, c.imm)
+		if err != nil {
+			t.Errorf("Compute(%v, %#x, %#x, %d): %v", c.op, c.a, c.b, c.imm, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Compute(%v, %#x, %#x, %d) = %#x, want %#x", c.op, c.a, c.b, c.imm, got, c.want)
+		}
+	}
+}
+
+func TestComputeRejectsNonCombinational(t *testing.T) {
+	for _, op := range []Opcode{OpLW, OpSW, OpBEQ, OpJ, OpMFHI, OpMFLO, OpLUI, OpHALT} {
+		if _, err := Compute(op, 1, 2, 3); err == nil {
+			t.Errorf("Compute(%v) accepted a non-combinational opcode", op)
+		}
+	}
+}
+
+func TestComputeCoversEveryEligibleOpcode(t *testing.T) {
+	// Every ISE-eligible opcode must be computable — the ASFU model depends
+	// on it.
+	for op := Opcode(0); int(op) < NumOpcodes; op++ {
+		if !ISEEligible(op) {
+			continue
+		}
+		if _, err := Compute(op, 0x1234, 0x5678, 3); err != nil {
+			t.Errorf("eligible opcode %v not computable: %v", op, err)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package isa
+
+// This file embeds the hardware implementation-option cost model of
+// Table 5.1.1 of the paper: per-opcode ASFU datapath cells with their delay
+// (ns) and silicon area (µm²) in 0.13 µm CMOS. The processor core runs at
+// 100 MHz, i.e. a 10 ns cycle, and every core (software) instruction takes
+// one cycle.
+
+// CycleNS is the clock period of the modeled core in nanoseconds (100 MHz).
+const CycleNS = 10.0
+
+// HWOption is one hardware implementation option for an operation: the way
+// it would be realized inside an ASFU.
+type HWOption struct {
+	Name    string  // human-readable variant name, e.g. "hw-fast"
+	DelayNS float64 // propagation delay through the cell in nanoseconds
+	AreaUM2 float64 // silicon area in µm²
+}
+
+// SWOption is one software implementation option: execution on a core
+// functional unit.
+type SWOption struct {
+	Name   string // e.g. "sw-alu"
+	Cycles int    // latency in core cycles
+	Class  Class  // functional unit that executes it
+}
+
+var hwTable = map[Opcode][]HWOption{
+	// add, addi, addu, addiu: a small/slow and a large/fast adder.
+	OpADD:   {{Name: "hw-ripple", DelayNS: 4.04, AreaUM2: 926.33}, {Name: "hw-cla", DelayNS: 2.12, AreaUM2: 2075.35}},
+	OpADDI:  {{Name: "hw-ripple", DelayNS: 4.04, AreaUM2: 926.33}, {Name: "hw-cla", DelayNS: 2.12, AreaUM2: 2075.35}},
+	OpADDU:  {{Name: "hw-ripple", DelayNS: 4.04, AreaUM2: 926.33}, {Name: "hw-cla", DelayNS: 2.12, AreaUM2: 2075.35}},
+	OpADDIU: {{Name: "hw-ripple", DelayNS: 4.04, AreaUM2: 926.33}, {Name: "hw-cla", DelayNS: 2.12, AreaUM2: 2075.35}},
+	// sub, subu.
+	OpSUB:  {{Name: "hw-ripple", DelayNS: 4.04, AreaUM2: 926.33}, {Name: "hw-cla", DelayNS: 2.14, AreaUM2: 2049.41}},
+	OpSUBU: {{Name: "hw-ripple", DelayNS: 4.04, AreaUM2: 926.33}, {Name: "hw-cla", DelayNS: 2.14, AreaUM2: 2049.41}},
+	// mult, multu.
+	OpMULT:  {{Name: "hw-mult", DelayNS: 5.77, AreaUM2: 84428}},
+	OpMULTU: {{Name: "hw-mult", DelayNS: 5.65, AreaUM2: 79778.1}},
+	// and, andi.
+	OpAND:  {{Name: "hw-and", DelayNS: 1.58, AreaUM2: 214.31}},
+	OpANDI: {{Name: "hw-and", DelayNS: 1.58, AreaUM2: 214.31}},
+	// or, ori.
+	OpOR:  {{Name: "hw-or", DelayNS: 1.85, AreaUM2: 214.21}},
+	OpORI: {{Name: "hw-or", DelayNS: 1.85, AreaUM2: 214.21}},
+	// xor, xori.
+	OpXOR:  {{Name: "hw-xor", DelayNS: 4.17, AreaUM2: 375.1}},
+	OpXORI: {{Name: "hw-xor", DelayNS: 2.01, AreaUM2: 565.14}},
+	// nor.
+	OpNOR: {{Name: "hw-nor", DelayNS: 2.00, AreaUM2: 250.00}},
+	// slt family: small/slow and large/fast comparator.
+	OpSLT:   {{Name: "hw-cmp", DelayNS: 2.64, AreaUM2: 1144}, {Name: "hw-cmp-fast", DelayNS: 1.01, AreaUM2: 2636}},
+	OpSLTI:  {{Name: "hw-cmp", DelayNS: 2.64, AreaUM2: 1144}, {Name: "hw-cmp-fast", DelayNS: 1.01, AreaUM2: 2636}},
+	OpSLTU:  {{Name: "hw-cmp", DelayNS: 2.64, AreaUM2: 1144}, {Name: "hw-cmp-fast", DelayNS: 1.01, AreaUM2: 2636}},
+	OpSLTIU: {{Name: "hw-cmp", DelayNS: 2.64, AreaUM2: 1144}, {Name: "hw-cmp-fast", DelayNS: 1.01, AreaUM2: 2636}},
+	// shifts.
+	OpSLL:  {{Name: "hw-shift", DelayNS: 3.00, AreaUM2: 400.00}},
+	OpSLLV: {{Name: "hw-shift", DelayNS: 3.00, AreaUM2: 400.00}},
+	OpSRL:  {{Name: "hw-shift", DelayNS: 3.00, AreaUM2: 400.00}},
+	OpSRLV: {{Name: "hw-shift", DelayNS: 3.00, AreaUM2: 400.00}},
+	OpSRA:  {{Name: "hw-shift", DelayNS: 3.00, AreaUM2: 400.00}},
+	OpSRAV: {{Name: "hw-shift", DelayNS: 3.00, AreaUM2: 400.00}},
+}
+
+// HardwareOptions returns the ASFU implementation options for an opcode, or
+// nil if the opcode cannot be realized inside an ISE. The returned slice is
+// shared and must not be modified.
+func HardwareOptions(op Opcode) []HWOption {
+	return hwTable[op]
+}
+
+// SoftwareOptions returns the core implementation options for an opcode.
+// Every instruction executes in one cycle on its functional-unit class
+// (paper §5.1 assumption 4).
+func SoftwareOptions(op Opcode) []SWOption {
+	c := ClassOf(op)
+	return []SWOption{{Name: "sw-" + c.String(), Cycles: 1, Class: c}}
+}
+
+// Table511Row is one row of the paper's Table 5.1.1 for report printing.
+type Table511Row struct {
+	Ops     []Opcode
+	DelayNS float64
+	AreaUM2 float64
+}
+
+// Table511 returns the published hardware-option table in the paper's row
+// grouping, for regeneration by the benchmark harness.
+func Table511() []Table511Row {
+	return []Table511Row{
+		{Ops: []Opcode{OpADD, OpADDI, OpADDU, OpADDIU}, DelayNS: 4.04, AreaUM2: 926.33},
+		{Ops: []Opcode{OpADD, OpADDI, OpADDU, OpADDIU}, DelayNS: 2.12, AreaUM2: 2075.35},
+		{Ops: []Opcode{OpSUB, OpSUBU}, DelayNS: 4.04, AreaUM2: 926.33},
+		{Ops: []Opcode{OpSUB, OpSUBU}, DelayNS: 2.14, AreaUM2: 2049.41},
+		{Ops: []Opcode{OpMULT}, DelayNS: 5.77, AreaUM2: 84428},
+		{Ops: []Opcode{OpMULTU}, DelayNS: 5.65, AreaUM2: 79778.1},
+		{Ops: []Opcode{OpSLT, OpSLTI, OpSLTU, OpSLTIU}, DelayNS: 2.64, AreaUM2: 1144},
+		{Ops: []Opcode{OpSLT, OpSLTI, OpSLTU, OpSLTIU}, DelayNS: 1.01, AreaUM2: 2636},
+		{Ops: []Opcode{OpAND, OpANDI}, DelayNS: 1.58, AreaUM2: 214.31},
+		{Ops: []Opcode{OpOR, OpORI}, DelayNS: 1.85, AreaUM2: 214.21},
+		{Ops: []Opcode{OpXOR}, DelayNS: 4.17, AreaUM2: 375.1},
+		{Ops: []Opcode{OpXORI}, DelayNS: 2.01, AreaUM2: 565.14},
+		{Ops: []Opcode{OpNOR}, DelayNS: 2.00, AreaUM2: 250.00},
+		{Ops: []Opcode{OpSLL, OpSLLV, OpSRL, OpSRLV, OpSRA, OpSRAV}, DelayNS: 3.00, AreaUM2: 400.00},
+	}
+}

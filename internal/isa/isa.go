@@ -1,0 +1,188 @@
+// Package isa defines the PISA-like (MIPS-style) instruction set used across
+// the repository: opcodes, operand shapes, functional-unit classes, and the
+// hardware implementation-option cost table published as Table 5.1.1 of the
+// paper (delay in ns, area in µm², synthesized in 0.13 µm CMOS at 100 MHz).
+package isa
+
+import "fmt"
+
+// Opcode identifies one PISA instruction.
+type Opcode int
+
+// The opcode set. Arithmetic/logic/shift/compare opcodes are ISE-eligible;
+// loads, stores, branches, jumps and moves are not (load-store architecture
+// constraint, §4.2 of the paper).
+const (
+	// Arithmetic.
+	OpADD Opcode = iota
+	OpADDI
+	OpADDU
+	OpADDIU
+	OpSUB
+	OpSUBU
+	OpMULT
+	OpMULTU
+	// Logic.
+	OpAND
+	OpANDI
+	OpOR
+	OpORI
+	OpXOR
+	OpXORI
+	OpNOR
+	// Compare.
+	OpSLT
+	OpSLTI
+	OpSLTU
+	OpSLTIU
+	// Shift.
+	OpSLL
+	OpSLLV
+	OpSRL
+	OpSRLV
+	OpSRA
+	OpSRAV
+	// Constant load (upper immediate).
+	OpLUI
+	// Memory.
+	OpLW
+	OpLB
+	OpLBU
+	OpSW
+	OpSB
+	// Control flow.
+	OpBEQ
+	OpBNE
+	OpBLEZ
+	OpBGTZ
+	OpBLTZ
+	OpBGEZ
+	OpJ
+	// HI/LO moves (multiply results).
+	OpMFHI
+	OpMFLO
+	// Program end.
+	OpHALT
+
+	numOpcodes int = iota
+)
+
+// NumOpcodes is the number of defined opcodes.
+const NumOpcodes = numOpcodes
+
+var opNames = [...]string{
+	OpADD: "add", OpADDI: "addi", OpADDU: "addu", OpADDIU: "addiu",
+	OpSUB: "sub", OpSUBU: "subu", OpMULT: "mult", OpMULTU: "multu",
+	OpAND: "and", OpANDI: "andi", OpOR: "or", OpORI: "ori",
+	OpXOR: "xor", OpXORI: "xori", OpNOR: "nor",
+	OpSLT: "slt", OpSLTI: "slti", OpSLTU: "sltu", OpSLTIU: "sltiu",
+	OpSLL: "sll", OpSLLV: "sllv", OpSRL: "srl", OpSRLV: "srlv",
+	OpSRA: "sra", OpSRAV: "srav",
+	OpLUI: "lui",
+	OpLW:  "lw", OpLB: "lb", OpLBU: "lbu", OpSW: "sw", OpSB: "sb",
+	OpBEQ: "beq", OpBNE: "bne", OpBLEZ: "blez", OpBGTZ: "bgtz",
+	OpBLTZ: "bltz", OpBGEZ: "bgez", OpJ: "j",
+	OpMFHI: "mfhi", OpMFLO: "mflo",
+	OpHALT: "halt",
+}
+
+// String returns the assembly mnemonic of the opcode.
+func (op Opcode) String() string {
+	if op < 0 || int(op) >= len(opNames) {
+		return fmt.Sprintf("op(%d)", int(op))
+	}
+	return opNames[op]
+}
+
+// Class groups opcodes by the functional unit that executes them in the
+// processor core.
+type Class int
+
+// Functional-unit classes.
+const (
+	ClassALU Class = iota // arithmetic, logic, compares, lui
+	ClassShift
+	ClassMult
+	ClassMem
+	ClassBranch
+	ClassMove // mfhi/mflo
+	ClassHalt
+	NumClasses int = iota
+)
+
+var classNames = [...]string{
+	ClassALU: "alu", ClassShift: "shift", ClassMult: "mult",
+	ClassMem: "mem", ClassBranch: "branch", ClassMove: "move", ClassHalt: "halt",
+}
+
+// String returns the class name.
+func (c Class) String() string {
+	if c < 0 || int(c) >= len(classNames) {
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+	return classNames[c]
+}
+
+// ClassOf returns the functional-unit class of an opcode.
+func ClassOf(op Opcode) Class {
+	switch op {
+	case OpADD, OpADDI, OpADDU, OpADDIU, OpSUB, OpSUBU,
+		OpAND, OpANDI, OpOR, OpORI, OpXOR, OpXORI, OpNOR,
+		OpSLT, OpSLTI, OpSLTU, OpSLTIU, OpLUI:
+		return ClassALU
+	case OpSLL, OpSLLV, OpSRL, OpSRLV, OpSRA, OpSRAV:
+		return ClassShift
+	case OpMULT, OpMULTU:
+		return ClassMult
+	case OpLW, OpLB, OpLBU, OpSW, OpSB:
+		return ClassMem
+	case OpBEQ, OpBNE, OpBLEZ, OpBGTZ, OpBLTZ, OpBGEZ, OpJ:
+		return ClassBranch
+	case OpMFHI, OpMFLO:
+		return ClassMove
+	case OpHALT:
+		return ClassHalt
+	}
+	panic(fmt.Sprintf("isa: unknown opcode %d", int(op)))
+}
+
+// HasImmediate reports whether the opcode takes an immediate operand instead
+// of a second source register.
+func HasImmediate(op Opcode) bool {
+	switch op {
+	case OpADDI, OpADDIU, OpANDI, OpORI, OpXORI,
+		OpSLTI, OpSLTIU, OpSLL, OpSRL, OpSRA, OpLUI:
+		return true
+	}
+	return false
+}
+
+// IsBranch reports whether the opcode may redirect control flow.
+func IsBranch(op Opcode) bool {
+	return ClassOf(op) == ClassBranch || op == OpHALT
+}
+
+// IsStore reports whether the opcode writes memory.
+func IsStore(op Opcode) bool { return op == OpSW || op == OpSB }
+
+// IsLoad reports whether the opcode reads memory.
+func IsLoad(op Opcode) bool { return op == OpLW || op == OpLB || op == OpLBU }
+
+// WritesRegister reports whether the opcode produces a general-register
+// result. mult/multu write HI/LO rather than a general register, but for
+// dataflow purposes they produce a value consumed by mfhi/mflo, so they are
+// treated as writers here.
+func WritesRegister(op Opcode) bool {
+	switch {
+	case IsStore(op), IsBranch(op):
+		return false
+	}
+	return true
+}
+
+// ISEEligible reports whether the opcode may be packed into an instruction
+// set extension. Loads, stores, branches, jumps, HI/LO moves and halt are
+// excluded; everything with a Table 5.1.1 hardware option is eligible.
+func ISEEligible(op Opcode) bool {
+	return len(HardwareOptions(op)) > 0
+}

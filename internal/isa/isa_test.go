@@ -1,0 +1,192 @@
+package isa
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOpcodeStrings(t *testing.T) {
+	cases := map[Opcode]string{
+		OpADD: "add", OpSRLV: "srlv", OpLW: "lw", OpBNE: "bne",
+		OpMFHI: "mfhi", OpHALT: "halt", OpSLTIU: "sltiu",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(op), got, want)
+		}
+	}
+	if got := Opcode(-1).String(); got != "op(-1)" {
+		t.Errorf("invalid opcode String = %q", got)
+	}
+}
+
+func TestEveryOpcodeHasNameAndClass(t *testing.T) {
+	for op := Opcode(0); int(op) < NumOpcodes; op++ {
+		if op.String() == "" {
+			t.Errorf("opcode %d has empty name", int(op))
+		}
+		c := ClassOf(op) // must not panic
+		if c.String() == "" {
+			t.Errorf("opcode %v has unnamed class", op)
+		}
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	cases := map[Opcode]Class{
+		OpADD: ClassALU, OpLUI: ClassALU, OpSLT: ClassALU,
+		OpSLL: ClassShift, OpSRAV: ClassShift,
+		OpMULT: ClassMult, OpMULTU: ClassMult,
+		OpLW: ClassMem, OpSB: ClassMem,
+		OpBEQ: ClassBranch, OpJ: ClassBranch,
+		OpMFHI: ClassMove, OpHALT: ClassHalt,
+	}
+	for op, want := range cases {
+		if got := ClassOf(op); got != want {
+			t.Errorf("ClassOf(%v) = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestHasImmediate(t *testing.T) {
+	imm := []Opcode{OpADDI, OpADDIU, OpANDI, OpORI, OpXORI, OpSLTI, OpSLTIU, OpSLL, OpSRL, OpSRA, OpLUI}
+	for _, op := range imm {
+		if !HasImmediate(op) {
+			t.Errorf("HasImmediate(%v) = false", op)
+		}
+	}
+	for _, op := range []Opcode{OpADD, OpSLLV, OpXOR, OpLW, OpBEQ} {
+		if HasImmediate(op) {
+			t.Errorf("HasImmediate(%v) = true", op)
+		}
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if !IsLoad(OpLW) || !IsLoad(OpLB) || !IsLoad(OpLBU) || IsLoad(OpSW) {
+		t.Error("IsLoad wrong")
+	}
+	if !IsStore(OpSW) || !IsStore(OpSB) || IsStore(OpLW) {
+		t.Error("IsStore wrong")
+	}
+	if !IsBranch(OpBEQ) || !IsBranch(OpJ) || !IsBranch(OpHALT) || IsBranch(OpADD) {
+		t.Error("IsBranch wrong")
+	}
+	if WritesRegister(OpSW) || WritesRegister(OpBNE) || !WritesRegister(OpADD) || !WritesRegister(OpLW) {
+		t.Error("WritesRegister wrong")
+	}
+}
+
+func TestISEEligibility(t *testing.T) {
+	eligible := []Opcode{OpADD, OpSUB, OpMULT, OpAND, OpOR, OpXOR, OpNOR, OpSLT, OpSLL, OpSRAV, OpXORI}
+	for _, op := range eligible {
+		if !ISEEligible(op) {
+			t.Errorf("ISEEligible(%v) = false", op)
+		}
+	}
+	// Load/store architecture constraint: memory and control ops are never
+	// packed into ISEs (paper §4.2 constraint 4).
+	ineligible := []Opcode{OpLW, OpSW, OpLB, OpSB, OpBEQ, OpJ, OpMFHI, OpMFLO, OpHALT, OpLUI}
+	for _, op := range ineligible {
+		if ISEEligible(op) {
+			t.Errorf("ISEEligible(%v) = true", op)
+		}
+	}
+}
+
+func TestHardwareOptionsMatchTable511(t *testing.T) {
+	// Spot-check the published numbers.
+	add := HardwareOptions(OpADD)
+	if len(add) != 2 {
+		t.Fatalf("add has %d hw options, want 2", len(add))
+	}
+	if add[0].DelayNS != 4.04 || add[0].AreaUM2 != 926.33 {
+		t.Errorf("add slow option = %+v", add[0])
+	}
+	if add[1].DelayNS != 2.12 || add[1].AreaUM2 != 2075.35 {
+		t.Errorf("add fast option = %+v", add[1])
+	}
+	mult := HardwareOptions(OpMULT)
+	if len(mult) != 1 || mult[0].DelayNS != 5.77 || mult[0].AreaUM2 != 84428 {
+		t.Errorf("mult option = %+v", mult)
+	}
+	sll := HardwareOptions(OpSLL)
+	if len(sll) != 1 || sll[0].DelayNS != 3.00 || sll[0].AreaUM2 != 400.00 {
+		t.Errorf("sll option = %+v", sll)
+	}
+}
+
+func TestHardwareOptionsAllSubCycle(t *testing.T) {
+	// Every single hardware cell must fit within one 10 ns cycle, otherwise
+	// the pipestage timing constraint could never be met by any grouping.
+	for op := Opcode(0); int(op) < NumOpcodes; op++ {
+		for _, o := range HardwareOptions(op) {
+			if o.DelayNS <= 0 || o.DelayNS >= CycleNS {
+				t.Errorf("%v option %q delay %.2f outside (0, %.0f)", op, o.Name, o.DelayNS, CycleNS)
+			}
+			if o.AreaUM2 <= 0 {
+				t.Errorf("%v option %q has non-positive area", op, o.Name)
+			}
+		}
+	}
+}
+
+func TestFasterHardwareCostsMoreArea(t *testing.T) {
+	// Within an opcode, options must trade delay against area monotonically;
+	// a dominated option (slower and larger) would never be selected and
+	// signals a data-entry mistake.
+	for op := Opcode(0); int(op) < NumOpcodes; op++ {
+		opts := HardwareOptions(op)
+		for i := 1; i < len(opts); i++ {
+			if opts[i].DelayNS < opts[i-1].DelayNS && opts[i].AreaUM2 <= opts[i-1].AreaUM2 {
+				t.Errorf("%v: option %d dominates option %d", op, i, i-1)
+			}
+			if opts[i].DelayNS > opts[i-1].DelayNS && opts[i].AreaUM2 >= opts[i-1].AreaUM2 {
+				t.Errorf("%v: option %d dominated by option %d", op, i, i-1)
+			}
+		}
+	}
+}
+
+func TestSoftwareOptionsSingleCycle(t *testing.T) {
+	for op := Opcode(0); int(op) < NumOpcodes; op++ {
+		opts := SoftwareOptions(op)
+		if len(opts) != 1 {
+			t.Fatalf("%v: %d sw options, want 1", op, len(opts))
+		}
+		if opts[0].Cycles != 1 {
+			t.Errorf("%v: sw latency %d, want 1", op, opts[0].Cycles)
+		}
+		if opts[0].Class != ClassOf(op) {
+			t.Errorf("%v: sw class %v, want %v", op, opts[0].Class, ClassOf(op))
+		}
+	}
+}
+
+func TestTable511Consistency(t *testing.T) {
+	// Every row of the printed table must be present among the per-opcode
+	// hardware options, and vice versa: total option count must match.
+	rows := Table511()
+	if len(rows) != 14 {
+		t.Fatalf("Table511 has %d rows, want 14", len(rows))
+	}
+	for _, row := range rows {
+		for _, op := range row.Ops {
+			found := false
+			for _, o := range HardwareOptions(op) {
+				if o.DelayNS == row.DelayNS && o.AreaUM2 == row.AreaUM2 {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("table row (%.2f ns, %.2f µm²) missing from HardwareOptions(%v)", row.DelayNS, row.AreaUM2, op)
+			}
+		}
+	}
+}
+
+func TestCycleBudget(t *testing.T) {
+	if math.Abs(CycleNS-10.0) > 1e-12 {
+		t.Fatalf("CycleNS = %v, want 10 (100 MHz core)", CycleNS)
+	}
+}

@@ -1,0 +1,93 @@
+// Package machine models the multiple-issue in-order processor of the
+// paper's evaluation: issue width, register-file read/write ports, the
+// functional-unit inventory of the core, and the ASFU slot that executes
+// instruction-set extensions.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Config describes one processor configuration.
+type Config struct {
+	Name       string
+	IssueWidth int
+	ReadPorts  int // register-file read ports per cycle
+	WritePorts int // register-file write ports per cycle
+	// FUs[c] is how many functional units of class c the core has.
+	FUs [isa.NumClasses]int
+	// ASFUs is how many ISE instructions may be in flight concurrently.
+	ASFUs int
+}
+
+// New returns a configuration in the paper's style: every simple-FU class is
+// replicated per issue slot, while the multiplier and the memory port are
+// single, and one ASFU executes ISEs.
+func New(issueWidth, readPorts, writePorts int) Config {
+	c := Config{
+		Name:       fmt.Sprintf("%d-issue %d/%d", issueWidth, readPorts, writePorts),
+		IssueWidth: issueWidth,
+		ReadPorts:  readPorts,
+		WritePorts: writePorts,
+		ASFUs:      1,
+	}
+	c.FUs[isa.ClassALU] = issueWidth
+	c.FUs[isa.ClassShift] = issueWidth
+	c.FUs[isa.ClassMult] = 1
+	c.FUs[isa.ClassMem] = 1
+	c.FUs[isa.ClassBranch] = 1
+	c.FUs[isa.ClassMove] = issueWidth
+	c.FUs[isa.ClassHalt] = 1
+	return c
+}
+
+// Validate checks the configuration for usability.
+func (c Config) Validate() error {
+	if c.IssueWidth < 1 {
+		return fmt.Errorf("machine %s: issue width %d < 1", c.Name, c.IssueWidth)
+	}
+	if c.ReadPorts < 2 || c.WritePorts < 1 {
+		return fmt.Errorf("machine %s: ports %d/%d cannot feed one 2-source instruction",
+			c.Name, c.ReadPorts, c.WritePorts)
+	}
+	for cl, n := range c.FUs {
+		if n < 1 {
+			return fmt.Errorf("machine %s: no functional unit of class %v", c.Name, isa.Class(cl))
+		}
+	}
+	if c.ASFUs < 0 {
+		return fmt.Errorf("machine %s: negative ASFU count", c.Name)
+	}
+	return nil
+}
+
+// Configs returns the six evaluation configurations of §5.1: 2-issue with
+// 4/2 and 6/3 ports, 3-issue with 6/3 and 8/4, and 4-issue with 8/4 and
+// 10/5.
+func Configs() []Config {
+	return []Config{
+		New(2, 4, 2),
+		New(2, 6, 3),
+		New(3, 6, 3),
+		New(3, 8, 4),
+		New(4, 8, 4),
+		New(4, 10, 5),
+	}
+}
+
+// SingleIssue returns the 1-issue reference machine used to model the
+// single-issue baseline environment (register ports sized for one
+// instruction per cycle plus an ISE).
+func SingleIssue() Config {
+	return New(1, 4, 2)
+}
+
+// WithASFUs returns a copy of the configuration with n application-specific
+// functional units, allowing that many ISE instructions in flight at once.
+func (c Config) WithASFUs(n int) Config {
+	c.ASFUs = n
+	c.Name = fmt.Sprintf("%s %dASFU", c.Name, n)
+	return c
+}

@@ -1,0 +1,90 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestConfigsMatchPaper(t *testing.T) {
+	want := []struct {
+		iw, r, w int
+	}{
+		{2, 4, 2}, {2, 6, 3}, {3, 6, 3}, {3, 8, 4}, {4, 8, 4}, {4, 10, 5},
+	}
+	cfgs := Configs()
+	if len(cfgs) != len(want) {
+		t.Fatalf("got %d configs, want %d", len(cfgs), len(want))
+	}
+	for i, c := range cfgs {
+		if c.IssueWidth != want[i].iw || c.ReadPorts != want[i].r || c.WritePorts != want[i].w {
+			t.Errorf("config %d = %d-issue %d/%d, want %d-issue %d/%d",
+				i, c.IssueWidth, c.ReadPorts, c.WritePorts, want[i].iw, want[i].r, want[i].w)
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("config %s invalid: %v", c.Name, err)
+		}
+	}
+}
+
+func TestNewFUInventory(t *testing.T) {
+	c := New(3, 6, 3)
+	if c.FUs[isa.ClassALU] != 3 || c.FUs[isa.ClassShift] != 3 {
+		t.Error("simple FUs not replicated per issue slot")
+	}
+	if c.FUs[isa.ClassMult] != 1 || c.FUs[isa.ClassMem] != 1 || c.FUs[isa.ClassBranch] != 1 {
+		t.Error("mult/mem/branch must be single units")
+	}
+	if c.ASFUs != 1 {
+		t.Errorf("ASFUs = %d, want 1", c.ASFUs)
+	}
+	if c.Name != "3-issue 6/3" {
+		t.Errorf("Name = %q", c.Name)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := New(2, 4, 2)
+	bad.IssueWidth = 0
+	if bad.Validate() == nil {
+		t.Error("zero issue width accepted")
+	}
+	bad = New(2, 4, 2)
+	bad.ReadPorts = 1
+	if bad.Validate() == nil {
+		t.Error("1 read port accepted")
+	}
+	bad = New(2, 4, 2)
+	bad.FUs[isa.ClassMem] = 0
+	if bad.Validate() == nil {
+		t.Error("missing mem unit accepted")
+	}
+	bad = New(2, 4, 2)
+	bad.ASFUs = -1
+	if bad.Validate() == nil {
+		t.Error("negative ASFUs accepted")
+	}
+}
+
+func TestSingleIssue(t *testing.T) {
+	c := SingleIssue()
+	if c.IssueWidth != 1 {
+		t.Fatalf("IssueWidth = %d", c.IssueWidth)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithASFUs(t *testing.T) {
+	c := New(2, 6, 3).WithASFUs(2)
+	if c.ASFUs != 2 {
+		t.Fatalf("ASFUs = %d", c.ASFUs)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "2-issue 6/3 2ASFU" {
+		t.Fatalf("Name = %q", c.Name)
+	}
+}

@@ -1,0 +1,199 @@
+// Package match implements labeled subgraph isomorphism over dataflow
+// graphs. Both ISE merging (is candidate B a subgraph of candidate A?) and
+// ISE replacement (where else in the program does a selected ISE's pattern
+// occur?) reduce to this search. Patterns are node subsets of a DFG labeled
+// by opcode; a match is an injective mapping preserving labels and inducing
+// exactly the pattern's internal dataflow edges.
+package match
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dfg"
+	"repro/internal/graph"
+)
+
+// Mapping maps pattern node IDs to target node IDs.
+type Mapping map[int]int
+
+// DefaultLimit bounds the number of search states explored per Find call;
+// pathological patterns give up rather than stall the flow.
+const DefaultLimit = 200000
+
+// Find returns up to maxMatches injective mappings of the pattern subset
+// pNodes of pd onto nodes of td such that opcodes agree and the induced
+// dataflow edges are identical. Candidate target nodes are restricted to
+// ISE-eligible operations. maxMatches <= 0 means unlimited.
+func Find(pd *dfg.DFG, pNodes graph.NodeSet, td *dfg.DFG, maxMatches int) []Mapping {
+	pids := pNodes.Values()
+	if len(pids) == 0 {
+		return nil
+	}
+	// Candidate lists per pattern node, by opcode.
+	cands := make(map[int][]int, len(pids))
+	for _, p := range pids {
+		op := pd.Nodes[p].Instr.Op
+		var cs []int
+		for t := 0; t < td.Len(); t++ {
+			if td.Nodes[t].Instr.Op == op && td.Nodes[t].ISEEligible() {
+				cs = append(cs, t)
+			}
+		}
+		if len(cs) == 0 {
+			return nil
+		}
+		cands[p] = cs
+	}
+	// Order pattern nodes most-constrained first: fewest candidates, then
+	// most internal adjacency.
+	order := append([]int(nil), pids...)
+	adj := func(p int) int {
+		n := 0
+		for _, q := range pd.Data.Succs(p) {
+			if pNodes.Contains(q) {
+				n++
+			}
+		}
+		for _, q := range pd.Data.Preds(p) {
+			if pNodes.Contains(q) {
+				n++
+			}
+		}
+		return n
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if len(cands[a]) != len(cands[b]) {
+			return len(cands[a]) < len(cands[b])
+		}
+		if adj(a) != adj(b) {
+			return adj(a) > adj(b)
+		}
+		return a < b
+	})
+
+	s := &searcher{
+		pd: pd, td: td, pNodes: pNodes,
+		order: order, cands: cands,
+		mapping: Mapping{}, usedT: map[int]bool{},
+		max: maxMatches, budget: DefaultLimit,
+	}
+	s.search(0)
+	return s.found
+}
+
+type searcher struct {
+	pd, td  *dfg.DFG
+	pNodes  graph.NodeSet
+	order   []int
+	cands   map[int][]int
+	mapping Mapping
+	usedT   map[int]bool
+	found   []Mapping
+	max     int
+	budget  int
+}
+
+func (s *searcher) search(depth int) bool {
+	if s.budget <= 0 {
+		return true // out of budget: stop the whole search
+	}
+	s.budget--
+	if depth == len(s.order) {
+		m := make(Mapping, len(s.mapping))
+		for k, v := range s.mapping {
+			m[k] = v
+		}
+		s.found = append(s.found, m)
+		return s.max > 0 && len(s.found) >= s.max
+	}
+	p := s.order[depth]
+	for _, t := range s.cands[p] {
+		if s.usedT[t] || !s.consistent(p, t) {
+			continue
+		}
+		s.mapping[p] = t
+		s.usedT[t] = true
+		stop := s.search(depth + 1)
+		delete(s.mapping, p)
+		delete(s.usedT, t)
+		if stop {
+			return true
+		}
+	}
+	return false
+}
+
+// consistent checks that assigning pattern node p to target node t preserves
+// the induced dataflow edges against every already-mapped pattern node.
+func (s *searcher) consistent(p, t int) bool {
+	for q, u := range s.mapping {
+		pq := s.pd.Data.HasEdge(p, q)
+		qp := s.pd.Data.HasEdge(q, p)
+		tu := s.td.Data.HasEdge(t, u)
+		ut := s.td.Data.HasEdge(u, t)
+		if pq != tu || qp != ut {
+			return false
+		}
+	}
+	return true
+}
+
+// Targets returns the target node set of a mapping.
+func (m Mapping) Targets(capacity int) graph.NodeSet {
+	s := graph.NewNodeSet(capacity)
+	for _, t := range m {
+		s.Add(t)
+	}
+	return s
+}
+
+// Overlaps reports whether the mapping's targets intersect the given set.
+func (m Mapping) Overlaps(s graph.NodeSet) bool {
+	for _, t := range m {
+		if s.Contains(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// Canonical returns a structural fingerprint of the pattern subset: opcodes
+// plus iterated neighborhood refinement (Weisfeiler-Leman style, 3 rounds,
+// restricted to internal dataflow edges), sorted. Two ISE datapaths with
+// equal fingerprints are treated as identical hardware for sharing purposes.
+func Canonical(d *dfg.DFG, nodes graph.NodeSet) string {
+	ids := nodes.Values()
+	label := make(map[int]string, len(ids))
+	for _, v := range ids {
+		label[v] = d.Nodes[v].Instr.Op.String()
+	}
+	for round := 0; round < 3; round++ {
+		next := make(map[int]string, len(ids))
+		for _, v := range ids {
+			var ins, outs []string
+			for _, p := range d.Data.Preds(v) {
+				if nodes.Contains(p) {
+					ins = append(ins, label[p])
+				}
+			}
+			for _, q := range d.Data.Succs(v) {
+				if nodes.Contains(q) {
+					outs = append(outs, label[q])
+				}
+			}
+			sort.Strings(ins)
+			sort.Strings(outs)
+			next[v] = fmt.Sprintf("%s(%s|%s)", label[v], strings.Join(ins, ","), strings.Join(outs, ","))
+		}
+		label = next
+	}
+	all := make([]string, 0, len(ids))
+	for _, v := range ids {
+		all = append(all, label[v])
+	}
+	sort.Strings(all)
+	return strings.Join(all, ";")
+}

@@ -1,0 +1,154 @@
+package merging
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dfg"
+	"repro/internal/graph"
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+func blockDFG(t *testing.T, emit func(b *prog.Builder)) *dfg.DFG {
+	t.Helper()
+	b := prog.NewBuilder("t")
+	emit(b)
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv := prog.ComputeLiveness(p)
+	return dfg.Build(p, 0, 1, lv.LiveOut[0])
+}
+
+// candOf builds a candidate from node IDs with first-option hardware.
+func candOf(d *dfg.DFG, gain float64, ids ...int) *Candidate {
+	s := graph.NodeSetOf(d.Len(), ids...)
+	return &Candidate{ISE: core.NewISE(d, s, map[int]int{}), DFG: d, Gain: gain}
+}
+
+func TestMergeIdenticalStructuresShare(t *testing.T) {
+	d := blockDFG(t, func(b *prog.Builder) {
+		b.R(isa.OpAND, prog.T0, prog.A0, prog.A1)
+		b.R(isa.OpXOR, prog.T1, prog.T0, prog.A0)
+		b.R(isa.OpAND, prog.T2, prog.A2, prog.A3)
+		b.R(isa.OpXOR, prog.T3, prog.T2, prog.A2)
+	})
+	a := candOf(d, 10, 0, 1)
+	b := candOf(d, 5, 2, 3)
+	groups := Merge([]*Candidate{a, b})
+	if len(groups) != 1 {
+		t.Fatalf("got %d groups, want 1 shared", len(groups))
+	}
+	if len(groups[0].Members) != 2 {
+		t.Fatalf("group members = %d", len(groups[0].Members))
+	}
+	if groups[0].AreaUM2 != a.ISE.AreaUM2 {
+		t.Errorf("group area %v, want representative's %v", groups[0].AreaUM2, a.ISE.AreaUM2)
+	}
+}
+
+func TestMergeSubgraphIntoLarger(t *testing.T) {
+	d := blockDFG(t, func(b *prog.Builder) {
+		// Large: and -> xor -> or chain.
+		b.R(isa.OpAND, prog.T0, prog.A0, prog.A1)
+		b.R(isa.OpXOR, prog.T1, prog.T0, prog.A0)
+		b.R(isa.OpOR, prog.T2, prog.T1, prog.A1)
+		// Small: and -> xor only (a subgraph of the large pattern).
+		b.R(isa.OpAND, prog.T3, prog.A2, prog.A3)
+		b.R(isa.OpXOR, prog.T4, prog.T3, prog.A2)
+	})
+	large := candOf(d, 10, 0, 1, 2)
+	small := candOf(d, 4, 3, 4)
+	groups := Merge([]*Candidate{large, small})
+	if len(groups) != 1 {
+		t.Fatalf("got %d groups, want subgraph merged into 1", len(groups))
+	}
+	if groups[0].Members[0] != large {
+		t.Error("representative is not the larger candidate")
+	}
+	if groups[0].AreaUM2 != large.ISE.AreaUM2 {
+		t.Errorf("area %v, want %v", groups[0].AreaUM2, large.ISE.AreaUM2)
+	}
+}
+
+func TestMergeKeepsDistinctStructures(t *testing.T) {
+	d := blockDFG(t, func(b *prog.Builder) {
+		b.R(isa.OpAND, prog.T0, prog.A0, prog.A1)
+		b.R(isa.OpXOR, prog.T1, prog.T0, prog.A0)
+		b.Mult(isa.OpMULT, prog.A2, prog.A3)
+		b.MoveFrom(isa.OpMFLO, prog.T2)
+		b.R(isa.OpADD, prog.T3, prog.T2, prog.A2)
+		b.R(isa.OpSUB, prog.T4, prog.T3, prog.A3)
+	})
+	a := candOf(d, 10, 0, 1) // and->xor
+	b := candOf(d, 8, 4, 5)  // add->sub
+	groups := Merge([]*Candidate{a, b})
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups, want 2 distinct", len(groups))
+	}
+}
+
+func TestSubgraphOfLatencyCondition(t *testing.T) {
+	// A one-op pattern embeds structurally, but merging must honour the
+	// latency condition: B.Cycles >= matched sub-datapath cycles. Single
+	// cells are all sub-cycle, so the condition holds and merge is allowed.
+	d := blockDFG(t, func(b *prog.Builder) {
+		b.R(isa.OpAND, prog.T0, prog.A0, prog.A1)
+		b.R(isa.OpXOR, prog.T1, prog.T0, prog.A0)
+		b.R(isa.OpAND, prog.T2, prog.A2, prog.A3)
+		b.R(isa.OpXOR, prog.T3, prog.T2, prog.A2)
+	})
+	big := candOf(d, 10, 0, 1)
+	sub := candOf(d, 3, 2) // single and
+	if !SubgraphOf(sub, big) {
+		t.Error("single-op subgraph not recognized")
+	}
+	if SubgraphOf(big, sub) {
+		t.Error("larger pattern claimed inside smaller")
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	if got := Merge(nil); len(got) != 0 {
+		t.Fatalf("Merge(nil) = %v", got)
+	}
+}
+
+func TestMergeSharesAcrossDFGs(t *testing.T) {
+	// Identical structures explored in two different blocks share one ASFU.
+	mk := func() *dfg.DFG {
+		return blockDFG(t, func(b *prog.Builder) {
+			b.R(isa.OpAND, prog.T0, prog.A0, prog.A1)
+			b.R(isa.OpXOR, prog.T1, prog.T0, prog.A0)
+		})
+	}
+	d1, d2 := mk(), mk()
+	a := candOf(d1, 10, 0, 1)
+	b := &Candidate{ISE: core.NewISE(d2, graph.NodeSetOf(d2.Len(), 0, 1), map[int]int{}), DFG: d2, Gain: 4}
+	groups := Merge([]*Candidate{a, b})
+	if len(groups) != 1 {
+		t.Fatalf("cross-DFG identical structures not shared: %d groups", len(groups))
+	}
+	if len(groups[0].Members) != 2 {
+		t.Fatalf("members = %d", len(groups[0].Members))
+	}
+}
+
+func TestMatchesMemoized(t *testing.T) {
+	d := blockDFG(t, func(b *prog.Builder) {
+		b.R(isa.OpAND, prog.T0, prog.A0, prog.A1)
+		b.R(isa.OpXOR, prog.T1, prog.T0, prog.A0)
+	})
+	c := candOf(d, 1, 0, 1)
+	m1 := c.Matches(d, 8)
+	m2 := c.Matches(d, 8)
+	if len(m1) != len(m2) {
+		t.Fatal("memoized result differs")
+	}
+	if len(m1) == 0 {
+		t.Fatal("no matches")
+	}
+}

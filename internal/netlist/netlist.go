@@ -1,0 +1,306 @@
+// Package netlist lowers an explored ISE to a structural datapath netlist:
+// one cell per member operation, wires for internal dataflow, module ports
+// for the IN(S) operand reads and OUT(S) result writes. The netlist can be
+// rendered as synthesizable-style Verilog (the form the paper's Table 5.1.1
+// cells were synthesized from) and evaluated in Go, which lets the test
+// suite prove the hardware datapath computes exactly what the replaced
+// instruction sequence computed.
+package netlist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dfg"
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// Port is a module input or output.
+type Port struct {
+	Name string
+	// Width is 32 for register values, 64 for a HI:LO product output.
+	Width int
+	// Node is the producing member for outputs; -1 for inputs.
+	Node int
+}
+
+// Cell is one datapath element.
+type Cell struct {
+	Node    int        // DFG node ID
+	Op      isa.Opcode // function
+	Variant string     // chosen hardware option name
+	A, B    string     // input wire names ("" when the operand is an immediate)
+	Imm     int32
+	HasImm  bool
+	Out     string // output wire name
+	Width   int    // 64 for mult, else 32
+}
+
+// Module is a structural ISE datapath.
+type Module struct {
+	Name    string
+	Inputs  []Port
+	Outputs []Port
+	Cells   []Cell // in topological order
+
+	// inputOf maps each (member node, operand index) consuming an external
+	// value to the input port name.
+	inputOf map[[2]int]string
+}
+
+// FromISE builds the netlist of e within d. The module's input ports are the
+// distinct external values IN(S) counts; outputs are the escaping member
+// results OUT(S) counts.
+func FromISE(d *dfg.DFG, e *core.ISE, name string) (*Module, error) {
+	if e.Size() == 0 {
+		return nil, fmt.Errorf("netlist: empty ISE")
+	}
+	m := &Module{Name: sanitize(name), inputOf: map[[2]int]string{}}
+
+	// Distinct external sources -> input ports.
+	type srcKey struct {
+		producer int
+		reg      prog.Reg
+	}
+	inName := map[srcKey]string{}
+	members := e.Nodes.Values()
+	for _, v := range members {
+		for oi, src := range d.Nodes[v].Inputs {
+			if src.Producer >= 0 && e.Nodes.Contains(src.Producer) {
+				continue
+			}
+			k := srcKey{src.Producer, src.Reg}
+			if src.Producer >= 0 {
+				k.reg = 0
+			}
+			pn, ok := inName[k]
+			if !ok {
+				if src.Producer >= 0 {
+					pn = fmt.Sprintf("in_n%d", src.Producer)
+				} else {
+					pn = "in_" + sanitize(src.Reg.String())
+				}
+				inName[k] = pn
+				m.Inputs = append(m.Inputs, Port{Name: pn, Width: 32, Node: -1})
+			}
+			m.inputOf[[2]int{v, oi}] = pn
+		}
+	}
+	sort.Slice(m.Inputs, func(i, j int) bool { return m.Inputs[i].Name < m.Inputs[j].Name })
+
+	// Cells in topological (= ID) order; wire per member output.
+	wire := func(v int) string { return fmt.Sprintf("w_n%d", v) }
+	for _, v := range members {
+		node := d.Nodes[v]
+		opt := node.HW[e.Option[v]]
+		c := Cell{
+			Node:    v,
+			Op:      node.Instr.Op,
+			Variant: opt.Name,
+			Imm:     node.Instr.Imm,
+			HasImm:  isa.HasImmediate(node.Instr.Op),
+			Out:     wire(v),
+			Width:   32,
+		}
+		if node.Instr.Op == isa.OpMULT || node.Instr.Op == isa.OpMULTU {
+			c.Width = 64
+		}
+		// Wire operands in the instruction's architectural order. Reads of
+		// $zero are constant wires; node.Inputs (which skips $zero) is
+		// consumed in step with the remaining uses.
+		var operands []string
+		ii := 0
+		for _, r := range node.Instr.Uses() {
+			if r == prog.Zero {
+				operands = append(operands, "")
+				continue
+			}
+			src := node.Inputs[ii]
+			if src.Producer >= 0 && e.Nodes.Contains(src.Producer) {
+				operands = append(operands, wire(src.Producer))
+			} else {
+				pn, ok := m.inputOf[[2]int{v, ii}]
+				if !ok {
+					return nil, fmt.Errorf("netlist: node %d operand %d unmapped", v, ii)
+				}
+				operands = append(operands, pn)
+			}
+			ii++
+		}
+		if len(operands) > 0 {
+			c.A = operands[0]
+		}
+		if len(operands) > 1 {
+			c.B = operands[1]
+		}
+		m.Cells = append(m.Cells, c)
+	}
+
+	// Outputs: escaping members.
+	for _, v := range members {
+		n := d.Nodes[v]
+		escapes := n.LiveOut
+		if !escapes {
+			for _, s := range n.DataSuccs {
+				if !e.Nodes.Contains(s) {
+					escapes = true
+					break
+				}
+			}
+		}
+		if !escapes {
+			continue
+		}
+		w := 32
+		if n.Instr.Op == isa.OpMULT || n.Instr.Op == isa.OpMULTU {
+			w = 64
+		}
+		m.Outputs = append(m.Outputs, Port{Name: fmt.Sprintf("out_n%d", v), Width: w, Node: v})
+	}
+	return m, nil
+}
+
+// Eval computes the module outputs from input port values (32-bit each).
+// It is the functional model of the ASFU datapath.
+func (m *Module) Eval(inputs map[string]uint32) (map[string]uint64, error) {
+	val := map[string]uint64{}
+	for _, p := range m.Inputs {
+		v, ok := inputs[p.Name]
+		if !ok {
+			return nil, fmt.Errorf("netlist: missing input %s", p.Name)
+		}
+		val[p.Name] = uint64(v)
+	}
+	get := func(w string) uint32 {
+		if w == "" {
+			return 0 // $zero-sourced operand
+		}
+		return uint32(val[w])
+	}
+	for _, c := range m.Cells {
+		out, err := isa.Compute(c.Op, get(c.A), get(c.B), c.Imm)
+		if err != nil {
+			return nil, fmt.Errorf("netlist: cell n%d: %w", c.Node, err)
+		}
+		val[c.Out] = out
+	}
+	outs := map[string]uint64{}
+	for _, p := range m.Outputs {
+		outs[p.Name] = val[fmt.Sprintf("w_n%d", p.Node)]
+	}
+	return outs, nil
+}
+
+// Verilog renders the module as structural/dataflow Verilog.
+func (m *Module) Verilog() string {
+	var sb strings.Builder
+	var ports []string
+	for _, p := range m.Inputs {
+		ports = append(ports, p.Name)
+	}
+	for _, p := range m.Outputs {
+		ports = append(ports, p.Name)
+	}
+	fmt.Fprintf(&sb, "// ASFU datapath generated from ISE exploration\n")
+	fmt.Fprintf(&sb, "module %s(%s);\n", m.Name, strings.Join(ports, ", "))
+	for _, p := range m.Inputs {
+		fmt.Fprintf(&sb, "  input  [%d:0] %s;\n", p.Width-1, p.Name)
+	}
+	for _, p := range m.Outputs {
+		fmt.Fprintf(&sb, "  output [%d:0] %s;\n", p.Width-1, p.Name)
+	}
+	for _, c := range m.Cells {
+		fmt.Fprintf(&sb, "  wire   [%d:0] %s; // %s (%s)\n", c.Width-1, c.Out, c.Op, c.Variant)
+	}
+	sb.WriteString("\n")
+	for _, c := range m.Cells {
+		fmt.Fprintf(&sb, "  assign %s = %s;\n", c.Out, c.expr())
+	}
+	for _, p := range m.Outputs {
+		fmt.Fprintf(&sb, "  assign %s = w_n%d;\n", p.Name, p.Node)
+	}
+	sb.WriteString("endmodule\n")
+	return sb.String()
+}
+
+// expr renders the cell's dataflow expression.
+func (c *Cell) expr() string {
+	a := c.A
+	if a == "" {
+		a = "32'd0"
+	}
+	b := c.B
+	if b == "" {
+		b = "32'd0"
+	}
+	imm := fmt.Sprintf("32'd%d", uint32(c.Imm))
+	imm16 := fmt.Sprintf("32'd%d", uint32(c.Imm)&0xffff)
+	sh := fmt.Sprintf("%d", uint32(c.Imm)&31)
+	switch c.Op {
+	case isa.OpADD, isa.OpADDU:
+		return a + " + " + b
+	case isa.OpADDI, isa.OpADDIU:
+		return a + " + " + imm
+	case isa.OpSUB, isa.OpSUBU:
+		return a + " - " + b
+	case isa.OpMULT:
+		return fmt.Sprintf("$signed(%s) * $signed(%s)", a, b)
+	case isa.OpMULTU:
+		return a + " * " + b
+	case isa.OpAND:
+		return a + " & " + b
+	case isa.OpANDI:
+		return a + " & " + imm16
+	case isa.OpOR:
+		return a + " | " + b
+	case isa.OpORI:
+		return a + " | " + imm16
+	case isa.OpXOR:
+		return a + " ^ " + b
+	case isa.OpXORI:
+		return a + " ^ " + imm16
+	case isa.OpNOR:
+		return fmt.Sprintf("~(%s | %s)", a, b)
+	case isa.OpSLT:
+		return fmt.Sprintf("$signed(%s) < $signed(%s)", a, b)
+	case isa.OpSLTI:
+		return fmt.Sprintf("$signed(%s) < $signed(%s)", a, imm)
+	case isa.OpSLTU:
+		return a + " < " + b
+	case isa.OpSLTIU:
+		return a + " < " + imm
+	case isa.OpSLL:
+		return a + " << " + sh
+	case isa.OpSLLV:
+		return fmt.Sprintf("%s << %s[4:0]", a, b)
+	case isa.OpSRL:
+		return a + " >> " + sh
+	case isa.OpSRLV:
+		return fmt.Sprintf("%s >> %s[4:0]", a, b)
+	case isa.OpSRA:
+		return fmt.Sprintf("$signed(%s) >>> %s", a, sh)
+	case isa.OpSRAV:
+		return fmt.Sprintf("$signed(%s) >>> %s[4:0]", a, b)
+	}
+	return "/* unsupported */ 32'dx"
+}
+
+func sanitize(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	out := sb.String()
+	if out == "" || (out[0] >= '0' && out[0] <= '9') {
+		out = "m_" + out
+	}
+	return out
+}

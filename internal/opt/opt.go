@@ -1,0 +1,239 @@
+// Package opt is a small machine-level optimizer over PISA programs: copy
+// propagation and dead-code elimination. The benchmark kernels are written
+// by hand in both -O0 and -O3 shapes, but user-supplied kernels (prog.Parse,
+// iseexplore -file) often carry redundant moves and dead definitions that
+// would pollute dataflow graphs and inflate ISE candidates; one Optimize
+// pass cleans them up.
+//
+// Every transformation is observable-preserving in the strictest sense: the
+// final register file, the HI:LO register and all of memory are bit-for-bit
+// identical to the unoptimized program's (halt is treated as using every
+// register), which the property tests verify by running both programs on
+// the interpreter.
+package opt
+
+import (
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// Optimize applies copy propagation then dead-code elimination until a fixed
+// point, returning a new program. The input program is not modified.
+func Optimize(p *prog.Program) (*prog.Program, error) {
+	cur := p
+	for i := 0; i < 8; i++ { // fixed-point guard
+		next, changed, err := optimizeOnce(cur)
+		if err != nil {
+			return nil, err
+		}
+		if !changed {
+			return cur, nil
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+func optimizeOnce(p *prog.Program) (*prog.Program, bool, error) {
+	b := prog.NewBuilder(p.Name)
+	changed := false
+	liveOut := exitStrictLiveness(p)
+	for bi, blk := range p.Blocks {
+		if blk.Label != "" {
+			b.Label(blk.Label)
+		}
+		instrs := copyPropagate(blk.Instrs)
+		instrs, removed := eliminateDead(instrs, liveOut[bi])
+		if removed || !sameInstrs(instrs, blk.Instrs) {
+			changed = true
+		}
+		for _, in := range instrs {
+			b.Emit(in)
+		}
+	}
+	out, err := b.Build()
+	if err != nil {
+		return nil, false, err
+	}
+	return out, changed, nil
+}
+
+// isCopy reports whether the instruction is a register-to-register move and
+// returns (dst, src).
+func isCopy(in prog.Instr) (dst, src prog.Reg, ok bool) {
+	switch in.Op {
+	case isa.OpADDU, isa.OpADD, isa.OpOR, isa.OpXOR:
+		if in.Src2 == prog.Zero && in.Src1 != prog.Zero {
+			return in.Dst, in.Src1, true
+		}
+		if (in.Op == isa.OpADDU || in.Op == isa.OpADD || in.Op == isa.OpOR) &&
+			in.Src1 == prog.Zero && in.Src2 != prog.Zero {
+			return in.Dst, in.Src2, true
+		}
+	case isa.OpADDIU, isa.OpADDI, isa.OpORI, isa.OpXORI:
+		if in.Imm == 0 && in.Src1 != prog.Zero {
+			return in.Dst, in.Src1, true
+		}
+	}
+	return 0, 0, false
+}
+
+// srcFields reports which operand fields of the opcode are register
+// sources.
+func srcFields(op isa.Opcode) (s1, s2 bool) {
+	switch {
+	case op == isa.OpHALT, op == isa.OpJ, op == isa.OpLUI,
+		op == isa.OpMFHI, op == isa.OpMFLO:
+		return false, false
+	case isa.IsLoad(op):
+		return true, false
+	case isa.IsStore(op):
+		return true, true
+	case op == isa.OpBEQ, op == isa.OpBNE:
+		return true, true
+	case isa.IsBranch(op): // single-register branches
+		return true, false
+	case isa.HasImmediate(op):
+		return true, false
+	default: // R-type and mult
+		return true, true
+	}
+}
+
+// copyPropagate rewrites register sources that currently hold a copy of
+// another register. The copy instructions themselves stay (DCE removes them
+// once dead).
+func copyPropagate(instrs []prog.Instr) []prog.Instr {
+	out := make([]prog.Instr, len(instrs))
+	copyOf := map[prog.Reg]prog.Reg{} // reg -> the reg it copies
+	resolve := func(r prog.Reg) prog.Reg {
+		if s, ok := copyOf[r]; ok {
+			return s
+		}
+		return r
+	}
+	invalidate := func(r prog.Reg) {
+		delete(copyOf, r)
+		for d, s := range copyOf {
+			if s == r {
+				delete(copyOf, d)
+			}
+		}
+	}
+	for i, in := range instrs {
+		rewritten := in
+		s1, s2 := srcFields(in.Op)
+		if s1 && rewritten.Src1 != prog.Zero {
+			rewritten.Src1 = resolve(rewritten.Src1)
+		}
+		if s2 && rewritten.Src2 != prog.Zero {
+			rewritten.Src2 = resolve(rewritten.Src2)
+		}
+		out[i] = rewritten
+		if d, ok := rewritten.Defs(); ok {
+			invalidate(d)
+			if dst, src, isCp := isCopy(rewritten); isCp && dst != src && dst != prog.RegHILO && src != prog.RegHILO {
+				copyOf[dst] = src
+			}
+		}
+	}
+	return out
+}
+
+// eliminateDead removes instructions whose definition is provably
+// unobservable: not used later in the block and not in the block's live-out
+// set. Memory, control and HI:LO-writing instructions always stay.
+func eliminateDead(instrs []prog.Instr, liveOut prog.RegSet) ([]prog.Instr, bool) {
+	keep := make([]bool, len(instrs))
+	live := liveOut
+	for i := len(instrs) - 1; i >= 0; i-- {
+		in := instrs[i]
+		d, defines := in.Defs()
+		sideEffect := isa.IsStore(in.Op) || isa.IsBranch(in.Op) || d == prog.RegHILO
+		if sideEffect || !defines || live.Contains(d) {
+			keep[i] = true
+			if defines {
+				live = live.Remove(d)
+			}
+			for _, u := range in.Uses() {
+				if u != prog.Zero {
+					live = live.Add(u)
+				}
+			}
+		}
+	}
+	var out []prog.Instr
+	removed := false
+	for i, in := range instrs {
+		if keep[i] {
+			out = append(out, in)
+		} else {
+			removed = true
+		}
+	}
+	return out, removed
+}
+
+// exitStrictLiveness computes per-block live-out sets where halt uses every
+// register, so the optimizer preserves the exact final machine state.
+func exitStrictLiveness(p *prog.Program) []prog.RegSet {
+	n := len(p.Blocks)
+	liveIn := make([]prog.RegSet, n)
+	liveOut := make([]prog.RegSet, n)
+	var all prog.RegSet
+	for r := prog.Reg(0); int(r) < prog.NumRegs; r++ {
+		if r != prog.Zero {
+			all = all.Add(r)
+		}
+	}
+	use := make([]prog.RegSet, n)
+	def := make([]prog.RegSet, n)
+	isExit := make([]bool, n)
+	for i, b := range p.Blocks {
+		var u, d prog.RegSet
+		for _, in := range b.Instrs {
+			for _, r := range in.Uses() {
+				if !d.Contains(r) && r != prog.Zero {
+					u = u.Add(r)
+				}
+			}
+			if dr, ok := in.Defs(); ok {
+				d = d.Add(dr)
+			}
+			if in.Op == isa.OpHALT {
+				isExit[i] = true
+			}
+		}
+		use[i], def[i] = u, d
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			var out prog.RegSet
+			if isExit[i] {
+				out = all
+			}
+			for _, s := range p.Blocks[i].Succs {
+				out = out.Union(liveIn[s])
+			}
+			in := use[i].Union(out &^ def[i])
+			if out != liveOut[i] || in != liveIn[i] {
+				liveOut[i], liveIn[i] = out, in
+				changed = true
+			}
+		}
+	}
+	return liveOut
+}
+
+func sameInstrs(a, b []prog.Instr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,106 @@
+package prog
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// BasicBlock is a maximal straight-line instruction sequence: control enters
+// only at the first instruction and leaves only at the last.
+type BasicBlock struct {
+	Index  int    // position in Program.Blocks
+	Label  string // entry label ("" for fall-through-only blocks)
+	Instrs []Instr
+
+	// Succs are indices of possible successor blocks in program order of
+	// discovery: branch target first, then fall-through.
+	Succs []int
+}
+
+// Terminator returns the final instruction and ok=false for an empty block.
+func (b *BasicBlock) Terminator() (Instr, bool) {
+	if len(b.Instrs) == 0 {
+		return Instr{}, false
+	}
+	return b.Instrs[len(b.Instrs)-1], true
+}
+
+// Name returns a printable identifier for the block.
+func (b *BasicBlock) Name() string {
+	if b.Label != "" {
+		return b.Label
+	}
+	return fmt.Sprintf("bb%d", b.Index)
+}
+
+// Program is a complete PISA program: a list of basic blocks with CFG edges.
+// Execution starts at Blocks[0].
+type Program struct {
+	Name    string
+	Blocks  []*BasicBlock
+	byLabel map[string]int
+}
+
+// BlockByLabel returns the index of the block with the given entry label,
+// and ok=false if no such block exists.
+func (p *Program) BlockByLabel(label string) (int, bool) {
+	i, ok := p.byLabel[label]
+	return i, ok
+}
+
+// NumInstrs returns the total static instruction count.
+func (p *Program) NumInstrs() int {
+	n := 0
+	for _, b := range p.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+// Validate checks structural invariants: non-empty blocks, resolvable branch
+// targets, successor indices in range, and branches only at block ends.
+func (p *Program) Validate() error {
+	if len(p.Blocks) == 0 {
+		return fmt.Errorf("prog %s: no blocks", p.Name)
+	}
+	for _, b := range p.Blocks {
+		if len(b.Instrs) == 0 {
+			return fmt.Errorf("prog %s: block %s empty", p.Name, b.Name())
+		}
+		for i, in := range b.Instrs {
+			if isa.IsBranch(in.Op) && i != len(b.Instrs)-1 {
+				return fmt.Errorf("prog %s: block %s has branch %v mid-block", p.Name, b.Name(), in)
+			}
+			if in.Target != "" {
+				if _, ok := p.byLabel[in.Target]; !ok {
+					return fmt.Errorf("prog %s: undefined label %q", p.Name, in.Target)
+				}
+			}
+		}
+		for _, s := range b.Succs {
+			if s < 0 || s >= len(p.Blocks) {
+				return fmt.Errorf("prog %s: block %s successor %d out of range", p.Name, b.Name(), s)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the whole program as assembly text.
+func (p *Program) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# program %s\n", p.Name)
+	for _, b := range p.Blocks {
+		if b.Label != "" {
+			fmt.Fprintf(&sb, "%s:\n", b.Label)
+		} else {
+			fmt.Fprintf(&sb, "# %s\n", b.Name())
+		}
+		for _, in := range b.Instrs {
+			fmt.Fprintf(&sb, "\t%s\n", in)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,212 @@
+package prog
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Builder assembles a Program from a linear instruction stream with symbolic
+// labels, then splits it into basic blocks and resolves the control-flow
+// graph. It plays the role of the assembler in the paper's toolchain.
+type Builder struct {
+	name   string
+	instrs []Instr
+	labels map[string]int // label -> index of first instruction after it
+	errs   []error
+}
+
+// NewBuilder returns a builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, labels: make(map[string]int)}
+}
+
+// Label declares a label at the current position.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("duplicate label %q", name))
+		return
+	}
+	b.labels[name] = len(b.instrs)
+}
+
+// Emit appends a raw instruction.
+func (b *Builder) Emit(in Instr) { b.instrs = append(b.instrs, in) }
+
+// R emits a three-register instruction: op dst, src1, src2.
+func (b *Builder) R(op isa.Opcode, dst, src1, src2 Reg) {
+	b.Emit(Instr{Op: op, Dst: dst, Src1: src1, Src2: src2})
+}
+
+// I emits a register-immediate instruction: op dst, src1, imm. This covers
+// both I-type ALU ops and immediate shifts.
+func (b *Builder) I(op isa.Opcode, dst, src1 Reg, imm int32) {
+	b.Emit(Instr{Op: op, Dst: dst, Src1: src1, Imm: imm})
+}
+
+// LUI emits lui dst, imm.
+func (b *Builder) LUI(dst Reg, imm int32) {
+	b.Emit(Instr{Op: isa.OpLUI, Dst: dst, Imm: imm})
+}
+
+// LI emits the canonical two-instruction 32-bit constant load
+// (lui + ori) or a single ori when the constant fits in 16 bits unsigned.
+func (b *Builder) LI(dst Reg, value uint32) {
+	hi, lo := int32(value>>16), int32(value&0xffff)
+	if hi == 0 {
+		b.I(isa.OpORI, dst, Zero, lo)
+		return
+	}
+	b.LUI(dst, hi)
+	if lo != 0 {
+		b.I(isa.OpORI, dst, dst, lo)
+	}
+}
+
+// Load emits a memory load: op dst, off(base).
+func (b *Builder) Load(op isa.Opcode, dst, base Reg, off int32) {
+	if !isa.IsLoad(op) {
+		b.errs = append(b.errs, fmt.Errorf("Load with non-load opcode %v", op))
+		return
+	}
+	b.Emit(Instr{Op: op, Dst: dst, Src1: base, Imm: off})
+}
+
+// Store emits a memory store: op value, off(base).
+func (b *Builder) Store(op isa.Opcode, value, base Reg, off int32) {
+	if !isa.IsStore(op) {
+		b.errs = append(b.errs, fmt.Errorf("Store with non-store opcode %v", op))
+		return
+	}
+	b.Emit(Instr{Op: op, Src1: base, Src2: value, Imm: off})
+}
+
+// Branch emits a two-register conditional branch: op src1, src2, target.
+func (b *Builder) Branch(op isa.Opcode, src1, src2 Reg, target string) {
+	b.Emit(Instr{Op: op, Src1: src1, Src2: src2, Target: target})
+}
+
+// Branch1 emits a one-register conditional branch: op src1, target.
+func (b *Builder) Branch1(op isa.Opcode, src1 Reg, target string) {
+	b.Emit(Instr{Op: op, Src1: src1, Target: target})
+}
+
+// Jump emits an unconditional jump to target.
+func (b *Builder) Jump(target string) {
+	b.Emit(Instr{Op: isa.OpJ, Target: target})
+}
+
+// Mult emits mult/multu src1, src2 (result in HILO).
+func (b *Builder) Mult(op isa.Opcode, src1, src2 Reg) {
+	b.Emit(Instr{Op: op, Src1: src1, Src2: src2})
+}
+
+// MoveFrom emits mfhi/mflo dst.
+func (b *Builder) MoveFrom(op isa.Opcode, dst Reg) {
+	b.Emit(Instr{Op: op, Dst: dst})
+}
+
+// Halt emits the program-terminating instruction.
+func (b *Builder) Halt() { b.Emit(Instr{Op: isa.OpHALT}) }
+
+// Build splits the stream into basic blocks, resolves branch targets and
+// builds CFG successor edges. Leaders are: the first instruction, every
+// labelled instruction, and every instruction following a branch.
+func (b *Builder) Build() (*Program, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	if len(b.instrs) == 0 {
+		return nil, fmt.Errorf("prog %s: empty program", b.name)
+	}
+	if last := b.instrs[len(b.instrs)-1]; !isa.IsBranch(last.Op) {
+		return nil, fmt.Errorf("prog %s: program must end with a control instruction, got %v", b.name, last)
+	}
+	for label, pos := range b.labels {
+		if pos >= len(b.instrs) {
+			return nil, fmt.Errorf("prog %s: label %q at end of program", b.name, label)
+		}
+	}
+
+	leader := make([]bool, len(b.instrs))
+	leader[0] = true
+	for _, pos := range b.labels {
+		leader[pos] = true
+	}
+	for i, in := range b.instrs {
+		if isa.IsBranch(in.Op) && i+1 < len(b.instrs) {
+			leader[i+1] = true
+		}
+	}
+
+	p := &Program{Name: b.name, byLabel: make(map[string]int)}
+	labelAt := make(map[int]string)
+	for label, pos := range b.labels {
+		// Multiple labels at one position would have been caught as
+		// duplicates only if identical; allow at most one label per leader.
+		if prev, dup := labelAt[pos]; dup {
+			return nil, fmt.Errorf("prog %s: labels %q and %q at same position", b.name, prev, label)
+		}
+		labelAt[pos] = label
+	}
+
+	instrBlock := make([]int, len(b.instrs)) // instruction index -> block index
+	var cur *BasicBlock
+	for i, in := range b.instrs {
+		if leader[i] {
+			cur = &BasicBlock{Index: len(p.Blocks), Label: labelAt[i]}
+			p.Blocks = append(p.Blocks, cur)
+			if cur.Label != "" {
+				p.byLabel[cur.Label] = cur.Index
+			}
+		}
+		cur.Instrs = append(cur.Instrs, in)
+		instrBlock[i] = cur.Index
+	}
+
+	// CFG edges.
+	for bi, blk := range p.Blocks {
+		term, _ := blk.Terminator()
+		switch {
+		case term.Op == isa.OpHALT:
+			// no successors
+		case term.Op == isa.OpJ:
+			ti, ok := b.labels[term.Target]
+			if !ok {
+				return nil, fmt.Errorf("prog %s: undefined label %q", b.name, term.Target)
+			}
+			blk.Succs = []int{instrBlock[ti]}
+		case isa.IsBranch(term.Op):
+			ti, ok := b.labels[term.Target]
+			if !ok {
+				return nil, fmt.Errorf("prog %s: undefined label %q", b.name, term.Target)
+			}
+			blk.Succs = []int{instrBlock[ti]}
+			if bi+1 < len(p.Blocks) {
+				blk.Succs = append(blk.Succs, bi+1)
+			} else {
+				return nil, fmt.Errorf("prog %s: conditional branch at end of program", b.name)
+			}
+		default:
+			// Fall-through only.
+			if bi+1 >= len(p.Blocks) {
+				return nil, fmt.Errorf("prog %s: control falls off the end", b.name)
+			}
+			blk.Succs = []int{bi + 1}
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build that panics on error; intended for the static benchmark
+// kernels whose assembly is fixed at compile time.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

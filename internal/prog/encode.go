@@ -1,0 +1,174 @@
+package prog
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/isa"
+)
+
+// Binary program format ("PISA"):
+//
+//	magic   uint32  'P','I','S','A'
+//	version uint16
+//	nameLen uint16, name bytes
+//	nlabels uint32, then per label: pos uint32, len uint16, bytes
+//	ninstr  uint32, then per instruction a fixed 16-byte record:
+//	        op uint16, dst uint8, src1 uint8, src2 uint8, flags uint8,
+//	        imm int32, target uint32 (label index+1, 0 = none)
+//
+// Encode/Decode round-trip exactly: labels, block structure and every
+// operand are preserved.
+
+const (
+	binMagic   = 0x50495341 // "PISA"
+	binVersion = 1
+)
+
+// Encode serializes the program to the binary format.
+func Encode(p *Program) []byte {
+	var buf bytes.Buffer
+	w := func(v any) { _ = binary.Write(&buf, binary.LittleEndian, v) }
+	w(uint32(binMagic))
+	w(uint16(binVersion))
+	w(uint16(len(p.Name)))
+	buf.WriteString(p.Name)
+
+	// Collect labels with their instruction positions and all instructions.
+	type lbl struct {
+		pos  uint32
+		name string
+	}
+	var labels []lbl
+	labelIdx := map[string]uint32{}
+	var instrs []Instr
+	pos := uint32(0)
+	for _, b := range p.Blocks {
+		if b.Label != "" {
+			labelIdx[b.Label] = uint32(len(labels))
+			labels = append(labels, lbl{pos, b.Label})
+		}
+		instrs = append(instrs, b.Instrs...)
+		pos += uint32(len(b.Instrs))
+	}
+	w(uint32(len(labels)))
+	for _, l := range labels {
+		w(l.pos)
+		w(uint16(len(l.name)))
+		buf.WriteString(l.name)
+	}
+	w(uint32(len(instrs)))
+	for _, in := range instrs {
+		w(uint16(in.Op))
+		w(uint8(in.Dst))
+		w(uint8(in.Src1))
+		w(uint8(in.Src2))
+		w(uint8(0)) // flags, reserved
+		w(in.Imm)
+		if in.Target != "" {
+			w(labelIdx[in.Target] + 1)
+		} else {
+			w(uint32(0))
+		}
+	}
+	return buf.Bytes()
+}
+
+// Decode parses the binary format back into a program.
+func Decode(data []byte) (*Program, error) {
+	r := bytes.NewReader(data)
+	rd := func(v any) error { return binary.Read(r, binary.LittleEndian, v) }
+	var magic uint32
+	if err := rd(&magic); err != nil || magic != binMagic {
+		return nil, fmt.Errorf("prog: bad magic")
+	}
+	var version uint16
+	if err := rd(&version); err != nil || version != binVersion {
+		return nil, fmt.Errorf("prog: unsupported version %d", version)
+	}
+	readStr := func(n int) (string, error) {
+		b := make([]byte, n)
+		if _, err := io.ReadFull(r, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	var nameLen uint16
+	if err := rd(&nameLen); err != nil {
+		return nil, fmt.Errorf("prog: truncated header")
+	}
+	name, err := readStr(int(nameLen))
+	if err != nil {
+		return nil, fmt.Errorf("prog: truncated name")
+	}
+
+	var nLabels uint32
+	if err := rd(&nLabels); err != nil {
+		return nil, fmt.Errorf("prog: truncated label table")
+	}
+	if nLabels > 1<<20 {
+		return nil, fmt.Errorf("prog: implausible label count %d", nLabels)
+	}
+	labelAt := map[uint32][]string{}
+	names := make([]string, nLabels)
+	for i := uint32(0); i < nLabels; i++ {
+		var pos uint32
+		var ln uint16
+		if err := rd(&pos); err != nil {
+			return nil, fmt.Errorf("prog: truncated label")
+		}
+		if err := rd(&ln); err != nil {
+			return nil, fmt.Errorf("prog: truncated label")
+		}
+		s, err := readStr(int(ln))
+		if err != nil {
+			return nil, fmt.Errorf("prog: truncated label name")
+		}
+		labelAt[pos] = append(labelAt[pos], s)
+		names[i] = s
+	}
+
+	var nInstr uint32
+	if err := rd(&nInstr); err != nil {
+		return nil, fmt.Errorf("prog: truncated instruction count")
+	}
+	if nInstr > 1<<24 {
+		return nil, fmt.Errorf("prog: implausible instruction count %d", nInstr)
+	}
+	b := NewBuilder(name)
+	for i := uint32(0); i < nInstr; i++ {
+		for _, l := range labelAt[i] {
+			b.Label(l)
+		}
+		var rec struct {
+			Op              uint16
+			Dst, Src1, Src2 uint8
+			Flags           uint8
+			Imm             int32
+			Target          uint32
+		}
+		if err := rd(&rec); err != nil {
+			return nil, fmt.Errorf("prog: truncated instruction %d", i)
+		}
+		if int(rec.Op) >= isa.NumOpcodes {
+			return nil, fmt.Errorf("prog: instruction %d: bad opcode %d", i, rec.Op)
+		}
+		in := Instr{
+			Op:   isa.Opcode(rec.Op),
+			Dst:  Reg(rec.Dst),
+			Src1: Reg(rec.Src1),
+			Src2: Reg(rec.Src2),
+			Imm:  rec.Imm,
+		}
+		if rec.Target != 0 {
+			if rec.Target > nLabels {
+				return nil, fmt.Errorf("prog: instruction %d: bad target %d", i, rec.Target)
+			}
+			in.Target = names[rec.Target-1]
+		}
+		b.Emit(in)
+	}
+	return b.Build()
+}

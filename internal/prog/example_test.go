@@ -1,0 +1,56 @@
+package prog_test
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/vm"
+)
+
+// ExampleParse assembles a countdown loop from text and runs it.
+func ExampleParse() {
+	src := `
+	    ori  $t0, $zero, 3
+	loop:
+	    addi $t0, $t0, -1
+	    bne  $t0, $zero, loop
+	    halt
+	`
+	p, err := prog.Parse("countdown", src)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	m := vm.NewMachine(64)
+	prof, err := m.Run(p, 1000)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("blocks: %d, loop ran %d times\n", len(p.Blocks), prof.BlockCounts[1])
+	// Output:
+	// blocks: 3, loop ran 3 times
+}
+
+// ExampleBuilder shows the programmatic assembler.
+func ExampleBuilder() {
+	b := prog.NewBuilder("sum")
+	b.I(isa.OpORI, prog.T0, prog.Zero, 10) // n = 10
+	b.R(isa.OpADDU, prog.V0, prog.Zero, prog.Zero)
+	b.Label("loop")
+	b.R(isa.OpADDU, prog.V0, prog.V0, prog.T0) // sum += n
+	b.I(isa.OpADDI, prog.T0, prog.T0, -1)
+	b.Branch(isa.OpBNE, prog.T0, prog.Zero, "loop")
+	b.Halt()
+	p := b.MustBuild()
+
+	m := vm.NewMachine(64)
+	if _, err := m.Run(p, 1000); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("sum of 1..10 = %d\n", m.Reg(prog.V0))
+	// Output:
+	// sum of 1..10 = 55
+}

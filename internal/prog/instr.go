@@ -1,0 +1,167 @@
+// Package prog represents PISA programs: instructions over a MIPS-like
+// register file, basic blocks, control-flow graphs, an assembler-style
+// builder, and global liveness analysis. It is the bridge between the
+// benchmark kernels (internal/bench), the profiler (internal/vm) and the
+// dataflow-graph builder (internal/dfg).
+package prog
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Reg is a register number. 0..31 are the general-purpose registers
+// ($zero..$ra); RegHILO is the pseudo register holding the 64-bit multiply
+// result (HI:LO), written by mult/multu and read by mfhi/mflo.
+type Reg int
+
+// Register name constants in the standard MIPS convention.
+const (
+	Zero Reg = iota
+	AT
+	V0
+	V1
+	A0
+	A1
+	A2
+	A3
+	T0
+	T1
+	T2
+	T3
+	T4
+	T5
+	T6
+	T7
+	S0
+	S1
+	S2
+	S3
+	S4
+	S5
+	S6
+	S7
+	T8
+	T9
+	K0
+	K1
+	GP
+	SP
+	FP
+	RA
+
+	// RegHILO is the pseudo register modelling the HI:LO multiply result.
+	RegHILO
+
+	// NumRegs is the total register-file size including the HILO pseudo
+	// register.
+	NumRegs int = iota
+)
+
+var regNames = [...]string{
+	"$zero", "$at", "$v0", "$v1", "$a0", "$a1", "$a2", "$a3",
+	"$t0", "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7",
+	"$s0", "$s1", "$s2", "$s3", "$s4", "$s5", "$s6", "$s7",
+	"$t8", "$t9", "$k0", "$k1", "$gp", "$sp", "$fp", "$ra",
+	"$hilo",
+}
+
+// String returns the conventional register name.
+func (r Reg) String() string {
+	if r < 0 || int(r) >= len(regNames) {
+		return fmt.Sprintf("$r%d", int(r))
+	}
+	return regNames[r]
+}
+
+// Instr is one PISA instruction. Field usage by format:
+//
+//	R-type:        Op Dst, Src1, Src2        (add $d, $s, $t)
+//	I-type:        Op Dst, Src1, Imm         (addi $d, $s, imm; sll $d, $s, sh)
+//	lui:           Op Dst, Imm
+//	load:          Op Dst, Imm(Src1)
+//	store:         Op Src2, Imm(Src1)        (value in Src2, base in Src1)
+//	branch:        Op Src1, Src2, Target     (blez & friends use Src1 only)
+//	j:             Op Target
+//	mult/multu:    Op Src1, Src2             (defines RegHILO)
+//	mfhi/mflo:     Op Dst                    (uses RegHILO)
+//	halt:          Op
+type Instr struct {
+	Op     isa.Opcode
+	Dst    Reg
+	Src1   Reg
+	Src2   Reg
+	Imm    int32
+	Target string // branch/jump label
+}
+
+// Defs returns the register defined by the instruction, and ok=false if it
+// defines none. Writes to $zero are discarded by the machine and reported as
+// no definition.
+func (in Instr) Defs() (Reg, bool) {
+	switch {
+	case in.Op == isa.OpMULT || in.Op == isa.OpMULTU:
+		return RegHILO, true
+	case isa.WritesRegister(in.Op) && in.Op != isa.OpHALT:
+		if in.Dst == Zero {
+			return 0, false
+		}
+		return in.Dst, true
+	}
+	return 0, false
+}
+
+// Uses returns the registers read by the instruction. $zero reads are
+// included (they are real dataflow sources with constant value 0).
+func (in Instr) Uses() []Reg {
+	switch {
+	case in.Op == isa.OpHALT || in.Op == isa.OpJ:
+		return nil
+	case in.Op == isa.OpLUI:
+		return nil
+	case in.Op == isa.OpMFHI || in.Op == isa.OpMFLO:
+		return []Reg{RegHILO}
+	case isa.IsLoad(in.Op):
+		return []Reg{in.Src1}
+	case isa.IsStore(in.Op):
+		return []Reg{in.Src1, in.Src2}
+	case in.Op == isa.OpBEQ || in.Op == isa.OpBNE:
+		return []Reg{in.Src1, in.Src2}
+	case in.Op == isa.OpBLEZ || in.Op == isa.OpBGTZ || in.Op == isa.OpBLTZ || in.Op == isa.OpBGEZ:
+		return []Reg{in.Src1}
+	case isa.HasImmediate(in.Op):
+		return []Reg{in.Src1}
+	default: // R-type
+		return []Reg{in.Src1, in.Src2}
+	}
+}
+
+// String renders the instruction in assembly syntax.
+func (in Instr) String() string {
+	op := in.Op
+	switch {
+	case op == isa.OpHALT:
+		return "halt"
+	case op == isa.OpJ:
+		return fmt.Sprintf("j %s", in.Target)
+	case op == isa.OpLUI:
+		return fmt.Sprintf("lui %s, %d", in.Dst, in.Imm)
+	case op == isa.OpMFHI || op == isa.OpMFLO:
+		return fmt.Sprintf("%s %s", op, in.Dst)
+	case op == isa.OpMULT || op == isa.OpMULTU:
+		return fmt.Sprintf("%s %s, %s", op, in.Src1, in.Src2)
+	case isa.IsLoad(op):
+		return fmt.Sprintf("%s %s, %d(%s)", op, in.Dst, in.Imm, in.Src1)
+	case isa.IsStore(op):
+		return fmt.Sprintf("%s %s, %d(%s)", op, in.Src2, in.Imm, in.Src1)
+	case op == isa.OpBEQ || op == isa.OpBNE:
+		return fmt.Sprintf("%s %s, %s, %s", op, in.Src1, in.Src2, in.Target)
+	case op == isa.OpBLEZ || op == isa.OpBGTZ || op == isa.OpBLTZ || op == isa.OpBGEZ:
+		return fmt.Sprintf("%s %s, %s", op, in.Src1, in.Target)
+	case isa.HasImmediate(op):
+		return fmt.Sprintf("%s %s, %s, %d", op, in.Dst, in.Src1, in.Imm)
+	default:
+		return fmt.Sprintf("%s %s, %s, %s", op, in.Dst, in.Src1, in.Src2)
+	}
+}

@@ -1,0 +1,80 @@
+package prog
+
+// Liveness holds per-block live-in/live-out register sets computed by a
+// standard iterative backward dataflow analysis. The DFG builder uses
+// live-out sets to decide which basic-block values are outputs of a
+// candidate ISE subgraph.
+type Liveness struct {
+	LiveIn  []RegSet // indexed by block
+	LiveOut []RegSet
+}
+
+// RegSet is a bitmask over the register file (including the HILO pseudo
+// register).
+type RegSet uint64
+
+// Add returns the set with r included.
+func (s RegSet) Add(r Reg) RegSet { return s | 1<<uint(r) }
+
+// Remove returns the set with r excluded.
+func (s RegSet) Remove(r Reg) RegSet { return s &^ (1 << uint(r)) }
+
+// Contains reports membership of r.
+func (s RegSet) Contains(r Reg) bool { return s&(1<<uint(r)) != 0 }
+
+// Union returns the union of two sets.
+func (s RegSet) Union(t RegSet) RegSet { return s | t }
+
+// Regs returns the members in increasing order.
+func (s RegSet) Regs() []Reg {
+	var out []Reg
+	for r := Reg(0); int(r) < NumRegs; r++ {
+		if s.Contains(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// useDef returns the upward-exposed uses and the defs of a block.
+func useDef(b *BasicBlock) (use, def RegSet) {
+	for _, in := range b.Instrs {
+		for _, r := range in.Uses() {
+			if !def.Contains(r) && r != Zero {
+				use = use.Add(r)
+			}
+		}
+		if d, ok := in.Defs(); ok {
+			def = def.Add(d)
+		}
+	}
+	return use, def
+}
+
+// ComputeLiveness runs iterative backward liveness over the program's CFG.
+func ComputeLiveness(p *Program) *Liveness {
+	n := len(p.Blocks)
+	lv := &Liveness{LiveIn: make([]RegSet, n), LiveOut: make([]RegSet, n)}
+	use := make([]RegSet, n)
+	def := make([]RegSet, n)
+	for i, b := range p.Blocks {
+		use[i], def[i] = useDef(b)
+	}
+	for changed := true; changed; {
+		changed = false
+		// Backward order converges quickly on reducible CFGs.
+		for i := n - 1; i >= 0; i-- {
+			var out RegSet
+			for _, s := range p.Blocks[i].Succs {
+				out = out.Union(lv.LiveIn[s])
+			}
+			in := use[i].Union(out &^ def[i])
+			if out != lv.LiveOut[i] || in != lv.LiveIn[i] {
+				lv.LiveOut[i] = out
+				lv.LiveIn[i] = in
+				changed = true
+			}
+		}
+	}
+	return lv
+}

@@ -1,0 +1,246 @@
+package prog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Parse assembles PISA source text in the same syntax Program.String emits:
+// one instruction per line, optional "label:" lines, and '#' comments.
+// Example:
+//
+//	# program crc
+//	    ori  $t0, $zero, 10
+//	loop:
+//	    addi $t0, $t0, -1
+//	    bne  $t0, $zero, loop
+//	    halt
+func Parse(name, src string) (*Program, error) {
+	b := NewBuilder(name)
+	for ln, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasSuffix(line, ":") {
+			label := strings.TrimSuffix(line, ":")
+			if label == "" || strings.ContainsAny(label, " \t,") {
+				return nil, fmt.Errorf("prog: line %d: bad label %q", ln+1, label)
+			}
+			b.Label(label)
+			continue
+		}
+		in, err := parseInstr(line)
+		if err != nil {
+			return nil, fmt.Errorf("prog: line %d: %w", ln+1, err)
+		}
+		b.Emit(in)
+	}
+	return b.Build()
+}
+
+// opByName maps mnemonics to opcodes.
+var opByName = func() map[string]isa.Opcode {
+	m := make(map[string]isa.Opcode, isa.NumOpcodes)
+	for op := isa.Opcode(0); int(op) < isa.NumOpcodes; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+// regByName maps register names to numbers.
+var regByName = func() map[string]Reg {
+	m := make(map[string]Reg, NumRegs)
+	for r := Reg(0); int(r) < NumRegs; r++ {
+		m[r.String()] = r
+	}
+	return m
+}()
+
+func parseReg(tok string) (Reg, error) {
+	r, ok := regByName[strings.TrimSpace(tok)]
+	if !ok {
+		return 0, fmt.Errorf("unknown register %q", tok)
+	}
+	return r, nil
+}
+
+func parseImm(tok string) (int32, error) {
+	v, err := strconv.ParseInt(strings.TrimSpace(tok), 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", tok)
+	}
+	if v < -(1<<31) || v > (1<<31)-1 {
+		return 0, fmt.Errorf("immediate %d out of 32-bit range", v)
+	}
+	return int32(v), nil
+}
+
+// parseMem splits "off($base)".
+func parseMem(tok string) (off int32, base Reg, err error) {
+	tok = strings.TrimSpace(tok)
+	open := strings.IndexByte(tok, '(')
+	if open < 0 || !strings.HasSuffix(tok, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", tok)
+	}
+	off, err = parseImm(tok[:open])
+	if err != nil {
+		return 0, 0, err
+	}
+	base, err = parseReg(tok[open+1 : len(tok)-1])
+	return off, base, err
+}
+
+func parseInstr(line string) (Instr, error) {
+	fields := strings.SplitN(line, " ", 2)
+	mnemonic := strings.TrimSpace(fields[0])
+	op, ok := opByName[mnemonic]
+	if !ok {
+		return Instr{}, fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	var args []string
+	if len(fields) == 2 {
+		for _, a := range strings.Split(fields[1], ",") {
+			args = append(args, strings.TrimSpace(a))
+		}
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s takes %d operands, got %d", mnemonic, n, len(args))
+		}
+		return nil
+	}
+	switch {
+	case op == isa.OpHALT:
+		return Instr{Op: op}, need(0)
+	case op == isa.OpJ:
+		if err := need(1); err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: op, Target: args[0]}, nil
+	case op == isa.OpLUI:
+		if err := need(2); err != nil {
+			return Instr{}, err
+		}
+		dst, err := parseReg(args[0])
+		if err != nil {
+			return Instr{}, err
+		}
+		imm, err := parseImm(args[1])
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: op, Dst: dst, Imm: imm}, nil
+	case op == isa.OpMFHI || op == isa.OpMFLO:
+		if err := need(1); err != nil {
+			return Instr{}, err
+		}
+		dst, err := parseReg(args[0])
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: op, Dst: dst}, nil
+	case op == isa.OpMULT || op == isa.OpMULTU:
+		if err := need(2); err != nil {
+			return Instr{}, err
+		}
+		s1, err := parseReg(args[0])
+		if err != nil {
+			return Instr{}, err
+		}
+		s2, err := parseReg(args[1])
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: op, Src1: s1, Src2: s2}, nil
+	case isa.IsLoad(op):
+		if err := need(2); err != nil {
+			return Instr{}, err
+		}
+		dst, err := parseReg(args[0])
+		if err != nil {
+			return Instr{}, err
+		}
+		off, base, err := parseMem(args[1])
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: op, Dst: dst, Src1: base, Imm: off}, nil
+	case isa.IsStore(op):
+		if err := need(2); err != nil {
+			return Instr{}, err
+		}
+		val, err := parseReg(args[0])
+		if err != nil {
+			return Instr{}, err
+		}
+		off, base, err := parseMem(args[1])
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: op, Src1: base, Src2: val, Imm: off}, nil
+	case op == isa.OpBEQ || op == isa.OpBNE:
+		if err := need(3); err != nil {
+			return Instr{}, err
+		}
+		s1, err := parseReg(args[0])
+		if err != nil {
+			return Instr{}, err
+		}
+		s2, err := parseReg(args[1])
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: op, Src1: s1, Src2: s2, Target: args[2]}, nil
+	case isa.IsBranch(op): // single-register branches
+		if err := need(2); err != nil {
+			return Instr{}, err
+		}
+		s1, err := parseReg(args[0])
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: op, Src1: s1, Target: args[1]}, nil
+	case isa.HasImmediate(op):
+		if err := need(3); err != nil {
+			return Instr{}, err
+		}
+		dst, err := parseReg(args[0])
+		if err != nil {
+			return Instr{}, err
+		}
+		s1, err := parseReg(args[1])
+		if err != nil {
+			return Instr{}, err
+		}
+		imm, err := parseImm(args[2])
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: op, Dst: dst, Src1: s1, Imm: imm}, nil
+	default: // R-type
+		if err := need(3); err != nil {
+			return Instr{}, err
+		}
+		dst, err := parseReg(args[0])
+		if err != nil {
+			return Instr{}, err
+		}
+		s1, err := parseReg(args[1])
+		if err != nil {
+			return Instr{}, err
+		}
+		s2, err := parseReg(args[2])
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: op, Dst: dst, Src1: s1, Src2: s2}, nil
+	}
+}

@@ -1,0 +1,217 @@
+package prog
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestParseSimpleLoop(t *testing.T) {
+	src := `
+# count down from 10
+    ori  $t0, $zero, 10
+loop:
+    addi $t0, $t0, -1
+    bne  $t0, $zero, loop
+    halt
+`
+	p, err := Parse("loop", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3", len(p.Blocks))
+	}
+	if p.Blocks[1].Label != "loop" {
+		t.Fatalf("label = %q", p.Blocks[1].Label)
+	}
+	if got := p.Blocks[1].Instrs[0].String(); got != "addi $t0, $t0, -1" {
+		t.Fatalf("instr = %q", got)
+	}
+}
+
+func TestParseEveryFormat(t *testing.T) {
+	src := `
+    add $t0, $t1, $t2
+    addi $t0, $t1, -4
+    sll $t0, $t1, 3
+    lui $t0, 16
+    lw $t0, 8($sp)
+    sw $t0, 8($sp)
+    lbu $t1, 0($t0)
+    mult $t0, $t1
+    mflo $t2
+    mfhi $t3
+    beq $t0, $t1, end
+    blez $t0, end
+    j end
+end:
+    halt
+`
+	p, err := Parse("fmt", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumInstrs() != 14 {
+		t.Fatalf("instrs = %d", p.NumInstrs())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad mnemonic":  "frobnicate $t0, $t1, $t2\nhalt",
+		"bad register":  "add $t0, $t1, $zz\nhalt",
+		"bad immediate": "addi $t0, $t1, xyz\nhalt",
+		"bad memory":    "lw $t0, 8$sp\nhalt",
+		"arity":         "add $t0, $t1\nhalt",
+		"bad label":     "my label:\nhalt",
+		"undef target":  "j nowhere\nhalt",
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Parse("e", src); err == nil {
+				t.Fatalf("accepted %q", src)
+			}
+		})
+	}
+}
+
+// TestParsePrintRoundTrip: parsing the printer's output reproduces the
+// program exactly.
+func TestParsePrintRoundTrip(t *testing.T) {
+	b := NewBuilder("rt")
+	b.LI(T0, 0xDEADBEEF)
+	b.Label("loop")
+	b.R(isa.OpADD, T1, T0, A0)
+	b.Load(isa.OpLW, T2, SP, 4)
+	b.Store(isa.OpSW, T2, SP, 8)
+	b.Mult(isa.OpMULT, T1, T2)
+	b.MoveFrom(isa.OpMFLO, T3)
+	b.Branch(isa.OpBNE, T3, Zero, "loop")
+	b.Branch1(isa.OpBGEZ, T3, "loop")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Parse("rt", p.String())
+	if err != nil {
+		t.Fatalf("%v\n%s", err, p)
+	}
+	if p.String() != q.String() {
+		t.Fatalf("round trip changed program:\n%s\nvs\n%s", p, q)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	b := NewBuilder("bin")
+	b.LI(S0, 0x12345678)
+	b.Label("top")
+	b.R(isa.OpXOR, T0, S0, A0)
+	b.I(isa.OpADDI, S0, S0, -1)
+	b.Branch(isa.OpBNE, S0, Zero, "top")
+	b.Jump("end")
+	b.Label("end")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := Encode(p)
+	q, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.String() != q.String() {
+		t.Fatalf("binary round trip changed program:\n%s\nvs\n%s", p, q)
+	}
+	if q.Name != "bin" {
+		t.Fatalf("name = %q", q.Name)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte("not a program")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Error("empty accepted")
+	}
+	// Truncations of a valid image must all fail cleanly.
+	b := NewBuilder("x")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := Encode(p)
+	for cut := 1; cut < len(data); cut++ {
+		if _, err := Decode(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+// TestPropertyTextAndBinaryRoundTrips runs both round trips over random
+// instruction streams.
+func TestPropertyTextAndBinaryRoundTrips(t *testing.T) {
+	r := rand.New(rand.NewSource(51))
+	regs := []Reg{Zero, T0, T1, T2, S0, A0, V0, SP}
+	pick := func() Reg { return regs[r.Intn(len(regs))] }
+	for trial := 0; trial < 60; trial++ {
+		b := NewBuilder("rnd")
+		n := 1 + r.Intn(25)
+		b.Label("top")
+		for i := 0; i < n; i++ {
+			switch r.Intn(6) {
+			case 0:
+				b.R(isa.OpADD, pick(), pick(), pick())
+			case 1:
+				b.I(isa.OpXORI, pick(), pick(), int32(r.Intn(1000)))
+			case 2:
+				b.Load(isa.OpLW, pick(), SP, int32(4*r.Intn(8)))
+			case 3:
+				b.Store(isa.OpSB, pick(), SP, int32(r.Intn(32)))
+			case 4:
+				b.Mult(isa.OpMULTU, pick(), pick())
+			case 5:
+				b.I(isa.OpSRA, pick(), pick(), int32(r.Intn(31)))
+			}
+		}
+		b.Branch(isa.OpBEQ, pick(), pick(), "top")
+		b.Halt()
+		p, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := Parse("rnd", p.String())
+		if err != nil {
+			t.Fatalf("trial %d: parse: %v", trial, err)
+		}
+		if p.String() != q.String() {
+			t.Fatalf("trial %d: text round trip diverged", trial)
+		}
+		d, err := Decode(Encode(p))
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if p.String() != d.String() {
+			t.Fatalf("trial %d: binary round trip diverged", trial)
+		}
+	}
+}
+
+func TestParseIgnoresCommentsAndBlank(t *testing.T) {
+	p, err := Parse("c", "# leading\n\n   # only comment\nhalt # trailing\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumInstrs() != 1 {
+		t.Fatalf("instrs = %d", p.NumInstrs())
+	}
+	if !strings.Contains(p.String(), "halt") {
+		t.Fatal("halt lost")
+	}
+}

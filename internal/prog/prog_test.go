@@ -1,0 +1,338 @@
+package prog
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestRegString(t *testing.T) {
+	cases := map[Reg]string{Zero: "$zero", T0: "$t0", S7: "$s7", RA: "$ra", RegHILO: "$hilo"}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(r), got, want)
+		}
+	}
+	if got := Reg(99).String(); got != "$r99" {
+		t.Errorf("out-of-range reg String = %q", got)
+	}
+}
+
+func TestInstrDefsUses(t *testing.T) {
+	cases := []struct {
+		in      Instr
+		wantDef Reg
+		hasDef  bool
+		wantUse []Reg
+	}{
+		{Instr{Op: isa.OpADD, Dst: T0, Src1: T1, Src2: T2}, T0, true, []Reg{T1, T2}},
+		{Instr{Op: isa.OpADDI, Dst: T0, Src1: T1, Imm: 4}, T0, true, []Reg{T1}},
+		{Instr{Op: isa.OpSLL, Dst: T0, Src1: T1, Imm: 2}, T0, true, []Reg{T1}},
+		{Instr{Op: isa.OpLUI, Dst: T0, Imm: 1}, T0, true, nil},
+		{Instr{Op: isa.OpLW, Dst: T0, Src1: SP, Imm: 8}, T0, true, []Reg{SP}},
+		{Instr{Op: isa.OpSW, Src1: SP, Src2: T0, Imm: 8}, 0, false, []Reg{SP, T0}},
+		{Instr{Op: isa.OpBEQ, Src1: T0, Src2: T1, Target: "x"}, 0, false, []Reg{T0, T1}},
+		{Instr{Op: isa.OpBLEZ, Src1: T0, Target: "x"}, 0, false, []Reg{T0}},
+		{Instr{Op: isa.OpJ, Target: "x"}, 0, false, nil},
+		{Instr{Op: isa.OpMULT, Src1: T0, Src2: T1}, RegHILO, true, []Reg{T0, T1}},
+		{Instr{Op: isa.OpMFLO, Dst: T2}, T2, true, []Reg{RegHILO}},
+		{Instr{Op: isa.OpHALT}, 0, false, nil},
+		// Writes to $zero are discarded.
+		{Instr{Op: isa.OpADD, Dst: Zero, Src1: T1, Src2: T2}, 0, false, []Reg{T1, T2}},
+	}
+	for _, c := range cases {
+		d, ok := c.in.Defs()
+		if ok != c.hasDef || (ok && d != c.wantDef) {
+			t.Errorf("%v: Defs() = (%v,%v), want (%v,%v)", c.in, d, ok, c.wantDef, c.hasDef)
+		}
+		if got := c.in.Uses(); !reflect.DeepEqual(got, c.wantUse) {
+			t.Errorf("%v: Uses() = %v, want %v", c.in, got, c.wantUse)
+		}
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: isa.OpADD, Dst: T0, Src1: T1, Src2: T2}, "add $t0, $t1, $t2"},
+		{Instr{Op: isa.OpADDI, Dst: T0, Src1: T1, Imm: -4}, "addi $t0, $t1, -4"},
+		{Instr{Op: isa.OpLW, Dst: T0, Src1: SP, Imm: 8}, "lw $t0, 8($sp)"},
+		{Instr{Op: isa.OpSW, Src1: SP, Src2: T0, Imm: 8}, "sw $t0, 8($sp)"},
+		{Instr{Op: isa.OpBNE, Src1: T0, Src2: Zero, Target: "loop"}, "bne $t0, $zero, loop"},
+		{Instr{Op: isa.OpBLEZ, Src1: T0, Target: "end"}, "blez $t0, end"},
+		{Instr{Op: isa.OpJ, Target: "loop"}, "j loop"},
+		{Instr{Op: isa.OpMULT, Src1: T0, Src2: T1}, "mult $t0, $t1"},
+		{Instr{Op: isa.OpMFHI, Dst: T0}, "mfhi $t0"},
+		{Instr{Op: isa.OpLUI, Dst: T0, Imm: 16}, "lui $t0, 16"},
+		{Instr{Op: isa.OpHALT}, "halt"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// buildLoop assembles a canonical count-down loop:
+//
+//	    ori  $t0, $zero, 10
+//	loop:
+//	    addi $t0, $t0, -1
+//	    bne  $t0, $zero, loop
+//	    halt
+func buildLoop(t *testing.T) *Program {
+	t.Helper()
+	b := NewBuilder("loop")
+	b.I(isa.OpORI, T0, Zero, 10)
+	b.Label("loop")
+	b.I(isa.OpADDI, T0, T0, -1)
+	b.Branch(isa.OpBNE, T0, Zero, "loop")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBuilderSplitsBlocks(t *testing.T) {
+	p := buildLoop(t)
+	if len(p.Blocks) != 3 {
+		t.Fatalf("got %d blocks, want 3:\n%s", len(p.Blocks), p)
+	}
+	if p.Blocks[1].Label != "loop" {
+		t.Errorf("block 1 label = %q, want loop", p.Blocks[1].Label)
+	}
+	// CFG: bb0 -> bb1; bb1 -> {bb1, bb2}; bb2 -> {}.
+	if !reflect.DeepEqual(p.Blocks[0].Succs, []int{1}) {
+		t.Errorf("bb0 succs = %v", p.Blocks[0].Succs)
+	}
+	if !reflect.DeepEqual(p.Blocks[1].Succs, []int{1, 2}) {
+		t.Errorf("bb1 succs = %v", p.Blocks[1].Succs)
+	}
+	if len(p.Blocks[2].Succs) != 0 {
+		t.Errorf("bb2 succs = %v", p.Blocks[2].Succs)
+	}
+	if idx, ok := p.BlockByLabel("loop"); !ok || idx != 1 {
+		t.Errorf("BlockByLabel(loop) = %d,%v", idx, ok)
+	}
+	if p.NumInstrs() != 4 {
+		t.Errorf("NumInstrs = %d, want 4", p.NumInstrs())
+	}
+}
+
+func TestBuilderJumpEdges(t *testing.T) {
+	b := NewBuilder("jmp")
+	b.Label("top")
+	b.I(isa.OpADDI, T0, T0, 1)
+	b.Jump("top")
+	b.Label("dead")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p.Blocks[0].Succs, []int{0}) {
+		t.Errorf("jump block succs = %v, want [0]", p.Blocks[0].Succs)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		if _, err := NewBuilder("e").Build(); err == nil {
+			t.Fatal("no error for empty program")
+		}
+	})
+	t.Run("no terminator", func(t *testing.T) {
+		b := NewBuilder("e")
+		b.R(isa.OpADD, T0, T1, T2)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("no error for missing terminator")
+		}
+	})
+	t.Run("undefined label", func(t *testing.T) {
+		b := NewBuilder("e")
+		b.Jump("nowhere")
+		if _, err := b.Build(); err == nil {
+			t.Fatal("no error for undefined label")
+		}
+	})
+	t.Run("duplicate label", func(t *testing.T) {
+		b := NewBuilder("e")
+		b.Label("x")
+		b.Label("x")
+		b.Halt()
+		if _, err := b.Build(); err == nil {
+			t.Fatal("no error for duplicate label")
+		}
+	})
+	t.Run("conditional at end", func(t *testing.T) {
+		b := NewBuilder("e")
+		b.Label("x")
+		b.Branch(isa.OpBEQ, T0, T1, "x")
+		if _, err := b.Build(); err == nil {
+			t.Fatal("no error for conditional branch at program end")
+		}
+	})
+	t.Run("load with bad opcode", func(t *testing.T) {
+		b := NewBuilder("e")
+		b.Load(isa.OpADD, T0, T1, 0)
+		b.Halt()
+		if _, err := b.Build(); err == nil {
+			t.Fatal("no error for Load with non-load opcode")
+		}
+	})
+	t.Run("store with bad opcode", func(t *testing.T) {
+		b := NewBuilder("e")
+		b.Store(isa.OpADD, T0, T1, 0)
+		b.Halt()
+		if _, err := b.Build(); err == nil {
+			t.Fatal("no error for Store with non-store opcode")
+		}
+	})
+	t.Run("label at end", func(t *testing.T) {
+		b := NewBuilder("e")
+		b.Halt()
+		b.Label("x")
+		if _, err := b.Build(); err == nil {
+			t.Fatal("no error for label at end of program")
+		}
+	})
+}
+
+func TestLI(t *testing.T) {
+	b := NewBuilder("li")
+	b.LI(T0, 0x12345678)
+	b.LI(T1, 0x0000ffff)
+	b.LI(T2, 0xffff0000)
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := p.Blocks[0].Instrs
+	want := []string{
+		"lui $t0, 4660",
+		"ori $t0, $t0, 22136",
+		"ori $t1, $zero, 65535",
+		"lui $t2, 65535",
+		"halt",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("LI expansion:\n%s", p)
+	}
+	for i := range want {
+		if got[i].String() != want[i] {
+			t.Errorf("instr %d = %q, want %q", i, got[i].String(), want[i])
+		}
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	p := buildLoop(t)
+	s := p.String()
+	for _, frag := range []string{"loop:", "addi $t0, $t0, -1", "bne $t0, $zero, loop", "halt"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("program text missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestLivenessLoop(t *testing.T) {
+	p := buildLoop(t)
+	lv := ComputeLiveness(p)
+	// $t0 is live around the loop: live-out of bb0 and bb1, live-in of bb1.
+	if !lv.LiveOut[0].Contains(T0) {
+		t.Error("$t0 not live-out of bb0")
+	}
+	if !lv.LiveIn[1].Contains(T0) {
+		t.Error("$t0 not live-in of bb1")
+	}
+	if !lv.LiveOut[1].Contains(T0) {
+		t.Error("$t0 not live-out of bb1 (loop back edge)")
+	}
+	// Nothing is live out of the halt block.
+	if lv.LiveOut[2] != 0 {
+		t.Errorf("live-out of exit block = %v", lv.LiveOut[2].Regs())
+	}
+	// $zero is never recorded as live.
+	if lv.LiveIn[1].Contains(Zero) {
+		t.Error("$zero recorded live")
+	}
+}
+
+func TestLivenessHILO(t *testing.T) {
+	// mult in bb0, mflo in a later block: HILO must be live across.
+	b := NewBuilder("hilo")
+	b.Mult(isa.OpMULT, T0, T1)
+	b.Label("next")
+	b.MoveFrom(isa.OpMFLO, T2)
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv := ComputeLiveness(p)
+	if !lv.LiveOut[0].Contains(RegHILO) {
+		t.Error("HILO not live-out of mult block")
+	}
+	if !lv.LiveIn[1].Contains(RegHILO) {
+		t.Error("HILO not live-in of mflo block")
+	}
+}
+
+func TestLivenessDiamond(t *testing.T) {
+	// A value defined before a diamond and used on only one side is live-in
+	// to the join only if used after it; here $t3 is used on the left side
+	// only.
+	b := NewBuilder("diamond")
+	b.I(isa.OpORI, T3, Zero, 7)
+	b.Branch(isa.OpBEQ, T0, Zero, "right")
+	// left (fall-through)
+	b.R(isa.OpADD, T4, T3, T3)
+	b.Jump("join")
+	b.Label("right")
+	b.I(isa.OpORI, T4, Zero, 1)
+	b.Label("join")
+	b.R(isa.OpADD, V0, T4, Zero)
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv := ComputeLiveness(p)
+	leftIdx, _ := 1, 0
+	// $t3 live into the left block.
+	if !lv.LiveIn[leftIdx].Contains(T3) {
+		t.Error("$t3 not live-in of left branch")
+	}
+	joinIdx, ok := p.BlockByLabel("join")
+	if !ok {
+		t.Fatal("no join block")
+	}
+	if lv.LiveIn[joinIdx].Contains(T3) {
+		t.Error("$t3 wrongly live-in of join")
+	}
+	if !lv.LiveIn[joinIdx].Contains(T4) {
+		t.Error("$t4 not live-in of join")
+	}
+}
+
+func TestRegSetOps(t *testing.T) {
+	var s RegSet
+	s = s.Add(T0).Add(RegHILO)
+	if !s.Contains(T0) || !s.Contains(RegHILO) || s.Contains(T1) {
+		t.Fatal("RegSet membership wrong")
+	}
+	s = s.Remove(T0)
+	if s.Contains(T0) {
+		t.Fatal("Remove failed")
+	}
+	if got := s.Add(T1).Regs(); !reflect.DeepEqual(got, []Reg{T1, RegHILO}) {
+		t.Fatalf("Regs() = %v", got)
+	}
+}

@@ -1,0 +1,67 @@
+package randprog
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/vm"
+)
+
+func TestBlockAlwaysValid(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		cfg := Config{
+			Ops:      1 + r.Intn(60),
+			MemFrac:  r.Float64() * 0.3,
+			MultFrac: r.Float64() * 0.2,
+		}
+		p := Block(r, cfg)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestDFGAcyclic(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		d := DFG(r, Config{Ops: 1 + r.Intn(40), MemFrac: 0.2, MultFrac: 0.1})
+		if !d.G.IsAcyclic() {
+			t.Fatalf("trial %d: cyclic DFG", trial)
+		}
+		if d.Len() == 0 {
+			t.Fatalf("trial %d: empty DFG", trial)
+		}
+	}
+}
+
+func TestProgramsTerminate(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		p := Program(r, 1+r.Intn(4), 1+r.Intn(10))
+		if err := p.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		m := vm.NewMachine(1 << 10)
+		prof, err := m.Run(p, 1_000_000)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if prof.DynInstrs == 0 {
+			t.Fatalf("trial %d: nothing executed", trial)
+		}
+	}
+}
+
+func TestBlocksInterpretable(t *testing.T) {
+	// Every random block must run on the VM without faulting (addresses are
+	// anchored at $sp = 0, within a 1 KiB memory).
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 100; trial++ {
+		p := Block(r, Config{Ops: 1 + r.Intn(50), MemFrac: 0.25, MultFrac: 0.1})
+		m := vm.NewMachine(1 << 10)
+		if _, err := m.Run(p, 100_000); err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, p)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Package replace implements the final stage of the design flow (§3.1): ISE
+// replacement and instruction scheduling. It discovers every occurrence of
+// the selected ISEs in a DFG (subgraph matching), replaces non-overlapping
+// matches in priority order, and reschedules the block on the target machine
+// to obtain its post-customization cycle count.
+package replace
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dfg"
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/merging"
+	"repro/internal/sched"
+)
+
+// maxMatchesPerISE bounds pattern occurrences considered per DFG; unrolled
+// loops rarely contain more instances.
+const maxMatchesPerISE = 64
+
+// Instance is one deployed ISE occurrence inside a DFG.
+type Instance struct {
+	Cand   *merging.Candidate
+	Nodes  graph.NodeSet
+	Option map[int]int // target node -> hardware option index
+}
+
+// Apply deploys the selected candidates into d and schedules the block.
+// Deployment runs in two passes: first the instances the exploration itself
+// proved (their joint deployment reproduces the explored result), then
+// additional pattern matches in gain order. A single gain-ordered pass would
+// let a higher-ranked candidate's *shifted* match inside a periodic block
+// steal the nodes of a lower-ranked candidate's own instance.
+func Apply(d *dfg.DFG, cfg machine.Config, selected []*merging.Candidate) (*sched.Schedule, sched.Assignment, []Instance, error) {
+	ordered := append([]*merging.Candidate(nil), selected...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		return ordered[i].Gain > ordered[j].Gain
+	})
+
+	used := graph.NewNodeSet(d.Len())
+	var instances []Instance
+	deploy := func(inst Instance, ok bool) {
+		if !ok {
+			return
+		}
+		// An instance mutually dependent with an already placed one cannot
+		// co-exist: neither could issue atomically.
+		for _, prev := range instances {
+			if d.Interlocked(inst.Nodes, prev.Nodes) {
+				return
+			}
+		}
+		instances = append(instances, inst)
+		used = used.Union(inst.Nodes)
+	}
+	for _, cand := range ordered {
+		if cand.DFG == d {
+			deploy(ownInstance(d, cfg, cand, used))
+		}
+	}
+	for _, cand := range ordered {
+		for _, inst := range crossMatches(d, cfg, cand, used) {
+			deploy(inst, true)
+		}
+	}
+
+	a := sched.AllSoftware(d.Len())
+	for gi, inst := range instances {
+		for _, v := range inst.Nodes.Values() {
+			a[v] = sched.NodeChoice{Kind: sched.KindHW, Opt: inst.Option[v], Group: gi}
+		}
+	}
+	s, err := sched.ListSchedule(d, a, cfg)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("replace: %s: %w", d.Name, err)
+	}
+	return s, a, instances, nil
+}
+
+// legalInstance checks non-overlap, eligibility, convexity and port limits.
+func legalInstance(d *dfg.DFG, cfg machine.Config, nodes, used graph.NodeSet) bool {
+	if nodes.Intersect(used).Len() > 0 {
+		return false
+	}
+	if !d.AllEligible(nodes) || !d.IsConvex(nodes) {
+		return false
+	}
+	return d.In(nodes) <= cfg.ReadPorts && d.Out(nodes) <= cfg.WritePorts
+}
+
+// ownInstance deploys the exploration-proved occurrence of cand in its own
+// source DFG.
+func ownInstance(d *dfg.DFG, cfg machine.Config, cand *merging.Candidate, used graph.NodeSet) (Instance, bool) {
+	if !legalInstance(d, cfg, cand.ISE.Nodes, used) {
+		return Instance{}, false
+	}
+	opt := make(map[int]int, len(cand.ISE.Option))
+	for k, v := range cand.ISE.Option {
+		opt[k] = v
+	}
+	return Instance{Cand: cand, Nodes: cand.ISE.Nodes, Option: opt}, true
+}
+
+// crossMatches finds additional legal, non-overlapping occurrences of cand's
+// pattern in d.
+func crossMatches(d *dfg.DFG, cfg machine.Config, cand *merging.Candidate, used graph.NodeSet) []Instance {
+	var out []Instance
+	claim := used.Clone()
+	for _, m := range cand.Matches(d, maxMatchesPerISE) {
+		nodes := m.Targets(d.Len())
+		if !legalInstance(d, cfg, nodes, claim) {
+			continue
+		}
+		option := make(map[int]int, len(m))
+		for p, t := range m {
+			option[t] = cand.ISE.Option[p]
+		}
+		out = append(out, Instance{Cand: cand, Nodes: nodes, Option: option})
+		claim = claim.Union(nodes)
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+// Package sched implements instruction scheduling for the multiple-issue
+// machine: the per-cycle resource ledger used by the incremental
+// Operation-Scheduling of the exploration algorithm (Figs. 4.3.3/4.3.4 of
+// the paper), and a full list scheduler that evaluates a DFG under a given
+// implementation-option assignment, identifying the critical path.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dfg"
+	"repro/internal/graph"
+	"repro/internal/isa"
+)
+
+// Kind says whether a node executes in software (core FU) or hardware
+// (inside an ISE on the ASFU).
+type Kind uint8
+
+// Implementation kinds.
+const (
+	KindSW Kind = iota
+	KindHW
+)
+
+// NodeChoice is the implementation decision for one DFG node.
+type NodeChoice struct {
+	Kind Kind
+	// Opt indexes the node's SW or HW option table according to Kind.
+	Opt int
+	// Group identifies the ISE instruction this node belongs to when
+	// Kind == KindHW. Nodes sharing a Group issue as one instruction.
+	Group int
+}
+
+// Assignment maps every DFG node to its implementation choice.
+type Assignment []NodeChoice
+
+// AllSoftware returns the assignment that runs all n nodes on the core with
+// their first software option — the paper's "without ISE" reference point.
+func AllSoftware(n int) Assignment {
+	a := make(Assignment, n)
+	for i := range a {
+		a[i] = NodeChoice{Kind: KindSW, Opt: 0, Group: -1}
+	}
+	return a
+}
+
+// Group is one ISE instruction: a set of hardware-implemented nodes issued
+// as a unit.
+type Group struct {
+	ID    int
+	Nodes graph.NodeSet
+}
+
+// Groups extracts the ISE groups of the assignment in ascending ID order.
+func (a Assignment) Groups(n int) []Group {
+	byID := map[int][]int{}
+	for i := 0; i < n; i++ {
+		if a[i].Kind == KindHW {
+			byID[a[i].Group] = append(byID[a[i].Group], i)
+		}
+	}
+	ids := make([]int, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]Group, 0, len(ids))
+	for _, id := range ids {
+		s := graph.NewNodeSet(n)
+		for _, v := range byID[id] {
+			s.Add(v)
+		}
+		out = append(out, Group{ID: id, Nodes: s})
+	}
+	return out
+}
+
+// Validate checks that the assignment is structurally sound for d: HW
+// choices index real options and group members are connected, eligible and
+// convex.
+func (a Assignment) Validate(d *dfg.DFG) error {
+	if len(a) != d.Len() {
+		return fmt.Errorf("sched: assignment covers %d nodes, DFG has %d", len(a), d.Len())
+	}
+	for i, c := range a {
+		n := d.Nodes[i]
+		switch c.Kind {
+		case KindSW:
+			if c.Opt < 0 || c.Opt >= len(n.SW) {
+				return fmt.Errorf("sched: node %d sw option %d out of range", i, c.Opt)
+			}
+		case KindHW:
+			if c.Opt < 0 || c.Opt >= len(n.HW) {
+				return fmt.Errorf("sched: node %d hw option %d out of range", i, c.Opt)
+			}
+			if c.Group < 0 {
+				return fmt.Errorf("sched: node %d is hardware without a group", i)
+			}
+		default:
+			return fmt.Errorf("sched: node %d has unknown kind %d", i, c.Kind)
+		}
+	}
+	groups := a.Groups(d.Len())
+	for _, g := range groups {
+		if !d.AllEligible(g.Nodes) {
+			return fmt.Errorf("sched: group %d contains an ISE-ineligible node", g.ID)
+		}
+		if !d.IsConvex(g.Nodes) {
+			return fmt.Errorf("sched: group %d is not convex", g.ID)
+		}
+	}
+	// Convexity is per-group; pairs of groups must additionally not be
+	// mutually dependent, or neither could issue atomically.
+	for i := range groups {
+		for j := i + 1; j < len(groups); j++ {
+			if d.Interlocked(groups[i].Nodes, groups[j].Nodes) {
+				return fmt.Errorf("sched: groups %d and %d are mutually dependent", groups[i].ID, groups[j].ID)
+			}
+		}
+	}
+	return nil
+}
+
+// GroupDelayNS returns the critical-path propagation delay (ns) through the
+// group's chosen hardware cells — the combinational depth of the ISE
+// datapath.
+func GroupDelayNS(d *dfg.DFG, nodes graph.NodeSet, a Assignment) float64 {
+	order, err := d.G.TopoOrder()
+	if err != nil {
+		panic("sched: cyclic DFG")
+	}
+	dist := map[int]float64{}
+	best := 0.0
+	for _, v := range order {
+		if !nodes.Contains(v) {
+			continue
+		}
+		in := 0.0
+		for _, u := range d.G.Preds(v) {
+			if nodes.Contains(u) && dist[u] > in {
+				in = dist[u]
+			}
+		}
+		dist[v] = in + d.Nodes[v].HW[a[v].Opt].DelayNS
+		if dist[v] > best {
+			best = dist[v]
+		}
+	}
+	return best
+}
+
+// GroupAreaUM2 returns the total silicon area of the group's chosen
+// hardware cells.
+func GroupAreaUM2(d *dfg.DFG, nodes graph.NodeSet, a Assignment) float64 {
+	area := 0.0
+	for _, v := range nodes.Values() {
+		area += d.Nodes[v].HW[a[v].Opt].AreaUM2
+	}
+	return area
+}
+
+// CyclesForDelay converts a combinational delay to whole execution cycles
+// (pipestage timing constraint: an ISE occupies ⌈delay/cycle⌉ stages).
+func CyclesForDelay(delayNS float64) int {
+	c := int(math.Ceil(delayNS / isa.CycleNS))
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// GroupCycles returns the execution cycle count of the group.
+func GroupCycles(d *dfg.DFG, nodes graph.NodeSet, a Assignment) int {
+	return CyclesForDelay(GroupDelayNS(d, nodes, a))
+}
+
+// swReads returns the register read-port demand of a software node.
+func swReads(d *dfg.DFG, id int) int { return len(d.Nodes[id].Inputs) }
+
+// swWrites returns the register write-port demand of a software node.
+func swWrites(d *dfg.DFG, id int) int {
+	if _, ok := d.Nodes[id].Instr.Defs(); ok {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,73 @@
+package sched
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/dfg"
+)
+
+// Gantt renders the schedule as a cycle-by-cycle timetable: one line per
+// cycle listing the instructions issued there, with ISE groups shown as
+// single entries spanning their latency. The paper's Figs. 1.3.1 and 4.0.2
+// draw exactly this view.
+func (s *Schedule) Gantt(w io.Writer, d *dfg.DFG, a Assignment) {
+	type slot struct {
+		text    string
+		isISE   bool
+		through int // last cycle occupied
+	}
+	byCycle := map[int][]slot{}
+	seenGroup := map[int]bool{}
+	for v := 0; v < d.Len(); v++ {
+		c := s.NodeCycle[v]
+		if a[v].Kind == KindHW {
+			if seenGroup[a[v].Group] {
+				continue
+			}
+			seenGroup[a[v].Group] = true
+			var members []string
+			for u := 0; u < d.Len(); u++ {
+				if a[u].Kind == KindHW && a[u].Group == a[v].Group {
+					members = append(members, fmt.Sprintf("n%d", u))
+				}
+			}
+			byCycle[c] = append(byCycle[c], slot{
+				text:    fmt.Sprintf("ISE{%s}", strings.Join(members, " ")),
+				isISE:   true,
+				through: s.NodeDone[v],
+			})
+			continue
+		}
+		byCycle[c] = append(byCycle[c], slot{
+			text:    fmt.Sprintf("n%-2d %s", v, d.Nodes[v].Instr),
+			through: s.NodeDone[v],
+		})
+	}
+	fmt.Fprintf(w, "schedule of %s: %d cycles\n", d.Name, s.Length)
+	for c := 1; c <= s.Length; c++ {
+		slots := byCycle[c]
+		sort.Slice(slots, func(i, j int) bool { return slots[i].text < slots[j].text })
+		if len(slots) == 0 {
+			fmt.Fprintf(w, "  C%-3d | (ASFU busy)\n", c)
+			continue
+		}
+		for i, sl := range slots {
+			head := fmt.Sprintf("C%-3d", c)
+			if i > 0 {
+				head = "    "
+			}
+			span := ""
+			if sl.through > c {
+				span = fmt.Sprintf("  [through C%d]", sl.through)
+			}
+			mark := " "
+			if sl.isISE {
+				mark = "*"
+			}
+			fmt.Fprintf(w, "  %s |%s %s%s\n", head, mark, sl.text, span)
+		}
+	}
+}

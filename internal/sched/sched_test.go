@@ -1,0 +1,421 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/dfg"
+	"repro/internal/graph"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/prog"
+)
+
+// blockDFG assembles a single-block program and returns its DFG.
+func blockDFG(t *testing.T, emit func(b *prog.Builder)) *dfg.DFG {
+	t.Helper()
+	b := prog.NewBuilder("t")
+	emit(b)
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv := prog.ComputeLiveness(p)
+	return dfg.Build(p, 0, 1, lv.LiveOut[0])
+}
+
+// chainDFG is k dependent adds: t0 = a0+a1; t0 = t0+a1; ...
+func chainDFG(t *testing.T, k int) *dfg.DFG {
+	return blockDFG(t, func(b *prog.Builder) {
+		b.R(isa.OpADD, prog.T0, prog.A0, prog.A1)
+		for i := 1; i < k; i++ {
+			b.R(isa.OpADD, prog.T0, prog.T0, prog.A1)
+		}
+	})
+}
+
+// wideDFG is k independent adds.
+func wideDFG(t *testing.T, k int) *dfg.DFG {
+	return blockDFG(t, func(b *prog.Builder) {
+		for i := 0; i < k; i++ {
+			b.R(isa.OpADD, prog.T0+prog.Reg(i), prog.A0, prog.A1)
+		}
+	})
+}
+
+func mustSchedule(t *testing.T, d *dfg.DFG, a Assignment, cfg machine.Config) *Schedule {
+	t.Helper()
+	s, err := ListSchedule(d, a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestChainSerializesRegardlessOfWidth(t *testing.T) {
+	d := chainDFG(t, 4) // 4 adds + halt
+	a := AllSoftware(d.Len())
+	for _, cfg := range []machine.Config{machine.SingleIssue(), machine.New(4, 10, 5)} {
+		s := mustSchedule(t, d, a, cfg)
+		// 4 dependent adds take 4 cycles; halt is independent.
+		if s.Length < 4 {
+			t.Errorf("%s: length %d < 4 for dependent chain", cfg.Name, s.Length)
+		}
+	}
+}
+
+func TestWideDFGUsesIssueWidth(t *testing.T) {
+	d := wideDFG(t, 6) // 6 independent adds + halt
+	a := AllSoftware(d.Len())
+	s1 := mustSchedule(t, d, a, machine.SingleIssue())
+	s2 := mustSchedule(t, d, a, machine.New(2, 6, 3))
+	s3 := mustSchedule(t, d, a, machine.New(3, 8, 4))
+	if s1.Length < 6 {
+		t.Errorf("single-issue length %d < 6", s1.Length)
+	}
+	if s2.Length >= s1.Length {
+		t.Errorf("2-issue (%d) not faster than single (%d)", s2.Length, s1.Length)
+	}
+	if s3.Length > s2.Length {
+		t.Errorf("3-issue (%d) slower than 2-issue (%d)", s3.Length, s2.Length)
+	}
+}
+
+func TestReadPortsLimitParallelism(t *testing.T) {
+	d := wideDFG(t, 8)
+	a := AllSoftware(d.Len())
+	// 4-issue but only 4 read ports: two 2-source adds per cycle.
+	s := mustSchedule(t, d, a, machine.New(4, 4, 2))
+	if s.Length < 4 {
+		t.Errorf("length %d, read ports should force ≥4 cycles", s.Length)
+	}
+	wide := mustSchedule(t, d, a, machine.New(4, 8, 4))
+	if wide.Length >= s.Length {
+		t.Errorf("more ports (%d) not faster than fewer (%d)", wide.Length, s.Length)
+	}
+}
+
+func TestMultUnitContention(t *testing.T) {
+	d := blockDFG(t, func(b *prog.Builder) {
+		b.Mult(isa.OpMULT, prog.A0, prog.A1)
+		b.MoveFrom(isa.OpMFLO, prog.T0)
+		b.Mult(isa.OpMULT, prog.A2, prog.A3) // second mult, single mult unit
+		b.MoveFrom(isa.OpMFLO, prog.T1)
+	})
+	a := AllSoftware(d.Len())
+	s := mustSchedule(t, d, a, machine.New(4, 10, 5))
+	// The two mults serialize on the single mult unit... but note they also
+	// serialize through HILO dataflow. Either way ≥ 3 cycles total.
+	if s.Length < 3 {
+		t.Errorf("length = %d, want ≥ 3", s.Length)
+	}
+}
+
+func TestDependentIssuesNextCycle(t *testing.T) {
+	d := chainDFG(t, 2)
+	a := AllSoftware(d.Len())
+	s := mustSchedule(t, d, a, machine.New(2, 6, 3))
+	if s.NodeCycle[1] <= s.NodeCycle[0] {
+		t.Errorf("dependent op at cycle %d, producer at %d", s.NodeCycle[1], s.NodeCycle[0])
+	}
+}
+
+func TestISEGroupSchedulesAsUnit(t *testing.T) {
+	// Chain a0+a1 -> ^a0 -> +a0: group all three as one ISE.
+	d := blockDFG(t, func(b *prog.Builder) {
+		b.R(isa.OpADD, prog.T0, prog.A0, prog.A1)
+		b.R(isa.OpXOR, prog.T1, prog.T0, prog.A0)
+		b.R(isa.OpADD, prog.V0, prog.T1, prog.A0)
+	})
+	a := AllSoftware(d.Len())
+	for i := 0; i < 3; i++ {
+		a[i] = NodeChoice{Kind: KindHW, Opt: 0, Group: 0}
+	}
+	s := mustSchedule(t, d, a, machine.New(2, 4, 2))
+	if s.NodeCycle[0] != s.NodeCycle[1] || s.NodeCycle[1] != s.NodeCycle[2] {
+		t.Errorf("group nodes at cycles %v, want identical", s.NodeCycle[:3])
+	}
+	// Delay: 4.04 + 4.17 + 4.04 = 12.25 ns -> 2 cycles.
+	set := graph.NodeSetOf(d.Len(), 0, 1, 2)
+	if got := GroupCycles(d, set, a); got != 2 {
+		t.Errorf("GroupCycles = %d, want 2", got)
+	}
+	if s.NodeDone[0] != s.NodeCycle[0]+1 {
+		t.Errorf("ISE done at %d, issued %d, want 2-cycle occupancy", s.NodeDone[0], s.NodeCycle[0])
+	}
+	// The same three ops in software need 3 cycles (dependence chain).
+	sw := mustSchedule(t, d, AllSoftware(d.Len()), machine.New(2, 4, 2))
+	if sw.Length <= s.Length {
+		t.Errorf("ISE schedule (%d) not shorter than software (%d)", s.Length, sw.Length)
+	}
+}
+
+func TestFastOptionShortensGroup(t *testing.T) {
+	d := blockDFG(t, func(b *prog.Builder) {
+		b.R(isa.OpADD, prog.T0, prog.A0, prog.A1)
+		b.R(isa.OpADD, prog.T1, prog.T0, prog.A0)
+	})
+	slow := Assignment{
+		{Kind: KindHW, Opt: 0, Group: 0},
+		{Kind: KindHW, Opt: 0, Group: 0},
+		{Kind: KindSW, Opt: 0, Group: -1},
+	}
+	fast := Assignment{
+		{Kind: KindHW, Opt: 1, Group: 0},
+		{Kind: KindHW, Opt: 1, Group: 0},
+		{Kind: KindSW, Opt: 0, Group: -1},
+	}
+	set := graph.NodeSetOf(d.Len(), 0, 1)
+	if GroupDelayNS(d, set, slow) <= GroupDelayNS(d, set, fast) {
+		t.Error("slow option not slower than fast option")
+	}
+	// slow: 8.08 ns -> 1 cycle; fast: 4.24 ns -> 1 cycle.
+	if GroupCycles(d, set, slow) != 1 || GroupCycles(d, set, fast) != 1 {
+		t.Error("two chained adds should fit one 10 ns cycle either way")
+	}
+	if GroupAreaUM2(d, set, fast) <= GroupAreaUM2(d, set, slow) {
+		t.Error("fast option not larger than slow option")
+	}
+}
+
+func TestCriticalPathIdentification(t *testing.T) {
+	// Chain of 3 (critical) plus one independent add (not critical).
+	d := blockDFG(t, func(b *prog.Builder) {
+		b.R(isa.OpADD, prog.T0, prog.A0, prog.A1) // n0 critical
+		b.R(isa.OpADD, prog.T1, prog.T0, prog.A0) // n1 critical
+		b.R(isa.OpADD, prog.T2, prog.T1, prog.A0) // n2 critical
+		b.R(isa.OpADD, prog.T3, prog.A2, prog.A3) // n3 off-critical
+	})
+	a := AllSoftware(d.Len())
+	s := mustSchedule(t, d, a, machine.New(2, 6, 3))
+	for _, id := range []int{0, 1, 2} {
+		if !s.Critical.Contains(id) {
+			t.Errorf("node %d not marked critical", id)
+		}
+	}
+	if s.Critical.Contains(3) {
+		t.Error("independent node marked critical")
+	}
+}
+
+func TestAssignmentValidation(t *testing.T) {
+	d := blockDFG(t, func(b *prog.Builder) {
+		b.R(isa.OpADD, prog.T0, prog.A0, prog.A1)
+		b.Load(isa.OpLW, prog.T1, prog.SP, 0)
+	})
+	t.Run("wrong length", func(t *testing.T) {
+		if err := (Assignment{}).Validate(d); err == nil {
+			t.Error("accepted")
+		}
+	})
+	t.Run("bad sw option", func(t *testing.T) {
+		a := AllSoftware(d.Len())
+		a[0].Opt = 5
+		if err := a.Validate(d); err == nil {
+			t.Error("accepted")
+		}
+	})
+	t.Run("hw without group", func(t *testing.T) {
+		a := AllSoftware(d.Len())
+		a[0] = NodeChoice{Kind: KindHW, Opt: 0, Group: -1}
+		if err := a.Validate(d); err == nil {
+			t.Error("accepted")
+		}
+	})
+	t.Run("load in group", func(t *testing.T) {
+		a := AllSoftware(d.Len())
+		a[1] = NodeChoice{Kind: KindHW, Opt: 0, Group: 0}
+		if err := a.Validate(d); err == nil {
+			t.Error("accepted")
+		}
+	})
+	t.Run("non-convex group", func(t *testing.T) {
+		d := chainDFG(t, 3)
+		a := AllSoftware(d.Len())
+		a[0] = NodeChoice{Kind: KindHW, Opt: 0, Group: 0}
+		a[2] = NodeChoice{Kind: KindHW, Opt: 0, Group: 0} // skips middle
+		if err := a.Validate(d); err == nil {
+			t.Error("accepted")
+		}
+	})
+}
+
+func TestISEPortOverflowRejected(t *testing.T) {
+	// An ISE needing 5 reads on a 4-read machine must be rejected.
+	d := blockDFG(t, func(b *prog.Builder) {
+		b.R(isa.OpADD, prog.T0, prog.A0, prog.A1)
+		b.R(isa.OpADD, prog.T1, prog.A2, prog.A3)
+		b.R(isa.OpADD, prog.T2, prog.T0, prog.T1)
+		b.R(isa.OpXOR, prog.T3, prog.T2, prog.S0) // 5th external input $s0
+	})
+	a := AllSoftware(d.Len())
+	for i := 0; i < 4; i++ {
+		a[i] = NodeChoice{Kind: KindHW, Opt: 0, Group: 0}
+	}
+	if _, err := ListSchedule(d, a, machine.New(2, 4, 2)); err == nil {
+		t.Fatal("5-input ISE accepted on 4-read-port machine")
+	}
+	if _, err := ListSchedule(d, a, machine.New(2, 6, 3)); err != nil {
+		t.Fatalf("5-input ISE rejected on 6-read-port machine: %v", err)
+	}
+}
+
+func TestTableSWBookkeeping(t *testing.T) {
+	tb := NewTable(machine.New(2, 4, 2))
+	if !tb.FitsSW(1, isa.ClassALU, 2, 1) {
+		t.Fatal("empty cycle rejects ALU op")
+	}
+	tb.ReserveSW(1, isa.ClassALU, 2, 1)
+	if !tb.FitsSW(1, isa.ClassALU, 2, 1) {
+		t.Fatal("second ALU op rejected with capacity left")
+	}
+	tb.ReserveSW(1, isa.ClassALU, 2, 1)
+	// Issue width exhausted.
+	if tb.FitsSW(1, isa.ClassALU, 0, 0) {
+		t.Fatal("third op accepted beyond issue width")
+	}
+	if tb.MaxCycle() != 1 {
+		t.Fatalf("MaxCycle = %d", tb.MaxCycle())
+	}
+	tb.Reset()
+	if tb.MaxCycle() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestTableReadPortExhaustion(t *testing.T) {
+	tb := NewTable(machine.New(4, 4, 2))
+	tb.ReserveSW(1, isa.ClassALU, 3, 1)
+	if tb.FitsSW(1, isa.ClassShift, 2, 1) {
+		t.Fatal("accepted op beyond read ports")
+	}
+	if !tb.FitsSW(1, isa.ClassShift, 1, 1) {
+		t.Fatal("rejected op fitting remaining read port")
+	}
+}
+
+func TestTableISELifecycle(t *testing.T) {
+	tb := NewTable(machine.New(2, 4, 2))
+	if !tb.FitsNewISE(1, 2, 3, 1) {
+		t.Fatal("fresh ISE rejected")
+	}
+	tb.ReserveNewISE(1, 2, 3, 1)
+	// ASFU busy at cycles 1 and 2.
+	if tb.FitsNewISE(2, 1, 2, 1) {
+		t.Fatal("second ISE accepted while ASFU busy")
+	}
+	if !tb.FitsNewISE(3, 1, 2, 1) {
+		t.Fatal("ISE rejected after ASFU frees")
+	}
+	// Grow the first ISE: +1 read, +1 cycle of latency.
+	if !tb.FitsISEUpdate(1, 2, 3, 3, 4, 1, 1) {
+		t.Fatal("legal ISE growth rejected")
+	}
+	tb.UpdateISE(1, 2, 3, 3, 4, 1, 1)
+	if tb.FitsNewISE(3, 1, 2, 1) {
+		t.Fatal("ISE accepted at cycle 3 after growth occupied it")
+	}
+	// Ports at issue cycle now 4/4: no more reads available.
+	if tb.FitsISEUpdate(1, 3, 3, 4, 5, 1, 1) {
+		t.Fatal("read-port overflow growth accepted")
+	}
+	// Shrink back and the slot frees again.
+	tb.UpdateISE(1, 3, 2, 4, 4, 1, 1)
+	if !tb.FitsNewISE(3, 1, 2, 1) {
+		t.Fatal("slot not reclaimed after ISE shrink")
+	}
+}
+
+func TestScheduleBenchmarksAllSoftware(t *testing.T) {
+	// Every hot block of every benchmark must schedule on every machine
+	// config, and wider machines can never be slower.
+	for _, bm := range bench.All() {
+		prof, err := bm.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		hot := prof.HotBlocks(bm.Prog, 2)
+		for _, d := range dfg.BuildAll(bm.Prog, hot, prof.BlockCounts) {
+			a := AllSoftware(d.Len())
+			prev := -1
+			for _, cfg := range machine.Configs() {
+				s, err := ListSchedule(d, a, cfg)
+				if err != nil {
+					t.Fatalf("%s %s on %s: %v", bm.FullName(), d.Name, cfg.Name, err)
+				}
+				if s.Length < d.CriticalPathLen() {
+					t.Errorf("%s %s on %s: length %d below dependence bound %d",
+						bm.FullName(), d.Name, cfg.Name, s.Length, d.CriticalPathLen())
+				}
+				if s.Critical.Empty() {
+					t.Errorf("%s %s: no critical nodes", bm.FullName(), d.Name)
+				}
+				// Dependences respected.
+				for u := 0; u < d.G.Len(); u++ {
+					for _, v := range d.G.Succs(u) {
+						if s.NodeCycle[v] <= s.NodeDone[u] && s.NodeCycle[v] != s.NodeCycle[u] {
+							t.Errorf("%s %s: edge (%d,%d) violated: done %d, issue %d",
+								bm.FullName(), d.Name, u, v, s.NodeDone[u], s.NodeCycle[v])
+						}
+					}
+				}
+				_ = prev
+				prev = s.Length
+			}
+		}
+	}
+}
+
+func TestGanttRendersAllCycles(t *testing.T) {
+	d := blockDFG(t, func(b *prog.Builder) {
+		b.R(isa.OpAND, prog.T0, prog.A0, prog.A1)
+		b.R(isa.OpXOR, prog.T1, prog.T0, prog.A0)
+		b.R(isa.OpOR, prog.T2, prog.T1, prog.A1)
+	})
+	a := AllSoftware(d.Len())
+	a[0] = NodeChoice{Kind: KindHW, Opt: 0, Group: 0}
+	a[1] = NodeChoice{Kind: KindHW, Opt: 0, Group: 0}
+	s := mustSchedule(t, d, a, machine.New(2, 4, 2))
+	var buf strings.Builder
+	s.Gantt(&buf, d, a)
+	out := buf.String()
+	if !strings.Contains(out, "ISE{n0 n1}") {
+		t.Errorf("Gantt missing ISE entry:\n%s", out)
+	}
+	for c := 1; c <= s.Length; c++ {
+		if !strings.Contains(out, fmt.Sprintf("C%-3d", c)) {
+			t.Errorf("Gantt missing cycle %d:\n%s", c, out)
+		}
+	}
+}
+
+func TestTwoASFUsRunISEsConcurrently(t *testing.T) {
+	// Two independent 2-op ISEs: with one ASFU they serialize; with two
+	// they issue in the same cycle.
+	d := blockDFG(t, func(b *prog.Builder) {
+		b.R(isa.OpAND, prog.T0, prog.A0, prog.A1)
+		b.R(isa.OpXOR, prog.T1, prog.T0, prog.A0)
+		b.R(isa.OpAND, prog.T2, prog.A2, prog.A3)
+		b.R(isa.OpXOR, prog.T3, prog.T2, prog.A2)
+	})
+	a := AllSoftware(d.Len())
+	a[0] = NodeChoice{Kind: KindHW, Opt: 0, Group: 0}
+	a[1] = NodeChoice{Kind: KindHW, Opt: 0, Group: 0}
+	a[2] = NodeChoice{Kind: KindHW, Opt: 0, Group: 1}
+	a[3] = NodeChoice{Kind: KindHW, Opt: 0, Group: 1}
+	one := mustSchedule(t, d, a, machine.New(2, 6, 3))
+	two := mustSchedule(t, d, a, machine.New(2, 6, 3).WithASFUs(2))
+	if one.NodeCycle[0] == one.NodeCycle[2] {
+		t.Fatalf("single ASFU ran both ISEs at cycle %d", one.NodeCycle[0])
+	}
+	if two.NodeCycle[0] != two.NodeCycle[2] {
+		t.Fatalf("two ASFUs did not run ISEs concurrently: %d vs %d",
+			two.NodeCycle[0], two.NodeCycle[2])
+	}
+	if err := Verify(d, a, machine.New(2, 6, 3).WithASFUs(2), two); err != nil {
+		t.Fatal(err)
+	}
+}

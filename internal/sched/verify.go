@@ -1,0 +1,109 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/dfg"
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+// Verify independently checks that a schedule is feasible for d under a and
+// cfg: every dependence is satisfied (a consumer issues after its producer
+// completes, unless both sit in the same ISE), and no cycle oversubscribes
+// issue slots, functional units, register ports or the ASFU. It is the
+// test oracle for the scheduler and for externally constructed schedules.
+func Verify(d *dfg.DFG, a Assignment, cfg machine.Config, s *Schedule) error {
+	if err := a.Validate(d); err != nil {
+		return err
+	}
+	if len(s.NodeCycle) != d.Len() || len(s.NodeDone) != d.Len() {
+		return fmt.Errorf("sched: verify: schedule covers %d nodes, DFG has %d", len(s.NodeCycle), d.Len())
+	}
+	groupOf := make([]int, d.Len())
+	for i := range groupOf {
+		groupOf[i] = -1
+	}
+	groups := a.Groups(d.Len())
+	for gi, g := range groups {
+		for _, v := range g.Nodes.Values() {
+			groupOf[v] = gi
+		}
+	}
+
+	// Dependences.
+	for u := 0; u < d.G.Len(); u++ {
+		for _, v := range d.G.Succs(u) {
+			if groupOf[u] >= 0 && groupOf[u] == groupOf[v] {
+				if s.NodeCycle[u] != s.NodeCycle[v] {
+					return fmt.Errorf("sched: verify: group-mates %d,%d issue at %d,%d", u, v, s.NodeCycle[u], s.NodeCycle[v])
+				}
+				continue
+			}
+			if s.NodeCycle[v] <= s.NodeDone[u] {
+				return fmt.Errorf("sched: verify: edge (%d,%d): consumer at %d, producer done %d", u, v, s.NodeCycle[v], s.NodeDone[u])
+			}
+		}
+	}
+
+	// Per-cycle resources.
+	type use struct {
+		issue, reads, writes, asfu int
+		fu                         [isa.NumClasses]int
+	}
+	usage := map[int]*use{}
+	at := func(c int) *use {
+		if usage[c] == nil {
+			usage[c] = &use{}
+		}
+		return usage[c]
+	}
+	seenGroup := map[int]bool{}
+	for v := 0; v < d.Len(); v++ {
+		c := s.NodeCycle[v]
+		if c < 1 {
+			return fmt.Errorf("sched: verify: node %d at cycle %d", v, c)
+		}
+		if gi := groupOf[v]; gi >= 0 {
+			if seenGroup[gi] {
+				continue
+			}
+			seenGroup[gi] = true
+			g := groups[gi]
+			u := at(c)
+			u.issue++
+			u.reads += d.In(g.Nodes)
+			u.writes += d.Out(g.Nodes)
+			lat := GroupCycles(d, g.Nodes, a)
+			for k := 0; k < lat; k++ {
+				at(c+k).asfu++
+			}
+			continue
+		}
+		u := at(c)
+		u.issue++
+		u.reads += swReads(d, v)
+		u.writes += swWrites(d, v)
+		u.fu[d.Nodes[v].SW[a[v].Opt].Class]++
+	}
+	for c, u := range usage {
+		if u.issue > cfg.IssueWidth {
+			return fmt.Errorf("sched: verify: cycle %d issues %d > width %d", c, u.issue, cfg.IssueWidth)
+		}
+		if u.reads > cfg.ReadPorts {
+			return fmt.Errorf("sched: verify: cycle %d reads %d > %d ports", c, u.reads, cfg.ReadPorts)
+		}
+		if u.writes > cfg.WritePorts {
+			return fmt.Errorf("sched: verify: cycle %d writes %d > %d ports", c, u.writes, cfg.WritePorts)
+		}
+		if u.asfu > cfg.ASFUs {
+			return fmt.Errorf("sched: verify: cycle %d uses %d ASFUs > %d", c, u.asfu, cfg.ASFUs)
+		}
+		for cl, n := range u.fu {
+			if n > cfg.FUs[cl] {
+				return fmt.Errorf("sched: verify: cycle %d uses %d %v units > %d", c, n, isa.Class(cl), cfg.FUs[cl])
+			}
+		}
+	}
+	return nil
+}

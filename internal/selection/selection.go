@@ -1,0 +1,75 @@
+// Package selection implements the ISE-selection stage of the design flow
+// (§3.1, §5.1): rank ISE candidates by performance improvement and greedily
+// choose as many as possible under the silicon-area and ISA-format
+// (instruction count) constraints, with hardware sharing — an ASFU already
+// paid for by one selected candidate is free for every candidate merged into
+// the same group.
+package selection
+
+import (
+	"sort"
+
+	"repro/internal/merging"
+)
+
+// Constraints bound the selection. Zero values mean unconstrained.
+type Constraints struct {
+	// MaxAreaUM2 caps the total ASFU silicon area.
+	MaxAreaUM2 float64
+	// MaxISEs caps the number of selected ISEs (unused-opcode budget).
+	MaxISEs int
+}
+
+// Decision is the outcome of selection.
+type Decision struct {
+	// Selected candidates in rank order.
+	Selected []*merging.Candidate
+	// AreaUM2 is the total hardware area charged (shared groups once).
+	AreaUM2 float64
+}
+
+// Select greedily picks candidates by descending gain. Each candidate's
+// incremental area cost is its group's area if the group is not yet charged,
+// zero otherwise (hardware sharing).
+func Select(groups []merging.Group, c Constraints) Decision {
+	type ranked struct {
+		cand  *merging.Candidate
+		group int
+	}
+	var all []ranked
+	for gi, g := range groups {
+		for _, cand := range g.Members {
+			all = append(all, ranked{cand, gi})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.cand.Gain != b.cand.Gain {
+			return a.cand.Gain > b.cand.Gain
+		}
+		// Prefer cheaper hardware on ties.
+		return groups[a.group].AreaUM2 < groups[b.group].AreaUM2
+	})
+
+	charged := make([]bool, len(groups))
+	var dec Decision
+	for _, r := range all {
+		if r.cand.Gain <= 0 {
+			continue
+		}
+		if c.MaxISEs > 0 && len(dec.Selected) >= c.MaxISEs {
+			break
+		}
+		cost := 0.0
+		if !charged[r.group] {
+			cost = groups[r.group].AreaUM2
+		}
+		if c.MaxAreaUM2 > 0 && dec.AreaUM2+cost > c.MaxAreaUM2 {
+			continue // too big; a cheaper later candidate may still fit
+		}
+		dec.Selected = append(dec.Selected, r.cand)
+		dec.AreaUM2 += cost
+		charged[r.group] = true
+	}
+	return dec
+}

@@ -1,0 +1,92 @@
+package selection
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/merging"
+)
+
+// mkGroup builds a group with the given area whose members have the given
+// gains.
+func mkGroup(area float64, gains ...float64) merging.Group {
+	g := merging.Group{AreaUM2: area}
+	for _, gain := range gains {
+		g.Members = append(g.Members, &merging.Candidate{ISE: &core.ISE{AreaUM2: area}, Gain: gain})
+	}
+	return g
+}
+
+func TestSelectRanksByGain(t *testing.T) {
+	groups := []merging.Group{mkGroup(100, 5), mkGroup(100, 20), mkGroup(100, 10)}
+	dec := Select(groups, Constraints{})
+	if len(dec.Selected) != 3 {
+		t.Fatalf("selected %d, want 3", len(dec.Selected))
+	}
+	if dec.Selected[0].Gain != 20 || dec.Selected[1].Gain != 10 || dec.Selected[2].Gain != 5 {
+		t.Fatalf("rank order wrong: %v", []float64{dec.Selected[0].Gain, dec.Selected[1].Gain, dec.Selected[2].Gain})
+	}
+	if dec.AreaUM2 != 300 {
+		t.Fatalf("area %v, want 300", dec.AreaUM2)
+	}
+}
+
+func TestSelectAreaConstraint(t *testing.T) {
+	groups := []merging.Group{mkGroup(150, 20), mkGroup(100, 10), mkGroup(60, 5)}
+	dec := Select(groups, Constraints{MaxAreaUM2: 220})
+	// 150 (gain 20) + 60 (gain 5) fit; the 100 group would exceed after the
+	// first pick.
+	if len(dec.Selected) != 2 {
+		t.Fatalf("selected %d, want 2: %+v", len(dec.Selected), dec)
+	}
+	if dec.Selected[0].Gain != 20 || dec.Selected[1].Gain != 5 {
+		t.Fatalf("wrong members under area cap")
+	}
+	if dec.AreaUM2 != 210 {
+		t.Fatalf("area %v", dec.AreaUM2)
+	}
+}
+
+func TestSelectCountConstraint(t *testing.T) {
+	groups := []merging.Group{mkGroup(10, 20), mkGroup(10, 10), mkGroup(10, 5)}
+	dec := Select(groups, Constraints{MaxISEs: 2})
+	if len(dec.Selected) != 2 {
+		t.Fatalf("selected %d, want 2", len(dec.Selected))
+	}
+	if dec.Selected[0].Gain != 20 || dec.Selected[1].Gain != 10 {
+		t.Fatal("count cap kept wrong members")
+	}
+}
+
+func TestSelectHardwareSharing(t *testing.T) {
+	// Two candidates in one group: area charged once; both selectable under
+	// a budget that fits only one standalone ASFU.
+	groups := []merging.Group{mkGroup(100, 20, 15), mkGroup(100, 18)}
+	dec := Select(groups, Constraints{MaxAreaUM2: 120})
+	if len(dec.Selected) != 2 {
+		t.Fatalf("selected %d, want the 2 sharing members", len(dec.Selected))
+	}
+	if dec.AreaUM2 != 100 {
+		t.Fatalf("area %v, want 100 (shared)", dec.AreaUM2)
+	}
+	for _, c := range dec.Selected {
+		if c.Gain == 18 {
+			t.Error("non-fitting group member selected")
+		}
+	}
+}
+
+func TestSelectSkipsNonPositiveGain(t *testing.T) {
+	groups := []merging.Group{mkGroup(10, 0), mkGroup(10, -3), mkGroup(10, 1)}
+	dec := Select(groups, Constraints{})
+	if len(dec.Selected) != 1 || dec.Selected[0].Gain != 1 {
+		t.Fatalf("selected %v", dec.Selected)
+	}
+}
+
+func TestSelectEmpty(t *testing.T) {
+	dec := Select(nil, Constraints{})
+	if len(dec.Selected) != 0 || dec.AreaUM2 != 0 {
+		t.Fatalf("non-empty decision from nothing: %+v", dec)
+	}
+}

@@ -1,0 +1,44 @@
+// Package timing is the execution-driven cross-check of the repository's
+// analytic performance model. The design flow computes whole-program cycles
+// as Σ (block schedule length × profiled execution count); this package
+// instead *executes* the program instruction by instruction on the
+// interpreter, charging each basic-block entry its scheduled cycle cost as
+// it happens. For an in-order machine without cross-block overlap the two
+// must agree exactly — and the tests prove they do on every benchmark.
+package timing
+
+import (
+	"fmt"
+
+	"repro/internal/prog"
+	"repro/internal/vm"
+)
+
+// Simulate runs p to completion on a fresh machine prepared by setup,
+// charging blockCycles[i] for every dynamic entry of block i. It returns
+// the accumulated cycle count and the run's profile.
+func Simulate(p *prog.Program, setup func(*vm.Machine) error, memSize int, maxSteps uint64, blockCycles []int) (uint64, *vm.Profile, error) {
+	if len(blockCycles) != len(p.Blocks) {
+		return 0, nil, fmt.Errorf("timing: %d block costs for %d blocks", len(blockCycles), len(p.Blocks))
+	}
+	for i, c := range blockCycles {
+		if c < 0 {
+			return 0, nil, fmt.Errorf("timing: negative cost for block %d", i)
+		}
+	}
+	m := vm.NewMachine(memSize)
+	if setup != nil {
+		if err := setup(m); err != nil {
+			return 0, nil, fmt.Errorf("timing: setup: %w", err)
+		}
+	}
+	prof, err := m.Run(p, maxSteps)
+	if err != nil {
+		return 0, nil, err
+	}
+	var total uint64
+	for i, count := range prof.BlockCounts {
+		total += count * uint64(blockCycles[i])
+	}
+	return total, prof, nil
+}

@@ -1,0 +1,126 @@
+package timing
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/prog"
+	"repro/internal/replace"
+	"repro/internal/sched"
+	"repro/internal/selection"
+)
+
+func TestSimulateValidatesArguments(t *testing.T) {
+	b := prog.NewBuilder("x")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Simulate(p, nil, 64, 100, nil); err == nil {
+		t.Error("wrong cost-vector length accepted")
+	}
+	if _, _, err := Simulate(p, nil, 64, 100, []int{-1}); err == nil {
+		t.Error("negative cost accepted")
+	}
+	total, prof, err := Simulate(p, nil, 64, 100, []int{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 7 || prof.BlockCounts[0] != 1 {
+		t.Fatalf("total = %d, counts = %v", total, prof.BlockCounts)
+	}
+}
+
+// TestAnalyticModelMatchesExecution is the headline cross-check: for every
+// benchmark, machine and algorithm, the flow's analytic whole-program cycle
+// count equals the execution-driven count — with and without ISEs.
+func TestAnalyticModelMatchesExecution(t *testing.T) {
+	cfg := machine.New(2, 4, 2)
+	params := core.FastParams()
+	for _, name := range []string{"crc32", "bitcount", "dijkstra", "sha"} {
+		for _, opt := range bench.Opts() {
+			bm, err := bench.Get(name, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pool, err := flow.BuildPool(bm, flow.Options{
+				Machine: cfg, Params: params, Algorithm: flow.MI, HotBlocks: 2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := pool.Evaluate(selection.Constraints{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Per-block costs under the selected ISEs.
+			costs := make([]int, len(bm.Prog.Blocks))
+			for bi := range bm.Prog.Blocks {
+				d, ok := pool.DFGs[bi]
+				if !ok {
+					continue // never executed: cost irrelevant
+				}
+				s, _, _, err := replace.Apply(d, cfg, rep.Selected)
+				if err != nil {
+					t.Fatal(err)
+				}
+				costs[bi] = s.Length
+			}
+			total, _, err := Simulate(bm.Prog, bm.Setup, bench.MemSize, bench.MaxSteps, costs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if float64(total) != rep.FinalCycles {
+				t.Errorf("%s/%s: executed %d cycles, analytic %v", name, opt, total, rep.FinalCycles)
+			}
+
+			// And the no-ISE baseline.
+			swCosts := make([]int, len(bm.Prog.Blocks))
+			for bi := range bm.Prog.Blocks {
+				d, ok := pool.DFGs[bi]
+				if !ok {
+					continue
+				}
+				s, err := sched.ListSchedule(d, sched.AllSoftware(d.Len()), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				swCosts[bi] = s.Length
+			}
+			swTotal, _, err := Simulate(bm.Prog, bm.Setup, bench.MemSize, bench.MaxSteps, swCosts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if float64(swTotal) != rep.BaseCycles {
+				t.Errorf("%s/%s: executed baseline %d, analytic %v", name, opt, swTotal, rep.BaseCycles)
+			}
+		}
+	}
+}
+
+// TestSimulateChargesPerEntry: a loop body is charged once per iteration.
+func TestSimulateChargesPerEntry(t *testing.T) {
+	b := prog.NewBuilder("loop")
+	b.I(isa.OpORI, prog.T0, prog.Zero, 5)
+	b.Label("l")
+	b.I(isa.OpADDI, prog.T0, prog.T0, -1)
+	b.Branch(isa.OpBNE, prog.T0, prog.Zero, "l")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, prof, err := Simulate(p, nil, 64, 1000, []int{2, 3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(2*1 + 3*5 + 1*1)
+	if total != want {
+		t.Fatalf("total = %d, want %d (counts %v)", total, want, prof.BlockCounts)
+	}
+}

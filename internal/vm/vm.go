@@ -1,0 +1,294 @@
+// Package vm interprets PISA programs and collects execution profiles. It
+// replaces the SimpleScalar profiling run of the paper's toolchain: the
+// design flow needs per-basic-block execution counts to weight each block's
+// contribution to total execution time and to pick hot blocks for ISE
+// exploration.
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// Machine is a PISA interpreter: a register file, the HI:LO multiply
+// register, and a flat little-endian byte-addressable memory.
+type Machine struct {
+	regs [prog.NumRegs]uint32
+	hilo uint64
+	mem  []byte
+
+	// Trace, when non-nil, is called after every executed instruction with
+	// the block index, the instruction's index within the block, and the
+	// value produced (the full 64-bit HI:LO for mult/multu; 0 for
+	// instructions that define nothing). It enables value-level validation
+	// of ISE datapaths against real executions.
+	Trace func(block, instr int, value uint64)
+	// TraceBlock, when non-nil, is called on every basic-block entry before
+	// its first instruction executes.
+	TraceBlock func(block int)
+}
+
+// NewMachine returns a machine with memSize bytes of zeroed memory.
+func NewMachine(memSize int) *Machine {
+	return &Machine{mem: make([]byte, memSize)}
+}
+
+// Reset zeroes registers, HI:LO and memory.
+func (m *Machine) Reset() {
+	m.regs = [prog.NumRegs]uint32{}
+	m.hilo = 0
+	for i := range m.mem {
+		m.mem[i] = 0
+	}
+}
+
+// Reg returns the value of register r ($zero always reads 0).
+func (m *Machine) Reg(r prog.Reg) uint32 {
+	if r == prog.Zero {
+		return 0
+	}
+	return m.regs[r]
+}
+
+// SetReg writes register r; writes to $zero are discarded.
+func (m *Machine) SetReg(r prog.Reg, v uint32) {
+	if r == prog.Zero {
+		return
+	}
+	m.regs[r] = v
+}
+
+// MemSize returns the memory size in bytes.
+func (m *Machine) MemSize() int { return len(m.mem) }
+
+// LoadWord loads the 32-bit little-endian word at addr.
+func (m *Machine) LoadWord(addr uint32) (uint32, error) {
+	if int(addr)+4 > len(m.mem) || addr%4 != 0 {
+		return 0, fmt.Errorf("vm: bad word read at 0x%x", addr)
+	}
+	return binary.LittleEndian.Uint32(m.mem[addr:]), nil
+}
+
+// StoreWord stores the 32-bit little-endian word v at addr.
+func (m *Machine) StoreWord(addr, v uint32) error {
+	if int(addr)+4 > len(m.mem) || addr%4 != 0 {
+		return fmt.Errorf("vm: bad word write at 0x%x", addr)
+	}
+	binary.LittleEndian.PutUint32(m.mem[addr:], v)
+	return nil
+}
+
+// LoadByte loads the byte at addr.
+func (m *Machine) LoadByte(addr uint32) (byte, error) {
+	if int(addr) >= len(m.mem) {
+		return 0, fmt.Errorf("vm: bad byte read at 0x%x", addr)
+	}
+	return m.mem[addr], nil
+}
+
+// StoreByte stores b at addr.
+func (m *Machine) StoreByte(addr uint32, b byte) error {
+	if int(addr) >= len(m.mem) {
+		return fmt.Errorf("vm: bad byte write at 0x%x", addr)
+	}
+	m.mem[addr] = b
+	return nil
+}
+
+// StoreBytes copies data into memory starting at addr.
+func (m *Machine) StoreBytes(addr uint32, data []byte) error {
+	if int(addr)+len(data) > len(m.mem) {
+		return fmt.Errorf("vm: bad block write at 0x%x (+%d)", addr, len(data))
+	}
+	copy(m.mem[addr:], data)
+	return nil
+}
+
+// Profile records the dynamic behaviour of one Run.
+type Profile struct {
+	// BlockCounts[i] is how many times basic block i was entered.
+	BlockCounts []uint64
+	// DynInstrs is the total number of instructions executed.
+	DynInstrs uint64
+}
+
+// HotBlocks returns block indices sorted by descending dynamic instruction
+// contribution (count × static length), limited to at most n blocks with
+// non-zero counts. This is the paper's "basic block selection based on
+// execution time".
+func (pr *Profile) HotBlocks(p *prog.Program, n int) []int {
+	type hb struct {
+		idx  int
+		work uint64
+	}
+	var hbs []hb
+	for i, c := range pr.BlockCounts {
+		if c == 0 {
+			continue
+		}
+		hbs = append(hbs, hb{i, c * uint64(len(p.Blocks[i].Instrs))})
+	}
+	// Insertion sort by descending work, ascending index to stay stable.
+	for i := 1; i < len(hbs); i++ {
+		for j := i; j > 0 && (hbs[j].work > hbs[j-1].work ||
+			(hbs[j].work == hbs[j-1].work && hbs[j].idx < hbs[j-1].idx)); j-- {
+			hbs[j], hbs[j-1] = hbs[j-1], hbs[j]
+		}
+	}
+	if n > len(hbs) {
+		n = len(hbs)
+	}
+	out := make([]int, 0, n)
+	for _, h := range hbs[:n] {
+		out = append(out, h.idx)
+	}
+	return out
+}
+
+// Run executes p from its first block until halt, returning the profile.
+// It fails if more than maxSteps instructions execute (runaway loop guard)
+// or on a memory fault.
+func (m *Machine) Run(p *prog.Program, maxSteps uint64) (*Profile, error) {
+	prof := &Profile{BlockCounts: make([]uint64, len(p.Blocks))}
+	bi := 0
+	for {
+		blk := p.Blocks[bi]
+		prof.BlockCounts[bi]++
+		if m.TraceBlock != nil {
+			m.TraceBlock(bi)
+		}
+		next, halted, err := m.execBlock(p, blk, prof, maxSteps)
+		if err != nil {
+			return nil, fmt.Errorf("vm: %s block %s: %w", p.Name, blk.Name(), err)
+		}
+		if halted {
+			return prof, nil
+		}
+		bi = next
+	}
+}
+
+// execBlock runs every instruction of blk and returns the next block index.
+func (m *Machine) execBlock(p *prog.Program, blk *prog.BasicBlock, prof *Profile, maxSteps uint64) (next int, halted bool, err error) {
+	for ii, in := range blk.Instrs {
+		prof.DynInstrs++
+		if prof.DynInstrs > maxSteps {
+			return 0, false, fmt.Errorf("step limit %d exceeded", maxSteps)
+		}
+		taken, halt, err := m.exec(in)
+		if err != nil {
+			return 0, false, err
+		}
+		if m.Trace != nil {
+			var v uint64
+			if in.Op == isa.OpMULT || in.Op == isa.OpMULTU {
+				v = m.hilo
+			} else if dst, ok := in.Defs(); ok {
+				v = uint64(m.Reg(dst))
+			}
+			m.Trace(blk.Index, ii, v)
+		}
+		if halt {
+			return 0, true, nil
+		}
+		if isa.IsBranch(in.Op) {
+			ti, ok := p.BlockByLabel(in.Target)
+			if in.Op == isa.OpJ {
+				return ti, false, nil
+			}
+			if taken {
+				if !ok {
+					return 0, false, fmt.Errorf("undefined target %q", in.Target)
+				}
+				return ti, false, nil
+			}
+			// fall through
+			return blk.Index + 1, false, nil
+		}
+	}
+	// Block without explicit terminator cannot happen for valid programs,
+	// but fall through defensively.
+	return blk.Index + 1, false, nil
+}
+
+// exec performs one instruction. taken reports whether a conditional branch
+// condition held.
+func (m *Machine) exec(in prog.Instr) (taken, halt bool, err error) {
+	s1 := m.Reg(in.Src1)
+	s2 := m.Reg(in.Src2)
+	imm := uint32(in.Imm)
+	simm := int32(in.Imm)
+	switch in.Op {
+	case isa.OpADD, isa.OpADDU, isa.OpADDI, isa.OpADDIU, isa.OpSUB, isa.OpSUBU,
+		isa.OpAND, isa.OpANDI, isa.OpOR, isa.OpORI, isa.OpXOR, isa.OpXORI, isa.OpNOR,
+		isa.OpSLT, isa.OpSLTI, isa.OpSLTU, isa.OpSLTIU,
+		isa.OpSLL, isa.OpSLLV, isa.OpSRL, isa.OpSRLV, isa.OpSRA, isa.OpSRAV:
+		// Combinational operations share their semantics with the ASFU
+		// netlist model through isa.Compute.
+		v, err := isa.Compute(in.Op, s1, s2, in.Imm)
+		if err != nil {
+			return false, false, err
+		}
+		m.SetReg(in.Dst, uint32(v))
+	case isa.OpMULT, isa.OpMULTU:
+		v, err := isa.Compute(in.Op, s1, s2, 0)
+		if err != nil {
+			return false, false, err
+		}
+		m.hilo = v
+	case isa.OpMFHI:
+		m.SetReg(in.Dst, uint32(m.hilo>>32))
+	case isa.OpMFLO:
+		m.SetReg(in.Dst, uint32(m.hilo))
+	case isa.OpLUI:
+		m.SetReg(in.Dst, imm<<16)
+	case isa.OpLW:
+		v, err := m.LoadWord(s1 + uint32(simm))
+		if err != nil {
+			return false, false, err
+		}
+		m.SetReg(in.Dst, v)
+	case isa.OpLB:
+		b, err := m.LoadByte(s1 + uint32(simm))
+		if err != nil {
+			return false, false, err
+		}
+		m.SetReg(in.Dst, uint32(int32(int8(b))))
+	case isa.OpLBU:
+		b, err := m.LoadByte(s1 + uint32(simm))
+		if err != nil {
+			return false, false, err
+		}
+		m.SetReg(in.Dst, uint32(b))
+	case isa.OpSW:
+		if err := m.StoreWord(s1+uint32(simm), s2); err != nil {
+			return false, false, err
+		}
+	case isa.OpSB:
+		if err := m.StoreByte(s1+uint32(simm), byte(s2)); err != nil {
+			return false, false, err
+		}
+	case isa.OpBEQ:
+		return s1 == s2, false, nil
+	case isa.OpBNE:
+		return s1 != s2, false, nil
+	case isa.OpBLEZ:
+		return int32(s1) <= 0, false, nil
+	case isa.OpBGTZ:
+		return int32(s1) > 0, false, nil
+	case isa.OpBLTZ:
+		return int32(s1) < 0, false, nil
+	case isa.OpBGEZ:
+		return int32(s1) >= 0, false, nil
+	case isa.OpJ:
+		return true, false, nil
+	case isa.OpHALT:
+		return false, true, nil
+	default:
+		return false, false, fmt.Errorf("unimplemented opcode %v", in.Op)
+	}
+	return false, false, nil
+}

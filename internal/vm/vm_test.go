@@ -1,0 +1,288 @@
+package vm
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// run assembles and executes the instructions produced by build, returning
+// the machine and profile for inspection.
+func run(t *testing.T, build func(b *prog.Builder)) (*Machine, *Profile, *prog.Program) {
+	t.Helper()
+	b := prog.NewBuilder("t")
+	build(b)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(4096)
+	prof, err := m.Run(p, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, prof, p
+}
+
+func TestALUOps(t *testing.T) {
+	m, _, _ := run(t, func(b *prog.Builder) {
+		b.I(isa.OpORI, prog.T0, prog.Zero, 12)
+		b.I(isa.OpORI, prog.T1, prog.Zero, 5)
+		b.R(isa.OpADD, prog.T2, prog.T0, prog.T1)   // 17
+		b.R(isa.OpSUB, prog.T3, prog.T0, prog.T1)   // 7
+		b.R(isa.OpAND, prog.T4, prog.T0, prog.T1)   // 4
+		b.R(isa.OpOR, prog.T5, prog.T0, prog.T1)    // 13
+		b.R(isa.OpXOR, prog.T6, prog.T0, prog.T1)   // 9
+		b.R(isa.OpNOR, prog.T7, prog.T0, prog.T1)   // ^13
+		b.I(isa.OpADDI, prog.T8, prog.T0, -20)      // -8
+		b.R(isa.OpSLT, prog.T9, prog.T8, prog.Zero) // 1 (signed)
+		b.R(isa.OpSLTU, prog.S0, prog.T8, prog.Zero)
+		b.Halt()
+	})
+	want := map[prog.Reg]uint32{
+		prog.T2: 17, prog.T3: 7, prog.T4: 4, prog.T5: 13, prog.T6: 9,
+		prog.T7: ^uint32(13), prog.T8: uint32(0xfffffff8), prog.T9: 1, prog.S0: 0,
+	}
+	for r, w := range want {
+		if got := m.Reg(r); got != w {
+			t.Errorf("%v = %#x, want %#x", r, got, w)
+		}
+	}
+}
+
+func TestShifts(t *testing.T) {
+	m, _, _ := run(t, func(b *prog.Builder) {
+		b.LI(prog.T0, 0x80000010)
+		b.I(isa.OpSLL, prog.T1, prog.T0, 3)
+		b.I(isa.OpSRL, prog.T2, prog.T0, 4)
+		b.I(isa.OpSRA, prog.T3, prog.T0, 4)
+		b.I(isa.OpORI, prog.T4, prog.Zero, 8)
+		b.R(isa.OpSLLV, prog.T5, prog.T0, prog.T4)
+		b.R(isa.OpSRLV, prog.T6, prog.T0, prog.T4)
+		b.R(isa.OpSRAV, prog.T7, prog.T0, prog.T4)
+		b.Halt()
+	})
+	want := map[prog.Reg]uint32{
+		prog.T1: 0x80,
+		prog.T2: 0x08000001,
+		prog.T3: 0xf8000001,
+		prog.T5: 0x1000,
+		prog.T6: 0x00800000,
+		prog.T7: 0xff800000,
+	}
+	for r, w := range want {
+		if got := m.Reg(r); got != w {
+			t.Errorf("%v = %#x, want %#x", r, got, w)
+		}
+	}
+}
+
+func TestMultHILO(t *testing.T) {
+	m, _, _ := run(t, func(b *prog.Builder) {
+		b.LI(prog.T0, 0x10000) // 65536
+		b.I(isa.OpORI, prog.T1, prog.Zero, 3)
+		b.Mult(isa.OpMULTU, prog.T0, prog.T0) // 2^32 -> HI=1 LO=0
+		b.MoveFrom(isa.OpMFHI, prog.T2)
+		b.MoveFrom(isa.OpMFLO, prog.T3)
+		b.I(isa.OpADDI, prog.T4, prog.Zero, -2)
+		b.Mult(isa.OpMULT, prog.T4, prog.T1) // -6
+		b.MoveFrom(isa.OpMFLO, prog.T5)
+		b.MoveFrom(isa.OpMFHI, prog.T6)
+		b.Halt()
+	})
+	if m.Reg(prog.T2) != 1 || m.Reg(prog.T3) != 0 {
+		t.Errorf("multu 65536*65536: HI=%d LO=%d, want 1,0", m.Reg(prog.T2), m.Reg(prog.T3))
+	}
+	if got := int32(m.Reg(prog.T5)); got != -6 {
+		t.Errorf("mult -2*3 lo = %d, want -6", got)
+	}
+	if m.Reg(prog.T6) != 0xffffffff {
+		t.Errorf("mult -2*3 hi = %#x, want sign extension", m.Reg(prog.T6))
+	}
+}
+
+func TestMemoryOps(t *testing.T) {
+	m, _, _ := run(t, func(b *prog.Builder) {
+		b.LI(prog.T0, 0xdeadbeef)
+		b.I(isa.OpORI, prog.SP, prog.Zero, 128)
+		b.Store(isa.OpSW, prog.T0, prog.SP, 8)
+		b.Load(isa.OpLW, prog.T1, prog.SP, 8)
+		b.Load(isa.OpLBU, prog.T2, prog.SP, 8)  // 0xef
+		b.Load(isa.OpLB, prog.T3, prog.SP, 8)   // sign-extended 0xef
+		b.Store(isa.OpSB, prog.T0, prog.SP, 20) // low byte only
+		b.Load(isa.OpLBU, prog.T4, prog.SP, 20)
+		b.Halt()
+	})
+	if m.Reg(prog.T1) != 0xdeadbeef {
+		t.Errorf("lw = %#x", m.Reg(prog.T1))
+	}
+	if m.Reg(prog.T2) != 0xef {
+		t.Errorf("lbu = %#x", m.Reg(prog.T2))
+	}
+	if m.Reg(prog.T3) != 0xffffffef {
+		t.Errorf("lb = %#x", m.Reg(prog.T3))
+	}
+	if m.Reg(prog.T4) != 0xef {
+		t.Errorf("sb/lbu = %#x", m.Reg(prog.T4))
+	}
+}
+
+func TestZeroRegisterImmutable(t *testing.T) {
+	m, _, _ := run(t, func(b *prog.Builder) {
+		b.I(isa.OpORI, prog.Zero, prog.Zero, 99)
+		b.R(isa.OpADD, prog.T0, prog.Zero, prog.Zero)
+		b.Halt()
+	})
+	if m.Reg(prog.Zero) != 0 || m.Reg(prog.T0) != 0 {
+		t.Fatalf("$zero = %d, $t0 = %d", m.Reg(prog.Zero), m.Reg(prog.T0))
+	}
+}
+
+func TestLoopProfile(t *testing.T) {
+	_, prof, _ := run(t, func(b *prog.Builder) {
+		b.I(isa.OpORI, prog.T0, prog.Zero, 10)
+		b.Label("loop")
+		b.I(isa.OpADDI, prog.T0, prog.T0, -1)
+		b.Branch(isa.OpBNE, prog.T0, prog.Zero, "loop")
+		b.Halt()
+	})
+	want := []uint64{1, 10, 1}
+	if !reflect.DeepEqual(prof.BlockCounts, want) {
+		t.Fatalf("BlockCounts = %v, want %v", prof.BlockCounts, want)
+	}
+	if prof.DynInstrs != 1+20+1 {
+		t.Fatalf("DynInstrs = %d, want 22", prof.DynInstrs)
+	}
+}
+
+func TestBranchVariants(t *testing.T) {
+	// Each branch kind is tested taken and not-taken by counting visits.
+	m, _, _ := run(t, func(b *prog.Builder) {
+		b.I(isa.OpADDI, prog.T0, prog.Zero, -1)
+		// bltz taken
+		b.Branch1(isa.OpBLTZ, prog.T0, "a")
+		b.I(isa.OpORI, prog.S0, prog.Zero, 1) // must be skipped
+		b.Label("a")
+		// bgez not taken for -1
+		b.Branch1(isa.OpBGEZ, prog.T0, "bad")
+		// blez taken for 0
+		b.Branch1(isa.OpBLEZ, prog.Zero, "c")
+		b.Label("bad")
+		b.I(isa.OpORI, prog.S1, prog.Zero, 1)
+		b.Label("c")
+		// bgtz not taken for 0
+		b.Branch1(isa.OpBGTZ, prog.Zero, "bad2")
+		b.I(isa.OpORI, prog.S2, prog.Zero, 1)
+		b.Label("bad2")
+		b.Halt()
+	})
+	if m.Reg(prog.S0) != 0 {
+		t.Error("bltz fell through when it should be taken")
+	}
+	if m.Reg(prog.S1) != 0 {
+		t.Error("bgez/blez routing wrong")
+	}
+	if m.Reg(prog.S2) != 1 {
+		t.Error("bgtz taken when it should fall through")
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	b := prog.NewBuilder("inf")
+	b.Label("x")
+	b.Jump("x")
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(64)
+	if _, err := m.Run(p, 100); err == nil {
+		t.Fatal("infinite loop did not hit the step limit")
+	}
+}
+
+func TestMemoryFaults(t *testing.T) {
+	m := NewMachine(16)
+	if _, err := m.LoadWord(16); err == nil {
+		t.Error("out-of-range word read succeeded")
+	}
+	if _, err := m.LoadWord(2); err == nil {
+		t.Error("unaligned word read succeeded")
+	}
+	if err := m.StoreWord(1000, 1); err == nil {
+		t.Error("out-of-range word write succeeded")
+	}
+	if _, err := m.LoadByte(16); err == nil {
+		t.Error("out-of-range byte read succeeded")
+	}
+	if err := m.StoreByte(99, 0); err == nil {
+		t.Error("out-of-range byte write succeeded")
+	}
+	if err := m.StoreBytes(10, make([]byte, 10)); err == nil {
+		t.Error("out-of-range block write succeeded")
+	}
+}
+
+func TestRunReportsMemoryFault(t *testing.T) {
+	b := prog.NewBuilder("fault")
+	b.LI(prog.T0, 1<<20)
+	b.Load(isa.OpLW, prog.T1, prog.T0, 0)
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(64)
+	if _, err := m.Run(p, 100); err == nil {
+		t.Fatal("load beyond memory did not fail")
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := NewMachine(8)
+	m.SetReg(prog.T0, 7)
+	if err := m.StoreByte(3, 9); err != nil {
+		t.Fatal(err)
+	}
+	m.Reset()
+	if m.Reg(prog.T0) != 0 {
+		t.Error("register survived Reset")
+	}
+	if b, _ := m.LoadByte(3); b != 0 {
+		t.Error("memory survived Reset")
+	}
+}
+
+func TestHotBlocks(t *testing.T) {
+	// Two nested loops: the inner block dominates.
+	b := prog.NewBuilder("nest")
+	b.I(isa.OpORI, prog.T0, prog.Zero, 3) // outer counter
+	b.Label("outer")
+	b.I(isa.OpORI, prog.T1, prog.Zero, 5) // inner counter
+	b.Label("inner")
+	b.I(isa.OpADDI, prog.T1, prog.T1, -1)
+	b.Branch(isa.OpBNE, prog.T1, prog.Zero, "inner")
+	b.I(isa.OpADDI, prog.T0, prog.T0, -1)
+	b.Branch(isa.OpBNE, prog.T0, prog.Zero, "outer")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(64)
+	prof, err := m.Run(p, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, _ := p.BlockByLabel("inner")
+	hot := prof.HotBlocks(p, 1)
+	if len(hot) != 1 || hot[0] != inner {
+		t.Fatalf("HotBlocks = %v, want [%d]", hot, inner)
+	}
+	all := prof.HotBlocks(p, 100)
+	if len(all) == 0 || all[0] != inner {
+		t.Fatalf("HotBlocks(all) = %v, inner %d must rank first", all, inner)
+	}
+}
