@@ -1,0 +1,18 @@
+.PHONY: tier1 race bench fmt
+
+# Tier 1: the fast correctness gate.
+tier1:
+	go build ./...
+	go test ./...
+
+# Tier 2: vet + race detector across every package (slower; run before
+# merging anything that touches internal/parallel, core, or flow).
+race:
+	go vet ./...
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem
+
+fmt:
+	gofmt -l .

@@ -334,6 +334,44 @@ func BenchmarkExploreMI(b *testing.B) {
 	}
 }
 
+// BenchmarkExploreMISeedBaseline reproduces the original engine for
+// comparison with BenchmarkExploreMIParallelCached: restarts run
+// sequentially (Workers=1) and every candidate evaluation re-runs the list
+// scheduler (NoEvalCache). The two benchmarks explore identical search
+// spaces and return identical results; the delta is pure engine overhead.
+func BenchmarkExploreMISeedBaseline(b *testing.B) {
+	d := ablationDFG()
+	cfg := machine.New(2, 4, 2)
+	p := core.DefaultParams()
+	p.Workers = 1
+	p.NoEvalCache = true
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ExploreWithParams(d, cfg, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExploreMIParallelCached measures the parallel, cached exploration
+// engine (worker pool sized to GOMAXPROCS, schedule-evaluation memo cache)
+// and reports the cache hit rate alongside the wall-clock time.
+func BenchmarkExploreMIParallelCached(b *testing.B) {
+	d := ablationDFG()
+	cfg := machine.New(2, 4, 2)
+	p := core.DefaultParams()
+	var last *core.Result
+	for i := 0; i < b.N; i++ {
+		r, err := core.ExploreWithParams(d, cfg, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	if lookups := last.CacheHits + last.CacheMisses; lookups > 0 {
+		b.ReportMetric(100*float64(last.CacheHits)/float64(lookups), "cache-hit-%")
+	}
+}
+
 // BenchmarkExploreSI measures the single-issue baseline on the same block.
 func BenchmarkExploreSI(b *testing.B) {
 	d := ablationDFG()

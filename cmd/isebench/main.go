@@ -41,6 +41,7 @@ func main() {
 		extended  = flag.Bool("extended", false, "include the extension benchmarks (sha, stringsearch) in the matrix")
 		hot       = flag.Int("hot", 3, "hot basic blocks explored per benchmark")
 		seed      = flag.Int64("seed", 1, "random seed")
+		workers   = flag.Int("workers", 0, "exploration worker pool size (0 = one per CPU, 1 = sequential; results are identical)")
 	)
 	flag.Parse()
 	if !*table && *figure == 0 && !*headline && !*all && !*stats && !*breakdown {
@@ -53,8 +54,10 @@ func main() {
 		params = core.FastParams()
 	}
 	params.Seed = *seed
+	params.Workers = *workers
 	suite := experiments.NewSuite(params)
 	suite.HotBlocks = *hot
+	suite.Workers = *workers
 	if *extended {
 		suite.Benchmarks = bench.Extended()
 	}

@@ -40,6 +40,7 @@ func main() {
 		hot       = flag.Int("hot", 1, "number of hot basic blocks to explore")
 		fast      = flag.Bool("fast", false, "use reduced-effort exploration parameters")
 		seed      = flag.Int64("seed", 1, "random seed")
+		workers   = flag.Int("workers", 0, "restart worker pool size (0 = one per CPU, 1 = sequential; results are identical)")
 		showDFG   = flag.Bool("dfg", false, "print the dataflow graph of each explored block")
 		verilog   = flag.Bool("verilog", false, "emit a Verilog datapath module for each ISE")
 		dot       = flag.Bool("dot", false, "emit a Graphviz DOT graph of each block with its ISEs highlighted")
@@ -52,6 +53,7 @@ func main() {
 		params = core.FastParams()
 	}
 	params.Seed = *seed
+	params.Workers = *workers
 
 	var program *prog.Program
 	var prof *vm.Profile
@@ -111,7 +113,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  %s exploration: %d rounds, %d iterations\n", *algo, res.Rounds, res.Iterations)
+		fmt.Printf("  %s exploration: %d rounds, %d iterations", *algo, res.Rounds, res.Iterations)
+		if lookups := res.CacheHits + res.CacheMisses; lookups > 0 {
+			fmt.Printf(", eval cache %d/%d hits (%.0f%%)",
+				res.CacheHits, lookups, 100*float64(res.CacheHits)/float64(lookups))
+		}
+		fmt.Println()
 		if *dot {
 			var sets []graph.NodeSet
 			for _, e := range res.ISEs {

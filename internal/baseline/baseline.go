@@ -22,6 +22,7 @@ import (
 	"repro/internal/dfg"
 	"repro/internal/graph"
 	"repro/internal/machine"
+	"repro/internal/parallel"
 	"repro/internal/sched"
 )
 
@@ -45,18 +46,26 @@ func Explore(d *dfg.DFG, cfg machine.Config, p core.Params) (*core.Result, error
 	if restarts < 1 {
 		restarts = 1
 	}
+	// Restarts are independent and deterministically seeded, so they fan out
+	// across the shared bounded worker pool; the left-to-right reduction
+	// below keeps parallel and sequential runs identical.
+	results := make([]*core.Result, restarts)
+	serials := make([]int, restarts)
+	errs := make([]error, restarts)
+	parallel.ForEach(restarts, p.Workers, func(r int) {
+		results[r], serials[r], errs[r] = runOnce(d, cfg, p, p.Seed+int64(r)*104729, baseSched.Length)
+	})
 	var best *core.Result
 	var bestSerial int
 	for r := 0; r < restarts; r++ {
-		res, serial, err := runOnce(d, cfg, p, p.Seed+int64(r)*104729, baseSched.Length)
-		if err != nil {
-			return nil, err
+		if errs[r] != nil {
+			return nil, errs[r]
 		}
 		// The baseline optimizes its own (serial) objective; ties broken by
 		// area, faithfully ignorant of the multiple-issue outcome.
-		if best == nil || serial < bestSerial ||
-			(serial == bestSerial && res.AreaUM2() < best.AreaUM2()) {
-			best, bestSerial = res, serial
+		if best == nil || serials[r] < bestSerial ||
+			(serials[r] == bestSerial && results[r].AreaUM2() < best.AreaUM2()) {
+			best, bestSerial = results[r], serials[r]
 		}
 	}
 	return best, nil

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dfg"
+	"repro/internal/machine"
+	"repro/internal/sched"
+)
+
+// EvalCache memoizes schedule evaluations. The exploration loop and the
+// flow's candidate pricing both call sched.ListSchedule on assignments they
+// have already priced — every ACO round re-evaluates the accepted-ISE
+// prefix plus one candidate, and flow.realMarginalGains replays exactly
+// those prefixes — so keying the resulting length on a canonical assignment
+// signature (sched.Assignment.Key, which canonicalizes ISE group numbering
+// and covers node sets, option choices and hence group latencies) removes
+// the dominant repeated cost. One cache may serve several DFGs and machine
+// configurations: the key is qualified by both names.
+//
+// The cache is safe for concurrent use; parallel restart workers share one
+// instance. Lookups are semantically transparent — ListSchedule is
+// deterministic — so cached and uncached runs return identical results.
+// Concurrent misses on the same key may both schedule and both store (the
+// stored lengths are equal), which makes the hit/miss counters best-effort
+// observability, not exact call counts.
+type EvalCache struct {
+	mu sync.RWMutex
+	m  map[string]int
+
+	hits, misses atomic.Uint64
+}
+
+// NewEvalCache returns an empty schedule-evaluation cache.
+func NewEvalCache() *EvalCache {
+	return &EvalCache{m: make(map[string]int)}
+}
+
+// Schedule returns the list-schedule length of d under assignment a on cfg,
+// consulting the memo first. A nil receiver disables memoization and
+// schedules directly (the NoEvalCache measurement switch). Errors are not
+// cached; they are deterministic per key, so a failing assignment never
+// pollutes the memo.
+func (c *EvalCache) Schedule(d *dfg.DFG, a sched.Assignment, cfg machine.Config) (int, error) {
+	if c == nil {
+		s, err := sched.ListSchedule(d, a, cfg)
+		if err != nil {
+			return 0, err
+		}
+		return s.Length, nil
+	}
+	key := d.Name + "\x00" + cfg.Name + "\x00" + a.Key()
+	c.mu.RLock()
+	n, ok := c.m[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return n, nil
+	}
+	c.misses.Add(1)
+	s, err := sched.ListSchedule(d, a, cfg)
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	c.m[key] = s.Length
+	c.mu.Unlock()
+	return s.Length, nil
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *EvalCache) Stats() (hits, misses uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Len returns the number of memoized evaluations.
+func (c *EvalCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}

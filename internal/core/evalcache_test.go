@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/prog"
+	"repro/internal/sched"
+)
+
+func TestEvalCacheHitsAndCorrectness(t *testing.T) {
+	d := blockDFG(t, func(b *prog.Builder) { logicChain(b, 8) })
+	cfg := machine.New(2, 4, 2)
+	a := sched.AllSoftware(d.Len())
+
+	want, err := sched.ListSchedule(d, a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewEvalCache()
+	for i := 0; i < 3; i++ {
+		n, err := c.Schedule(d, a, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != want.Length {
+			t.Fatalf("cached length %d, ListSchedule says %d", n, want.Length)
+		}
+	}
+	hits, misses := c.Stats()
+	if misses != 1 || hits != 2 {
+		t.Fatalf("stats = %d hits / %d misses, want 2/1", hits, misses)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache holds %d entries, want 1", c.Len())
+	}
+}
+
+func TestEvalCacheNilIsTransparent(t *testing.T) {
+	d := blockDFG(t, func(b *prog.Builder) { logicChain(b, 6) })
+	cfg := machine.New(2, 4, 2)
+	var c *EvalCache
+	n, err := c.Schedule(d, sched.AllSoftware(d.Len()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sched.ListSchedule(d, sched.AllSoftware(d.Len()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != want.Length {
+		t.Fatalf("nil cache length %d, want %d", n, want.Length)
+	}
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Fatalf("nil cache reported stats %d/%d", h, m)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("nil cache reported %d entries", c.Len())
+	}
+}
+
+func TestEvalCacheKeyedByMachine(t *testing.T) {
+	// The same assignment on different machines must not collide. The block
+	// holds independent operations so issue width changes the length.
+	d := blockDFG(t, func(b *prog.Builder) {
+		dsts := []prog.Reg{prog.T0, prog.T1, prog.T2, prog.T3, prog.T4, prog.T5, prog.T6, prog.T7}
+		for _, r := range dsts {
+			b.R(isa.OpXOR, r, prog.A0, prog.A1)
+		}
+	})
+	a := sched.AllSoftware(d.Len())
+	narrow, wide := machine.New(1, 2, 1), machine.New(4, 8, 4)
+	c := NewEvalCache()
+	n1, err := c.Schedule(d, a, narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := c.Schedule(d, a, wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 <= n2 {
+		// A 1-issue schedule of a 10-op chain is strictly longer than the
+		// 4-issue one only if the cache kept the machines apart.
+		t.Fatalf("narrow %d vs wide %d: machine leaked across cache entries", n1, n2)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", c.Len())
+	}
+}

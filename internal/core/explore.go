@@ -8,6 +8,7 @@ import (
 	"repro/internal/dfg"
 	"repro/internal/graph"
 	"repro/internal/machine"
+	"repro/internal/parallel"
 	"repro/internal/sched"
 )
 
@@ -23,6 +24,12 @@ type Result struct {
 	BaseCycles, FinalCycles int
 	// Rounds and Iterations count algorithm work for reporting.
 	Rounds, Iterations int
+	// CacheHits and CacheMisses report the schedule-evaluation cache
+	// traffic of the whole exploration (all restarts). They are best-effort
+	// observability counters — concurrent restart workers racing on a fresh
+	// key may each count a miss — and are excluded from the determinism
+	// contract that covers ISEs, Assignment and cycle counts.
+	CacheHits, CacheMisses uint64
 }
 
 // AreaUM2 returns the total silicon area of the accepted ISEs.
@@ -53,15 +60,38 @@ func Explore(d *dfg.DFG, cfg machine.Config) (*Result, error) {
 
 // ExploreWithParams runs the exploration with explicit parameters. The whole
 // procedure is repeated p.Restarts times and the best result (shortest final
-// schedule, then least area) is returned, matching §5.1.
+// schedule, then least area) is returned, matching §5.1. Restarts fan out
+// across a bounded worker pool of p.Workers goroutines; see ExploreWithCache
+// for the determinism contract.
 func ExploreWithParams(d *dfg.DFG, cfg machine.Config, p Params) (*Result, error) {
+	return ExploreWithCache(d, cfg, p, nil)
+}
+
+// ExploreWithCache is ExploreWithParams with a caller-supplied
+// schedule-evaluation cache, letting later flow stages (candidate pricing in
+// internal/flow) reuse evaluations the exploration already paid for. A nil
+// cache allocates a private one unless p.NoEvalCache is set.
+//
+// Determinism: every restart r derives its own seed (p.Seed + r*7919), runs
+// independently, and writes into a per-restart slot; the reduction then
+// picks the best result by (FinalCycles, area, restart index) in a strict
+// left-to-right scan. Parallel and sequential runs therefore return
+// identical ISEs, assignments and cycle counts for any worker count, with
+// or without the cache — only the CacheHits/CacheMisses observability
+// counters may differ.
+func ExploreWithCache(d *dfg.DFG, cfg machine.Config, p Params, cache *EvalCache) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if d.Len() == 0 {
 		return nil, fmt.Errorf("core: empty DFG %s", d.Name)
 	}
-	baseSched, err := sched.ListSchedule(d, sched.AllSoftware(d.Len()), cfg)
+	if p.NoEvalCache {
+		cache = nil
+	} else if cache == nil {
+		cache = NewEvalCache()
+	}
+	baseCycles, err := cache.Schedule(d, sched.AllSoftware(d.Len()), cfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: base schedule of %s: %w", d.Name, err)
 	}
@@ -69,30 +99,37 @@ func ExploreWithParams(d *dfg.DFG, cfg machine.Config, p Params) (*Result, error
 	if restarts < 1 {
 		restarts = 1
 	}
+	results := make([]*Result, restarts)
+	errs := make([]error, restarts)
+	parallel.ForEach(restarts, p.Workers, func(r int) {
+		results[r], errs[r] = runOnce(d, cfg, p, p.Seed+int64(r)*7919, baseCycles, cache)
+	})
 	var best *Result
 	for r := 0; r < restarts; r++ {
-		res, err := runOnce(d, cfg, p, p.Seed+int64(r)*7919, baseSched.Length)
-		if err != nil {
-			return nil, err
+		if errs[r] != nil {
+			return nil, errs[r]
 		}
+		res := results[r]
 		if best == nil ||
 			res.FinalCycles < best.FinalCycles ||
 			(res.FinalCycles == best.FinalCycles && res.AreaUM2() < best.AreaUM2()) {
 			best = res
 		}
 	}
+	best.CacheHits, best.CacheMisses = cache.Stats()
 	return best, nil
 }
 
 // runOnce performs one full exploration: rounds of ACO iterations, each
 // producing at most one accepted ISE, until no further ISE improves the
 // schedule.
-func runOnce(d *dfg.DFG, cfg machine.Config, p Params, seed int64, baseCycles int) (*Result, error) {
+func runOnce(d *dfg.DFG, cfg machine.Config, p Params, seed int64, baseCycles int, cache *EvalCache) (*Result, error) {
 	e := &explorer{
 		d:            d,
 		cfg:          cfg,
 		p:            p,
 		rng:          aco.NewRand(seed),
+		cache:        cache,
 		fixedGroupOf: make([]int, d.Len()),
 		sp:           make([]float64, d.Len()),
 	}
@@ -123,11 +160,11 @@ func runOnce(d *dfg.DFG, cfg machine.Config, p Params, seed int64, baseCycles in
 
 	res.ISEs = append(res.ISEs, e.fixed...)
 	res.Assignment = BuildAssignment(d, res.ISEs)
-	final, err := sched.ListSchedule(d, res.Assignment, cfg)
+	final, err := cache.Schedule(d, res.Assignment, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: final schedule of %s: %w", d.Name, err)
 	}
-	res.FinalCycles = final.Length
+	res.FinalCycles = final
 	return res, nil
 }
 
@@ -316,13 +353,12 @@ func (e *explorer) bestCandidate(curLen int) *candidate {
 }
 
 // evaluate schedules the DFG with the accepted ISEs plus cand and returns
-// the resulting length.
+// the resulting length. Evaluations go through the memo cache: across
+// iterations and restarts the same accepted-prefix-plus-candidate
+// assignment recurs constantly, and the canonical key makes those replays
+// free.
 func (e *explorer) evaluate(cand *ISE) (int, error) {
 	ises := append(append([]*ISE(nil), e.fixed...), cand)
 	a := BuildAssignment(e.d, ises)
-	s, err := sched.ListSchedule(e.d, a, e.cfg)
-	if err != nil {
-		return 0, err
-	}
-	return s.Length, nil
+	return e.cache.Schedule(e.d, a, e.cfg)
 }

@@ -51,15 +51,21 @@ func (e *explorer) virtualSubgraph(res *walkResult, x int) graph.NodeSet {
 	isHW := func(y int) bool {
 		return res.chosen[y] >= 0 && e.isHWOption(y, res.chosen[y])
 	}
+	visit := func(nb int) {
+		if vs.Contains(nb) || !isHW(nb) || e.fixedGroupOf[nb] >= 0 {
+			return
+		}
+		vs.Add(nb)
+		stack = append(stack, nb)
+	}
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, nb := range append(append([]int(nil), d.G.Succs(v)...), d.G.Preds(v)...) {
-			if vs.Contains(nb) || !isHW(nb) || e.fixedGroupOf[nb] >= 0 {
-				continue
-			}
-			vs.Add(nb)
-			stack = append(stack, nb)
+		for _, nb := range d.G.Succs(v) {
+			visit(nb)
+		}
+		for _, nb := range d.G.Preds(v) {
+			visit(nb)
 		}
 	}
 	return vs
@@ -89,11 +95,11 @@ func (e *explorer) vsMetrics(res *walkResult, vs graph.NodeSet, x, hwIdx int) (d
 		}
 		return d.Nodes[y].HW[0].AreaUM2
 	}
-	depth := map[int]float64{}
-	for _, v := range e.topoOrder() {
-		if !vs.Contains(v) {
-			continue
-		}
+	if e.depthF == nil {
+		e.depthF = make([]float64, d.Len())
+	}
+	depth := e.depthF
+	for _, v := range e.membersInTopoOrder(vs) {
 		in := 0.0
 		for _, p := range d.G.Preds(v) {
 			if vs.Contains(p) && depth[p] > in {
@@ -113,12 +119,12 @@ func (e *explorer) vsMetrics(res *walkResult, vs graph.NodeSet, x, hwIdx int) (d
 // latency — the serial cycle count the subgraph costs when not packed.
 func (e *explorer) swDepth(vs graph.NodeSet) int {
 	d := e.d
-	depth := map[int]int{}
+	if e.depthI == nil {
+		e.depthI = make([]int, d.Len())
+	}
+	depth := e.depthI
 	best := 0
-	for _, v := range e.topoOrder() {
-		if !vs.Contains(v) {
-			continue
-		}
+	for _, v := range e.membersInTopoOrder(vs) {
 		in := 0
 		for _, p := range d.G.Preds(v) {
 			if vs.Contains(p) && depth[p] > in {

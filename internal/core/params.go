@@ -82,6 +82,13 @@ type Params struct {
 	// Priority selects the scheduling-priority function (§6 future work).
 	Priority Priority
 
+	// Workers bounds the worker pool that fans out restarts (core and
+	// baseline exploration) and per-block explorations (flow.BuildPool).
+	// 0 means one worker per available CPU; 1 forces sequential execution.
+	// Results are identical for every worker count — only wall-clock time
+	// changes (see DESIGN.md, "Concurrency model").
+	Workers int
+
 	// Ablation switches (all off for the paper's algorithm; see DESIGN.md).
 	//
 	// Greedy replaces the ACO roulette selection with a deterministic
@@ -93,6 +100,10 @@ type Params struct {
 	// NoMaxAEC disables the slack-aware area saving of merit case 4 by
 	// treating every subgraph as critical.
 	NoMaxAEC bool
+	// NoEvalCache disables the schedule-evaluation memo cache — a
+	// measurement switch for benchmarking the cache's contribution, not an
+	// algorithm ablation: cached and uncached runs return identical results.
+	NoEvalCache bool
 }
 
 // DefaultParams returns the paper's parameter set.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"sort"
 
 	"repro/internal/dfg"
 	"repro/internal/graph"
@@ -16,6 +17,8 @@ type explorer struct {
 	cfg machine.Config
 	p   Params
 	rng *rand.Rand
+	// cache memoizes schedule evaluations; may be nil (NoEvalCache).
+	cache *EvalCache
 
 	// fixed are ISEs accepted in earlier rounds; their members no longer
 	// make choices.
@@ -29,11 +32,20 @@ type explorer struct {
 	numSW []int
 	sp    []float64 // scheduling priority per node (child count)
 
-	// topo caches the DFG's topological order; asap/tail are per-iteration
-	// unit-latency longest-path arrays reused by the merit computation.
-	topo []int
-	asap []int
-	tail []int
+	// topo caches the DFG's topological order and topoPos each node's
+	// position in it; asap/tail are per-iteration unit-latency longest-path
+	// arrays reused by the merit computation.
+	topo    []int
+	topoPos []int
+	asap    []int
+	tail    []int
+
+	// depthF and depthI are scratch longest-path arrays for the
+	// subgraph-metric hot paths (vsMetrics, swDepth). Entries are written
+	// before they are read in topological order, so no reset is needed
+	// between calls. Each restart owns its explorer, keeping them race-free.
+	depthF []float64
+	depthI []int
 }
 
 // topoOrder returns the cached topological order of the DFG.
@@ -44,12 +56,29 @@ func (e *explorer) topoOrder() []int {
 			panic("core: cyclic DFG " + e.d.Name)
 		}
 		e.topo = order
+		e.topoPos = make([]int, len(order))
+		for i, v := range order {
+			e.topoPos[v] = i
+		}
 	}
 	return e.topo
 }
 
+// membersInTopoOrder returns the members of vs sorted by topological
+// position, so subgraph longest-path sweeps touch |vs| nodes instead of
+// rescanning the whole DFG.
+func (e *explorer) membersInTopoOrder(vs graph.NodeSet) []int {
+	e.topoOrder()
+	members := vs.Values()
+	sort.Slice(members, func(i, j int) bool {
+		return e.topoPos[members[i]] < e.topoPos[members[j]]
+	})
+	return members
+}
+
 // walkGroup is an ISE instruction formed during one iteration's ant walk.
 type walkGroup struct {
+	index   int // position in walkResult.groups, set at creation
 	nodes   graph.NodeSet
 	cycle   int // issue cycle
 	lat     int
@@ -291,8 +320,8 @@ func (e *explorer) scheduleHW(res *walkResult, table *sched.Table, x, opt, lts, 
 		cts++
 	}
 	table.ReserveNewISE(cts, lat, reads, writes)
-	g := &walkGroup{nodes: single, cycle: cts, lat: lat, reads: reads, writes: writes, delayNS: delay}
-	res.groupOf[x] = len(res.groups)
+	g := &walkGroup{index: len(res.groups), nodes: single, cycle: cts, lat: lat, reads: reads, writes: writes, delayNS: delay}
+	res.groupOf[x] = g.index
 	res.groups = append(res.groups, g)
 	res.chosen[x] = opt
 	res.depthNS[x] = delay
@@ -353,7 +382,7 @@ func (e *explorer) tryPack(res *walkResult, table *sched.Table, g *walkGroup, x,
 	g.lat = newLat
 	g.reads, g.writes = newReads, newWrites
 	g.delayNS = newDelay
-	res.groupOf[x] = indexOfGroup(res.groups, g)
+	res.groupOf[x] = g.index
 	res.depthNS[x] = depth
 	issueCycle[x] = c
 	done := c + newLat - 1
@@ -478,20 +507,21 @@ func topoUnits(n int, succs, preds [][]int) []int {
 	return order
 }
 
-func indexOfGroup(groups []*walkGroup, g *walkGroup) int {
-	for i, h := range groups {
-		if h == g {
-			return i
-		}
-	}
-	return -1
-}
-
+// removeUnit returns s without unit v. Ordering contract: the ready list's
+// order feeds the Ready-Matrix and through it the deterministic random
+// stream, so removal must preserve the relative order of the surviving
+// units. The result is always a fresh slice — an in-place append over
+// s[:i] would clobber the shared backing array that earlier aliases of the
+// ready list may still reference.
 func removeUnit(s []int, v int) []int {
 	for i, x := range s {
-		if x == v {
-			return append(s[:i], s[i+1:]...)
+		if x != v {
+			continue
 		}
+		out := make([]int, 0, len(s)-1)
+		out = append(out, s[:i]...)
+		out = append(out, s[i+1:]...)
+		return out
 	}
 	return s
 }

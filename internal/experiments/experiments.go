@@ -37,6 +37,11 @@ type Suite struct {
 	Benchmarks []string
 	OptLevels  []string
 	Machines   []machine.Config
+	// Workers overrides Params.Workers for every pool build: the size of
+	// the bounded worker pool that fans out block explorations and
+	// restarts. 0 keeps Params.Workers (whose own 0 means one worker per
+	// CPU). Results are identical for every setting.
+	Workers int
 
 	mu    sync.Mutex
 	pools map[poolKey]*flow.Pool
@@ -75,9 +80,13 @@ func (s *Suite) Pool(name, opt string, cfg machine.Config, algo flow.Algorithm) 
 	if err != nil {
 		return nil, err
 	}
+	params := s.Params
+	if s.Workers != 0 {
+		params.Workers = s.Workers
+	}
 	p, err = flow.BuildPool(bm, flow.Options{
 		Machine:   cfg,
-		Params:    s.Params,
+		Params:    params,
 		Algorithm: algo,
 		HotBlocks: s.HotBlocks,
 	})

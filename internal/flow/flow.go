@@ -16,6 +16,7 @@ import (
 	"repro/internal/dfg"
 	"repro/internal/machine"
 	"repro/internal/merging"
+	"repro/internal/parallel"
 	"repro/internal/replace"
 	"repro/internal/sched"
 	"repro/internal/selection"
@@ -61,12 +62,27 @@ type Pool struct {
 	// Groups are the merged candidate groups with gains attached.
 	Groups []merging.Group
 
+	// CacheHits and CacheMisses report the schedule-evaluation cache
+	// traffic of the pool's exploration and pricing stages (best-effort
+	// counters; see core.EvalCache).
+	CacheHits, CacheMisses uint64
+
+	// mu guards baseLen: BuildPool fully populates the map, but a Pool made
+	// by hand (or a future partial build) may hit the lazy path from
+	// concurrent Evaluate/BuildMultiPool sweeps.
+	mu sync.Mutex
 	// baseLen caches each block's all-software schedule length.
 	baseLen map[int]int
 }
 
-// blockBase returns the all-software schedule length of block d.
+// blockBase returns the all-software schedule length of block d. Safe for
+// concurrent use: the lazy fill of baseLen is serialized under p.mu (the
+// recompute on a lost race is avoided by re-checking under the lock, and
+// ListSchedule for a missing block runs inside the critical section — the
+// miss path is cold, BuildPool pre-populates every executed block).
 func (p *Pool) blockBase(d *dfg.DFG) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if n, ok := p.baseLen[d.BlockIndex]; ok {
 		return n, nil
 	}
@@ -143,50 +159,53 @@ func BuildPool(bm *bench.Benchmark, opts Options) (*Pool, error) {
 	}
 
 	// Exploration on the hot blocks. Blocks are independent and each
-	// exploration is deterministically seeded, so they run concurrently;
-	// results are collected in block order to keep the pool deterministic.
+	// exploration is deterministically seeded, so they fan out across the
+	// bounded worker pool (opts.Params.Workers wide; restarts inside each
+	// exploration share the same knob). Results are collected into
+	// per-block slots in hot-block order to keep the pool deterministic.
+	// One schedule-evaluation cache spans exploration and pricing: the
+	// cumulative prefix assignments realMarginalGains re-prices are exactly
+	// the ones the exploration already evaluated.
 	if opts.Algorithm != MI && opts.Algorithm != SI {
 		return nil, fmt.Errorf("flow: unknown algorithm %q", opts.Algorithm)
 	}
+	var cache *core.EvalCache
+	if !opts.Params.NoEvalCache {
+		cache = core.NewEvalCache()
+	}
 	perBlock := make([][]*merging.Candidate, len(pool.Hot))
 	errs := make([]error, len(pool.Hot))
-	var wg sync.WaitGroup
-	for hi, bi := range pool.Hot {
-		wg.Add(1)
-		go func(hi, bi int) {
-			defer wg.Done()
-			d := pool.DFGs[bi]
-			var ises []*core.ISE
-			var err error
-			switch opts.Algorithm {
-			case MI:
-				var r *core.Result
-				r, err = core.ExploreWithParams(d, opts.Machine, opts.Params)
-				if r != nil {
-					ises = r.ISEs
-				}
-			case SI:
-				var r *core.Result
-				r, err = baseline.Explore(d, opts.Machine, opts.Params)
-				if r != nil {
-					ises = r.ISEs
-				}
+	parallel.ForEach(len(pool.Hot), opts.Params.Workers, func(hi int) {
+		d := pool.DFGs[pool.Hot[hi]]
+		var ises []*core.ISE
+		var err error
+		switch opts.Algorithm {
+		case MI:
+			var r *core.Result
+			r, err = core.ExploreWithCache(d, opts.Machine, opts.Params, cache)
+			if r != nil {
+				ises = r.ISEs
 			}
-			if err != nil {
-				errs[hi] = fmt.Errorf("flow: explore %s: %w", d.Name, err)
-				return
+		case SI:
+			var r *core.Result
+			r, err = baseline.Explore(d, opts.Machine, opts.Params)
+			if r != nil {
+				ises = r.ISEs
 			}
-			gains, err := realMarginalGains(d, opts.Machine, ises)
-			if err != nil {
-				errs[hi] = err
-				return
-			}
-			for i, ise := range ises {
-				perBlock[hi] = append(perBlock[hi], &merging.Candidate{ISE: ise, DFG: d, Gain: gains[i] * float64(d.Weight)})
-			}
-		}(hi, bi)
-	}
-	wg.Wait()
+		}
+		if err != nil {
+			errs[hi] = fmt.Errorf("flow: explore %s: %w", d.Name, err)
+			return
+		}
+		gains, err := realMarginalGains(d, opts.Machine, ises, cache)
+		if err != nil {
+			errs[hi] = err
+			return
+		}
+		for i, ise := range ises {
+			perBlock[hi] = append(perBlock[hi], &merging.Candidate{ISE: ise, DFG: d, Gain: gains[i] * float64(d.Weight)})
+		}
+	})
 	var cands []*merging.Candidate
 	for hi := range perBlock {
 		if errs[hi] != nil {
@@ -194,6 +213,7 @@ func BuildPool(bm *bench.Benchmark, opts Options) (*Pool, error) {
 		}
 		cands = append(cands, perBlock[hi]...)
 	}
+	pool.CacheHits, pool.CacheMisses = cache.Stats()
 	pool.Groups = merging.Merge(cands)
 	return pool, nil
 }
@@ -205,20 +225,22 @@ func BuildPool(bm *bench.Benchmark, opts Options) (*Pool, error) {
 // *quality*: the single-issue baseline's candidates pack operations the wide
 // machine already runs in parallel, which shows up here as little or no
 // marginal gain for their extra area.
-func realMarginalGains(d *dfg.DFG, cfg machine.Config, ises []*core.ISE) ([]float64, error) {
-	prev, err := sched.ListSchedule(d, sched.AllSoftware(d.Len()), cfg)
+// Evaluations go through the shared schedule-evaluation cache: the MI
+// exploration has already scheduled every cumulative prefix it accepted, so
+// pricing is normally all cache hits.
+func realMarginalGains(d *dfg.DFG, cfg machine.Config, ises []*core.ISE, cache *core.EvalCache) ([]float64, error) {
+	prevLen, err := cache.Schedule(d, sched.AllSoftware(d.Len()), cfg)
 	if err != nil {
 		return nil, fmt.Errorf("flow: pricing %s: %w", d.Name, err)
 	}
-	prevLen := prev.Length
 	gains := make([]float64, len(ises))
 	for i := range ises {
-		s, err := sched.ListSchedule(d, core.BuildAssignment(d, ises[:i+1]), cfg)
+		n, err := cache.Schedule(d, core.BuildAssignment(d, ises[:i+1]), cfg)
 		if err != nil {
 			return nil, fmt.Errorf("flow: pricing %s: %w", d.Name, err)
 		}
-		gains[i] = float64(prevLen - s.Length)
-		prevLen = s.Length
+		gains[i] = float64(prevLen - n)
+		prevLen = n
 	}
 	return gains, nil
 }

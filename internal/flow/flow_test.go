@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/bench"
@@ -222,4 +223,113 @@ func TestBuildPoolDeterministicUnderParallelism(t *testing.T) {
 			}
 		}
 	}
+}
+
+// poolsEqual compares the constraint-independent outcome of two pools.
+func poolsEqual(t *testing.T, a, b *Pool) {
+	t.Helper()
+	if a.BaseCycles != b.BaseCycles {
+		t.Fatalf("base cycles differ: %v vs %v", a.BaseCycles, b.BaseCycles)
+	}
+	if len(a.Groups) != len(b.Groups) {
+		t.Fatalf("groups differ: %d vs %d", len(a.Groups), len(b.Groups))
+	}
+	for i := range a.Groups {
+		ga, gb := a.Groups[i], b.Groups[i]
+		if len(ga.Members) != len(gb.Members) || ga.AreaUM2 != gb.AreaUM2 {
+			t.Fatalf("group %d differs", i)
+		}
+		for j := range ga.Members {
+			if !ga.Members[j].ISE.Nodes.Equal(gb.Members[j].ISE.Nodes) ||
+				ga.Members[j].Gain != gb.Members[j].Gain {
+				t.Fatalf("group %d member %d differs", i, j)
+			}
+		}
+	}
+}
+
+// TestBuildPoolWorkerCountInvariance: the bounded worker pool must not
+// change the pool — one worker, many workers, and the uncached measurement
+// switch all land on identical groups and gains.
+func TestBuildPoolWorkerCountInvariance(t *testing.T) {
+	bm, err := bench.Get("crc32", "O3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Machine: machine.New(2, 4, 2), Params: core.FastParams(), Algorithm: MI, HotBlocks: 3}
+	opts.Params.Workers = 1
+	seq, err := BuildPool(bm, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Params.Workers = 8
+	par, err := BuildPool(bm, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poolsEqual(t, seq, par)
+	if seq.CacheHits == 0 || par.CacheHits == 0 {
+		t.Fatalf("pools report no cache hits: %d / %d", seq.CacheHits, par.CacheHits)
+	}
+	opts.Params.NoEvalCache = true
+	raw, err := BuildPool(bm, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poolsEqual(t, seq, raw)
+	if raw.CacheHits != 0 || raw.CacheMisses != 0 {
+		t.Fatalf("NoEvalCache pool reported cache traffic %d/%d", raw.CacheHits, raw.CacheMisses)
+	}
+}
+
+// TestPoolParallelSweepRace drives the constraint-dependent stages from many
+// goroutines at once — the experiments harness sweeps constraints over a
+// shared pool — including the lazily-filled blockBase path. Run under
+// `go test -race` this is the regression test for the unsynchronized
+// baseLen map write.
+func TestPoolParallelSweepRace(t *testing.T) {
+	pool := testPool(t, "crc32", "O0", MI)
+	// Forget some cached base lengths so concurrent sweeps exercise the
+	// lazy refill, not just the read path.
+	pool.mu.Lock()
+	n := 0
+	for bi := range pool.baseLen {
+		if n%2 == 0 {
+			delete(pool.baseLen, bi)
+		}
+		n++
+	}
+	pool.mu.Unlock()
+
+	constraints := []selection.Constraints{
+		{}, {MaxISEs: 1}, {MaxISEs: 2}, {MaxAreaUM2: 2000}, {MaxAreaUM2: 40000},
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i, c := range constraints {
+				rep, err := pool.Evaluate(c)
+				if err != nil {
+					t.Errorf("worker %d evaluate %d: %v", w, i, err)
+					return
+				}
+				if rep.FinalCycles > rep.BaseCycles {
+					t.Errorf("worker %d: worse than base", w)
+				}
+				for _, d := range pool.DFGs {
+					base, err := pool.blockBase(d)
+					if err != nil {
+						t.Errorf("worker %d blockBase: %v", w, err)
+						return
+					}
+					if base <= 0 {
+						t.Errorf("worker %d: block %s base %d", w, d.Name, base)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
 }

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 )
@@ -64,21 +65,12 @@ func (s NodeSet) Values() []int {
 	out := make([]int, 0, s.n)
 	for w, word := range s.bits {
 		for word != 0 {
-			b := trailingZeros(word)
+			b := bits.TrailingZeros64(word)
 			out = append(out, w*64+b)
 			word &^= 1 << uint(b)
 		}
 	}
 	return out
-}
-
-func trailingZeros(x uint64) int {
-	n := 0
-	for x&1 == 0 {
-		x >>= 1
-		n++
-	}
-	return n
 }
 
 // Clone returns an independent copy of the set.
@@ -165,10 +157,7 @@ func (s NodeSet) SubsetOf(t NodeSet) bool {
 func (s *NodeSet) recount() {
 	n := 0
 	for _, word := range s.bits {
-		for word != 0 {
-			word &= word - 1
-			n++
-		}
+		n += bits.OnesCount64(word)
 	}
 	s.n = n
 }

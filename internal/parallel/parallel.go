@@ -1,0 +1,82 @@
+// Package parallel provides the bounded worker pool used by every
+// concurrent stage of the exploration flow (restart fan-out in
+// internal/core and internal/baseline, per-block exploration in
+// internal/flow). Callers index work by position and write results into
+// per-index slots, so a parallel run and a sequential run produce identical
+// outputs; only wall-clock time differs.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Degree resolves a requested worker count for n work items: requested <= 0
+// means "one worker per available CPU" (GOMAXPROCS); the result is clamped
+// to [1, n] so no idle goroutines are spawned.
+func Degree(requested, n int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most Degree(workers, n)
+// goroutines and returns when all calls have finished. With one worker it
+// degenerates to a plain loop on the calling goroutine. Items are handed out
+// in index order but may complete in any order; fn must confine its writes
+// to per-index state. A panic in any fn is re-raised on the calling
+// goroutine after the pool drains, matching sequential behavior.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Degree(workers, n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next  atomic.Int64
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		pval  any
+		haveP bool
+	)
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if !haveP {
+						pval, haveP = r, true
+					}
+					mu.Unlock()
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if haveP {
+		panic(pval)
+	}
+}

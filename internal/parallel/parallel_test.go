@@ -1,0 +1,80 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDegree(t *testing.T) {
+	cpus := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		requested, n, want int
+	}{
+		{0, 100, cpus},  // default: one per CPU
+		{-3, 100, cpus}, // negative behaves like default
+		{4, 2, 2},       // clamped to item count
+		{1, 100, 1},     // explicit sequential
+		{8, 0, 1},       // no items still yields a valid degree
+	}
+	for _, c := range cases {
+		if got := Degree(c.requested, c.n); got != c.want {
+			t.Errorf("Degree(%d, %d) = %d, want %d", c.requested, c.n, got, c.want)
+		}
+	}
+}
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		const n = 500
+		counts := make([]int32, n)
+		ForEach(n, workers, func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	ForEach(0, 4, func(int) { t.Fatal("fn called with no items") })
+	ForEach(-1, 4, func(int) { t.Fatal("fn called with negative items") })
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int32
+	ForEach(100, workers, func(int) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		cur.Add(-1)
+	})
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent calls, worker bound is %d", p, workers)
+	}
+}
+
+func TestForEachPropagatesPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				if r := recover(); r != "boom" {
+					t.Errorf("workers=%d: recovered %v, want \"boom\"", workers, r)
+				}
+			}()
+			ForEach(10, workers, func(i int) {
+				if i == 5 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 
 	"repro/internal/dfg"
 	"repro/internal/graph"
@@ -46,6 +47,41 @@ func AllSoftware(n int) Assignment {
 		a[i] = NodeChoice{Kind: KindSW, Opt: 0, Group: -1}
 	}
 	return a
+}
+
+// Key returns a canonical signature of the assignment, suitable as a
+// memoization key for schedule evaluation: ListSchedule is a pure function
+// of (DFG, Assignment, machine.Config), so two assignments with equal Keys
+// schedule to the same length on the same DFG and machine. The encoding is
+// positional (one field per node, so node membership of every ISE group is
+// captured) and canonicalizes group IDs by first appearance, making the key
+// invariant under group renumbering. Hardware option indices are included
+// because they select the cell latencies that determine the group's
+// pipestage latency.
+func (a Assignment) Key() string {
+	buf := make([]byte, 0, 4*len(a))
+	remap := make(map[int]int)
+	for _, c := range a {
+		switch c.Kind {
+		case KindSW:
+			buf = append(buf, 's')
+			buf = strconv.AppendInt(buf, int64(c.Opt), 10)
+		case KindHW:
+			g, ok := remap[c.Group]
+			if !ok {
+				g = len(remap)
+				remap[c.Group] = g
+			}
+			buf = append(buf, 'h')
+			buf = strconv.AppendInt(buf, int64(c.Opt), 10)
+			buf = append(buf, 'g')
+			buf = strconv.AppendInt(buf, int64(g), 10)
+		default:
+			buf = append(buf, '?')
+		}
+		buf = append(buf, '.')
+	}
+	return string(buf)
 }
 
 // Group is one ISE instruction: a set of hardware-implemented nodes issued

@@ -1,0 +1,77 @@
+package sched
+
+import "testing"
+
+func TestAssignmentKeyCanonicalGroups(t *testing.T) {
+	// Two assignments that differ only in group numbering must share a key.
+	a := Assignment{
+		{Kind: KindHW, Opt: 0, Group: 7},
+		{Kind: KindHW, Opt: 1, Group: 7},
+		{Kind: KindSW, Opt: 0, Group: -1},
+		{Kind: KindHW, Opt: 0, Group: 3},
+	}
+	b := Assignment{
+		{Kind: KindHW, Opt: 0, Group: 0},
+		{Kind: KindHW, Opt: 1, Group: 0},
+		{Kind: KindSW, Opt: 0, Group: -1},
+		{Kind: KindHW, Opt: 0, Group: 12},
+	}
+	if a.Key() != b.Key() {
+		t.Fatalf("renumbered groups changed the key:\n%q\n%q", a.Key(), b.Key())
+	}
+}
+
+func TestAssignmentKeyDistinguishes(t *testing.T) {
+	base := Assignment{
+		{Kind: KindHW, Opt: 0, Group: 0},
+		{Kind: KindHW, Opt: 0, Group: 0},
+		{Kind: KindSW, Opt: 0, Group: -1},
+	}
+	cases := map[string]Assignment{
+		"different hw option": {
+			{Kind: KindHW, Opt: 1, Group: 0},
+			{Kind: KindHW, Opt: 0, Group: 0},
+			{Kind: KindSW, Opt: 0, Group: -1},
+		},
+		"split groups": {
+			{Kind: KindHW, Opt: 0, Group: 0},
+			{Kind: KindHW, Opt: 0, Group: 1},
+			{Kind: KindSW, Opt: 0, Group: -1},
+		},
+		"kind flip": {
+			{Kind: KindHW, Opt: 0, Group: 0},
+			{Kind: KindHW, Opt: 0, Group: 0},
+			{Kind: KindHW, Opt: 0, Group: 0},
+		},
+		"different sw option": {
+			{Kind: KindHW, Opt: 0, Group: 0},
+			{Kind: KindHW, Opt: 0, Group: 0},
+			{Kind: KindSW, Opt: 1, Group: -1},
+		},
+	}
+	for name, a := range cases {
+		if a.Key() == base.Key() {
+			t.Errorf("%s: key collision %q", name, base.Key())
+		}
+	}
+}
+
+func TestAssignmentKeyIgnoresSWGroupField(t *testing.T) {
+	// Software nodes carry no meaningful group; stray values must not split
+	// the key space.
+	a := Assignment{{Kind: KindSW, Opt: 0, Group: -1}}
+	b := Assignment{{Kind: KindSW, Opt: 0, Group: 42}}
+	if a.Key() != b.Key() {
+		t.Fatalf("software group field leaked into the key: %q vs %q", a.Key(), b.Key())
+	}
+}
+
+func TestAssignmentKeyMultiDigit(t *testing.T) {
+	// Option/group indices ≥ 10 must not be ambiguous with concatenations
+	// of smaller indices.
+	a := Assignment{{Kind: KindSW, Opt: 12, Group: -1}}
+	b := Assignment{{Kind: KindSW, Opt: 1, Group: -1}, {Kind: KindSW, Opt: 2, Group: -1}}
+	if a.Key() == b.Key() {
+		t.Fatalf("ambiguous encoding: %q", a.Key())
+	}
+}
