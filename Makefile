@@ -1,13 +1,22 @@
-.PHONY: tier1 race bench fmt
+.PHONY: tier1 race lint bench fmt
 
 # Tier 1: the fast correctness gate.
 tier1:
 	go build ./...
 	go test ./...
 
-# Tier 2: vet + race detector across every package (slower; run before
-# merging anything that touches internal/parallel, core, or flow).
-race:
+# Static analysis: the project lint suite (iselint enforces the determinism
+# and concurrency contracts; see DESIGN.md §9) plus gofmt cleanliness.
+lint:
+	go run ./cmd/iselint ./internal/...
+	@fmt_out=$$(gofmt -l .); \
+	if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
+	fi
+
+# Tier 2: lint + vet + race detector across every package (slower; run
+# before merging anything that touches internal/parallel, core, or flow).
+race: lint
 	go vet ./...
 	go test -race ./...
 

@@ -27,7 +27,7 @@ import (
 // observability, not exact call counts.
 type EvalCache struct {
 	mu sync.RWMutex
-	m  map[string]int
+	m  map[string]int // guarded by mu
 
 	hits, misses atomic.Uint64
 }

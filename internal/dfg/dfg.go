@@ -59,8 +59,10 @@ type DFG struct {
 	// runs on this graph.
 	Data *graph.Graph
 
-	reachMu   sync.Mutex
-	reach     []graph.NodeSet // lazy per-node descendant sets
+	reachMu sync.Mutex
+	// reach holds lazy per-node descendant sets; guarded by reachMu.
+	reach []graph.NodeSet
+	// reachDone marks filled entries of reach; guarded by reachMu.
 	reachDone []bool
 }
 

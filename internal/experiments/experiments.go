@@ -43,7 +43,8 @@ type Suite struct {
 	// CPU). Results are identical for every setting.
 	Workers int
 
-	mu    sync.Mutex
+	mu sync.Mutex
+	// pools caches built exploration pools; guarded by mu.
 	pools map[poolKey]*flow.Pool
 }
 

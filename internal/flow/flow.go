@@ -8,6 +8,7 @@ package flow
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/baseline"
@@ -71,8 +72,21 @@ type Pool struct {
 	// by hand (or a future partial build) may hit the lazy path from
 	// concurrent Evaluate/BuildMultiPool sweeps.
 	mu sync.Mutex
-	// baseLen caches each block's all-software schedule length.
+	// baseLen caches each block's all-software schedule length; guarded by mu.
 	baseLen map[int]int
+}
+
+// sortedBlocks returns the block indices of m in ascending order. Map
+// iteration order is randomized, and the whole-program reductions below are
+// float sums of weighted cycle counts — their order is part of the
+// determinism contract (enforced by iselint's maporder pass).
+func sortedBlocks(m map[int]*dfg.DFG) []int {
+	idx := make([]int, 0, len(m))
+	for bi := range m {
+		idx = append(idx, bi)
+	}
+	sort.Ints(idx)
+	return idx
 }
 
 // blockBase returns the all-software schedule length of block d. Safe for
@@ -147,16 +161,20 @@ func BuildPool(bm *bench.Benchmark, opts Options) (*Pool, error) {
 		pool.DFGs[d.BlockIndex] = d
 	}
 
-	// Whole-program baseline: every block all-software.
-	pool.baseLen = map[int]int{}
-	for _, d := range pool.DFGs {
+	// Whole-program baseline: every block all-software, in ascending block
+	// order so the float accumulation of BaseCycles is reproducible.
+	base := make(map[int]int, len(pool.DFGs))
+	for _, bi := range sortedBlocks(pool.DFGs) {
+		d := pool.DFGs[bi]
 		s, err := sched.ListSchedule(d, sched.AllSoftware(d.Len()), opts.Machine)
 		if err != nil {
 			return nil, fmt.Errorf("flow: base schedule %s: %w", d.Name, err)
 		}
-		pool.baseLen[d.BlockIndex] = s.Length
+		base[bi] = s.Length
 		pool.BaseCycles += float64(s.Length) * float64(d.Weight)
 	}
+	//lint:ignore lockguard pool is still private to BuildPool; it is not published until return
+	pool.baseLen = base
 
 	// Exploration on the hot blocks. Blocks are independent and each
 	// exploration is deterministically seeded, so they fan out across the
@@ -260,7 +278,8 @@ func (p *Pool) Evaluate(c selection.Constraints) (*Report, error) {
 		NumISEs:    len(dec.Selected),
 		Selected:   dec.Selected,
 	}
-	for _, d := range p.DFGs {
+	for _, bi := range sortedBlocks(p.DFGs) {
+		d := p.DFGs[bi]
 		s, _, _, err := replace.Apply(d, p.Machine, dec.Selected)
 		if err != nil {
 			return nil, err

@@ -69,7 +69,8 @@ func BuildMultiPool(benches []*bench.Benchmark, opts Options) (*MultiPool, error
 	for _, cand := range all {
 		total := 0.0
 		for _, pool := range mp.Pools {
-			for _, d := range pool.DFGs {
+			for _, bi := range sortedBlocks(pool.DFGs) {
+				d := pool.DFGs[bi]
 				s, _, _, err := replace.Apply(d, pool.Machine, []*merging.Candidate{cand})
 				if err != nil {
 					return nil, err
@@ -107,7 +108,8 @@ func (mp *MultiPool) Evaluate(c selection.Constraints) (*MultiReport, error) {
 			BaseCycles: pool.BaseCycles,
 			Selected:   dec.Selected,
 		}
-		for _, d := range pool.DFGs {
+		for _, bi := range sortedBlocks(pool.DFGs) {
+			d := pool.DFGs[bi]
 			s, _, _, err := replace.Apply(d, pool.Machine, dec.Selected)
 			if err != nil {
 				return nil, err

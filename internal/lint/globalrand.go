@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GlobalRand flags uses of process-global nondeterminism in deterministic
+// packages: calls to math/rand's package-level functions (which draw from a
+// shared, unseeded source) and time.Now. Exploration is a randomized
+// heuristic; reproducibility requires every random draw to come from a
+// seeded *rand.Rand threaded explicitly through the call tree (aco.NewRand),
+// and no decision to depend on wall-clock time. Constructors that build such
+// a generator (rand.New, rand.NewSource, rand.NewZipf) are allowed.
+var GlobalRand = &Analyzer{
+	Name:              "globalrand",
+	Doc:               "flags global math/rand functions and time.Now in deterministic packages",
+	DeterministicOnly: true,
+	Run:               runGlobalRand,
+}
+
+// globalRandAllowed are the math/rand package-level names that construct an
+// explicit generator rather than drawing from the global one.
+var globalRandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runGlobalRand(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := p.Info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pkgName.Imported().Path() {
+			case "math/rand", "math/rand/v2":
+				if !globalRandAllowed[sel.Sel.Name] {
+					p.Reportf(call.Pos(), "call to global %s.%s draws from the shared unseeded source; thread a seeded *rand.Rand instead",
+						pkgName.Imported().Path(), sel.Sel.Name)
+				}
+			case "time":
+				if sel.Sel.Name == "Now" {
+					p.Reportf(call.Pos(), "time.Now in a deterministic package makes results depend on wall-clock time; pass timing in explicitly")
+				}
+			}
+			return true
+		})
+	}
+}

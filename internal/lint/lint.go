@@ -1,0 +1,260 @@
+// Package lint is the project's static-analysis suite: a small, stdlib-only
+// analysis framework (go/parser, go/ast, go/types — no golang.org/x/tools)
+// plus the project-specific passes that machine-check the determinism and
+// concurrency contracts of the exploration engine.
+//
+// PR 1 made exploration parallel with a hard guarantee — results are
+// byte-identical at every worker count — but that contract used to be
+// enforced only by convention. One stray `for range` over a map feeding a
+// float accumulator, a global math/rand call, or an in-place append on a
+// shared backing array silently breaks reproducibility. The passes here turn
+// those conventions into build failures:
+//
+//   - maporder:     ranging over a map in a deterministic package
+//   - globalrand:   global math/rand / time.Now in a deterministic package
+//   - sliceclobber: append(s[:i], s[j:]...) deletion on an aliased slice
+//   - lockguard:    fields annotated `// guarded by <mu>` touched without
+//     locking <mu>
+//
+// A finding is silenced with a directive on the offending line or the line
+// above it:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// The reason is mandatory: a suppression is a reviewed claim that the site is
+// safe, and the claim must be stated.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic produced by an analyzer.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+	// Suppressed marks findings silenced by a lint:ignore directive. They
+	// are kept (for -v style reporting) but do not fail the run.
+	Suppressed bool
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Analyzer is one static-analysis pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// DeterministicOnly restricts the pass to the packages listed in
+	// Config.Deterministic — the packages whose outputs must be bit-stable
+	// across runs and worker counts.
+	DeterministicOnly bool
+	Run               func(*Pass)
+}
+
+// All returns every analyzer of the suite, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{MapOrder, GlobalRand, SliceClobber, LockGuard}
+}
+
+// ByName resolves a comma-separated analyzer list ("maporder,lockguard").
+// An empty spec selects the whole suite.
+func ByName(spec string) ([]*Analyzer, error) {
+	if spec == "" {
+		return All(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// DefaultDeterministic lists the import paths of the deterministic core: the
+// packages whose results feed the reproducibility contract (explored ISEs,
+// schedules, cycle counts must be identical run to run). maporder and
+// globalrand fire only here; sliceclobber and lockguard run everywhere.
+var DefaultDeterministic = []string{
+	"repro/internal/core",
+	"repro/internal/sched",
+	"repro/internal/flow",
+	"repro/internal/baseline",
+	"repro/internal/aco",
+	"repro/internal/selection",
+}
+
+// Config parameterizes a run of the suite.
+type Config struct {
+	// Analyzers to run; nil means All().
+	Analyzers []*Analyzer
+	// Deterministic is the import-path list of deterministic packages; nil
+	// means DefaultDeterministic.
+	Deterministic []string
+}
+
+func (c *Config) analyzers() []*Analyzer {
+	if c == nil || c.Analyzers == nil {
+		return All()
+	}
+	return c.Analyzers
+}
+
+func (c *Config) isDeterministic(path string) bool {
+	list := DefaultDeterministic
+	if c != nil && c.Deterministic != nil {
+		list = c.Deterministic
+	}
+	for _, p := range list {
+		if p == path {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass carries everything one analyzer needs for one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Types    *types.Package
+	Info     *types.Info
+	// Deterministic reports whether the package is part of the
+	// deterministic core.
+	Deterministic bool
+
+	findings *[]Finding
+	ignores  ignoreIndex
+}
+
+// Reportf records a finding at pos, applying the suppression index.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Fset.Position(pos)
+	f := Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	}
+	if p.ignores.covers(p.Analyzer.Name, position) {
+		f.Suppressed = true
+	}
+	*p.findings = append(*p.findings, f)
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	analyzers []string // "*" means all
+	line      int
+	file      string
+}
+
+// ignoreIndex maps file → directives, for suppression lookup.
+type ignoreIndex map[string][]ignoreDirective
+
+var ignoreRe = regexp.MustCompile(`^//\s*lint:ignore\s+(\S+)(?:\s+(.*))?$`)
+
+// buildIgnoreIndex scans every comment of the package for lint:ignore
+// directives. A directive without a reason is itself reported as a finding —
+// suppressions must say why.
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File, findings *[]Finding) ignoreIndex {
+	idx := ignoreIndex{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if strings.TrimSpace(m[2]) == "" {
+					*findings = append(*findings, Finding{
+						Analyzer: "directive",
+						Pos:      pos,
+						Message:  "lint:ignore requires a reason: //lint:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				idx[pos.Filename] = append(idx[pos.Filename], ignoreDirective{
+					analyzers: strings.Split(m[1], ","),
+					line:      pos.Line,
+					file:      pos.Filename,
+				})
+			}
+		}
+	}
+	return idx
+}
+
+// covers reports whether a directive suppresses analyzer findings at pos: the
+// directive must sit on the finding's line (trailing comment) or on the line
+// immediately above it.
+func (idx ignoreIndex) covers(analyzer string, pos token.Position) bool {
+	for _, d := range idx[pos.Filename] {
+		if d.line != pos.Line && d.line != pos.Line-1 {
+			continue
+		}
+		for _, a := range d.analyzers {
+			if a == "*" || a == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RunPackage runs the configured analyzers over one loaded package and
+// returns its findings sorted by position.
+func RunPackage(pkg *Package, cfg *Config) []Finding {
+	var findings []Finding
+	ignores := buildIgnoreIndex(pkg.Fset, pkg.Files, &findings)
+	det := cfg.isDeterministic(pkg.Path)
+	for _, a := range cfg.analyzers() {
+		if a.DeterministicOnly && !det {
+			continue
+		}
+		pass := &Pass{
+			Analyzer:      a,
+			Pkg:           pkg,
+			Fset:          pkg.Fset,
+			Files:         pkg.Files,
+			Types:         pkg.Types,
+			Info:          pkg.Info,
+			Deterministic: det,
+			findings:      &findings,
+			ignores:       ignores,
+		}
+		a.Run(pass)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	return findings
+}

@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fixtureDeterministic marks which fixture packages count as part of the
+// deterministic core for the scope-restricted analyzers.
+var fixtureDeterministic = []string{
+	"fixture/maporder",
+	"fixture/globalrand",
+	"fixture/directive",
+}
+
+// The fixture loader is shared across tests: the source importer re-parses
+// stdlib dependencies per loader, which is the expensive part.
+var (
+	loaderOnce sync.Once
+	loader     *Loader
+	loaderErr  error
+)
+
+func fixturePackage(t *testing.T, name string) *Package {
+	t.Helper()
+	loaderOnce.Do(func() {
+		root, err := filepath.Abs(filepath.Join("testdata", "src"))
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		loader, loaderErr = NewLoader(root)
+	})
+	if loaderErr != nil {
+		t.Fatalf("fixture loader: %v", loaderErr)
+	}
+	pkg, err := loader.Load(filepath.Join(loader.ModuleRoot, name))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	if len(pkg.Errors) > 0 {
+		t.Fatalf("fixture %s has type errors: %v", name, pkg.Errors)
+	}
+	return pkg
+}
+
+var wantRe = regexp.MustCompile(`// want "([^"]*)"`)
+
+// expectations extracts `// want "substring"` markers: file:line → substring.
+func expectations(pkg *Package) map[string]string {
+	wants := map[string]string{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)] = m[1]
+			}
+		}
+	}
+	return wants
+}
+
+// checkFixture runs one analyzer over a fixture package and matches the
+// unsuppressed findings against the `// want` markers, also asserting how
+// many findings the fixture's lint:ignore directives silenced.
+func checkFixture(t *testing.T, pkgName string, a *Analyzer, wantSuppressed int) {
+	t.Helper()
+	pkg := fixturePackage(t, pkgName)
+	findings := RunPackage(pkg, &Config{
+		Analyzers:     []*Analyzer{a},
+		Deterministic: fixtureDeterministic,
+	})
+	wants := expectations(pkg)
+	matched := map[string]bool{}
+	suppressed := 0
+	for _, f := range findings {
+		if f.Suppressed {
+			suppressed++
+			continue
+		}
+		key := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
+		want, ok := wants[key]
+		if !ok {
+			t.Errorf("unexpected finding: %s", f)
+			continue
+		}
+		if !strings.Contains(f.Message, want) {
+			t.Errorf("finding %s does not contain %q", f, want)
+		}
+		matched[key] = true
+	}
+	for key, want := range wants {
+		if !matched[key] {
+			t.Errorf("missing finding at %s (want %q)", key, want)
+		}
+	}
+	if suppressed != wantSuppressed {
+		t.Errorf("suppressed findings = %d, want %d", suppressed, wantSuppressed)
+	}
+}
+
+func TestMapOrderFixture(t *testing.T) {
+	checkFixture(t, "maporder", MapOrder, 1)
+}
+
+func TestGlobalRandFixture(t *testing.T) {
+	checkFixture(t, "globalrand", GlobalRand, 1)
+}
+
+func TestSliceClobberFixture(t *testing.T) {
+	checkFixture(t, "sliceclobber", SliceClobber, 1)
+}
+
+func TestLockGuardFixture(t *testing.T) {
+	checkFixture(t, "lockguard", LockGuard, 1)
+}
+
+// TestDeterministicScope checks that maporder and globalrand stay quiet
+// outside the deterministic core, and fire inside it, on identical code.
+func TestDeterministicScope(t *testing.T) {
+	pkg := fixturePackage(t, "nondet")
+	analyzers := []*Analyzer{MapOrder, GlobalRand}
+
+	quiet := RunPackage(pkg, &Config{Analyzers: analyzers, Deterministic: fixtureDeterministic})
+	if len(quiet) != 0 {
+		t.Errorf("determinism-only analyzers fired outside the deterministic core: %v", quiet)
+	}
+
+	loud := RunPackage(pkg, &Config{
+		Analyzers:     analyzers,
+		Deterministic: append([]string{"fixture/nondet"}, fixtureDeterministic...),
+	})
+	if len(loud) != 2 {
+		t.Errorf("want 2 findings (maporder + globalrand) with nondet marked deterministic, got %d: %v", len(loud), loud)
+	}
+}
+
+// TestDirectiveRequiresReason checks that a reasonless lint:ignore is itself
+// reported and suppresses nothing.
+func TestDirectiveRequiresReason(t *testing.T) {
+	pkg := fixturePackage(t, "directive")
+	findings := RunPackage(pkg, &Config{
+		Analyzers:     []*Analyzer{MapOrder},
+		Deterministic: fixtureDeterministic,
+	})
+	var sawDirective, sawMapOrder bool
+	for _, f := range findings {
+		if f.Suppressed {
+			t.Errorf("reasonless directive suppressed a finding: %s", f)
+			continue
+		}
+		switch f.Analyzer {
+		case "directive":
+			sawDirective = true
+			if !strings.Contains(f.Message, "requires a reason") {
+				t.Errorf("directive finding message = %q", f.Message)
+			}
+		case "maporder":
+			sawMapOrder = true
+		}
+	}
+	if !sawDirective {
+		t.Error("missing finding for the reasonless lint:ignore directive")
+	}
+	if !sawMapOrder {
+		t.Error("reasonless directive must not suppress the maporder finding")
+	}
+}
+
+// TestAnalyzerListing covers the driver-facing registry helpers.
+func TestAnalyzerListing(t *testing.T) {
+	if got := len(All()); got != 4 {
+		t.Fatalf("All() = %d analyzers, want 4", got)
+	}
+	sel, err := ByName("maporder,lockguard")
+	if err != nil || len(sel) != 2 || sel[0] != MapOrder || sel[1] != LockGuard {
+		t.Fatalf("ByName(maporder,lockguard) = %v, %v", sel, err)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("ByName(nosuch) succeeded")
+	}
+}

@@ -1,0 +1,260 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis. Test files
+// are excluded: the contracts under enforcement cover shipped code, and test
+// packages freely use local randomness and map iteration.
+type Package struct {
+	// Path is the import path ("repro/internal/core").
+	Path string
+	// Dir is the directory the sources were read from.
+	Dir  string
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, in file-name order.
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// Errors are type-check problems. Analysis still runs best-effort, but
+	// a driver should surface them: analyzers can miss findings in code
+	// that does not fully type-check.
+	Errors []error
+}
+
+// Loader parses and type-checks packages of one module using only the
+// standard library. Imports inside the module are resolved recursively from
+// source; standard-library imports go through go/importer's source importer
+// (which needs no pre-compiled export data). Module dependencies outside the
+// module are unsupported — the repo is stdlib-only by policy, and the loader
+// enforcing that is a feature.
+type Loader struct {
+	Fset       *token.FileSet
+	ModulePath string
+	ModuleRoot string
+
+	std     types.ImporterFrom
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader returns a loader for the module rooted at root (the directory
+// holding go.mod).
+func NewLoader(root string) (*Loader, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("lint: source importer does not implement ImporterFrom")
+	}
+	return &Loader{
+		Fset:       fset,
+		ModulePath: modPath,
+		ModuleRoot: root,
+		std:        std,
+		pkgs:       map[string]*Package{},
+		loading:    map[string]bool{},
+	}, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: reading %s: %w", gomod, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			p := strings.TrimSpace(rest)
+			p = strings.Trim(p, `"`)
+			if p != "" {
+				return p, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// Load parses and type-checks the package in dir (which must live under the
+// module root) and returns it. Results are memoized by import path.
+func (l *Loader) Load(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(l.ModuleRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("lint: %s is outside module root %s", dir, l.ModuleRoot)
+	}
+	path := l.ModulePath
+	if rel != "." {
+		path = l.ModulePath + "/" + filepath.ToSlash(rel)
+	}
+	return l.loadPath(path)
+}
+
+func (l *Loader) loadPath(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.ModuleRoot
+	if path != l.ModulePath {
+		dir = filepath.Join(l.ModuleRoot, filepath.FromSlash(strings.TrimPrefix(path, l.ModulePath+"/")))
+	}
+	files, err := parseDir(l.Fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no buildable Go sources in %s", dir)
+	}
+
+	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { pkg.Errors = append(pkg.Errors, err) },
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, info) // errors collected above
+	pkg.Files = files
+	pkg.Types = tpkg
+	pkg.Info = info
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.ModuleRoot, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-local packages load from
+// source through the loader itself; everything else is treated as standard
+// library.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		pkg, err := l.loadPath(path)
+		if err != nil {
+			return nil, err
+		}
+		if pkg.Types == nil {
+			return nil, fmt.Errorf("lint: %s failed to type-check", path)
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}
+
+// parseDir parses every non-test .go file of dir, in name order.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// PackageDirs expands a ./dir/... style pattern (or a plain directory) into
+// the list of package directories beneath it that contain non-test Go
+// sources. testdata, vendor and hidden directories are skipped.
+func PackageDirs(root, pattern string) ([]string, error) {
+	recursive := false
+	if rest, ok := strings.CutSuffix(pattern, "/..."); ok {
+		recursive = true
+		pattern = rest
+	}
+	if pattern == "" || pattern == "." {
+		pattern = root
+	}
+	if !filepath.IsAbs(pattern) {
+		pattern = filepath.Join(root, pattern)
+	}
+	if !recursive {
+		return []string{pattern}, nil
+	}
+	var dirs []string
+	err := filepath.WalkDir(pattern, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != pattern && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		hasGo, err := hasGoSources(p)
+		if err != nil {
+			return err
+		}
+		if hasGo {
+			dirs = append(dirs, p)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("lint: expanding %s: %w", pattern, err)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoSources(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true, nil
+		}
+	}
+	return false, nil
+}

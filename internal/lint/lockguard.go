@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// LockGuard is a best-effort checker for the project's mutex annotations. A
+// struct field whose doc or line comment says
+//
+//	// guarded by <mu>
+//
+// may only be read or written inside functions that lock <mu> (Lock or
+// RLock, on any receiver path ending in that mutex name). This is the
+// Pool.blockBase race class from PR 1: a lazily-filled map behind a mutex,
+// plus one forgotten call site. The check is intraprocedural and
+// flow-insensitive — it does not prove the lock is held at the access, only
+// that the function takes it somewhere — so it catches forgotten locks, not
+// lock-ordering bugs. Initialization before the value is shared is a
+// legitimate unlocked access; annotate it //lint:ignore lockguard <reason>.
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc:  "checks that fields annotated `// guarded by <mu>` are only touched under that mutex",
+	Run:  runLockGuard,
+}
+
+var guardedRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+func runLockGuard(p *Pass) {
+	guarded := collectGuardedFields(p)
+	if len(guarded) == 0 {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			locked := lockedMutexes(p, fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fv, ok := fieldVar(p.Info, sel)
+				if !ok {
+					return true
+				}
+				mu, ok := guarded[fv]
+				if !ok || locked[mu] {
+					return true
+				}
+				p.Reportf(sel.Sel.Pos(), "field %s is annotated `guarded by %s` but %s does not lock %s",
+					fv.Name(), mu, fn.Name.Name, mu)
+				return true
+			})
+		}
+	}
+}
+
+// collectGuardedFields scans struct declarations for `guarded by <mu>`
+// comments and returns the annotated field objects with their mutex names.
+func collectGuardedFields(p *Pass) map[*types.Var]string {
+	guarded := map[*types.Var]string{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardAnnotation(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := p.Info.Defs[name].(*types.Var); ok {
+						guarded[v] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+// guardAnnotation extracts the mutex name from a field's doc or line comment.
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// lockedMutexes returns the names of mutexes the body locks: the final
+// receiver component of every x.y.mu.Lock() / mu.RLock() call.
+func lockedMutexes(p *Pass, body *ast.BlockStmt) map[string]bool {
+	locked := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		switch recv := sel.X.(type) {
+		case *ast.Ident:
+			locked[recv.Name] = true
+		case *ast.SelectorExpr:
+			locked[recv.Sel.Name] = true
+		}
+		return true
+	})
+	return locked
+}

@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags `for ... range m` over a map in a deterministic package.
+// Go randomizes map iteration order on purpose, so any such loop whose body
+// is order-sensitive — accumulating floats, appending to a result slice,
+// feeding the RNG, emitting output — silently breaks the contract that two
+// runs produce identical results.
+//
+// One idiom is recognized as safe and not flagged: the key-collection loop
+//
+//	for k := range m {
+//	    keys = append(keys, k)
+//	}
+//
+// whose body is exactly one append of the key into a slice (the first half of
+// the sort-then-range fix; appending in any order is fine when the slice is
+// sorted before use). Everything else needs either the sorted-keys rewrite or
+// an explicit `//lint:ignore maporder <reason>` stating why order cannot
+// matter.
+var MapOrder = &Analyzer{
+	Name:              "maporder",
+	Doc:               "flags nondeterministic iteration over maps in deterministic packages",
+	DeterministicOnly: true,
+	Run:               runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := p.Info.Types[rs.X]
+			if !ok {
+				return true
+			}
+			mt, ok := tv.Type.Underlying().(*types.Map)
+			if !ok {
+				return true
+			}
+			if isKeyCollectionLoop(p, rs) {
+				return true
+			}
+			p.Reportf(rs.For, "iteration over map %s (%s) has nondeterministic order; sort the keys first or annotate //lint:ignore maporder <reason>",
+				exprString(rs.X), types.TypeString(mt, types.RelativeTo(p.Types)))
+			return true
+		})
+	}
+}
+
+// isKeyCollectionLoop reports whether rs is the benign
+// `for k := range m { s = append(s, k) }` idiom: key variable only, single
+// append statement collecting the key into a slice.
+func isKeyCollectionLoop(p *Pass, rs *ast.RangeStmt) bool {
+	if rs.Value != nil || rs.Body == nil || len(rs.Body.List) != 1 {
+		return false
+	}
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return false
+	}
+	asg, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 || call.Ellipsis.IsValid() {
+		return false
+	}
+	if !isBuiltin(p.Info, call.Fun, "append") {
+		return false
+	}
+	// append's destination and the assignment target must be the same
+	// variable, and the appended element must be the range key.
+	dst, ok := call.Args[0].(*ast.Ident)
+	lhs, ok2 := asg.Lhs[0].(*ast.Ident)
+	if !ok || !ok2 || objOf(p.Info, dst) == nil || objOf(p.Info, dst) != objOf(p.Info, lhs) {
+		return false
+	}
+	elem, ok := call.Args[1].(*ast.Ident)
+	if !ok || objOf(p.Info, elem) == nil || objOf(p.Info, elem) != objOf(p.Info, key) {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SliceClobber flags the in-place deletion idiom
+//
+//	append(s[:i], s[j:]...)
+//
+// when s is reachable from outside the function — a parameter, receiver, or
+// struct field. The call shifts elements down inside s's backing array, so
+// every other slice sharing that array sees its contents rewritten. This is
+// exactly the removeUnit bug PR 1 fixed by hand: a worker "deleting" from its
+// private view of a shared slice clobbered its siblings' data. Purely local
+// slices (fresh allocations) may use the idiom freely; shared ones must copy
+// first or carry a //lint:ignore sliceclobber <reason> explaining why no
+// other alias exists.
+var SliceClobber = &Analyzer{
+	Name: "sliceclobber",
+	Doc:  "flags in-place append deletion on slices whose backing array may be aliased",
+	Run:  runSliceClobber,
+}
+
+func runSliceClobber(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			escaped := funcScopeVars(p.Info, fn)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !call.Ellipsis.IsValid() || len(call.Args) != 2 {
+					return true
+				}
+				if !isBuiltin(p.Info, call.Fun, "append") {
+					return true
+				}
+				dst, ok := call.Args[0].(*ast.SliceExpr)
+				if !ok {
+					return true
+				}
+				src, ok := call.Args[1].(*ast.SliceExpr)
+				if !ok {
+					return true
+				}
+				if !sameExpr(p.Info, dst.X, src.X) {
+					return true
+				}
+				base := dst.X
+				if !mayAlias(p, base, escaped) {
+					return true
+				}
+				p.Reportf(call.Pos(), "in-place append(%s[:…], %s[…:]...) shifts elements inside a backing array that may be shared (%s escapes this function); copy into a fresh slice first",
+					exprString(base), exprString(base), exprString(base))
+				return true
+			})
+		}
+	}
+}
+
+// mayAlias reports whether the slice expression's storage can be referenced
+// outside the enclosing function: struct fields always can; identifiers can
+// when they are parameters or the receiver.
+func mayAlias(p *Pass, base ast.Expr, escaped map[types.Object]bool) bool {
+	switch b := base.(type) {
+	case *ast.SelectorExpr:
+		_, isField := fieldVar(p.Info, b)
+		return isField
+	case *ast.Ident:
+		o := objOf(p.Info, b)
+		return o != nil && escaped[o]
+	case *ast.IndexExpr:
+		return mayAlias(p, b.X, escaped)
+	case *ast.ParenExpr:
+		return mayAlias(p, b.X, escaped)
+	}
+	return false
+}

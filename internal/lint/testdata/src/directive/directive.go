@@ -1,0 +1,13 @@
+// Package directive holds a lint:ignore comment with no reason: the
+// directive itself must be reported, and it must not suppress anything.
+package directive
+
+// Sum ranges a map under a reasonless — therefore invalid — suppression.
+func Sum(m map[int]float64) float64 {
+	total := 0.0
+	//lint:ignore maporder
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,32 @@
+// Package globalrand exercises the globalrand analyzer: the deterministic
+// core may only draw randomness from an explicitly threaded seeded
+// *rand.Rand, and may not read the wall clock.
+package globalrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter draws from the process-global, unseeded source.
+func Jitter() float64 {
+	return rand.Float64() // want "math/rand.Float64"
+}
+
+// Stamp makes a result depend on wall-clock time.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now"
+}
+
+// Seeded threads an explicit generator — the approved pattern; the
+// constructors rand.New and rand.NewSource are allowed.
+func Seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// SuppressedShuffle keeps a justified global call.
+func SuppressedShuffle(xs []int) {
+	//lint:ignore globalrand fixture demo: shuffle order intentionally unspecified
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

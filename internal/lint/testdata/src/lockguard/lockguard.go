@@ -1,0 +1,47 @@
+// Package lockguard reconstructs the PR 1 Pool.blockBase race: a lazily
+// filled cache behind a mutex, with one fill path that forgets the lock.
+// Fields annotated `// guarded by <mu>` may only be touched by functions
+// that lock <mu>.
+package lockguard
+
+import "sync"
+
+// Pool mirrors flow.Pool: a per-block cache filled on demand.
+type Pool struct {
+	mu sync.Mutex
+	// baseLen caches per-block schedule lengths; guarded by mu.
+	baseLen map[int]int
+}
+
+// BlockBaseRacy is the PR 1 bug: the lazy fill reads and writes the cache
+// without taking the lock, racing with concurrent callers.
+func (p *Pool) BlockBaseRacy(k int) int {
+	if n, ok := p.baseLen[k]; ok { // want "does not lock mu"
+		return n
+	}
+	n := compute(k)
+	p.baseLen[k] = n // want "does not lock mu"
+	return n
+}
+
+// BlockBase is the fixed version: the fill is serialized under mu.
+func (p *Pool) BlockBase(k int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n, ok := p.baseLen[k]; ok {
+		return n
+	}
+	n := compute(k)
+	p.baseLen[k] = n
+	return n
+}
+
+// NewPool initializes the cache before the Pool can be shared.
+func NewPool() *Pool {
+	p := &Pool{}
+	//lint:ignore lockguard p is private until returned; no concurrent access exists yet
+	p.baseLen = map[int]int{}
+	return p
+}
+
+func compute(k int) int { return k * k }

@@ -1,0 +1,41 @@
+// Package maporder exercises the maporder analyzer: ranging over a map in a
+// deterministic package is flagged unless the loop only collects keys for
+// later sorting or the site carries a reviewed suppression.
+package maporder
+
+import "sort"
+
+// SumBad accumulates floats in map order — the bit-instability bug class the
+// analyzer exists to catch.
+func SumBad(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want "nondeterministic order"
+		total += v
+	}
+	return total
+}
+
+// SumGood walks the keys in sorted order; the collection loop is the
+// recognized safe idiom and the second loop ranges a slice.
+func SumGood(m map[int]float64) float64 {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	total := 0.0
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+// CountSuppressed ranges a map under a reviewed justification.
+func CountSuppressed(m map[int]float64) int {
+	n := 0
+	//lint:ignore maporder an integer count is identical for every visit order
+	for range m {
+		n++
+	}
+	return n
+}

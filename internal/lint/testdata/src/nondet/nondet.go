@@ -1,0 +1,16 @@
+// Package nondet is NOT part of the deterministic core: the determinism-only
+// analyzers (maporder, globalrand) must stay quiet here, however freely it
+// ranges maps and draws global randomness.
+package nondet
+
+import "math/rand"
+
+// Sample draws from the global source and sums a map in iteration order —
+// both fine outside the deterministic core.
+func Sample(m map[int]float64) float64 {
+	total := rand.Float64()
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

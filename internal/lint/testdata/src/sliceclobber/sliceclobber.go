@@ -1,0 +1,40 @@
+// Package sliceclobber reconstructs the PR 1 removeUnit bug: the in-place
+// deletion idiom append(s[:i], s[j:]...) shifts elements down inside s's
+// backing array, rewriting the contents seen by every other slice that
+// shares it. The idiom is only safe on slices the function provably owns.
+package sliceclobber
+
+type unit struct{ id int }
+
+// RemoveUnitBug is the PR 1 bug verbatim: "deleting" from a parameter slice
+// clobbers the caller's backing array.
+func RemoveUnitBug(units []unit, i int) []unit {
+	return append(units[:i], units[i+1:]...) // want "backing array"
+}
+
+// RemoveUnitFixed is the PR 1 fix: copy the survivors into a fresh slice.
+func RemoveUnitFixed(units []unit, i int) []unit {
+	out := make([]unit, 0, len(units)-1)
+	out = append(out, units[:i]...)
+	return append(out, units[i+1:]...)
+}
+
+type registry struct{ units []unit }
+
+// Compact deletes in place from a struct field, whose array any previously
+// returned slice may alias.
+func (r *registry) Compact(i int) {
+	r.units = append(r.units[:i], r.units[i+1:]...) // want "backing array"
+}
+
+// Scratch may use the idiom freely: the slice never left this function.
+func Scratch(n, i int) []unit {
+	s := make([]unit, n)
+	return append(s[:i], s[i+1:]...)
+}
+
+// RemoveOwned keeps the idiom on a parameter under a reviewed justification.
+func RemoveOwned(s []int, i int) []int {
+	//lint:ignore sliceclobber caller transfers ownership of s; no other alias survives the call
+	return append(s[:i], s[i+1:]...)
+}

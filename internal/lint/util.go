@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// objOf resolves an identifier to its object (use or def).
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// isBuiltin reports whether fun is a direct reference to the named builtin.
+func isBuiltin(info *types.Info, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = objOf(info, id).(*types.Builtin)
+	return ok
+}
+
+// exprString renders an expression compactly for diagnostics.
+func exprString(e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, token.NewFileSet(), e); err != nil {
+		return "<expr>"
+	}
+	return buf.String()
+}
+
+// sameExpr reports whether two expressions are structurally identical
+// references to the same variables/fields: identifiers resolving to the same
+// object, matching selector chains, or matching index expressions. It is
+// deliberately conservative — anything it does not understand compares
+// unequal.
+func sameExpr(info *types.Info, a, b ast.Expr) bool {
+	switch av := a.(type) {
+	case *ast.Ident:
+		bv, ok := b.(*ast.Ident)
+		return ok && objOf(info, av) != nil && objOf(info, av) == objOf(info, bv)
+	case *ast.SelectorExpr:
+		bv, ok := b.(*ast.SelectorExpr)
+		return ok && objOf(info, av.Sel) == objOf(info, bv.Sel) && sameExpr(info, av.X, bv.X)
+	case *ast.IndexExpr:
+		bv, ok := b.(*ast.IndexExpr)
+		return ok && sameExpr(info, av.X, bv.X) && sameExpr(info, av.Index, bv.Index)
+	case *ast.ParenExpr:
+		return sameExpr(info, av.X, b)
+	}
+	if bv, ok := b.(*ast.ParenExpr); ok {
+		return sameExpr(info, a, bv.X)
+	}
+	return false
+}
+
+// funcScopeVars collects the objects bound by a function's receiver and
+// parameters (including named results), i.e. the variables whose backing
+// storage the caller may alias.
+func funcScopeVars(info *types.Info, fn *ast.FuncDecl) map[types.Object]bool {
+	vars := map[types.Object]bool{}
+	addList := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if o := info.Defs[name]; o != nil {
+					vars[o] = true
+				}
+			}
+		}
+	}
+	addList(fn.Recv)
+	if fn.Type != nil {
+		addList(fn.Type.Params)
+	}
+	return vars
+}
+
+// fieldVar reports whether sel selects a struct field, returning its object.
+func fieldVar(info *types.Info, sel *ast.SelectorExpr) (*types.Var, bool) {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil, false
+	}
+	v, ok := s.Obj().(*types.Var)
+	return v, ok && v.IsField()
+}

@@ -29,7 +29,8 @@ type Candidate struct {
 	// block (filled by the design flow before merging).
 	Gain float64
 
-	mu         sync.Mutex
+	mu sync.Mutex
+	// matchCache memoizes per-target pattern occurrences; guarded by mu.
 	matchCache map[*dfg.DFG][]match.Mapping
 }
 

@@ -296,9 +296,13 @@ func totalLatency(macros []macro) int {
 	return t
 }
 
+// removeInt deletes the first occurrence of v from s in place. The caller
+// must own s's backing array and replace s with the return value — both call
+// sites here reassign the scheduler-local ready list and never alias it.
 func removeInt(s []int, v int) []int {
 	for i, x := range s {
 		if x == v {
+			//lint:ignore sliceclobber ready list is scheduler-local; callers reassign the result and hold no other alias
 			return append(s[:i], s[i+1:]...)
 		}
 	}

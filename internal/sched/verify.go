@@ -2,23 +2,35 @@ package sched
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/dfg"
+	"repro/internal/graph"
 	"repro/internal/isa"
 	"repro/internal/machine"
 )
 
 // Verify independently checks that a schedule is feasible for d under a and
-// cfg: every dependence is satisfied (a consumer issues after its producer
-// completes, unless both sit in the same ISE), and no cycle oversubscribes
-// issue slots, functional units, register ports or the ASFU. It is the
-// test oracle for the scheduler and for externally constructed schedules.
+// cfg: every ISE group is legal (convex, within the register-file I/O port
+// budget — the paper's βConvex/βIO constraints), every dependence is
+// satisfied (a consumer issues after its producer completes, unless both sit
+// in the same ISE), and no cycle oversubscribes issue slots, functional
+// units, register ports or the ASFU. It is the test oracle for the scheduler
+// and for externally constructed schedules; the group-legality checks use
+// their own reachability walk rather than dfg.IsConvex so the oracle stays
+// independent of the code it judges.
 func Verify(d *dfg.DFG, a Assignment, cfg machine.Config, s *Schedule) error {
-	if err := a.Validate(d); err != nil {
-		return err
-	}
 	if len(s.NodeCycle) != d.Len() || len(s.NodeDone) != d.Len() {
 		return fmt.Errorf("sched: verify: schedule covers %d nodes, DFG has %d", len(s.NodeCycle), d.Len())
+	}
+	if len(a) != d.Len() {
+		return fmt.Errorf("sched: verify: assignment covers %d nodes, DFG has %d", len(a), d.Len())
+	}
+	if err := verifyGroups(d, a, cfg); err != nil {
+		return err
+	}
+	if err := a.Validate(d); err != nil {
+		return err
 	}
 	groupOf := make([]int, d.Len())
 	for i := range groupOf {
@@ -86,7 +98,13 @@ func Verify(d *dfg.DFG, a Assignment, cfg machine.Config, s *Schedule) error {
 		u.writes += swWrites(d, v)
 		u.fu[d.Nodes[v].SW[a[v].Opt].Class]++
 	}
-	for c, u := range usage {
+	cycles := make([]int, 0, len(usage))
+	for c := range usage {
+		cycles = append(cycles, c)
+	}
+	sort.Ints(cycles)
+	for _, c := range cycles {
+		u := usage[c]
 		if u.issue > cfg.IssueWidth {
 			return fmt.Errorf("sched: verify: cycle %d issues %d > width %d", c, u.issue, cfg.IssueWidth)
 		}
@@ -106,4 +124,58 @@ func Verify(d *dfg.DFG, a Assignment, cfg machine.Config, s *Schedule) error {
 		}
 	}
 	return nil
+}
+
+// verifyGroups rejects illegal ISE groups: non-convex node sets (an ISE
+// issues atomically, so no dependence may leave the group and come back) and
+// groups whose operand traffic exceeds the register file's read or write
+// ports (an ISE reads all operands at issue and writes all results at
+// completion; the encoding cannot exceed the port budget even across
+// pipelined cycles).
+func verifyGroups(d *dfg.DFG, a Assignment, cfg machine.Config) error {
+	for _, g := range a.Groups(d.Len()) {
+		if w, ok := convexityWitness(d, g.Nodes); !ok {
+			return fmt.Errorf("sched: verify: group %d is not convex: node %d lies on a path between group members", g.ID, w)
+		}
+		if in := d.In(g.Nodes); in > cfg.ReadPorts {
+			return fmt.Errorf("sched: verify: group %d reads %d values > %d register read ports", g.ID, in, cfg.ReadPorts)
+		}
+		if out := d.Out(g.Nodes); out > cfg.WritePorts {
+			return fmt.Errorf("sched: verify: group %d writes %d values > %d register write ports", g.ID, out, cfg.WritePorts)
+		}
+	}
+	return nil
+}
+
+// convexityWitness checks convexity of s by direct reachability: s is convex
+// iff no node outside s is both reachable from a member and able to reach a
+// member. On violation it returns such a witness node.
+func convexityWitness(d *dfg.DFG, s graph.NodeSet) (witness int, convex bool) {
+	n := d.Len()
+	fromS := reachableSet(n, s, d.G.Succs)
+	toS := reachableSet(n, s, d.G.Preds)
+	for v := 0; v < n; v++ {
+		if !s.Contains(v) && fromS.Contains(v) && toS.Contains(v) {
+			return v, false
+		}
+	}
+	return -1, true
+}
+
+// reachableSet returns every node reachable from the seed set along next
+// (excluding the seeds themselves unless re-reached through a path).
+func reachableSet(n int, seeds graph.NodeSet, next func(int) []int) graph.NodeSet {
+	out := graph.NewNodeSet(n)
+	queue := seeds.Values()
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range next(v) {
+			if !out.Contains(w) {
+				out.Add(w)
+				queue = append(queue, w)
+			}
+		}
+	}
+	return out
 }
