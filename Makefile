@@ -1,4 +1,4 @@
-.PHONY: tier1 race lint bench fmt
+.PHONY: tier1 race lint bench benchall fmt
 
 # Tier 1: the fast correctness gate.
 tier1:
@@ -20,7 +20,17 @@ race: lint
 	go vet ./...
 	go test -race ./...
 
+# Benchmarks: the scheduling-kernel and exploration benchmarks, 5
+# repetitions each, folded into BENCH_sched.json (median ns/op, allocs/op,
+# custom metrics) alongside the pre-kernel baseline in BENCH_baseline.txt so
+# the perf trajectory is recorded in-repo. `make benchall` runs everything
+# without the JSON post-processing.
 bench:
+	go test -bench 'Sched|Explore|Headline' -benchmem -count 5 \
+		| go run ./cmd/benchjson -baseline BENCH_baseline.txt -o BENCH_sched.json
+	@cat BENCH_sched.json
+
+benchall:
 	go test -bench=. -benchmem
 
 fmt:

@@ -202,6 +202,43 @@ func BenchmarkListSchedule(b *testing.B) {
 	}
 }
 
+// BenchmarkSchedSteadyState measures the reusable kernel on the same
+// 183-operation block as BenchmarkListSchedule, alternating between the
+// all-software assignment and the explored ISE assignment so both the
+// fast path and a real macro contraction are exercised. The contract pinned
+// here (and by TestSchedulerSteadyStateAllocs) is zero steady-state heap
+// allocations: after warm-up every Schedule call runs out of the arenas.
+func BenchmarkSchedSteadyState(b *testing.B) {
+	bm, err := bench.Get("jpeg", "O3")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof, err := bm.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := dfg.BuildAll(bm.Prog, prof.HotBlocks(bm.Prog, 1), prof.BlockCounts)[0]
+	cfg := machine.New(4, 8, 4)
+	res, err := core.ExploreWithParams(d, cfg, core.FastParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	as := []sched.Assignment{sched.AllSoftware(d.Len()), res.Assignment}
+	kern := sched.NewScheduler()
+	for _, a := range as { // warm-up: grow the arenas once
+		if _, err := kern.Schedule(d, a, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kern.Schedule(d, as[i%len(as)], cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func reportAvg(b *testing.B, reduction float64) {
 	b.ReportMetric(100*reduction, "reduction-%")
 }

@@ -1,0 +1,179 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// record so the performance trajectory of the scheduling kernel is kept in
+// the repository instead of in scrollback. It reads bench output on stdin,
+// takes the median over the -count repetitions of each benchmark (robust to
+// the cold first repetition that pays one-time pool construction), and
+// writes one JSON document with ns/op, B/op, allocs/op and any custom
+// ReportMetric columns (cache-hit-%, oneISE-%, ...) per benchmark.
+//
+//	go test -bench 'Sched|Explore|Headline' -benchmem -count 5 |
+//	    go run ./cmd/benchjson -baseline BENCH_baseline.txt -o BENCH_sched.json
+//
+// With -baseline, a second bench-format file (the pre-optimization numbers)
+// is parsed the same way, embedded under "baseline", and a per-benchmark
+// wall-time improvement percentage is computed for every benchmark present
+// in both runs.
+//
+// Exit status: 0 on success, 1 if stdin holds no benchmark lines or a file
+// cannot be read.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result summarizes the repetitions of one benchmark: the median of every
+// reported column.
+type result struct {
+	Count       int                `json:"count"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// report is the emitted document.
+type report struct {
+	Command       string             `json:"command"`
+	Benchmarks    map[string]*result `json:"benchmarks"`
+	Baseline      map[string]*result `json:"baseline,omitempty"`
+	ImprovementPc map[string]float64 `json:"improvement_pct,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default: stdout)")
+	baseline := flag.String("baseline", "", "bench-format file with pre-optimization numbers")
+	flag.Parse()
+
+	cur, err := parseBench(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if len(cur) == 0 {
+		fatal(fmt.Errorf("no benchmark lines on stdin"))
+	}
+	rep := &report{
+		Command:    "go test -bench 'Sched|Explore|Headline' -benchmem -count 5",
+		Benchmarks: cur,
+	}
+	if *baseline != "" {
+		f, err := os.Open(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		base, err := parseBench(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		rep.Baseline = base
+		rep.ImprovementPc = map[string]float64{}
+		for name, b := range base {
+			if c, ok := cur[name]; ok && b.NsPerOp > 0 {
+				rep.ImprovementPc[name] = 100 * (b.NsPerOp - c.NsPerOp) / b.NsPerOp
+			}
+		}
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// parseBench reads `go test -bench` output and folds repetitions into their
+// median. A line looks like
+//
+//	BenchmarkFoo-8   123   4567 ns/op   21.15 cache-hit-%   89 B/op   3 allocs/op
+//
+// Name suffixes like -8 (GOMAXPROCS) are stripped so repetitions and
+// baselines from differently sized machines still merge by benchmark name.
+func parseBench(r io.Reader) (map[string]*result, error) {
+	type acc struct {
+		n       int
+		samples map[string][]float64 // unit -> one value per repetition
+	}
+	accs := map[string]*acc{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		a := accs[name]
+		if a == nil {
+			a = &acc{samples: map[string][]float64{}}
+			accs[name] = a
+		}
+		a.n++
+		// fields[1] is the iteration count; the rest are "value unit" pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			unit := fields[i+1]
+			a.samples[unit] = append(a.samples[unit], v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := map[string]*result{}
+	for name, a := range accs {
+		res := &result{Count: a.n}
+		for unit, vs := range a.samples {
+			m := median(vs)
+			switch unit {
+			case "ns/op":
+				res.NsPerOp = m
+			case "B/op":
+				res.BytesPerOp = m
+			case "allocs/op":
+				res.AllocsPerOp = m
+			default:
+				if res.Metrics == nil {
+					res.Metrics = map[string]float64{}
+				}
+				res.Metrics[unit] = m
+			}
+		}
+		out[name] = res
+	}
+	return out, nil
+}
+
+// median returns the middle sample (lower of the two for even counts, which
+// for bench data biases toward the faster, steadier repetitions).
+func median(vs []float64) float64 {
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	return s[(len(s)-1)/2]
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -38,7 +38,7 @@ func Explore(d *dfg.DFG, cfg machine.Config, p core.Params) (*core.Result, error
 	if d.Len() == 0 {
 		return nil, fmt.Errorf("baseline: empty DFG %s", d.Name)
 	}
-	baseSched, err := sched.ListSchedule(d, sched.AllSoftware(d.Len()), cfg)
+	baseCycles, err := sched.ListScheduleLength(d, sched.AllSoftware(d.Len()), cfg)
 	if err != nil {
 		return nil, fmt.Errorf("baseline: base schedule of %s: %w", d.Name, err)
 	}
@@ -48,12 +48,17 @@ func Explore(d *dfg.DFG, cfg machine.Config, p core.Params) (*core.Result, error
 	}
 	// Restarts are independent and deterministically seeded, so they fan out
 	// across the shared bounded worker pool; the left-to-right reduction
-	// below keeps parallel and sequential runs identical.
+	// below keeps parallel and sequential runs identical. Each worker owns
+	// one scheduling kernel (pure scratch — never affects results).
 	results := make([]*core.Result, restarts)
 	serials := make([]int, restarts)
 	errs := make([]error, restarts)
-	parallel.ForEach(restarts, p.Workers, func(r int) {
-		results[r], serials[r], errs[r] = runOnce(d, cfg, p, p.Seed+int64(r)*104729, baseSched.Length)
+	kerns := make([]*sched.Scheduler, parallel.Degree(p.Workers, restarts))
+	for i := range kerns {
+		kerns[i] = sched.NewScheduler()
+	}
+	parallel.ForEachWorker(restarts, p.Workers, func(w, r int) {
+		results[r], serials[r], errs[r] = runOnce(d, cfg, p, p.Seed+int64(r)*104729, baseCycles, kerns[w])
 	})
 	var best *core.Result
 	var bestSerial int
@@ -85,7 +90,7 @@ type explorer struct {
 	topo  []int
 }
 
-func runOnce(d *dfg.DFG, cfg machine.Config, p core.Params, seed int64, baseCycles int) (*core.Result, int, error) {
+func runOnce(d *dfg.DFG, cfg machine.Config, p core.Params, seed int64, baseCycles int, kern *sched.Scheduler) (*core.Result, int, error) {
 	rng := aco.NewRand(seed)
 	e := &explorer{d: d, cfg: cfg, p: p, rng: rng, inISE: make([]bool, d.Len())}
 	order, err := d.G.TopoOrder()
@@ -115,7 +120,7 @@ func runOnce(d *dfg.DFG, cfg machine.Config, p core.Params, seed int64, baseCycl
 
 	res.ISEs = append(res.ISEs, e.fixed...)
 	res.Assignment = core.BuildAssignment(d, res.ISEs)
-	final, err := sched.ListSchedule(d, res.Assignment, cfg)
+	final, err := kern.Schedule(d, res.Assignment, cfg)
 	if err != nil {
 		return nil, 0, fmt.Errorf("baseline: final schedule of %s: %w", d.Name, err)
 	}

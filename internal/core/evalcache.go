@@ -9,67 +9,142 @@ import (
 	"repro/internal/sched"
 )
 
+// evalShards is the number of independently locked cache shards. A power of
+// two so shard selection is a mask; 16 keeps contention negligible at any
+// worker count this repository uses while wasting nothing at one worker.
+const evalShards = 16
+
+// evalKey identifies one schedule evaluation: the DFG and machine by name
+// (one cache may serve several of each) and the assignment by its canonical
+// 128-bit hash. Distinct canonical assignments collide on the hash with
+// probability ~2^-128 (see sched.KeyHash and DESIGN.md §10), so equality on
+// evalKey is equality on the evaluation for every practical purpose.
+type evalKey struct {
+	dfg string
+	cfg string
+	h   sched.KeyHash
+}
+
+// shard maps the key to its shard index. The assignment hash alone would put
+// every block's all-software evaluation — the single hottest key shape — in
+// one shard, so the DFG and machine names are folded in.
+func (k evalKey) shard() int {
+	h := k.h[0] ^ (k.h[1] >> 7)
+	for i := 0; i < len(k.dfg); i++ {
+		h = h*131 + uint64(k.dfg[i])
+	}
+	for i := 0; i < len(k.cfg); i++ {
+		h = h*131 + uint64(k.cfg[i])
+	}
+	return int(h & (evalShards - 1))
+}
+
+// evalEntry is one memoized (or in-flight) evaluation. done is closed when n
+// and err are final; waiters block on it instead of re-scheduling, so
+// concurrent misses on one key cost exactly one schedule (singleflight).
+type evalEntry struct {
+	done chan struct{}
+	n    int
+	err  error
+}
+
+type evalShard struct {
+	mu sync.Mutex
+	m  map[evalKey]*evalEntry // guarded by mu
+}
+
 // EvalCache memoizes schedule evaluations. The exploration loop and the
-// flow's candidate pricing both call sched.ListSchedule on assignments they
-// have already priced — every ACO round re-evaluates the accepted-ISE
-// prefix plus one candidate, and flow.realMarginalGains replays exactly
-// those prefixes — so keying the resulting length on a canonical assignment
-// signature (sched.Assignment.Key, which canonicalizes ISE group numbering
-// and covers node sets, option choices and hence group latencies) removes
-// the dominant repeated cost. One cache may serve several DFGs and machine
-// configurations: the key is qualified by both names.
+// flow's candidate pricing both call the scheduler on assignments they have
+// already priced — every ACO round re-evaluates the accepted-ISE prefix plus
+// one candidate, and flow.realMarginalGains replays exactly those prefixes —
+// so keying the resulting length on a canonical assignment signature
+// (sched.Assignment.KeyHash, which canonicalizes ISE group numbering and
+// covers node sets, option choices and hence group latencies) removes the
+// dominant repeated cost.
 //
 // The cache is safe for concurrent use; parallel restart workers share one
-// instance. Lookups are semantically transparent — ListSchedule is
-// deterministic — so cached and uncached runs return identical results.
-// Concurrent misses on the same key may both schedule and both store (the
-// stored lengths are equal), which makes the hit/miss counters best-effort
-// observability, not exact call counts.
+// instance. It is sharded to keep lock traffic off the workers, and each
+// shard runs singleflight on misses: concurrent lookups of a key being
+// computed wait for the in-flight evaluation instead of scheduling again.
+// That makes the hit/miss counters exact — a miss is a lookup that actually
+// ran the scheduler, a hit is one that did not (including waiters), and
+// hits+misses equals lookups. Lookups are semantically transparent — the
+// scheduler is deterministic — so cached and uncached runs return identical
+// results. Errors are not cached: the computing call removes the entry before
+// publishing the error, so a failing assignment never pollutes the memo
+// (waiters of that in-flight computation still receive the same
+// deterministic error).
 type EvalCache struct {
-	mu sync.RWMutex
-	m  map[string]int // guarded by mu
+	shards [evalShards]evalShard
 
 	hits, misses atomic.Uint64
 }
 
 // NewEvalCache returns an empty schedule-evaluation cache.
 func NewEvalCache() *EvalCache {
-	return &EvalCache{m: make(map[string]int)}
+	c := &EvalCache{}
+	for i := range c.shards {
+		//lint:ignore lockguard the cache is still private to its constructor; it is not published until return
+		c.shards[i].m = make(map[evalKey]*evalEntry)
+	}
+	return c
 }
 
 // Schedule returns the list-schedule length of d under assignment a on cfg,
 // consulting the memo first. A nil receiver disables memoization and
-// schedules directly (the NoEvalCache measurement switch). Errors are not
-// cached; they are deterministic per key, so a failing assignment never
-// pollutes the memo.
+// schedules directly (the NoEvalCache measurement switch).
 func (c *EvalCache) Schedule(d *dfg.DFG, a sched.Assignment, cfg machine.Config) (int, error) {
+	return c.ScheduleWith(nil, d, a, cfg)
+}
+
+// ScheduleWith is Schedule evaluating misses on kern, the caller's reusable
+// scheduling kernel, so the miss path inherits the kernel's arena reuse and
+// prefix-delta optimizations. A nil kern falls back to a pooled kernel.
+func (c *EvalCache) ScheduleWith(kern *sched.Scheduler, d *dfg.DFG, a sched.Assignment, cfg machine.Config) (int, error) {
 	if c == nil {
-		s, err := sched.ListSchedule(d, a, cfg)
-		if err != nil {
-			return 0, err
-		}
-		return s.Length, nil
+		return scheduleLen(kern, d, a, cfg)
 	}
-	key := d.Name + "\x00" + cfg.Name + "\x00" + a.Key()
-	c.mu.RLock()
-	n, ok := c.m[key]
-	c.mu.RUnlock()
-	if ok {
+	k := evalKey{dfg: d.Name, cfg: cfg.Name, h: a.KeyHash()}
+	sh := &c.shards[k.shard()]
+	sh.mu.Lock()
+	if e, ok := sh.m[k]; ok {
+		sh.mu.Unlock()
 		c.hits.Add(1)
-		return n, nil
+		<-e.done
+		return e.n, e.err
 	}
+	e := &evalEntry{done: make(chan struct{})}
+	sh.m[k] = e
+	sh.mu.Unlock()
 	c.misses.Add(1)
-	s, err := sched.ListSchedule(d, a, cfg)
+	n, err := scheduleLen(kern, d, a, cfg)
+	if err != nil {
+		sh.mu.Lock()
+		delete(sh.m, k)
+		sh.mu.Unlock()
+		e.err = err
+		close(e.done)
+		return 0, err
+	}
+	e.n = n
+	close(e.done)
+	return n, nil
+}
+
+func scheduleLen(kern *sched.Scheduler, d *dfg.DFG, a sched.Assignment, cfg machine.Config) (int, error) {
+	if kern == nil {
+		return sched.ListScheduleLength(d, a, cfg)
+	}
+	s, err := kern.Schedule(d, a, cfg)
 	if err != nil {
 		return 0, err
 	}
-	c.mu.Lock()
-	c.m[key] = s.Length
-	c.mu.Unlock()
 	return s.Length, nil
 }
 
-// Stats returns the cumulative hit and miss counts.
+// Stats returns the cumulative hit and miss counts. With singleflight these
+// are exact: misses count scheduler invocations, hits count lookups served
+// without one, and their sum counts lookups.
 func (c *EvalCache) Stats() (hits, misses uint64) {
 	if c == nil {
 		return 0, 0
@@ -77,12 +152,16 @@ func (c *EvalCache) Stats() (hits, misses uint64) {
 	return c.hits.Load(), c.misses.Load()
 }
 
-// Len returns the number of memoized evaluations.
+// Len returns the number of memoized evaluations, including in-flight ones.
 func (c *EvalCache) Len() int {
 	if c == nil {
 		return 0
 	}
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.m)
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += len(c.shards[i].m)
+		c.shards[i].mu.Unlock()
+	}
+	return n
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/isa"
@@ -88,5 +89,91 @@ func TestEvalCacheKeyedByMachine(t *testing.T) {
 	}
 	if c.Len() != 2 {
 		t.Fatalf("cache holds %d entries, want 2", c.Len())
+	}
+}
+
+// TestEvalCacheSingleflight checks the concurrent-miss contract: many
+// goroutines racing on the same cold key produce exactly one real scheduler
+// invocation (one miss); every other lookup blocks on the in-flight entry and
+// counts as a hit. hits+misses always equals the number of lookups.
+func TestEvalCacheSingleflight(t *testing.T) {
+	d := blockDFG(t, func(b *prog.Builder) { logicChain(b, 10) })
+	cfg := machine.New(2, 4, 2)
+	a := sched.AllSoftware(d.Len())
+	want, err := sched.ListSchedule(d, a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 16
+	c := NewEvalCache()
+	lens := make([]int, goroutines)
+	errs := make([]error, goroutines)
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer done.Done()
+			start.Wait()
+			lens[g], errs[g] = c.Schedule(d, a, cfg)
+		}(g)
+	}
+	start.Done()
+	done.Wait()
+
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatal(errs[g])
+		}
+		if lens[g] != want.Length {
+			t.Fatalf("goroutine %d got length %d, want %d", g, lens[g], want.Length)
+		}
+	}
+	hits, misses := c.Stats()
+	if misses != 1 {
+		t.Fatalf("%d misses for one key, want exactly 1 (singleflight)", misses)
+	}
+	if hits != goroutines-1 {
+		t.Fatalf("%d hits, want %d", hits, goroutines-1)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache holds %d entries, want 1", c.Len())
+	}
+}
+
+// TestEvalCacheErrorNotCached checks that a failed evaluation leaves no
+// entry behind: retrying the same key schedules again (another miss) rather
+// than replaying a stale error or, worse, a bogus length.
+func TestEvalCacheErrorNotCached(t *testing.T) {
+	d := blockDFG(t, func(b *prog.Builder) { logicChain(b, 6) })
+	cfg := machine.New(2, 4, 2)
+	bad := sched.AllSoftware(d.Len() - 1) // wrong length: always an error
+
+	c := NewEvalCache()
+	for i := 0; i < 2; i++ {
+		if _, err := c.Schedule(d, bad, cfg); err == nil {
+			t.Fatal("undersized assignment scheduled without error")
+		}
+	}
+	hits, misses := c.Stats()
+	if hits != 0 || misses != 2 {
+		t.Fatalf("stats = %d hits / %d misses, want 0/2: errors must not be cached", hits, misses)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("cache holds %d entries after errors, want 0", c.Len())
+	}
+
+	// The key must still work once the inputs are fixed.
+	n, err := c.Schedule(d, sched.AllSoftware(d.Len()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sched.ListSchedule(d, sched.AllSoftware(d.Len()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != want.Length {
+		t.Fatalf("post-error length %d, want %d", n, want.Length)
 	}
 }

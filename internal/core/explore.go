@@ -101,8 +101,16 @@ func ExploreWithCache(d *dfg.DFG, cfg machine.Config, p Params, cache *EvalCache
 	}
 	results := make([]*Result, restarts)
 	errs := make([]error, restarts)
-	parallel.ForEach(restarts, p.Workers, func(r int) {
-		results[r], errs[r] = runOnce(d, cfg, p, p.Seed+int64(r)*7919, baseCycles, cache)
+	// One scheduling kernel per worker: restarts running on the same worker
+	// reuse its arena (and, within a restart, its contraction prefix). The
+	// kernel is pure scratch — which worker runs which restart never affects
+	// the restart's result — so determinism is preserved.
+	kerns := make([]*sched.Scheduler, parallel.Degree(p.Workers, restarts))
+	for i := range kerns {
+		kerns[i] = sched.NewScheduler()
+	}
+	parallel.ForEachWorker(restarts, p.Workers, func(w, r int) {
+		results[r], errs[r] = runOnce(d, cfg, p, p.Seed+int64(r)*7919, baseCycles, cache, kerns[w])
 	})
 	var best *Result
 	for r := 0; r < restarts; r++ {
@@ -123,13 +131,17 @@ func ExploreWithCache(d *dfg.DFG, cfg machine.Config, p Params, cache *EvalCache
 // runOnce performs one full exploration: rounds of ACO iterations, each
 // producing at most one accepted ISE, until no further ISE improves the
 // schedule.
-func runOnce(d *dfg.DFG, cfg machine.Config, p Params, seed int64, baseCycles int, cache *EvalCache) (*Result, error) {
+func runOnce(d *dfg.DFG, cfg machine.Config, p Params, seed int64, baseCycles int, cache *EvalCache, kern *sched.Scheduler) (*Result, error) {
+	if kern == nil {
+		kern = sched.NewScheduler()
+	}
 	e := &explorer{
 		d:            d,
 		cfg:          cfg,
 		p:            p,
 		rng:          aco.NewRand(seed),
 		cache:        cache,
+		kern:         kern,
 		fixedGroupOf: make([]int, d.Len()),
 		sp:           make([]float64, d.Len()),
 	}
@@ -160,7 +172,7 @@ func runOnce(d *dfg.DFG, cfg machine.Config, p Params, seed int64, baseCycles in
 
 	res.ISEs = append(res.ISEs, e.fixed...)
 	res.Assignment = BuildAssignment(d, res.ISEs)
-	final, err := cache.Schedule(d, res.Assignment, cfg)
+	final, err := cache.ScheduleWith(e.kern, d, res.Assignment, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: final schedule of %s: %w", d.Name, err)
 	}
@@ -356,9 +368,37 @@ func (e *explorer) bestCandidate(curLen int) *candidate {
 // the resulting length. Evaluations go through the memo cache: across
 // iterations and restarts the same accepted-prefix-plus-candidate
 // assignment recurs constantly, and the canonical key makes those replays
-// free.
+// free. Misses run on the explorer's own kernel, whose arena and
+// accepted-prefix contraction reuse make the back-to-back candidate
+// evaluations of one round cheap: every candidate shares the kernel's
+// previous call's leading groups (the accepted ISEs), so only the candidate
+// group is validated and measured from scratch.
 func (e *explorer) evaluate(cand *ISE) (int, error) {
-	ises := append(append([]*ISE(nil), e.fixed...), cand)
-	a := BuildAssignment(e.d, ises)
-	return e.cache.Schedule(e.d, a, e.cfg)
+	a := e.assignmentWith(cand)
+	return e.cache.ScheduleWith(e.kern, e.d, a, e.cfg)
+}
+
+// assignmentWith builds the assignment realizing the accepted ISEs plus cand
+// into the explorer's reusable buffer. The result is equal to
+// BuildAssignment(e.d, append(e.fixed, cand)) — groups numbered in
+// acceptance order, candidate last — and valid until the next call.
+func (e *explorer) assignmentWith(cand *ISE) sched.Assignment {
+	n := e.d.Len()
+	if cap(e.evalAssign) < n {
+		e.evalAssign = make(sched.Assignment, n)
+	}
+	a := e.evalAssign[:n]
+	for i := range a {
+		a[i] = sched.NodeChoice{Kind: sched.KindSW, Opt: 0, Group: -1}
+	}
+	for g, f := range e.fixed {
+		for _, v := range f.Nodes.Values() {
+			a[v] = sched.NodeChoice{Kind: sched.KindHW, Opt: f.Option[v], Group: g}
+		}
+	}
+	for _, v := range cand.Nodes.Values() {
+		a[v] = sched.NodeChoice{Kind: sched.KindHW, Opt: cand.Option[v], Group: len(e.fixed)}
+	}
+	e.evalAssign = a
+	return a
 }

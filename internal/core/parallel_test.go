@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -82,13 +83,15 @@ func TestExploreParallelDeterminism(t *testing.T) {
 				t.Fatal(err)
 			}
 
-			p.Workers = 8
-			par, err := ExploreWithParams(d, cfg, p)
-			if err != nil {
-				t.Fatal(err)
-			}
 			label := bm.name + "/" + bm.opt
-			sameResult(t, label+" parallel-vs-sequential", seq, par)
+			for _, w := range []int{4, 8} {
+				p.Workers = w
+				par, err := ExploreWithParams(d, cfg, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameResult(t, fmt.Sprintf("%s workers=%d vs sequential", label, w), seq, par)
+			}
 
 			p.Workers = 8
 			p.NoEvalCache = true

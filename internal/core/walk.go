@@ -19,6 +19,11 @@ type explorer struct {
 	rng *rand.Rand
 	// cache memoizes schedule evaluations; may be nil (NoEvalCache).
 	cache *EvalCache
+	// kern is this explorer's reusable scheduling kernel; restarts sharing a
+	// worker share one. Pure scratch — never affects results.
+	kern *sched.Scheduler
+	// evalAssign is evaluate's reusable assignment buffer.
+	evalAssign sched.Assignment
 
 	// fixed are ISEs accepted in earlier rounds; their members no longer
 	// make choices.

@@ -218,11 +218,19 @@ func (d *DFG) descendants(v int) graph.NodeSet {
 // Reaches reports whether any node of from has a path to any node of to.
 func (d *DFG) Reaches(from, to graph.NodeSet) bool {
 	for _, v := range from.Values() {
-		if !d.descendants(v).Intersect(to).Empty() {
+		if d.descendants(v).Intersects(to) {
 			return true
 		}
 	}
 	return false
+}
+
+// ReachesFromNode reports whether node v has a path to any node of to. It is
+// the allocation-free single-source form of Reaches (the descendant set of v
+// is computed once per DFG and cached), used by arena-style callers that hold
+// group members as index slices rather than NodeSets.
+func (d *DFG) ReachesFromNode(v int, to graph.NodeSet) bool {
+	return d.descendants(v).Intersects(to)
 }
 
 // Interlocked reports whether two node sets are mutually dependent — each

@@ -74,6 +74,8 @@ type Pool struct {
 	mu sync.Mutex
 	// baseLen caches each block's all-software schedule length; guarded by mu.
 	baseLen map[int]int
+	// kern is the lazy path's scheduling kernel; guarded by mu.
+	kern *sched.Scheduler
 }
 
 // sortedBlocks returns the block indices of m in ascending order. Map
@@ -100,7 +102,10 @@ func (p *Pool) blockBase(d *dfg.DFG) (int, error) {
 	if n, ok := p.baseLen[d.BlockIndex]; ok {
 		return n, nil
 	}
-	s, err := sched.ListSchedule(d, sched.AllSoftware(d.Len()), p.Machine)
+	if p.kern == nil {
+		p.kern = sched.NewScheduler()
+	}
+	s, err := p.kern.Schedule(d, sched.AllSoftware(d.Len()), p.Machine)
 	if err != nil {
 		return 0, err
 	}
@@ -162,11 +167,14 @@ func BuildPool(bm *bench.Benchmark, opts Options) (*Pool, error) {
 	}
 
 	// Whole-program baseline: every block all-software, in ascending block
-	// order so the float accumulation of BaseCycles is reproducible.
+	// order so the float accumulation of BaseCycles is reproducible. One
+	// kernel serves the whole sequential loop, so the per-block scratch is
+	// allocated once, not once per block.
 	base := make(map[int]int, len(pool.DFGs))
+	baseKern := sched.NewScheduler()
 	for _, bi := range sortedBlocks(pool.DFGs) {
 		d := pool.DFGs[bi]
-		s, err := sched.ListSchedule(d, sched.AllSoftware(d.Len()), opts.Machine)
+		s, err := baseKern.Schedule(d, sched.AllSoftware(d.Len()), opts.Machine)
 		if err != nil {
 			return nil, fmt.Errorf("flow: base schedule %s: %w", d.Name, err)
 		}
@@ -193,7 +201,11 @@ func BuildPool(bm *bench.Benchmark, opts Options) (*Pool, error) {
 	}
 	perBlock := make([][]*merging.Candidate, len(pool.Hot))
 	errs := make([]error, len(pool.Hot))
-	parallel.ForEach(len(pool.Hot), opts.Params.Workers, func(hi int) {
+	priceKerns := make([]*sched.Scheduler, parallel.Degree(opts.Params.Workers, len(pool.Hot)))
+	for i := range priceKerns {
+		priceKerns[i] = sched.NewScheduler()
+	}
+	parallel.ForEachWorker(len(pool.Hot), opts.Params.Workers, func(w, hi int) {
 		d := pool.DFGs[pool.Hot[hi]]
 		var ises []*core.ISE
 		var err error
@@ -215,7 +227,7 @@ func BuildPool(bm *bench.Benchmark, opts Options) (*Pool, error) {
 			errs[hi] = fmt.Errorf("flow: explore %s: %w", d.Name, err)
 			return
 		}
-		gains, err := realMarginalGains(d, opts.Machine, ises, cache)
+		gains, err := realMarginalGains(d, opts.Machine, ises, cache, priceKerns[w])
 		if err != nil {
 			errs[hi] = err
 			return
@@ -246,14 +258,14 @@ func BuildPool(bm *bench.Benchmark, opts Options) (*Pool, error) {
 // Evaluations go through the shared schedule-evaluation cache: the MI
 // exploration has already scheduled every cumulative prefix it accepted, so
 // pricing is normally all cache hits.
-func realMarginalGains(d *dfg.DFG, cfg machine.Config, ises []*core.ISE, cache *core.EvalCache) ([]float64, error) {
-	prevLen, err := cache.Schedule(d, sched.AllSoftware(d.Len()), cfg)
+func realMarginalGains(d *dfg.DFG, cfg machine.Config, ises []*core.ISE, cache *core.EvalCache, kern *sched.Scheduler) ([]float64, error) {
+	prevLen, err := cache.ScheduleWith(kern, d, sched.AllSoftware(d.Len()), cfg)
 	if err != nil {
 		return nil, fmt.Errorf("flow: pricing %s: %w", d.Name, err)
 	}
 	gains := make([]float64, len(ises))
 	for i := range ises {
-		n, err := cache.Schedule(d, core.BuildAssignment(d, ises[:i+1]), cfg)
+		n, err := cache.ScheduleWith(kern, d, core.BuildAssignment(d, ises[:i+1]), cfg)
 		if err != nil {
 			return nil, fmt.Errorf("flow: pricing %s: %w", d.Name, err)
 		}
@@ -278,9 +290,13 @@ func (p *Pool) Evaluate(c selection.Constraints) (*Report, error) {
 		NumISEs:    len(dec.Selected),
 		Selected:   dec.Selected,
 	}
+	// One kernel per Evaluate call: sweeps may run Evaluate concurrently, so
+	// the kernel is call-local, and within the call it is reused across every
+	// block — the steady-state hot path of constraint sweeps.
+	kern := sched.NewScheduler()
 	for _, bi := range sortedBlocks(p.DFGs) {
 		d := p.DFGs[bi]
-		s, _, _, err := replace.Apply(d, p.Machine, dec.Selected)
+		s, _, _, err := replace.ApplyWith(kern, d, p.Machine, dec.Selected)
 		if err != nil {
 			return nil, err
 		}

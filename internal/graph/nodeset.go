@@ -73,6 +73,37 @@ func (s NodeSet) Values() []int {
 	return out
 }
 
+// Reset reinitializes s in place to an empty set able to hold IDs in
+// [0, capacity), reusing the backing array when it is large enough. It is the
+// allocation-free counterpart of NewNodeSet for arena-style reuse.
+func (s *NodeSet) Reset(capacity int) {
+	w := (capacity + 63) / 64
+	if cap(s.bits) < w {
+		s.bits = make([]uint64, w)
+	} else {
+		s.bits = s.bits[:w]
+		for i := range s.bits {
+			s.bits[i] = 0
+		}
+	}
+	s.n = 0
+}
+
+// Intersects reports whether s and t share at least one member, without
+// allocating (unlike Intersect, which clones).
+func (s NodeSet) Intersects(t NodeSet) bool {
+	n := len(s.bits)
+	if len(t.bits) < n {
+		n = len(t.bits)
+	}
+	for w := 0; w < n; w++ {
+		if s.bits[w]&t.bits[w] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // Clone returns an independent copy of the set.
 func (s NodeSet) Clone() NodeSet {
 	c := NodeSet{bits: make([]uint64, len(s.bits)), n: s.n}

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// ArenaEscape checks the arena-ownership contract introduced with the
+// zero-allocation scheduling kernel (sched.Scheduler, DESIGN.md §10). A
+// struct field whose doc or line comment contains
+//
+//	arena: <note>
+//
+// is scratch storage owned by its struct and recycled on every call; any
+// reference to it that leaves the owner silently aliases memory the next call
+// will overwrite. The pass flags the two escape shapes that caused real bugs
+// while building the kernel:
+//
+//   - returning an arena field (or a subslice / address of one), and
+//   - storing an arena field into a package-level variable or into a field
+//     that is not itself arena-annotated.
+//
+// Like lockguard it is best-effort and intraprocedural: local aliases are
+// fine (they die with the call), and an escape through a local alias that is
+// later returned is not tracked. A deliberate escape — e.g. a kernel method
+// documented to return an arena-aliased result — is a reviewed exception:
+// annotate it //lint:ignore arenaescape <reason>.
+var ArenaEscape = &Analyzer{
+	Name: "arenaescape",
+	Doc:  "checks that fields annotated `arena:` do not escape their owner via returns or stores",
+	Run:  runArenaEscape,
+}
+
+var arenaRe = regexp.MustCompile(`(^|\s)arena:`)
+
+func runArenaEscape(p *Pass) {
+	arena := collectArenaFields(p)
+	if len(arena) == 0 {
+		return
+	}
+	isArena := func(e ast.Expr) (*types.Var, bool) {
+		sel, ok := unwrapAlias(e).(*ast.SelectorExpr)
+		if !ok {
+			return nil, false
+		}
+		fv, ok := fieldVar(p.Info, sel)
+		if !ok || !arena[fv] {
+			return nil, false
+		}
+		return fv, true
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.ReturnStmt:
+					for _, res := range st.Results {
+						if fv, ok := isArena(res); ok {
+							p.Reportf(res.Pos(), "arena field %s escapes %s via return; clone it or document the aliasing",
+								fv.Name(), fn.Name.Name)
+						}
+					}
+				case *ast.AssignStmt:
+					for i, rhs := range st.Rhs {
+						fv, ok := isArena(rhs)
+						if !ok || i >= len(st.Lhs) {
+							continue
+						}
+						if lhsEscapes(p.Info, arena, st.Lhs[i]) {
+							p.Reportf(rhs.Pos(), "arena field %s is stored outside its owner in %s",
+								fv.Name(), fn.Name.Name)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// unwrapAlias strips the expression forms that alias the same backing array:
+// parentheses, address-of, slicing and indexing-for-subslice.
+func unwrapAlias(e ast.Expr) ast.Expr {
+	for {
+		switch v := e.(type) {
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.UnaryExpr:
+			if v.Op.String() != "&" {
+				return e
+			}
+			e = v.X
+		case *ast.SliceExpr:
+			e = v.X
+		default:
+			return e
+		}
+	}
+}
+
+// lhsEscapes reports whether storing into lhs moves the value outside the
+// arena's owner: a package-level variable, or a field that is not itself
+// arena-annotated. Stores into local variables (short-lived aliases) and into
+// other arena fields (ownership stays with the struct) are fine.
+func lhsEscapes(info *types.Info, arena map[*types.Var]bool, lhs ast.Expr) bool {
+	switch v := lhs.(type) {
+	case *ast.Ident:
+		o := objOf(info, v)
+		vr, ok := o.(*types.Var)
+		// Package-level destination outlives the call.
+		return ok && vr.Parent() == vr.Pkg().Scope()
+	case *ast.SelectorExpr:
+		fv, ok := fieldVar(info, v)
+		if !ok {
+			return false
+		}
+		return !arena[fv]
+	case *ast.IndexExpr:
+		return lhsEscapes(info, arena, v.X)
+	case *ast.ParenExpr:
+		return lhsEscapes(info, arena, v.X)
+	}
+	return false
+}
+
+// collectArenaFields scans struct declarations for `arena:` annotations and
+// returns the annotated field objects.
+func collectArenaFields(p *Pass) map[*types.Var]bool {
+	arena := map[*types.Var]bool{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if !arenaAnnotated(field) {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := p.Info.Defs[name].(*types.Var); ok {
+						arena[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return arena
+}
+
+// arenaAnnotated reports whether the field's doc or line comment carries an
+// arena: annotation.
+func arenaAnnotated(field *ast.Field) bool {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg != nil && arenaRe.MatchString(cg.Text()) {
+			return true
+		}
+	}
+	return false
+}

@@ -62,7 +62,7 @@ type Analyzer struct {
 
 // All returns every analyzer of the suite, in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{MapOrder, GlobalRand, SliceClobber, LockGuard}
+	return []*Analyzer{MapOrder, GlobalRand, SliceClobber, LockGuard, ArenaEscape}
 }
 
 // ByName resolves a comma-separated analyzer list ("maporder,lockguard").

@@ -123,6 +123,10 @@ func TestLockGuardFixture(t *testing.T) {
 	checkFixture(t, "lockguard", LockGuard, 1)
 }
 
+func TestArenaEscapeFixture(t *testing.T) {
+	checkFixture(t, "arenaescape", ArenaEscape, 1)
+}
+
 // TestDeterministicScope checks that maporder and globalrand stay quiet
 // outside the deterministic core, and fire inside it, on identical code.
 func TestDeterministicScope(t *testing.T) {
@@ -177,8 +181,8 @@ func TestDirectiveRequiresReason(t *testing.T) {
 
 // TestAnalyzerListing covers the driver-facing registry helpers.
 func TestAnalyzerListing(t *testing.T) {
-	if got := len(All()); got != 4 {
-		t.Fatalf("All() = %d analyzers, want 4", got)
+	if got := len(All()); got != 5 {
+		t.Fatalf("All() = %d analyzers, want 5", got)
 	}
 	sel, err := ByName("maporder,lockguard")
 	if err != nil || len(sel) != 2 || sel[0] != MapOrder || sel[1] != LockGuard {

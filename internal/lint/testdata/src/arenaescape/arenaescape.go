@@ -1,0 +1,81 @@
+// Package arenaescape reconstructs the aliasing hazard of the scheduling
+// kernel's arena: scratch slices annotated `arena:` are recycled on every
+// call, so any reference that leaves the owner dangles into memory the next
+// call overwrites.
+package arenaescape
+
+// global captures whatever is stored into it past the call.
+var global []int
+
+// Kernel mirrors sched.Scheduler: reusable scratch plus an owned result.
+type Kernel struct {
+	// buf is the scratch worklist. arena: reused across calls.
+	buf []int
+	// out is the arena-owned result slice. arena: valid until the next call.
+	out []int
+	// last is a retained summary of the previous call — NOT arena storage.
+	last []int
+}
+
+// Sink is a long-lived struct outside the kernel.
+type Sink struct {
+	data []int
+}
+
+// LeakReturn hands the caller a live view of the scratch buffer.
+func (k *Kernel) LeakReturn() []int {
+	return k.buf // want "arena field buf escapes LeakReturn"
+}
+
+// LeakReturnSlice escapes through a subslice — same backing array.
+func (k *Kernel) LeakReturnSlice() []int {
+	return k.out[1:3] // want "arena field out escapes LeakReturnSlice"
+}
+
+// LeakReturnAddr escapes the result through a pointer.
+func (k *Kernel) LeakReturnAddr() *[]int {
+	return &k.out // want "arena field out escapes LeakReturnAddr"
+}
+
+// LeakGlobal parks the scratch buffer in a package-level variable.
+func (k *Kernel) LeakGlobal() {
+	global = k.buf // want "arena field buf is stored outside its owner"
+}
+
+// LeakStore stores an arena slice into a non-arena field of another struct.
+func (k *Kernel) LeakStore(s *Sink) {
+	s.data = k.out // want "arena field out is stored outside its owner"
+}
+
+// LeakOwnField moves arena storage into a retained (non-arena) field of the
+// same struct — still an escape: last outlives the next recycle.
+func (k *Kernel) LeakOwnField() {
+	k.last = k.buf // want "arena field buf is stored outside its owner"
+}
+
+// LocalAlias is fine: the alias dies with the call.
+func (k *Kernel) LocalAlias() int {
+	scratch := k.buf
+	n := 0
+	for _, v := range scratch {
+		n += v
+	}
+	return n
+}
+
+// ArenaToArena is fine: ownership stays inside the struct.
+func (k *Kernel) ArenaToArena() {
+	k.out = k.buf[:0]
+}
+
+// CloneReturn is fine: the copy detaches from the arena.
+func (k *Kernel) CloneReturn() []int {
+	return append([]int(nil), k.out...)
+}
+
+// Result deliberately returns the arena-owned slice; the contract ("valid
+// until the next call") is documented, so the finding is suppressed.
+func (k *Kernel) Result() []int {
+	//lint:ignore arenaescape documented contract: result is valid until the next call, callers clone to retain
+	return k.out
+}

@@ -36,13 +36,25 @@ func Degree(requested, n int) int {
 // to per-index state. A panic in any fn is re-raised on the calling
 // goroutine after the pool drains, matching sequential behavior.
 func ForEach(n, workers int, fn func(i int)) {
+	ForEachWorker(n, workers, func(_, i int) { fn(i) })
+}
+
+// ForEachWorker is ForEach for callers that keep per-worker state (a
+// scheduling kernel's arena, a scratch buffer pool): fn receives the index of
+// the worker goroutine running it, in [0, Degree(workers, n)), alongside the
+// work-item index. Items handed to the same worker run sequentially, so state
+// indexed by the worker id needs no locking. Worker ids must not leak into
+// results — the item→worker mapping is timing-dependent — which is exactly
+// why per-worker state must be scratch whose content never alters fn's
+// output for a given i.
+func ForEachWorker(n, workers int, fn func(worker, i int)) {
 	if n <= 0 {
 		return
 	}
 	w := Degree(workers, n)
 	if w == 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -55,7 +67,7 @@ func ForEach(n, workers int, fn func(i int)) {
 	)
 	for k := 0; k < w; k++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
@@ -71,9 +83,9 @@ func ForEach(n, workers int, fn func(i int)) {
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(worker, i)
 			}
-		}()
+		}(k)
 	}
 	wg.Wait()
 	if haveP {

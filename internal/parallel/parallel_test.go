@@ -78,3 +78,32 @@ func TestForEachPropagatesPanic(t *testing.T) {
 		}()
 	}
 }
+
+// TestForEachWorkerContract checks the per-worker-state contract behind the
+// scheduling-kernel fan-out: every item runs exactly once, worker ids stay in
+// [0, Degree), and no two items ever run concurrently on the same worker id —
+// which is what makes unlocked per-worker scratch (kernel arenas) safe.
+func TestForEachWorkerContract(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const n = 300
+		degree := Degree(workers, n)
+		counts := make([]int32, n)
+		busy := make([]atomic.Int32, degree)
+		ForEachWorker(n, workers, func(w, i int) {
+			if w < 0 || w >= degree {
+				t.Errorf("workers=%d: worker id %d out of [0,%d)", workers, w, degree)
+				return
+			}
+			if busy[w].Add(1) != 1 {
+				t.Errorf("workers=%d: worker %d ran two items concurrently", workers, w)
+			}
+			atomic.AddInt32(&counts[i], 1)
+			busy[w].Add(-1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}

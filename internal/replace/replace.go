@@ -34,6 +34,15 @@ type Instance struct {
 // let a higher-ranked candidate's *shifted* match inside a periodic block
 // steal the nodes of a lower-ranked candidate's own instance.
 func Apply(d *dfg.DFG, cfg machine.Config, selected []*merging.Candidate) (*sched.Schedule, sched.Assignment, []Instance, error) {
+	return ApplyWith(nil, d, cfg, selected)
+}
+
+// ApplyWith is Apply scheduling on kern, the caller's reusable kernel. A nil
+// kern falls back to sched.ListSchedule. With a kernel the returned Schedule
+// aliases its arena — valid until kern's next call; callers that retain it
+// must Clone. The flow's constraint sweeps call this once per block per sweep
+// point, so arena reuse across those calls is the steady-state hot path.
+func ApplyWith(kern *sched.Scheduler, d *dfg.DFG, cfg machine.Config, selected []*merging.Candidate) (*sched.Schedule, sched.Assignment, []Instance, error) {
 	ordered := append([]*merging.Candidate(nil), selected...)
 	sort.SliceStable(ordered, func(i, j int) bool {
 		return ordered[i].Gain > ordered[j].Gain
@@ -72,7 +81,13 @@ func Apply(d *dfg.DFG, cfg machine.Config, selected []*merging.Candidate) (*sche
 			a[v] = sched.NodeChoice{Kind: sched.KindHW, Opt: inst.Option[v], Group: gi}
 		}
 	}
-	s, err := sched.ListSchedule(d, a, cfg)
+	var s *sched.Schedule
+	var err error
+	if kern != nil {
+		s, err = kern.Schedule(d, a, cfg)
+	} else {
+		s, err = sched.ListSchedule(d, a, cfg)
+	}
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("replace: %s: %w", d.Name, err)
 	}

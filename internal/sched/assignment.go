@@ -60,18 +60,16 @@ func AllSoftware(n int) Assignment {
 // pipestage latency.
 func (a Assignment) Key() string {
 	buf := make([]byte, 0, 4*len(a))
-	remap := make(map[int]int)
+	var gidBuf [remapInline]int
+	gids := gidBuf[:0]
 	for _, c := range a {
 		switch c.Kind {
 		case KindSW:
 			buf = append(buf, 's')
 			buf = strconv.AppendInt(buf, int64(c.Opt), 10)
 		case KindHW:
-			g, ok := remap[c.Group]
-			if !ok {
-				g = len(remap)
-				remap[c.Group] = g
-			}
+			var g int
+			gids, g = canonGroup(gids, c.Group)
 			buf = append(buf, 'h')
 			buf = strconv.AppendInt(buf, int64(c.Opt), 10)
 			buf = append(buf, 'g')
@@ -82,6 +80,72 @@ func (a Assignment) Key() string {
 		buf = append(buf, '.')
 	}
 	return string(buf)
+}
+
+// remapInline is the group-remap capacity kept on the stack by Key and
+// KeyHash; assignments with more distinct ISE groups (which never happens in
+// practice — groups hold ≥ 2 of the block's nodes) spill to the heap.
+const remapInline = 64
+
+// canonGroup maps raw group ID id to its canonical index: the position of its
+// first appearance. gids is the first-appearance list so far; a linear scan
+// replaces the map the old implementation allocated per call — the number of
+// distinct groups is tiny, and the slice lives on the caller's stack.
+func canonGroup(gids []int, id int) ([]int, int) {
+	for i, g := range gids {
+		if g == id {
+			return gids, i
+		}
+	}
+	return append(gids, id), len(gids)
+}
+
+// KeyHash is a 128-bit canonical signature of an Assignment, the hash-keyed
+// counterpart of Key: equal assignments (up to group renumbering) produce
+// equal hashes, and the memo caches key on it instead of the string form.
+// See DESIGN.md §10 for the collision argument (two independent 64-bit
+// multiply-mix chains over the positional token stream; distinct canonical
+// assignments collide with probability ~2^-128, far below any attainable
+// cache population).
+type KeyHash [2]uint64
+
+// KeyHash returns the canonical 128-bit signature of the assignment. It
+// encodes exactly the information Key encodes — kind, option index and
+// canonical (first-appearance) group index per node, positionally — but
+// allocates nothing and never builds a string.
+func (a Assignment) KeyHash() KeyHash {
+	h0 := uint64(0x243f6a8885a308d3) // pi digits; arbitrary distinct seeds
+	h1 := uint64(0x13198a2e03707344)
+	var gidBuf [remapInline]int
+	gids := gidBuf[:0]
+	for _, c := range a {
+		var tok uint64
+		switch c.Kind {
+		case KindSW:
+			tok = 1 | uint64(uint32(c.Opt))<<2
+		case KindHW:
+			var g int
+			gids, g = canonGroup(gids, c.Group)
+			tok = 2 | uint64(uint32(c.Opt))<<2 | uint64(uint32(g))<<34
+		default:
+			tok = 3
+		}
+		// Two independent multiply–mix chains: position sensitivity comes
+		// from the multiplier, diffusion from splitmix64's finalizer.
+		h0 = h0*0x9e3779b97f4a7c15 + mix64(tok^0xa4093822299f31d0)
+		h1 = h1*0xc2b2ae3d27d4eb4f + mix64(tok+0x082efa98ec4e6c89)
+	}
+	return KeyHash{h0, h1}
+}
+
+// mix64 is splitmix64's finalizer: a bijective avalanche over uint64.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // Group is one ISE instruction: a set of hardware-implemented nodes issued

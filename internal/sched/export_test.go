@@ -1,0 +1,5 @@
+package sched
+
+// ListScheduleReference exposes the pristine pre-arena list scheduler to the
+// differential tests, which pin Scheduler's behaviour against it.
+var ListScheduleReference = listScheduleReference

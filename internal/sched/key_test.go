@@ -1,6 +1,9 @@
 package sched
 
-import "testing"
+import (
+	"math/rand"
+	"testing"
+)
 
 func TestAssignmentKeyCanonicalGroups(t *testing.T) {
 	// Two assignments that differ only in group numbering must share a key.
@@ -73,5 +76,56 @@ func TestAssignmentKeyMultiDigit(t *testing.T) {
 	b := Assignment{{Kind: KindSW, Opt: 1, Group: -1}, {Kind: KindSW, Opt: 2, Group: -1}}
 	if a.Key() == b.Key() {
 		t.Fatalf("ambiguous encoding: %q", a.Key())
+	}
+}
+
+func TestKeyHashCanonicalGroups(t *testing.T) {
+	// KeyHash must share Key()'s canonicalization: group numbering is
+	// irrelevant, only the partition and the options matter.
+	a := Assignment{
+		{Kind: KindHW, Opt: 0, Group: 7},
+		{Kind: KindHW, Opt: 1, Group: 7},
+		{Kind: KindSW, Opt: 0, Group: -1},
+		{Kind: KindHW, Opt: 0, Group: 3},
+	}
+	b := Assignment{
+		{Kind: KindHW, Opt: 0, Group: 0},
+		{Kind: KindHW, Opt: 1, Group: 0},
+		{Kind: KindSW, Opt: 0, Group: 12},
+		{Kind: KindHW, Opt: 0, Group: 4},
+	}
+	if a.KeyHash() != b.KeyHash() {
+		t.Fatalf("renumbered groups changed the hash: %x vs %x", a.KeyHash(), b.KeyHash())
+	}
+}
+
+func TestKeyHashConsistentWithKey(t *testing.T) {
+	// On a randomized corpus, hash equality must coincide exactly with
+	// string-key equality: equal keys hash equal (correctness of the memo),
+	// distinct keys hash distinct (no collisions in practice — two
+	// independent 64-bit chains make an accidental one astronomically rare,
+	// and any real one would fail this test deterministically).
+	rng := rand.New(rand.NewSource(99))
+	byKey := make(map[string][2]uint64)
+	byHash := make(map[[2]uint64]string)
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + rng.Intn(12)
+		a := make(Assignment, n)
+		for i := range a {
+			if rng.Intn(2) == 0 {
+				a[i] = NodeChoice{Kind: KindSW, Opt: rng.Intn(3), Group: rng.Intn(5) - 1}
+			} else {
+				a[i] = NodeChoice{Kind: KindHW, Opt: rng.Intn(3), Group: rng.Intn(4)}
+			}
+		}
+		key, h := a.Key(), a.KeyHash()
+		if prev, ok := byKey[key]; ok && prev != h {
+			t.Fatalf("same key %q hashed %x and %x", key, prev, h)
+		}
+		byKey[key] = h
+		if prevKey, ok := byHash[h]; ok && prevKey != key {
+			t.Fatalf("hash collision %x: keys %q and %q", h, prevKey, key)
+		}
+		byHash[h] = key
 	}
 }

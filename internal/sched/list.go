@@ -3,6 +3,7 @@ package sched
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/dfg"
 	"repro/internal/graph"
@@ -38,10 +39,51 @@ type macro struct {
 	minNode int
 }
 
+// schedulerPool recycles kernels for the compatibility wrapper so that even
+// callers that have not been migrated to a per-worker Scheduler amortize the
+// arena allocations. Pooled kernels produce identical results regardless of
+// which goroutine last used them, so determinism is unaffected.
+var schedulerPool = sync.Pool{New: func() any { return NewScheduler() }}
+
 // ListSchedule schedules d under assignment a on machine cfg and returns the
 // schedule. It fails if the assignment is invalid or demands more ports than
 // the machine has.
+//
+// It is a thin compatibility wrapper over Scheduler: hot paths (exploration
+// workers, flow pricing) hold a Scheduler directly and skip the result copy
+// this wrapper makes to detach the schedule from the kernel's arena.
 func ListSchedule(d *dfg.DFG, a Assignment, cfg machine.Config) (*Schedule, error) {
+	kern := schedulerPool.Get().(*Scheduler)
+	s, err := kern.Schedule(d, a, cfg)
+	if err != nil {
+		schedulerPool.Put(kern)
+		return nil, err
+	}
+	out := s.Clone()
+	schedulerPool.Put(kern)
+	return out, nil
+}
+
+// ListScheduleLength returns only the makespan of scheduling d under a on
+// cfg. It uses a pooled kernel and never detaches the schedule from the
+// kernel's arena, so repeated length queries (the memo cache's miss path when
+// no caller-owned Scheduler is available) allocate nothing in steady state.
+func ListScheduleLength(d *dfg.DFG, a Assignment, cfg machine.Config) (int, error) {
+	kern := schedulerPool.Get().(*Scheduler)
+	s, err := kern.Schedule(d, a, cfg)
+	n := 0
+	if err == nil {
+		n = s.Length
+	}
+	schedulerPool.Put(kern)
+	return n, err
+}
+
+// listScheduleReference is the original, allocation-per-call list scheduler,
+// kept verbatim as the executable specification of Scheduler: the
+// differential tests check that the arena kernel reproduces its schedules,
+// critical sets and errors exactly. It must not be modified for performance.
+func listScheduleReference(d *dfg.DFG, a Assignment, cfg machine.Config) (*Schedule, error) {
 	if err := a.Validate(d); err != nil {
 		return nil, err
 	}

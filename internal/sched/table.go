@@ -34,6 +34,15 @@ func (t *Table) Config() machine.Config { return t.cfg }
 // Reset clears all reservations.
 func (t *Table) Reset() { t.use = t.use[:1] }
 
+// Reuse re-targets the ledger to cfg and clears all reservations while
+// keeping the backing array, so a long-lived table reaches zero steady-state
+// allocations. (at() appends explicit zero values, so stale capacity beyond
+// the truncation point is never observed.)
+func (t *Table) Reuse(cfg machine.Config) {
+	t.cfg = cfg
+	t.use = t.use[:1]
+}
+
 // MaxCycle returns the highest cycle with any reservation (0 when empty).
 func (t *Table) MaxCycle() int {
 	for c := len(t.use) - 1; c >= 1; c-- {
