@@ -1,4 +1,4 @@
-.PHONY: tier1 race lint bench benchall fmt
+.PHONY: tier1 race lint bench benchall fmt serve-smoke
 
 # Tier 1: the fast correctness gate.
 tier1:
@@ -6,9 +6,11 @@ tier1:
 	go test ./...
 
 # Static analysis: the project lint suite (iselint enforces the determinism
-# and concurrency contracts; see DESIGN.md §9) plus gofmt cleanliness.
+# and concurrency contracts; see DESIGN.md §9) plus gofmt cleanliness. The
+# sweep covers the commands too, so the daemon and CLIs sit under the same
+# maporder/lockguard/sliceclobber/arenaescape passes as the library.
 lint:
-	go run ./cmd/iselint ./internal/...
+	go run ./cmd/iselint ./internal/... ./cmd/...
 	@fmt_out=$$(gofmt -l .); \
 	if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
@@ -35,3 +37,10 @@ benchall:
 
 fmt:
 	gofmt -l .
+
+# End-to-end smoke test of the service daemon: builds the real iseserve and
+# iseexplore binaries, boots the daemon on a random port, submits a job over
+# HTTP, streams its SSE progress, and asserts the result matches the CLI
+# run. Gated behind an env var so plain `go test ./...` stays fast.
+serve-smoke:
+	ISESERVE_SMOKE=1 go test -run TestServeSmoke -v ./cmd/iseserve/

@@ -60,28 +60,19 @@ func main() {
 	if len(cur) == 0 {
 		fatal(fmt.Errorf("no benchmark lines on stdin"))
 	}
-	rep := &report{
-		Command:    "go test -bench 'Sched|Explore|Headline' -benchmem -count 5",
-		Benchmarks: cur,
-	}
+	var base map[string]*result
 	if *baseline != "" {
 		f, err := os.Open(*baseline)
 		if err != nil {
 			fatal(err)
 		}
-		base, err := parseBench(f)
+		base, err = parseBench(f)
 		f.Close()
 		if err != nil {
 			fatal(err)
 		}
-		rep.Baseline = base
-		rep.ImprovementPc = map[string]float64{}
-		for name, b := range base {
-			if c, ok := cur[name]; ok && b.NsPerOp > 0 {
-				rep.ImprovementPc[name] = 100 * (b.NsPerOp - c.NsPerOp) / b.NsPerOp
-			}
-		}
 	}
+	rep := buildReport(cur, base)
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -94,6 +85,26 @@ func main() {
 	if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		fatal(err)
 	}
+}
+
+// buildReport assembles the emitted document: the current numbers, plus —
+// when a baseline was parsed — the baseline itself and the per-benchmark
+// wall-time improvement for every benchmark present in both runs.
+func buildReport(cur, base map[string]*result) *report {
+	rep := &report{
+		Command:    "go test -bench 'Sched|Explore|Headline' -benchmem -count 5",
+		Benchmarks: cur,
+	}
+	if base != nil {
+		rep.Baseline = base
+		rep.ImprovementPc = map[string]float64{}
+		for name, b := range base {
+			if c, ok := cur[name]; ok && b.NsPerOp > 0 {
+				rep.ImprovementPc[name] = 100 * (b.NsPerOp - c.NsPerOp) / b.NsPerOp
+			}
+		}
+	}
+	return rep
 }
 
 // parseBench reads `go test -bench` output and folds repetitions into their

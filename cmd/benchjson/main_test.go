@@ -1,0 +1,139 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden file from current output")
+
+func parseFixture(t *testing.T, name string) map[string]*result {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	res, err := parseBench(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestParseBenchBaselineFixture pins the parser against a committed slice of
+// the repository's real BENCH_baseline.txt: median folding over repetitions,
+// custom ReportMetric columns, and memory columns.
+func TestParseBenchBaselineFixture(t *testing.T) {
+	res := parseFixture(t, "BENCH_baseline.txt")
+	if len(res) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %v", len(res), keys(res))
+	}
+	head, ok := res["Headline"]
+	if !ok {
+		t.Fatal("Headline missing")
+	}
+	// Median of {2849276321, 2159597, 1967577, 2044908, 1998876} is the
+	// middle sample — the cold first repetition must not skew it.
+	if head.Count != 5 || head.NsPerOp != 2044908 {
+		t.Fatalf("Headline: count %d ns/op %v, want 5 / 2044908", head.Count, head.NsPerOp)
+	}
+	if head.Metrics["oneISE-%"] != 25.50 || head.Metrics["vsSI-pp"] != -0.5801 {
+		t.Fatalf("Headline metrics: %v", head.Metrics)
+	}
+	if head.BytesPerOp != 1826907 || head.AllocsPerOp != 17404 {
+		t.Fatalf("Headline memory: %v B/op %v allocs/op", head.BytesPerOp, head.AllocsPerOp)
+	}
+	ls := res["ListSchedule"]
+	if ls == nil || ls.NsPerOp != 129809 || ls.Metrics != nil {
+		t.Fatalf("ListSchedule: %+v", ls)
+	}
+}
+
+// TestParseBenchStripsGOMAXPROCSSuffix: "-8" name suffixes merge with
+// unsuffixed names, and non-benchmark lines are skipped.
+func TestParseBenchStripsGOMAXPROCSSuffix(t *testing.T) {
+	res := parseFixture(t, "bench_current.txt")
+	if _, ok := res["Headline-8"]; ok {
+		t.Fatal("GOMAXPROCS suffix not stripped")
+	}
+	if res["Headline"] == nil || res["Headline"].Count != 3 {
+		t.Fatalf("Headline: %+v", res["Headline"])
+	}
+	if k := res["SchedKernelNew"]; k == nil || k.Count != 2 || k.NsPerOp != 24000 {
+		t.Fatalf("SchedKernelNew: %+v", k)
+	}
+}
+
+// TestReportGolden locks the full emitted document — current + baseline +
+// improvement percentages — against a committed golden file. Regenerate
+// with `go test ./cmd/benchjson -run Golden -update` after an intentional
+// format change.
+func TestReportGolden(t *testing.T) {
+	cur := parseFixture(t, "bench_current.txt")
+	base := parseFixture(t, "BENCH_baseline.txt")
+	rep := buildReport(cur, base)
+	got, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	golden := filepath.Join("testdata", "report.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("report drifted from golden file (rerun with -update if intentional)\n got: %s\nwant: %s", got, want)
+	}
+
+	// Spot-check the improvement math: Headline 2044908 -> 1760000 ns/op.
+	var doc struct {
+		ImprovementPc map[string]float64 `json:"improvement_pct"`
+	}
+	if err := json.Unmarshal(got, &doc); err != nil {
+		t.Fatal(err)
+	}
+	wantImp := 100 * (2044908.0 - 1760000.0) / 2044908.0
+	if imp := doc.ImprovementPc["Headline"]; imp != wantImp {
+		t.Fatalf("Headline improvement %v, want %v", imp, wantImp)
+	}
+	if _, ok := doc.ImprovementPc["SchedKernelNew"]; ok {
+		t.Fatal("improvement computed for a benchmark absent from the baseline")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{3}, 3},
+		{[]float64{4, 1}, 1}, // even count: lower middle (faster bias)
+		{[]float64{9, 1, 5}, 5},
+		{[]float64{8, 2, 4, 6}, 4},
+	}
+	for _, c := range cases {
+		if got := median(c.in); got != c.want {
+			t.Errorf("median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func keys(m map[string]*result) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

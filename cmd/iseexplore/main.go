@@ -8,10 +8,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/baseline"
 	"repro/internal/bench"
@@ -28,6 +31,10 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("iseexplore: ")
+	// Ctrl-C / SIGTERM cancels the exploration at the next convergence
+	// iteration instead of killing it mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	var (
 		benchName = flag.String("bench", "crc32", "benchmark name (see internal/bench.Extended)")
 		file      = flag.String("file", "", "explore a PISA assembly file instead of a built-in benchmark")
@@ -104,9 +111,9 @@ func main() {
 		var err error
 		switch *algo {
 		case "MI":
-			res, err = core.ExploreWithParams(d, cfg, params)
+			res, err = core.ExploreWithParamsCtx(ctx, d, cfg, params)
 		case "SI":
-			res, err = baseline.Explore(d, cfg, params)
+			res, err = baseline.ExploreCtx(ctx, d, cfg, params)
 		default:
 			log.Fatalf("unknown algorithm %q (want MI or SI)", *algo)
 		}

@@ -1,0 +1,87 @@
+// Command iseserve is the exploration-as-a-service daemon: a stdlib
+// net/http front end over internal/service. Jobs are submitted as JSON
+// (benchmark name or PISA assembly + machine config), run on a bounded
+// queue of checkpointing runners, and observed via REST status or an SSE
+// progress stream. SIGTERM drains gracefully: in-flight jobs checkpoint to
+// the -state directory and resume on the next start, byte-identically.
+//
+// Usage:
+//
+//	iseserve -addr :8080 -state /var/lib/iseserve
+//
+// See DESIGN.md §11 and the README quickstart for the API.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("iseserve: ")
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		stateDir     = flag.String("state", "", "checkpoint directory (empty = no persistence)")
+		queueSize    = flag.Int("queue", 64, "job queue capacity (overflow returns 429)")
+		runners      = flag.Int("runners", 2, "concurrent job runners")
+		deadline     = flag.Duration("deadline", 0, "default per-job deadline (0 = unlimited)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight jobs to checkpoint on shutdown")
+	)
+	flag.Parse()
+
+	m, err := service.New(service.Config{
+		QueueSize:       *queueSize,
+		Runners:         *runners,
+		DefaultDeadline: *deadline,
+		StateDir:        *stateDir,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: service.NewMux(m)}
+	log.Printf("listening on %s (queue %d, runners %d, state %q)",
+		ln.Addr(), *queueSize, *runners, *stateDir)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("shutdown: draining (timeout %s)", *drainTimeout)
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := m.Drain(drainCtx); err != nil {
+		log.Printf("drain: %v", err)
+	}
+	// Drain closed every terminal job's event stream; Shutdown waits for
+	// the remaining connections, then Close cuts off any SSE client still
+	// subscribed to a (now checkpointed) queued job.
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	srv.Close()
+	log.Printf("drained, bye")
+}

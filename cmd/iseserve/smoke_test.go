@@ -1,0 +1,220 @@
+package main
+
+// TestServeSmoke is the `make serve-smoke` target: it builds the real
+// iseserve and iseexplore binaries, boots the daemon on a random port with
+// a state directory, submits a job over HTTP, streams its SSE progress, and
+// asserts the served result matches what the CLI prints for the same
+// kernel, machine and parameters. It then SIGTERMs the daemon and expects a
+// clean drain. Gated behind ISESERVE_SMOKE so `go test ./...` stays fast.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestServeSmoke(t *testing.T) {
+	if os.Getenv("ISESERVE_SMOKE") == "" {
+		t.Skip("set ISESERVE_SMOKE=1 (or run `make serve-smoke`) to run the daemon smoke test")
+	}
+	dir := t.TempDir()
+	serveBin := filepath.Join(dir, "iseserve")
+	exploreBin := filepath.Join(dir, "iseexplore")
+	build(t, serveBin, ".")
+	build(t, exploreBin, "../iseexplore")
+
+	// CLI reference run: crc32/O3, 2-issue 4/2, fast parameters, seed 1.
+	cliOut, err := exec.Command(exploreBin,
+		"-bench", "crc32", "-issue", "2", "-read", "4", "-write", "2",
+		"-fast", "-seed", "1").CombinedOutput()
+	if err != nil {
+		t.Fatalf("iseexplore: %v\n%s", err, cliOut)
+	}
+	wantBase, wantFinal := parseScheduleLine(t, string(cliOut))
+	t.Logf("CLI: %d -> %d cycles", wantBase, wantFinal)
+
+	// Boot the daemon on a random port.
+	daemon := exec.Command(serveBin,
+		"-addr", "127.0.0.1:0", "-state", filepath.Join(dir, "state"), "-runners", "1")
+	stderr, err := daemon.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer daemon.Process.Kill()
+	baseURL := waitListening(t, stderr)
+	t.Logf("daemon at %s", baseURL)
+
+	// Submit the same workload over HTTP: the CLI's -fast -seed 1 set.
+	p := core.FastParams()
+	p.Seed = 1
+	spec := map[string]any{
+		"name":    "smoke",
+		"bench":   "crc32",
+		"machine": map[string]int{"issue": 2, "read_ports": 4, "write_ports": 2},
+		"params":  p,
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(baseURL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var submitted struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&submitted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || submitted.ID == "" {
+		t.Fatalf("submit: status %d, id %q", resp.StatusCode, submitted.ID)
+	}
+
+	// Stream the job's events to completion.
+	sresp, err := http.Get(baseURL + "/v1/jobs/" + submitted.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	restarts, last := 0, ""
+	sc := bufio.NewScanner(sresp.Body)
+	for sc.Scan() {
+		data, ok := strings.CutPrefix(sc.Text(), "data: ")
+		if !ok {
+			continue
+		}
+		var ev struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal([]byte(data), &ev); err != nil {
+			t.Fatalf("bad event %q: %v", data, err)
+		}
+		last = ev.Type
+		if ev.Type == "restart" {
+			restarts++
+		}
+	}
+	sresp.Body.Close()
+	if last != "done" {
+		t.Fatalf("event stream ended on %q, want done", last)
+	}
+	if restarts == 0 {
+		t.Fatal("no restart progress events streamed")
+	}
+
+	// The served result must match the CLI run.
+	resp, err = http.Get(baseURL + "/v1/jobs/" + submitted.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status struct {
+		State  string `json:"state"`
+		Blocks []struct {
+			BaseCycles  int `json:"base_cycles"`
+			FinalCycles int `json:"final_cycles"`
+		} `json:"blocks"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if status.State != "done" || len(status.Blocks) != 1 {
+		t.Fatalf("status %+v", status)
+	}
+	if status.Blocks[0].BaseCycles != wantBase || status.Blocks[0].FinalCycles != wantFinal {
+		t.Fatalf("served result %d -> %d cycles, CLI says %d -> %d",
+			status.Blocks[0].BaseCycles, status.Blocks[0].FinalCycles, wantBase, wantFinal)
+	}
+
+	// SIGTERM drains cleanly.
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- daemon.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+}
+
+func build(t *testing.T, out, pkg string) {
+	t.Helper()
+	cmd := exec.Command("go", "build", "-o", out, pkg)
+	if raw, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build %s: %v\n%s", pkg, err, raw)
+	}
+}
+
+// waitListening parses the daemon's "listening on host:port" log line.
+func waitListening(t *testing.T, stderr interface{ Read([]byte) (int, error) }) string {
+	t.Helper()
+	re := regexp.MustCompile(`listening on (\S+:\d+)`)
+	sc := bufio.NewScanner(stderr)
+	deadline := time.After(30 * time.Second)
+	lineCh := make(chan string, 16)
+	go func() {
+		for sc.Scan() {
+			lineCh <- sc.Text()
+		}
+		close(lineCh)
+	}()
+	for {
+		select {
+		case line, ok := <-lineCh:
+			if !ok {
+				t.Fatal("daemon log closed before listening line")
+			}
+			if m := re.FindStringSubmatch(line); m != nil {
+				// Keep draining the pipe so the daemon never blocks on a
+				// full stderr buffer.
+				go func() {
+					for range lineCh {
+					}
+				}()
+				return "http://" + m[1]
+			}
+		case <-deadline:
+			t.Fatal("daemon never reported its listen address")
+		}
+	}
+}
+
+// parseScheduleLine extracts "schedule: B cycles without ISE -> F cycles".
+func parseScheduleLine(t *testing.T, out string) (base, final int) {
+	t.Helper()
+	re := regexp.MustCompile(`schedule: (\d+) cycles without ISE -> (\d+) cycles with ISE`)
+	m := re.FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("no schedule line in CLI output:\n%s", out)
+	}
+	base, err := strconv.Atoi(m[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err = strconv.Atoi(m[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return base, final
+}

@@ -1,0 +1,62 @@
+package aco
+
+import "math/rand"
+
+// CountingSource wraps the deterministic source behind NewRand and counts
+// how many times the generator advanced. The count is the whole resume
+// story for a checkpointed exploration: a restart's random stream is a pure
+// function of (seed, draws consumed), so a snapshot needs to record only
+// the draw count and a resumed run replays the stream exactly by skipping
+// that many draws (math/rand's rngSource advances its state once per Int63
+// or Uint64 call, so a source-level count is exact regardless of which
+// rand.Rand methods consumed the draws, including rejection-sampling loops
+// inside Intn).
+//
+// The wrapper forwards both Int63 and Uint64, preserving the Source64
+// fast path, so rand.New(src) produces the byte-identical stream to
+// NewRand(seed). Not safe for concurrent use — like rand.Rand itself, each
+// exploration restart owns its generator.
+type CountingSource struct {
+	src   rand.Source64
+	draws uint64
+}
+
+// NewCountedRand returns a generator with the same stream as NewRand(seed)
+// plus the counting source that tracks its advancement.
+func NewCountedRand(seed int64) (*rand.Rand, *CountingSource) {
+	s := &CountingSource{src: rand.NewSource(seed).(rand.Source64)}
+	return rand.New(s), s
+}
+
+// Int63 forwards to the wrapped source, counting one advance.
+func (s *CountingSource) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+// Uint64 forwards to the wrapped source, counting one advance.
+func (s *CountingSource) Uint64() uint64 {
+	s.draws++
+	return s.src.Uint64()
+}
+
+// Seed reseeds the wrapped source and resets the draw count.
+func (s *CountingSource) Seed(seed int64) {
+	s.src.Seed(seed)
+	s.draws = 0
+}
+
+// Draws returns how many times the source has advanced since seeding.
+func (s *CountingSource) Draws() uint64 {
+	return s.draws
+}
+
+// Skip advances the source n times without exposing the values — the resume
+// fast-forward. After Skip(n) on a fresh source, the generator is in the
+// exact state a sibling reached after consuming n draws.
+func (s *CountingSource) Skip(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		s.src.Uint64()
+	}
+	s.draws += n
+}

@@ -1,0 +1,76 @@
+package aco
+
+import "testing"
+
+// TestCountedRandMatchesNewRand proves the counting wrapper is invisible:
+// the stream drawn through NewCountedRand is the one NewRand yields. Resume
+// determinism rests on this — a checkpointed restart re-seeds the same
+// stream and skips ahead.
+func TestCountedRandMatchesNewRand(t *testing.T) {
+	const seed = 42
+	want := NewRand(seed)
+	got, src := NewCountedRand(seed)
+	for i := 0; i < 5000; i++ {
+		// Mix draw kinds: Intn exercises the rejection loop, Float64 the
+		// Int63 path, Uint64 the Source64 fast path.
+		switch i % 3 {
+		case 0:
+			a, b := want.Intn(97), got.Intn(97)
+			if a != b {
+				t.Fatalf("draw %d: Intn %d != %d", i, b, a)
+			}
+		case 1:
+			a, b := want.Float64(), got.Float64()
+			if a != b {
+				t.Fatalf("draw %d: Float64 %v != %v", i, b, a)
+			}
+		default:
+			a, b := want.Uint64(), got.Uint64()
+			if a != b {
+				t.Fatalf("draw %d: Uint64 %d != %d", i, b, a)
+			}
+		}
+	}
+	if src.Draws() == 0 {
+		t.Fatal("no draws counted")
+	}
+}
+
+// TestCountedRandSkipReplays proves the checkpoint/restore protocol: record
+// Draws() after a prefix, then re-seed and Skip that many — the suffix
+// streams must be identical.
+func TestCountedRandSkipReplays(t *testing.T) {
+	const seed = 7
+	orig, origSrc := NewCountedRand(seed)
+	for i := 0; i < 1234; i++ {
+		orig.Intn(31 + i%17)
+	}
+	mark := origSrc.Draws()
+
+	replay, replaySrc := NewCountedRand(seed)
+	replaySrc.Skip(mark)
+	if replaySrc.Draws() != mark {
+		t.Fatalf("Draws after Skip = %d, want %d", replaySrc.Draws(), mark)
+	}
+	for i := 0; i < 2000; i++ {
+		a, b := orig.Intn(53), replay.Intn(53)
+		if a != b {
+			t.Fatalf("post-skip draw %d: %d != %d", i, b, a)
+		}
+	}
+}
+
+// TestCountingSourceSeedResets checks Seed rewinds both the stream and the
+// draw counter.
+func TestCountingSourceSeedResets(t *testing.T) {
+	r, src := NewCountedRand(3)
+	first := r.Uint64()
+	r.Uint64()
+	src.Seed(3)
+	if src.Draws() != 0 {
+		t.Fatalf("Draws after Seed = %d, want 0", src.Draws())
+	}
+	if again := r.Uint64(); again != first {
+		t.Fatalf("stream not rewound: %d != %d", again, first)
+	}
+}

@@ -14,6 +14,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -32,6 +33,15 @@ import (
 // Final cycle counts are nevertheless measured on cfg by the multiple-issue
 // scheduler so that results are directly comparable with core.Explore.
 func Explore(d *dfg.DFG, cfg machine.Config, p core.Params) (*core.Result, error) {
+	return ExploreCtx(context.Background(), d, cfg, p)
+}
+
+// ExploreCtx is Explore with cooperative cancellation: the context is
+// checked between restarts and between convergence iterations. The baseline
+// has no checkpoint format — a cancelled run returns ctx's error and a
+// later run simply starts over (it is deterministic, so a rerun reproduces
+// what the uninterrupted run would have returned).
+func ExploreCtx(ctx context.Context, d *dfg.DFG, cfg machine.Config, p core.Params) (*core.Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -57,9 +67,12 @@ func Explore(d *dfg.DFG, cfg machine.Config, p core.Params) (*core.Result, error
 	for i := range kerns {
 		kerns[i] = sched.NewScheduler()
 	}
-	parallel.ForEachWorker(restarts, p.Workers, func(w, r int) {
-		results[r], serials[r], errs[r] = runOnce(d, cfg, p, p.Seed+int64(r)*104729, baseCycles, kerns[w])
+	cancelErr := parallel.ForEachWorkerCtx(ctx, restarts, p.Workers, func(w, r int) {
+		results[r], serials[r], errs[r] = runOnce(ctx, d, cfg, p, p.Seed+int64(r)*104729, baseCycles, kerns[w])
 	})
+	if cancelErr != nil {
+		return nil, cancelErr
+	}
 	var best *core.Result
 	var bestSerial int
 	for r := 0; r < restarts; r++ {
@@ -90,7 +103,7 @@ type explorer struct {
 	topo  []int
 }
 
-func runOnce(d *dfg.DFG, cfg machine.Config, p core.Params, seed int64, baseCycles int, kern *sched.Scheduler) (*core.Result, int, error) {
+func runOnce(ctx context.Context, d *dfg.DFG, cfg machine.Config, p core.Params, seed int64, baseCycles int, kern *sched.Scheduler) (*core.Result, int, error) {
 	rng := aco.NewRand(seed)
 	e := &explorer{d: d, cfg: cfg, p: p, rng: rng, inISE: make([]bool, d.Len())}
 	order, err := d.G.TopoOrder()
@@ -103,7 +116,10 @@ func runOnce(d *dfg.DFG, cfg machine.Config, p core.Params, seed int64, baseCycl
 	curSerial := e.serialCycles(nil)
 	for round := 0; round < p.MaxRounds; round++ {
 		e.initTables()
-		iters := e.converge()
+		iters, err := e.converge(ctx)
+		if err != nil {
+			return nil, 0, err
+		}
 		res.Iterations += iters
 		res.Rounds++
 		cand, serial := e.bestCandidate(curSerial)
@@ -232,10 +248,15 @@ func (e *explorer) groupMetrics(s graph.NodeSet, chosen []int, override, hwIdx i
 	return delayNS, areaUM2
 }
 
-// converge runs option-selection iterations until P_END or the cap.
-func (e *explorer) converge() int {
+// converge runs option-selection iterations until P_END or the cap. The
+// context is checked before each iteration; a cancelled round aborts the
+// restart with ctx's error.
+func (e *explorer) converge(ctx context.Context) (int, error) {
 	tetOld := 1 << 30
 	for it := 1; it <= e.p.MaxIterations; it++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		chosen := e.selectOptions()
 		tet := e.serialCycles(chosen)
 		improved := tet <= tetOld
@@ -245,10 +266,10 @@ func (e *explorer) converge() int {
 		}
 		e.meritUpdate(chosen)
 		if e.convergedNow() {
-			return it
+			return it, nil
 		}
 	}
-	return e.p.MaxIterations
+	return e.p.MaxIterations, nil
 }
 
 // selectOptions draws one implementation option per free node (no ordering

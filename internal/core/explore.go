@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"repro/internal/aco"
 	"repro/internal/dfg"
@@ -58,6 +60,12 @@ func Explore(d *dfg.DFG, cfg machine.Config) (*Result, error) {
 	return ExploreWithParams(d, cfg, DefaultParams())
 }
 
+// ExploreCtx is Explore with cooperative cancellation; see
+// ExploreWithCacheCtx.
+func ExploreCtx(ctx context.Context, d *dfg.DFG, cfg machine.Config) (*Result, error) {
+	return ExploreWithParamsCtx(ctx, d, cfg, DefaultParams())
+}
+
 // ExploreWithParams runs the exploration with explicit parameters. The whole
 // procedure is repeated p.Restarts times and the best result (shortest final
 // schedule, then least area) is returned, matching §5.1. Restarts fan out
@@ -65,6 +73,12 @@ func Explore(d *dfg.DFG, cfg machine.Config) (*Result, error) {
 // for the determinism contract.
 func ExploreWithParams(d *dfg.DFG, cfg machine.Config, p Params) (*Result, error) {
 	return ExploreWithCache(d, cfg, p, nil)
+}
+
+// ExploreWithParamsCtx is ExploreWithParams with cooperative cancellation;
+// see ExploreWithCacheCtx.
+func ExploreWithParamsCtx(ctx context.Context, d *dfg.DFG, cfg machine.Config, p Params) (*Result, error) {
+	return ExploreWithCacheCtx(ctx, d, cfg, p, nil)
 }
 
 // ExploreWithCache is ExploreWithParams with a caller-supplied
@@ -80,12 +94,87 @@ func ExploreWithParams(d *dfg.DFG, cfg machine.Config, p Params) (*Result, error
 // or without the cache — only the CacheHits/CacheMisses observability
 // counters may differ.
 func ExploreWithCache(d *dfg.DFG, cfg machine.Config, p Params, cache *EvalCache) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
+	return ExploreWithCacheCtx(context.Background(), d, cfg, p, cache)
+}
+
+// ExploreWithCacheCtx is ExploreWithCache with cooperative cancellation:
+// the context is checked between restarts (no new restart starts once ctx
+// is done) and between convergence iterations inside each restart, so
+// cancellation latency is one ACO iteration, not one exploration. On
+// cancellation the context's error is returned; callers that want to resume
+// later use ExploreResumable/ResumeFrom instead, which additionally return
+// a checkpoint.
+func ExploreWithCacheCtx(ctx context.Context, d *dfg.DFG, cfg machine.Config, p Params, cache *EvalCache) (*Result, error) {
+	res, _, err := exploreResumable(ctx, d, cfg, p, nil, ResumeOptions{Cache: cache})
+	if err != nil {
 		return nil, err
 	}
-	if d.Len() == 0 {
-		return nil, fmt.Errorf("core: empty DFG %s", d.Name)
+	return res, nil
+}
+
+// ResumeOptions parameterize ExploreResumable and ResumeFrom.
+type ResumeOptions struct {
+	// Cache is the shared schedule-evaluation cache; nil allocates a
+	// private one unless Params.NoEvalCache is set.
+	Cache *EvalCache
+	// OnRestartDone, when non-nil, is called once per restart as it
+	// finishes — the service layer's restart-level progress stream. It may
+	// be called concurrently from several worker goroutines and must be
+	// safe for that; it must not block for long (it runs on the exploration
+	// workers). Events are observability only and are excluded from the
+	// determinism contract (their order is timing-dependent).
+	OnRestartDone func(RestartEvent)
+}
+
+// RestartEvent reports one finished restart.
+type RestartEvent struct {
+	// Restart is the finished restart's index; Completed counts restarts
+	// finished so far (including ones restored from a snapshot) out of
+	// Total.
+	Restart   int
+	Completed int
+	Total     int
+	// FinalCycles and ISECount summarize the restart's own result.
+	FinalCycles int
+	ISECount    int
+	// CacheHits and CacheMisses are the shared cache's cumulative counters
+	// at the time of the event.
+	CacheHits, CacheMisses uint64
+}
+
+// ExploreResumable is ExploreWithCacheCtx for callers that checkpoint: when
+// ctx cancels the run, it returns a Snapshot (alongside ctx's error) from
+// which ResumeFrom finishes the exploration with the byte-identical Result
+// an uninterrupted run would have produced — same ISEs, assignment and
+// cycle counts; only the cache counters may differ (see DESIGN.md §11). On
+// normal completion the snapshot is nil.
+func ExploreResumable(ctx context.Context, d *dfg.DFG, cfg machine.Config, p Params, opts ResumeOptions) (*Result, *Snapshot, error) {
+	return exploreResumable(ctx, d, cfg, p, nil, opts)
+}
+
+// ResumeFrom continues an exploration from a snapshot captured by
+// ExploreResumable (or an earlier ResumeFrom — interrupting a resumed run
+// yields another snapshot; any chain of interruptions converges to the same
+// Result). The snapshot must belong to (d, cfg); its embedded Params drive
+// the run.
+func ResumeFrom(ctx context.Context, d *dfg.DFG, cfg machine.Config, snap *Snapshot, opts ResumeOptions) (*Result, *Snapshot, error) {
+	if snap == nil {
+		return nil, nil, fmt.Errorf("core: ResumeFrom with nil snapshot")
 	}
+	if err := snap.validate(d, cfg); err != nil {
+		return nil, nil, err
+	}
+	return exploreResumable(ctx, d, cfg, snap.Params, snap, opts)
+}
+
+func exploreResumable(ctx context.Context, d *dfg.DFG, cfg machine.Config, p Params, snap *Snapshot, opts ResumeOptions) (*Result, *Snapshot, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if d.Len() == 0 {
+		return nil, nil, fmt.Errorf("core: empty DFG %s", d.Name)
+	}
+	cache := opts.Cache
 	if p.NoEvalCache {
 		cache = nil
 	} else if cache == nil {
@@ -93,30 +182,100 @@ func ExploreWithCache(d *dfg.DFG, cfg machine.Config, p Params, cache *EvalCache
 	}
 	baseCycles, err := cache.Schedule(d, sched.AllSoftware(d.Len()), cfg)
 	if err != nil {
-		return nil, fmt.Errorf("core: base schedule of %s: %w", d.Name, err)
+		return nil, nil, fmt.Errorf("core: base schedule of %s: %w", d.Name, err)
 	}
 	restarts := p.Restarts
 	if restarts < 1 {
 		restarts = 1
 	}
 	results := make([]*Result, restarts)
+	partials := make([]*RestartPartial, restarts)
+	if snap != nil {
+		if snap.BaseCycles != baseCycles {
+			return nil, nil, fmt.Errorf("core: snapshot base cycles %d, but %s schedules to %d — stale checkpoint",
+				snap.BaseCycles, d.Name, baseCycles)
+		}
+		for r, st := range snap.Restarts {
+			if st.Done != nil {
+				results[r], err = resultFromState(d, st.Done)
+				if err != nil {
+					return nil, nil, err
+				}
+			}
+			partials[r] = st.Partial
+		}
+	}
+	// Work list: every restart without a final result, in restart order.
+	var todo []int
+	for r := 0; r < restarts; r++ {
+		if results[r] == nil {
+			todo = append(todo, r)
+		}
+	}
+	var completed atomic.Int64
+	completed.Store(int64(restarts - len(todo)))
 	errs := make([]error, restarts)
 	// One scheduling kernel per worker: restarts running on the same worker
 	// reuse its arena (and, within a restart, its contraction prefix). The
 	// kernel is pure scratch — which worker runs which restart never affects
 	// the restart's result — so determinism is preserved.
-	kerns := make([]*sched.Scheduler, parallel.Degree(p.Workers, restarts))
+	kerns := make([]*sched.Scheduler, parallel.Degree(p.Workers, len(todo)))
 	for i := range kerns {
 		kerns[i] = sched.NewScheduler()
 	}
-	parallel.ForEachWorker(restarts, p.Workers, func(w, r int) {
-		results[r], errs[r] = runOnce(d, cfg, p, p.Seed+int64(r)*7919, baseCycles, cache, kerns[w])
+	cancelErr := parallel.ForEachWorkerCtx(ctx, len(todo), p.Workers, func(w, ti int) {
+		r := todo[ti]
+		res, part, err := runOnce(ctx, d, cfg, p, p.Seed+int64(r)*7919, baseCycles, cache, kerns[w], partials[r])
+		switch {
+		case err != nil:
+			errs[r] = err
+		case part != nil:
+			partials[r] = part
+		default:
+			results[r] = res
+			partials[r] = nil
+			if opts.OnRestartDone != nil {
+				hits, misses := cache.Stats()
+				opts.OnRestartDone(RestartEvent{
+					Restart:     r,
+					Completed:   int(completed.Add(1)),
+					Total:       restarts,
+					FinalCycles: res.FinalCycles,
+					ISECount:    len(res.ISEs),
+					CacheHits:   hits,
+					CacheMisses: misses,
+				})
+			}
+		}
 	})
-	var best *Result
 	for r := 0; r < restarts; r++ {
 		if errs[r] != nil {
-			return nil, errs[r]
+			return nil, nil, errs[r]
 		}
+	}
+	if cancelErr != nil {
+		out := &Snapshot{
+			Version:    SnapshotVersion,
+			DFG:        d.Name,
+			Nodes:      d.Len(),
+			Machine:    cfg.Name,
+			Params:     p,
+			BaseCycles: baseCycles,
+			Restarts:   make([]RestartState, restarts),
+		}
+		for r := 0; r < restarts; r++ {
+			st := RestartState{Seed: p.Seed + int64(r)*7919}
+			if results[r] != nil {
+				st.Done = resultState(results[r])
+			} else {
+				st.Partial = partials[r]
+			}
+			out.Restarts[r] = st
+		}
+		return nil, out, cancelErr
+	}
+	var best *Result
+	for r := 0; r < restarts; r++ {
 		res := results[r]
 		if best == nil ||
 			res.FinalCycles < best.FinalCycles ||
@@ -125,21 +284,27 @@ func ExploreWithCache(d *dfg.DFG, cfg machine.Config, p Params, cache *EvalCache
 		}
 	}
 	best.CacheHits, best.CacheMisses = cache.Stats()
-	return best, nil
+	return best, nil, nil
 }
 
 // runOnce performs one full exploration: rounds of ACO iterations, each
 // producing at most one accepted ISE, until no further ISE improves the
-// schedule.
-func runOnce(d *dfg.DFG, cfg machine.Config, p Params, seed int64, baseCycles int, cache *EvalCache, kern *sched.Scheduler) (*Result, error) {
+// schedule. When ctx cancels the run between convergence iterations, it
+// returns a RestartPartial checkpoint instead of a Result; when resume is
+// non-nil, the restart first restores that checkpoint (accepted ISEs,
+// trail/merit tables, RNG position) and continues as if it had never
+// stopped.
+func runOnce(ctx context.Context, d *dfg.DFG, cfg machine.Config, p Params, seed int64, baseCycles int, cache *EvalCache, kern *sched.Scheduler, resume *RestartPartial) (*Result, *RestartPartial, error) {
 	if kern == nil {
 		kern = sched.NewScheduler()
 	}
+	rng, rngSrc := aco.NewCountedRand(seed)
 	e := &explorer{
 		d:            d,
 		cfg:          cfg,
 		p:            p,
-		rng:          aco.NewRand(seed),
+		rng:          rng,
+		rngSrc:       rngSrc,
 		cache:        cache,
 		kern:         kern,
 		fixedGroupOf: make([]int, d.Len()),
@@ -152,10 +317,47 @@ func runOnce(d *dfg.DFG, cfg machine.Config, p Params, seed int64, baseCycles in
 
 	res := &Result{BaseCycles: baseCycles, FinalCycles: baseCycles}
 	curLen := baseCycles
-	for round := 0; round < p.MaxRounds; round++ {
+	startRound := 0
+	if resume != nil {
+		fixed, err := isesFromStates(d, resume.Fixed)
+		if err != nil {
+			return nil, nil, err
+		}
+		e.fixed = fixed
+		for g, f := range e.fixed {
+			for _, v := range f.Nodes.Values() {
+				e.fixedGroupOf[v] = g
+			}
+		}
+		e.rngSrc.Skip(resume.RNGDraws)
+		res.Rounds = resume.Rounds
+		res.Iterations = resume.Iterations
+		curLen = resume.CurLen
+		startRound = resume.Round
+	}
+	for round := startRound; round < p.MaxRounds; round++ {
 		e.initTables()
-		iterations := e.converge()
-		res.Iterations += iterations
+		cs := &convergeState{tetOld: 1 << 30}
+		if resume != nil && round == startRound && resume.Iter > 0 {
+			// Mid-round checkpoint: overwrite the fresh tables with the
+			// snapshotted ones and rejoin the convergence loop where it
+			// stopped.
+			if err := restoreTables(e.trail, resume.Trail); err != nil {
+				return nil, nil, err
+			}
+			if err := restoreTables(e.merit, resume.Merit); err != nil {
+				return nil, nil, err
+			}
+			cs.iter = resume.Iter
+			cs.tetOld = resume.TetOld
+			cs.prevOrder = append([]int(nil), resume.PrevOrder...)
+		}
+		before := cs.iter
+		converged := e.converge(ctx, cs)
+		res.Iterations += cs.iter - before
+		if !converged {
+			return nil, e.capture(round, cs, res, curLen), nil
+		}
 		res.Rounds++
 
 		cand := e.bestCandidate(curLen)
@@ -174,10 +376,32 @@ func runOnce(d *dfg.DFG, cfg machine.Config, p Params, seed int64, baseCycles in
 	res.Assignment = BuildAssignment(d, res.ISEs)
 	final, err := cache.ScheduleWith(e.kern, d, res.Assignment, cfg)
 	if err != nil {
-		return nil, fmt.Errorf("core: final schedule of %s: %w", d.Name, err)
+		return nil, nil, fmt.Errorf("core: final schedule of %s: %w", d.Name, err)
 	}
 	res.FinalCycles = final
-	return res, nil
+	return res, nil, nil
+}
+
+// capture freezes the restart's state at a convergence-iteration boundary.
+// At a round boundary (no iteration run yet) the trail and merit tables are
+// omitted: initTables rebuilds them deterministically on resume.
+func (e *explorer) capture(round int, cs *convergeState, res *Result, curLen int) *RestartPartial {
+	p := &RestartPartial{
+		Round:      round,
+		Iter:       cs.iter,
+		Rounds:     res.Rounds,
+		Iterations: res.Iterations,
+		CurLen:     curLen,
+		Fixed:      iseStates(e.fixed),
+		RNGDraws:   e.rngSrc.Draws(),
+	}
+	if cs.iter > 0 {
+		p.Trail = copyTables(e.trail)
+		p.Merit = copyTables(e.merit)
+		p.TetOld = cs.tetOld
+		p.PrevOrder = append([]int(nil), cs.prevOrder...)
+	}
+	return p
 }
 
 // initPriority fills the scheduling-priority vector per Params.Priority.
@@ -250,26 +474,41 @@ func (e *explorer) initTables() {
 	}
 }
 
+// convergeState is the inter-iteration state of one round's convergence
+// loop, held outside converge so an interrupted round checkpoints exactly
+// where it stopped: the best execution time seen (tetOld), the previous
+// iteration's scheduling order (the Rho5 moved-earlier signal), and the
+// number of iterations performed so far this round.
+type convergeState struct {
+	tetOld    int
+	prevOrder []int
+	iter      int
+}
+
 // converge runs ACO iterations until every free operation has one option
 // whose selected probability exceeds P_END, or the iteration cap is hit.
-// It returns the number of iterations performed.
-func (e *explorer) converge() int {
-	tetOld := 1 << 30
-	var prevOrder []int
-	for it := 1; it <= e.p.MaxIterations; it++ {
+// The context is checked before each iteration; converge returns false if
+// cancellation interrupted the round (cs then holds everything a resumed
+// run needs) and true once the round has converged or hit the cap.
+func (e *explorer) converge(ctx context.Context, cs *convergeState) bool {
+	for cs.iter < e.p.MaxIterations {
+		if ctx.Err() != nil {
+			return false
+		}
+		cs.iter++
 		res := e.walk()
-		improved := res.tet <= tetOld
-		e.trailUpdate(res, improved, prevOrder)
+		improved := res.tet <= cs.tetOld
+		e.trailUpdate(res, improved, cs.prevOrder)
 		if improved {
-			tetOld = res.tet
+			cs.tetOld = res.tet
 		}
 		e.meritUpdate(res)
-		prevOrder = append([]int(nil), res.orderPos...)
+		cs.prevOrder = append([]int(nil), res.orderPos...)
 		if e.convergedNow() {
-			return it
+			return true
 		}
 	}
-	return e.p.MaxIterations
+	return true
 }
 
 // convergedNow checks the P_END condition of Eq. 3/4 over all free nodes.

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/aco"
 	"repro/internal/dfg"
 	"repro/internal/graph"
 	"repro/internal/machine"
@@ -17,6 +18,10 @@ type explorer struct {
 	cfg machine.Config
 	p   Params
 	rng *rand.Rand
+	// rngSrc counts rng's draws so a checkpoint can record the stream
+	// position and a resumed restart can skip back to it (see
+	// aco.CountingSource).
+	rngSrc *aco.CountingSource
 	// cache memoizes schedule evaluations; may be nil (NoEvalCache).
 	cache *EvalCache
 	// kern is this explorer's reusable scheduling kernel; restarts sharing a

@@ -7,6 +7,7 @@
 package flow
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -141,6 +142,15 @@ func (r *Report) Reduction() float64 {
 // explores the hottest blocks with the chosen algorithm, measures each
 // candidate's gain, and merges candidates into hardware-sharing groups.
 func BuildPool(bm *bench.Benchmark, opts Options) (*Pool, error) {
+	return BuildPoolCtx(context.Background(), bm, opts)
+}
+
+// BuildPoolCtx is BuildPool with cooperative cancellation: the context is
+// threaded into every hot-block exploration (checked between restarts and
+// between convergence iterations) and between hot blocks, so a cancelled
+// build returns ctx's error within one ACO iteration instead of finishing
+// the pool.
+func BuildPoolCtx(ctx context.Context, bm *bench.Benchmark, opts Options) (*Pool, error) {
 	if opts.HotBlocks <= 0 {
 		opts.HotBlocks = 3
 	}
@@ -205,20 +215,20 @@ func BuildPool(bm *bench.Benchmark, opts Options) (*Pool, error) {
 	for i := range priceKerns {
 		priceKerns[i] = sched.NewScheduler()
 	}
-	parallel.ForEachWorker(len(pool.Hot), opts.Params.Workers, func(w, hi int) {
+	cancelErr := parallel.ForEachWorkerCtx(ctx, len(pool.Hot), opts.Params.Workers, func(w, hi int) {
 		d := pool.DFGs[pool.Hot[hi]]
 		var ises []*core.ISE
 		var err error
 		switch opts.Algorithm {
 		case MI:
 			var r *core.Result
-			r, err = core.ExploreWithCache(d, opts.Machine, opts.Params, cache)
+			r, err = core.ExploreWithCacheCtx(ctx, d, opts.Machine, opts.Params, cache)
 			if r != nil {
 				ises = r.ISEs
 			}
 		case SI:
 			var r *core.Result
-			r, err = baseline.Explore(d, opts.Machine, opts.Params)
+			r, err = baseline.ExploreCtx(ctx, d, opts.Machine, opts.Params)
 			if r != nil {
 				ises = r.ISEs
 			}
@@ -236,6 +246,9 @@ func BuildPool(bm *bench.Benchmark, opts Options) (*Pool, error) {
 			perBlock[hi] = append(perBlock[hi], &merging.Candidate{ISE: ise, DFG: d, Gain: gains[i] * float64(d.Weight)})
 		}
 	})
+	if cancelErr != nil {
+		return nil, cancelErr
+	}
 	var cands []*merging.Candidate
 	for hi := range perBlock {
 		if errs[hi] != nil {
@@ -308,7 +321,12 @@ func (p *Pool) Evaluate(c selection.Constraints) (*Report, error) {
 // Run executes the whole flow for one benchmark under unlimited selection
 // constraints.
 func Run(bm *bench.Benchmark, opts Options) (*Report, error) {
-	pool, err := BuildPool(bm, opts)
+	return RunCtx(context.Background(), bm, opts)
+}
+
+// RunCtx is Run with cooperative cancellation (see BuildPoolCtx).
+func RunCtx(ctx context.Context, bm *bench.Benchmark, opts Options) (*Report, error) {
+	pool, err := BuildPoolCtx(ctx, bm, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bench"
@@ -49,13 +50,20 @@ func (r *MultiReport) Reduction() float64 {
 // matches), so an ISE useful to several programs outranks an equally fast
 // single-program one.
 func BuildMultiPool(benches []*bench.Benchmark, opts Options) (*MultiPool, error) {
+	return BuildMultiPoolCtx(context.Background(), benches, opts)
+}
+
+// BuildMultiPoolCtx is BuildMultiPool with cooperative cancellation,
+// checked between benchmarks and threaded into each pool build (see
+// BuildPoolCtx).
+func BuildMultiPoolCtx(ctx context.Context, benches []*bench.Benchmark, opts Options) (*MultiPool, error) {
 	if len(benches) == 0 {
 		return nil, fmt.Errorf("flow: no benchmarks for multi-pool")
 	}
 	mp := &MultiPool{}
 	var all []*merging.Candidate
 	for _, bm := range benches {
-		pool, err := BuildPool(bm, opts)
+		pool, err := BuildPoolCtx(ctx, bm, opts)
 		if err != nil {
 			return nil, err
 		}

@@ -7,6 +7,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -39,6 +40,13 @@ func ForEach(n, workers int, fn func(i int)) {
 	ForEachWorker(n, workers, func(_, i int) { fn(i) })
 }
 
+// ForEachCtx is ForEach with cooperative cancellation: once ctx is done, no
+// further items are handed out (items already running complete normally) and
+// the context's error is returned. A nil error means every item ran.
+func ForEachCtx(ctx context.Context, n, workers int, fn func(i int)) error {
+	return ForEachWorkerCtx(ctx, n, workers, func(_, i int) { fn(i) })
+}
+
 // ForEachWorker is ForEach for callers that keep per-worker state (a
 // scheduling kernel's arena, a scratch buffer pool): fn receives the index of
 // the worker goroutine running it, in [0, Degree(workers, n)), alongside the
@@ -48,15 +56,30 @@ func ForEach(n, workers int, fn func(i int)) {
 // why per-worker state must be scratch whose content never alters fn's
 // output for a given i.
 func ForEachWorker(n, workers int, fn func(worker, i int)) {
+	// context.Background() is never done, so the error is always nil.
+	_ = ForEachWorkerCtx(context.Background(), n, workers, fn)
+}
+
+// ForEachWorkerCtx is ForEachWorker with cooperative cancellation. Workers
+// check ctx before claiming each item: once ctx is done no new items start,
+// in-flight items run to completion, and the call returns ctx's error after
+// the pool has drained. Items are handed out in index order, so on
+// cancellation the set of completed items is a timing-dependent subset of
+// [0, n) — callers that checkpoint must record which slots were filled
+// rather than assume a prefix. A nil return means every item ran.
+func ForEachWorkerCtx(ctx context.Context, n, workers int, fn func(worker, i int)) error {
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	w := Degree(workers, n)
 	if w == 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
 			fn(0, i)
 		}
-		return
+		return ctx.Err()
 	}
 	var (
 		next  atomic.Int64
@@ -79,6 +102,9 @@ func ForEachWorker(n, workers int, fn func(worker, i int)) {
 				}
 			}()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -91,4 +117,5 @@ func ForEachWorker(n, workers int, fn func(worker, i int)) {
 	if haveP {
 		panic(pval)
 	}
+	return ctx.Err()
 }

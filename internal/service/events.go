@@ -1,0 +1,124 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one entry in a job's progress stream, delivered over SSE by
+// GET /v1/jobs/{id}/events. Seq is a per-job monotonic sequence number
+// (used as the SSE event id, so clients reconnect with Last-Event-ID and
+// miss nothing — history is replayed from any sequence point).
+type Event struct {
+	Seq  int       `json:"seq"`
+	Type string    `json:"type"`
+	Time time.Time `json:"time"`
+	// Job state for lifecycle events (queued/started/done/failed/canceled/
+	// checkpointed).
+	State State  `json:"state,omitempty"`
+	Error string `json:"error,omitempty"`
+	// Block progress: which block, and how far through the block list.
+	Block      string `json:"block,omitempty"`
+	BlockIndex int    `json:"block_index,omitempty"`
+	BlockTotal int    `json:"block_total,omitempty"`
+	// Restart progress within the current block ("restart" events).
+	Restart   int `json:"restart,omitempty"`
+	Completed int `json:"completed,omitempty"`
+	Total     int `json:"total,omitempty"`
+	// Best-so-far summary of the finished restart / block.
+	BestCycles int `json:"best_cycles,omitempty"`
+	ISECount   int `json:"ise_count,omitempty"`
+	// CacheHitRate is the schedule-evaluation cache hit fraction so far.
+	CacheHitRate float64 `json:"cache_hit_rate,omitempty"`
+}
+
+// Event types.
+const (
+	EventQueued       = "queued"
+	EventStarted      = "started"
+	EventRestart      = "restart"
+	EventBlockDone    = "block_done"
+	EventCheckpointed = "checkpointed"
+	EventDone         = "done"
+	EventFailed       = "failed"
+	EventCanceled     = "canceled"
+)
+
+// bus is a per-job broadcast channel with full history replay. Publishing
+// never blocks: a subscriber that stops draining its channel loses events
+// (SSE is observability, not the source of truth — GET /v1/jobs/{id} is).
+// The bus closes when the job reaches a terminal state, which ends every
+// subscriber's range loop.
+type bus struct {
+	mu      sync.Mutex
+	history []Event            // guarded by mu
+	subs    map[int]chan Event // guarded by mu
+	nextSub int                // guarded by mu
+	closed  bool               // guarded by mu
+}
+
+func newBus() *bus {
+	return &bus{subs: make(map[int]chan Event)}
+}
+
+// publish stamps the event with the next sequence number and fans it out.
+func (b *bus) publish(ev Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	ev.Seq = len(b.history) + 1
+	b.history = append(b.history, ev)
+	for _, ch := range b.subs {
+		select {
+		case ch <- ev:
+		default: // slow subscriber: drop, it can refetch via Last-Event-ID
+		}
+	}
+}
+
+// subscribe returns a channel replaying history after sequence `from`
+// (0 = everything) followed by live events, plus a cancel function. The
+// channel closes after the terminal event once the bus is closed.
+func (b *bus) subscribe(from int) (<-chan Event, func()) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var replay []Event
+	if from < len(b.history) {
+		replay = b.history[from:]
+	}
+	ch := make(chan Event, len(replay)+64)
+	for _, ev := range replay {
+		ch <- ev
+	}
+	if b.closed {
+		close(ch)
+		return ch, func() {}
+	}
+	id := b.nextSub
+	b.nextSub++
+	b.subs[id] = ch
+	return ch, func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if _, ok := b.subs[id]; ok {
+			delete(b.subs, id)
+			close(ch)
+		}
+	}
+}
+
+// close ends the stream for all subscribers. Idempotent.
+func (b *bus) close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for id, ch := range b.subs {
+		delete(b.subs, id)
+		close(ch)
+	}
+}

@@ -1,0 +1,118 @@
+package service
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dfg"
+)
+
+// State is a job's lifecycle state. The state machine is linear with three
+// exits (DESIGN.md §11):
+//
+//	queued ──▶ running ──▶ done
+//	  ▲           │ ├────▶ failed   (error or deadline)
+//	  │           │ └────▶ canceled (DELETE /v1/jobs/{id})
+//	  └───────────┘ (drain: checkpoint, back to queued)
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// terminal reports whether no further transitions are possible.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// ISESummary is the wire form of one accepted instruction-set extension.
+type ISESummary struct {
+	Ops          int     `json:"ops"`
+	Nodes        []int   `json:"nodes"`
+	Cycles       int     `json:"cycles"`
+	DelayNS      float64 `json:"delay_ns"`
+	AreaUM2      float64 `json:"area_um2"`
+	In           int     `json:"in"`
+	Out          int     `json:"out"`
+	SavingCycles int     `json:"saving_cycles"`
+}
+
+// BlockResult is the wire form of one explored block's core.Result.
+type BlockResult struct {
+	Block       string       `json:"block"`
+	Ops         int          `json:"ops"`
+	Weight      int64        `json:"weight"`
+	BaseCycles  int          `json:"base_cycles"`
+	FinalCycles int          `json:"final_cycles"`
+	Reduction   float64      `json:"reduction"`
+	Rounds      int          `json:"rounds"`
+	Iterations  int          `json:"iterations"`
+	CacheHits   uint64       `json:"cache_hits"`
+	CacheMisses uint64       `json:"cache_misses"`
+	ISEs        []ISESummary `json:"ises,omitempty"`
+}
+
+func blockResult(d *dfg.DFG, r *core.Result) BlockResult {
+	br := BlockResult{
+		Block:       d.Name,
+		Ops:         d.Len(),
+		Weight:      int64(d.Weight),
+		BaseCycles:  r.BaseCycles,
+		FinalCycles: r.FinalCycles,
+		Reduction:   r.Reduction(),
+		Rounds:      r.Rounds,
+		Iterations:  r.Iterations,
+		CacheHits:   r.CacheHits,
+		CacheMisses: r.CacheMisses,
+	}
+	for _, e := range r.ISEs {
+		br.ISEs = append(br.ISEs, ISESummary{
+			Ops:          e.Size(),
+			Nodes:        e.Nodes.Values(),
+			Cycles:       e.Cycles,
+			DelayNS:      e.DelayNS,
+			AreaUM2:      e.AreaUM2,
+			In:           e.In,
+			Out:          e.Out,
+			SavingCycles: e.SavingCycles,
+		})
+	}
+	return br
+}
+
+// job is the manager's record of one submission. The immutable identity
+// fields (id, spec, submitted, events) are set before the job is shared;
+// everything mutable is owned by the Manager and guarded by its mu.
+type job struct {
+	id        string
+	spec      JobSpec
+	submitted time.Time
+	events    *bus
+
+	state    State                   // guarded by mu (the owning Manager's)
+	errMsg   string                  // guarded by mu
+	blocks   []BlockResult           // guarded by mu
+	cp       *Checkpoint             // guarded by mu
+	cancel   context.CancelCauseFunc // guarded by mu
+	started  time.Time               // guarded by mu
+	finished time.Time               // guarded by mu
+	resumed  bool                    // guarded by mu
+}
+
+// JobStatus is the wire form of a job for GET /v1/jobs{,/{id}}.
+type JobStatus struct {
+	ID          string        `json:"id"`
+	Name        string        `json:"name,omitempty"`
+	State       State         `json:"state"`
+	Error       string        `json:"error,omitempty"`
+	Resumed     bool          `json:"resumed,omitempty"`
+	SubmittedAt time.Time     `json:"submitted_at"`
+	StartedAt   *time.Time    `json:"started_at,omitempty"`
+	FinishedAt  *time.Time    `json:"finished_at,omitempty"`
+	Blocks      []BlockResult `json:"blocks,omitempty"`
+}

@@ -1,0 +1,584 @@
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Sentinel errors mapped to HTTP statuses by the handlers.
+var (
+	// ErrQueueFull rejects a submission when the bounded queue is at
+	// capacity (429 Too Many Requests).
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrDraining rejects submissions while the server drains (503).
+	ErrDraining = errors.New("service: server draining")
+	// ErrNotFound reports an unknown job id (404).
+	ErrNotFound = errors.New("service: no such job")
+	// ErrFinished rejects cancelation of a job already in a terminal
+	// state (409 Conflict).
+	ErrFinished = errors.New("service: job already finished")
+)
+
+// Cancel causes, distinguished via context.Cause so the runner knows
+// whether an interrupted exploration should checkpoint (drain) or discard
+// (client cancel / deadline).
+var (
+	errDrainCause    = errors.New("service: draining, job checkpointed")
+	errCancelCause   = errors.New("service: canceled by client")
+	errDeadlineCause = errors.New("service: job deadline exceeded")
+)
+
+// Config parameterizes a Manager.
+type Config struct {
+	// QueueSize bounds the FIFO submission queue (default 64). A full
+	// queue rejects submissions with ErrQueueFull.
+	QueueSize int
+	// Runners is the number of concurrent job runners (default 2). Each
+	// runner drives one job at a time on its own core worker pool.
+	Runners int
+	// DefaultDeadline bounds jobs that do not set deadline_ms; 0 means
+	// unlimited.
+	DefaultDeadline time.Duration
+	// StateDir is the checkpoint directory; empty disables persistence
+	// (drain still checkpoints in memory, but a process restart loses it).
+	StateDir string
+	// Logf receives operational log lines (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// Manager owns the job queue, the runner pool, and every job's lifecycle.
+// All shared state is guarded by mu; the runners, the HTTP handlers and
+// Drain only touch it through methods that take the lock.
+type Manager struct {
+	cfg   Config
+	store *Store // nil when persistence is disabled
+	met   *metrics
+	logf  func(format string, args ...any)
+
+	// wake signals runners that the queue became non-empty; runCtx stops
+	// them. Both are set once at construction.
+	wake       chan struct{}
+	runCtx     context.Context
+	stopRunner context.CancelFunc
+	wg         sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*job // guarded by mu
+	queue    []*job          // guarded by mu
+	draining bool            // guarded by mu
+	running  int             // guarded by mu
+}
+
+// New builds a Manager, reloads any checkpoints from cfg.StateDir into the
+// queue (oldest submission first), and starts the runner pool.
+func New(cfg Config) (*Manager, error) {
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 64
+	}
+	if cfg.Runners <= 0 {
+		cfg.Runners = 2
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	runCtx, stop := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:        cfg,
+		met:        &metrics{},
+		logf:       cfg.Logf,
+		wake:       make(chan struct{}, 1),
+		runCtx:     runCtx,
+		stopRunner: stop,
+		jobs:       make(map[string]*job),
+	}
+	if cfg.StateDir != "" {
+		store, err := NewStore(cfg.StateDir)
+		if err != nil {
+			stop()
+			return nil, err
+		}
+		m.store = store
+		cps, errs := store.Load()
+		for _, err := range errs {
+			m.logf("service: skipping checkpoint: %v", err)
+		}
+		for _, cp := range cps {
+			m.reload(cp)
+		}
+	}
+	for i := 0; i < cfg.Runners; i++ {
+		m.wg.Add(1)
+		go m.runner()
+	}
+	return m, nil
+}
+
+// reload re-queues one persisted checkpoint as a resumable job.
+func (m *Manager) reload(cp *Checkpoint) {
+	j := &job{
+		id:        cp.JobID,
+		spec:      cp.Spec,
+		submitted: cp.SubmittedAt,
+		events:    newBus(),
+	}
+	m.mu.Lock()
+	j.state = StateQueued
+	j.resumed = true
+	j.blocks = cp.Blocks
+	j.cp = cp
+	m.jobs[j.id] = j
+	m.queue = append(m.queue, j)
+	m.mu.Unlock()
+	m.met.incResumed()
+	j.events.publish(Event{Type: EventQueued, Time: time.Now(), State: StateQueued})
+	m.logf("service: reloaded job %s (%d blocks done, snapshot=%v)",
+		j.id, len(cp.Blocks), cp.Snapshot != nil)
+}
+
+func newJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("service: crypto/rand: %v", err)) // never happens on a sane OS
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Submit validates and enqueues a job, persisting its initial checkpoint so
+// a crash before the first run loses nothing.
+func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
+	if err := spec.validate(); err != nil {
+		return JobStatus{}, fmt.Errorf("invalid job: %w", err)
+	}
+	j := &job{
+		id:        newJobID(),
+		spec:      spec,
+		submitted: time.Now(),
+		events:    newBus(),
+	}
+	cp := &Checkpoint{JobID: j.id, Spec: spec, SubmittedAt: j.submitted}
+
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		m.met.incRejected()
+		return JobStatus{}, ErrDraining
+	}
+	if len(m.queue) >= m.cfg.QueueSize {
+		m.mu.Unlock()
+		m.met.incRejected()
+		return JobStatus{}, ErrQueueFull
+	}
+	j.state = StateQueued
+	j.cp = cp
+	m.jobs[j.id] = j
+	m.queue = append(m.queue, j)
+	m.mu.Unlock()
+
+	m.met.incSubmitted()
+	if m.store != nil {
+		if err := m.store.Save(cp); err != nil {
+			m.logf("service: persist job %s: %v", j.id, err)
+		}
+	}
+	j.events.publish(Event{Type: EventQueued, Time: time.Now(), State: StateQueued})
+	m.signalWake()
+	return m.Get(j.id)
+}
+
+func (m *Manager) signalWake() {
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Get returns a job's status.
+func (m *Manager) Get(id string) (JobStatus, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return JobStatus{}, ErrNotFound
+	}
+	return m.status(j), nil
+}
+
+// status builds a consistent point-in-time wire view of a job.
+func (m *Manager) status(j *job) JobStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := JobStatus{
+		ID:          j.id,
+		Name:        j.spec.Name,
+		State:       j.state,
+		Error:       j.errMsg,
+		Resumed:     j.resumed,
+		SubmittedAt: j.submitted,
+		Blocks:      append([]BlockResult(nil), j.blocks...),
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	return st
+}
+
+// List returns every job, oldest submission first.
+func (m *Manager) List() []JobStatus {
+	m.mu.Lock()
+	js := make([]*job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		js = append(js, j)
+	}
+	m.mu.Unlock()
+	out := make([]JobStatus, 0, len(js))
+	for _, j := range js {
+		out = append(out, m.status(j))
+	}
+	sort.Slice(out, func(i, k int) bool {
+		if !out[i].SubmittedAt.Equal(out[k].SubmittedAt) {
+			return out[i].SubmittedAt.Before(out[k].SubmittedAt)
+		}
+		return out[i].ID < out[k].ID
+	})
+	return out
+}
+
+// Cancel stops a job on client request: a queued job is removed from the
+// queue immediately; a running job's context is canceled and the runner
+// finalizes it (discarding the checkpoint — a canceled job does not
+// resume). Terminal jobs return ErrFinished.
+func (m *Manager) Cancel(id string) (JobStatus, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return JobStatus{}, ErrNotFound
+	}
+	switch {
+	case j.state.terminal():
+		m.mu.Unlock()
+		return m.status(j), ErrFinished
+	case j.state == StateQueued:
+		keep := make([]*job, 0, len(m.queue)-1)
+		for _, q := range m.queue {
+			if q != j {
+				keep = append(keep, q)
+			}
+		}
+		m.queue = keep
+		j.state = StateCanceled
+		j.errMsg = errCancelCause.Error()
+		j.finished = time.Now()
+		j.cp = nil
+		m.mu.Unlock()
+		m.met.incCanceled()
+		m.discard(id)
+		j.events.publish(Event{Type: EventCanceled, Time: time.Now(),
+			State: StateCanceled, Error: errCancelCause.Error()})
+		j.events.close()
+		return m.status(j), nil
+	default: // running: the runner observes the cause and finalizes
+		cancel := j.cancel
+		m.mu.Unlock()
+		if cancel != nil {
+			cancel(errCancelCause)
+		}
+		return m.status(j), nil
+	}
+}
+
+// Subscribe opens a job's event stream from sequence `from` (0 = full
+// history).
+func (m *Manager) Subscribe(id string, from int) (<-chan Event, func(), error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, nil, ErrNotFound
+	}
+	ch, cancel := j.events.subscribe(from)
+	return ch, cancel, nil
+}
+
+// Draining reports whether the manager has begun shutting down.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// Metrics returns the /metrics payload: counters, latency quantiles, queue
+// depth and per-state job counts.
+func (m *Manager) Metrics() map[string]any {
+	out := m.met.snapshot()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out["queue_depth"] = len(m.queue)
+	out["jobs_running"] = m.running
+	states := map[State]int{}
+	for _, j := range m.jobs {
+		states[j.state]++
+	}
+	for s, n := range states {
+		out["jobs_state_"+string(s)] = n
+	}
+	return out
+}
+
+// Drain begins graceful shutdown: new submissions are rejected, running
+// jobs are canceled with the drain cause (the runner checkpoints them and
+// returns them to the queue), and queued jobs stay checkpointed on disk for
+// the next daemon process. Drain returns when every runner has exited or
+// ctx expires.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.draining {
+		m.draining = true
+		for _, j := range m.jobs {
+			if j.state == StateRunning && j.cancel != nil {
+				j.cancel(errDrainCause)
+			}
+		}
+	}
+	m.mu.Unlock()
+	m.stopRunner() // wakes runners blocked on an empty queue
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: drain: %w", ctx.Err())
+	}
+}
+
+// discard removes a job's checkpoint file (terminal states only).
+func (m *Manager) discard(id string) {
+	if m.store == nil {
+		return
+	}
+	if err := m.store.Delete(id); err != nil {
+		m.logf("service: delete checkpoint %s: %v", id, err)
+	}
+}
+
+// runner is one worker goroutine: claim the queue head, run it, repeat.
+func (m *Manager) runner() {
+	defer m.wg.Done()
+	for {
+		j := m.next()
+		if j == nil {
+			return
+		}
+		m.run(j)
+		m.signalWake() // more queued work may be waiting for a free runner
+	}
+}
+
+// next blocks until a job is available or the manager shuts down.
+func (m *Manager) next() *job {
+	for {
+		m.mu.Lock()
+		if m.draining {
+			m.mu.Unlock()
+			return nil
+		}
+		if len(m.queue) > 0 {
+			j := m.queue[0]
+			m.queue = m.queue[1:]
+			j.state = StateRunning
+			j.started = time.Now()
+			m.running++
+			m.mu.Unlock()
+			return j
+		}
+		m.mu.Unlock()
+		select {
+		case <-m.runCtx.Done():
+			return nil
+		case <-m.wake:
+		}
+	}
+}
+
+// run executes one job to a checkpoint or a terminal state.
+func (m *Manager) run(j *job) {
+	ctx, cancel := context.WithCancelCause(m.runCtx)
+	defer cancel(nil)
+	if d := j.spec.deadline(m.cfg.DefaultDeadline); d > 0 {
+		var cancelT context.CancelFunc
+		ctx, cancelT = context.WithTimeoutCause(ctx, d, errDeadlineCause)
+		defer cancelT()
+	}
+	m.mu.Lock()
+	j.cancel = cancel
+	cp := j.cp
+	m.mu.Unlock()
+	j.events.publish(Event{Type: EventStarted, Time: time.Now(), State: StateRunning})
+
+	dfgs, err := j.spec.buildDFGs()
+	if err != nil {
+		m.finish(j, StateFailed, fmt.Sprintf("build workload: %v", err))
+		return
+	}
+	p := j.spec.params()
+	cfg := j.spec.machineConfig()
+
+	blocks := append([]BlockResult(nil), cp.Blocks...)
+	startBlock, snap := cp.Block, cp.Snapshot
+	if startBlock > len(dfgs) {
+		m.finish(j, StateFailed, fmt.Sprintf("checkpoint block %d out of range (%d blocks)",
+			startBlock, len(dfgs)))
+		return
+	}
+	for bi := startBlock; bi < len(dfgs); bi++ {
+		d := dfgs[bi]
+		cache := core.NewEvalCache()
+		opts := core.ResumeOptions{
+			Cache: cache,
+			OnRestartDone: func(ev core.RestartEvent) {
+				e := Event{
+					Type:       EventRestart,
+					Time:       time.Now(),
+					Block:      d.Name,
+					BlockIndex: bi,
+					BlockTotal: len(dfgs),
+					Restart:    ev.Restart,
+					Completed:  ev.Completed,
+					Total:      ev.Total,
+					BestCycles: ev.FinalCycles,
+					ISECount:   ev.ISECount,
+				}
+				if lookups := ev.CacheHits + ev.CacheMisses; lookups > 0 {
+					e.CacheHitRate = float64(ev.CacheHits) / float64(lookups)
+				}
+				j.events.publish(e)
+			},
+		}
+		var (
+			res   *core.Result
+			nsnap *core.Snapshot
+			rerr  error
+		)
+		if snap != nil {
+			res, nsnap, rerr = core.ResumeFrom(ctx, d, cfg, snap, opts)
+			snap = nil
+		} else {
+			res, nsnap, rerr = core.ExploreResumable(ctx, d, cfg, p, opts)
+		}
+		if rerr != nil {
+			m.interrupted(j, ctx, blocks, bi, nsnap, rerr)
+			return
+		}
+		br := blockResult(d, res)
+		blocks = append(blocks, br)
+		m.mu.Lock()
+		j.blocks = append([]BlockResult(nil), blocks...)
+		j.cp = &Checkpoint{JobID: j.id, Spec: j.spec, SubmittedAt: j.submitted,
+			Blocks: j.blocks, Block: bi + 1}
+		ncp := j.cp
+		m.mu.Unlock()
+		m.met.addCache(br.CacheHits, br.CacheMisses)
+		if m.store != nil {
+			if err := m.store.Save(ncp); err != nil {
+				m.logf("service: persist job %s: %v", j.id, err)
+			}
+		}
+		j.events.publish(Event{
+			Type:       EventBlockDone,
+			Time:       time.Now(),
+			Block:      d.Name,
+			BlockIndex: bi,
+			BlockTotal: len(dfgs),
+			BestCycles: br.FinalCycles,
+			ISECount:   len(br.ISEs),
+		})
+	}
+	m.finish(j, StateDone, "")
+}
+
+// interrupted finalizes a job whose exploration returned an error. Cause
+// decides the exit: drain checkpoints and requeues, client cancel and
+// deadline discard, anything else is a hard failure.
+func (m *Manager) interrupted(j *job, ctx context.Context, blocks []BlockResult, bi int, snap *core.Snapshot, rerr error) {
+	cause := context.Cause(ctx)
+	switch {
+	case errors.Is(cause, errDrainCause) || (m.runCtx.Err() != nil && !errors.Is(cause, errCancelCause) && !errors.Is(cause, errDeadlineCause)):
+		// Drain (explicit cause, or the manager-wide context died first):
+		// persist the snapshot and return the job to the queue for the
+		// next process.
+		cp := &Checkpoint{JobID: j.id, Spec: j.spec, SubmittedAt: j.submitted,
+			Blocks: blocks, Block: bi, Snapshot: snap}
+		m.mu.Lock()
+		j.state = StateQueued
+		j.cancel = nil
+		j.blocks = append([]BlockResult(nil), blocks...)
+		j.cp = cp
+		m.running--
+		m.mu.Unlock()
+		m.met.incCheckpoints()
+		if m.store != nil {
+			if err := m.store.Save(cp); err != nil {
+				m.logf("service: checkpoint job %s: %v", j.id, err)
+			}
+		}
+		j.events.publish(Event{Type: EventCheckpointed, Time: time.Now(),
+			State: StateQueued, BlockIndex: bi})
+		m.logf("service: job %s checkpointed at block %d (snapshot=%v)", j.id, bi, snap != nil)
+	case errors.Is(cause, errCancelCause):
+		m.finish(j, StateCanceled, cause.Error())
+	case errors.Is(cause, errDeadlineCause):
+		m.finish(j, StateFailed, cause.Error())
+	default:
+		m.finish(j, StateFailed, rerr.Error())
+	}
+}
+
+// finish moves a running job to a terminal state and emits the terminal
+// event.
+func (m *Manager) finish(j *job, state State, errMsg string) {
+	now := time.Now()
+	m.mu.Lock()
+	j.state = state
+	j.errMsg = errMsg
+	j.finished = now
+	j.cancel = nil
+	j.cp = nil
+	m.running--
+	latency := now.Sub(j.started)
+	m.mu.Unlock()
+
+	evType := EventDone
+	switch state {
+	case StateDone:
+		m.met.incDone()
+		m.met.observeLatency(latency)
+	case StateFailed:
+		m.met.incFailed()
+		evType = EventFailed
+	case StateCanceled:
+		m.met.incCanceled()
+		evType = EventCanceled
+	}
+	m.discard(j.id)
+	j.events.publish(Event{Type: evType, Time: now, State: state, Error: errMsg})
+	j.events.close()
+}

@@ -1,0 +1,104 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencySamples bounds the job-latency reservoir: a ring of the most
+// recent completions, plenty for p50/p99 on a daemon-scale job rate.
+const latencySamples = 512
+
+// metrics aggregates service counters for GET /metrics. Counters only ever
+// increase; the latency ring keeps the newest latencySamples completions.
+type metrics struct {
+	mu sync.Mutex
+
+	submitted   uint64 // guarded by mu
+	rejected    uint64 // guarded by mu
+	resumed     uint64 // guarded by mu
+	done        uint64 // guarded by mu
+	failed      uint64 // guarded by mu
+	canceled    uint64 // guarded by mu
+	checkpoints uint64 // guarded by mu
+	cacheHits   uint64 // guarded by mu
+	cacheMisses uint64 // guarded by mu
+
+	latencies []float64 // guarded by mu — seconds, ring buffer
+	latPos    int       // guarded by mu
+	latFull   bool      // guarded by mu
+}
+
+func (m *metrics) incSubmitted() { m.mu.Lock(); defer m.mu.Unlock(); m.submitted++ }
+func (m *metrics) incRejected()  { m.mu.Lock(); defer m.mu.Unlock(); m.rejected++ }
+func (m *metrics) incResumed()   { m.mu.Lock(); defer m.mu.Unlock(); m.resumed++ }
+func (m *metrics) incDone()      { m.mu.Lock(); defer m.mu.Unlock(); m.done++ }
+func (m *metrics) incFailed()    { m.mu.Lock(); defer m.mu.Unlock(); m.failed++ }
+func (m *metrics) incCanceled()  { m.mu.Lock(); defer m.mu.Unlock(); m.canceled++ }
+func (m *metrics) incCheckpoints() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.checkpoints++
+}
+
+// addCache folds one finished block's cache counters into the totals.
+func (m *metrics) addCache(hits, misses uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cacheHits += hits
+	m.cacheMisses += misses
+}
+
+// observeLatency records one completed job's running time.
+func (m *metrics) observeLatency(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.latencies == nil {
+		m.latencies = make([]float64, latencySamples)
+	}
+	m.latencies[m.latPos] = d.Seconds()
+	m.latPos++
+	if m.latPos == len(m.latencies) {
+		m.latPos = 0
+		m.latFull = true
+	}
+}
+
+// snapshot returns the counters and latency quantiles as a flat JSON-ready
+// map (expvar-style: one scalar per key).
+func (m *metrics) snapshot() map[string]any {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := map[string]any{
+		"jobs_submitted_total":    m.submitted,
+		"jobs_rejected_total":     m.rejected,
+		"jobs_resumed_total":      m.resumed,
+		"jobs_done_total":         m.done,
+		"jobs_failed_total":       m.failed,
+		"jobs_canceled_total":     m.canceled,
+		"checkpoints_total":       m.checkpoints,
+		"eval_cache_hits_total":   m.cacheHits,
+		"eval_cache_misses_total": m.cacheMisses,
+	}
+	n := m.latPos
+	if m.latFull {
+		n = len(m.latencies)
+	}
+	if n > 0 {
+		s := append([]float64(nil), m.latencies[:n]...)
+		sort.Float64s(s)
+		out["job_latency_seconds_p50"] = quantile(s, 0.50)
+		out["job_latency_seconds_p99"] = quantile(s, 0.99)
+	}
+	return out
+}
+
+// quantile reads q from an ascending sample using the nearest-rank method.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

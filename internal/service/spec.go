@@ -1,0 +1,159 @@
+// Package service is the exploration-as-a-service layer: a job manager with
+// a bounded FIFO queue, runner goroutines driving core exploration on their
+// own parallel worker pools, durable JSON checkpoints with resume, and an
+// SSE event bus for restart-level progress. cmd/iseserve wraps it in a
+// stdlib net/http daemon. See DESIGN.md §11 for the architecture and the
+// resume-determinism argument.
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/dfg"
+	"repro/internal/machine"
+	"repro/internal/opt"
+	"repro/internal/prog"
+	"repro/internal/vm"
+)
+
+// MachineSpec selects the target machine configuration of a job.
+type MachineSpec struct {
+	Issue      int `json:"issue"`
+	ReadPorts  int `json:"read_ports"`
+	WritePorts int `json:"write_ports"`
+}
+
+// JobSpec is the submission body of POST /v1/jobs. Exactly one of Bench and
+// Program selects the kernel; Machine is mandatory. Everything else has a
+// sensible default. The spec is stored verbatim in checkpoints, so resuming
+// a job after a daemon restart rebuilds the identical workload.
+type JobSpec struct {
+	// Name is a client-chosen label, echoed in statuses and used as the
+	// program name when Program source is submitted.
+	Name string `json:"name,omitempty"`
+	// Bench names a built-in benchmark (see internal/bench); OptLevel picks
+	// its optimization level (default O3).
+	Bench    string `json:"bench,omitempty"`
+	OptLevel string `json:"opt,omitempty"`
+	// Program is PISA assembly source, the alternative to Bench. Optimize
+	// runs copy-propagation/DCE on it before exploration.
+	Program  string `json:"program,omitempty"`
+	Optimize bool   `json:"optimize,omitempty"`
+	// Hot is the number of hot basic blocks to explore (default 1). Blocks
+	// are explored sequentially in profile order; each finished block is a
+	// checkpoint boundary.
+	Hot     int         `json:"hot,omitempty"`
+	Machine MachineSpec `json:"machine"`
+	// Params override the exploration parameters (default core.DefaultParams).
+	Params *core.Params `json:"params,omitempty"`
+	// DeadlineMS bounds the job's running time in milliseconds; 0 uses the
+	// server default (which may be unlimited).
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+const maxProgramBytes = 1 << 20
+
+func (s *JobSpec) validate() error {
+	if (s.Bench == "") == (s.Program == "") {
+		return fmt.Errorf("exactly one of bench and program must be set")
+	}
+	if len(s.Program) > maxProgramBytes {
+		return fmt.Errorf("program source exceeds %d bytes", maxProgramBytes)
+	}
+	if s.Hot < 0 {
+		return fmt.Errorf("hot must be >= 0, got %d", s.Hot)
+	}
+	if s.DeadlineMS < 0 {
+		return fmt.Errorf("deadline_ms must be >= 0, got %d", s.DeadlineMS)
+	}
+	if err := s.machineConfig().Validate(); err != nil {
+		return err
+	}
+	if p := s.Params; p != nil {
+		if p.Restarts < 0 || p.MaxRounds < 0 || p.MaxIterations < 0 {
+			return fmt.Errorf("params counts must be >= 0")
+		}
+	}
+	return nil
+}
+
+func (s *JobSpec) machineConfig() machine.Config {
+	return machine.New(s.Machine.Issue, s.Machine.ReadPorts, s.Machine.WritePorts)
+}
+
+func (s *JobSpec) params() core.Params {
+	if s.Params != nil {
+		return *s.Params
+	}
+	return core.DefaultParams()
+}
+
+func (s *JobSpec) hot() int {
+	if s.Hot <= 0 {
+		return 1
+	}
+	return s.Hot
+}
+
+func (s *JobSpec) optLevel() string {
+	if s.OptLevel == "" {
+		return "O3"
+	}
+	return s.OptLevel
+}
+
+func (s *JobSpec) deadline(def time.Duration) time.Duration {
+	if s.DeadlineMS > 0 {
+		return time.Duration(s.DeadlineMS) * time.Millisecond
+	}
+	return def
+}
+
+// buildDFGs rebuilds the job's workload: parse or fetch the kernel, profile
+// it on the reference VM, and lift the hot blocks to dataflow graphs. Every
+// step is deterministic, so a resumed job (possibly in a different daemon
+// process) explores byte-identical graphs — this is the first link in the
+// resume-determinism chain (DESIGN.md §11).
+func (s *JobSpec) buildDFGs() ([]*dfg.DFG, error) {
+	var (
+		program *prog.Program
+		profile *vm.Profile
+		err     error
+	)
+	if s.Program != "" {
+		name := s.Name
+		if name == "" {
+			name = "program"
+		}
+		program, err = prog.Parse(name, s.Program)
+		if err != nil {
+			return nil, err
+		}
+		if s.Optimize {
+			if program, err = opt.Optimize(program); err != nil {
+				return nil, err
+			}
+		}
+		profile, err = vm.NewMachine(bench.MemSize).Run(program, bench.MaxSteps)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		bm, berr := bench.Get(s.Bench, s.optLevel())
+		if berr != nil {
+			return nil, berr
+		}
+		program = bm.Prog
+		if profile, err = bm.Run(); err != nil {
+			return nil, err
+		}
+	}
+	ds := dfg.BuildAll(program, profile.HotBlocks(program, s.hot()), profile.BlockCounts)
+	if len(ds) == 0 {
+		return nil, fmt.Errorf("no explorable basic blocks")
+	}
+	return ds, nil
+}

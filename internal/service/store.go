@@ -1,0 +1,132 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+// CheckpointVersion is the on-disk checkpoint format version. Bump on any
+// layout change; Load skips mismatched files instead of mis-restoring them.
+const CheckpointVersion = 1
+
+// Checkpoint is the durable record of a job: its spec (enough to rebuild
+// the workload deterministically), the results of fully explored blocks,
+// and — when the job was interrupted mid-block — the core.Snapshot that
+// resumes the in-flight block byte-identically. A checkpoint with a nil
+// Snapshot resumes at a block boundary. Checkpoints are written at submit
+// (so a crash loses nothing), after each finished block, and on drain.
+type Checkpoint struct {
+	Version     int            `json:"version"`
+	JobID       string         `json:"job_id"`
+	Spec        JobSpec        `json:"spec"`
+	SubmittedAt time.Time      `json:"submitted_at"`
+	Blocks      []BlockResult  `json:"blocks,omitempty"`
+	Block       int            `json:"block"`
+	Snapshot    *core.Snapshot `json:"snapshot,omitempty"`
+}
+
+// Store persists checkpoints as one JSON file per job under a state
+// directory. Writes are atomic (temp file + rename), so a crash mid-write
+// leaves the previous checkpoint intact. A Store is safe for concurrent use
+// by distinct jobs; the Manager serializes per-job access.
+type Store struct {
+	dir string
+}
+
+// NewStore opens (creating if needed) a checkpoint directory.
+func NewStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: state dir: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+func (s *Store) path(id string) string {
+	return filepath.Join(s.dir, "job-"+id+".json")
+}
+
+// Save atomically writes the checkpoint for cp.JobID.
+func (s *Store) Save(cp *Checkpoint) error {
+	cp.Version = CheckpointVersion
+	raw, err := json.MarshalIndent(cp, "", "  ")
+	if err != nil {
+		return fmt.Errorf("service: marshal checkpoint %s: %w", cp.JobID, err)
+	}
+	tmp, err := os.CreateTemp(s.dir, "job-*.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), s.path(cp.JobID))
+}
+
+// Delete removes the checkpoint of a finished job. Missing files are fine.
+func (s *Store) Delete(id string) error {
+	err := os.Remove(s.path(id))
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// Load reads every checkpoint in the directory, oldest submission first.
+// Unreadable or version-mismatched files are skipped and reported in the
+// second return — a half-broken state dir should not keep the daemon down.
+func (s *Store) Load() ([]*Checkpoint, []error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, []error{err}
+	}
+	var (
+		cps  []*Checkpoint
+		errs []error
+	)
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "job-") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		raw, rerr := os.ReadFile(filepath.Join(s.dir, name))
+		if rerr != nil {
+			errs = append(errs, rerr)
+			continue
+		}
+		cp := new(Checkpoint)
+		if jerr := json.Unmarshal(raw, cp); jerr != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", name, jerr))
+			continue
+		}
+		if cp.Version != CheckpointVersion {
+			errs = append(errs, fmt.Errorf("%s: checkpoint version %d, want %d",
+				name, cp.Version, CheckpointVersion))
+			continue
+		}
+		if cp.JobID == "" {
+			errs = append(errs, fmt.Errorf("%s: checkpoint without job id", name))
+			continue
+		}
+		cps = append(cps, cp)
+	}
+	sort.Slice(cps, func(i, j int) bool {
+		if !cps[i].SubmittedAt.Equal(cps[j].SubmittedAt) {
+			return cps[i].SubmittedAt.Before(cps[j].SubmittedAt)
+		}
+		return cps[i].JobID < cps[j].JobID
+	})
+	return cps, errs
+}
