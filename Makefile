@@ -1,4 +1,4 @@
-.PHONY: tier1 race lint bench benchall fmt serve-smoke
+.PHONY: tier1 race lint bench benchall fmt serve-smoke profile
 
 # Tier 1: the fast correctness gate.
 tier1:
@@ -40,7 +40,14 @@ fmt:
 
 # End-to-end smoke test of the service daemon: builds the real iseserve and
 # iseexplore binaries, boots the daemon on a random port, submits a job over
-# HTTP, streams its SSE progress, and asserts the result matches the CLI
-# run. Gated behind an env var so plain `go test ./...` stays fast.
+# HTTP, streams its SSE progress, asserts the result matches the CLI run, and
+# scrapes /metrics, failing on malformed Prometheus exposition lines. Gated
+# behind an env var so plain `go test ./...` stays fast.
 serve-smoke:
 	ISESERVE_SMOKE=1 go test -run TestServeSmoke -v ./cmd/iseserve/
+
+# CPU-profile the headline benchmark and print the top-10 hot functions.
+# Artifacts land in /tmp so the repo stays clean.
+profile:
+	go run ./cmd/isebench -headline -fast -cpuprofile /tmp/ise-cpu.out
+	go tool pprof -top -nodecount=10 /tmp/ise-cpu.out

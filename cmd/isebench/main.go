@@ -22,6 +22,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -42,11 +43,28 @@ func main() {
 		hot       = flag.Int("hot", 3, "hot basic blocks explored per benchmark")
 		seed      = flag.Int64("seed", 1, "random seed")
 		workers   = flag.Int("workers", 0, "exploration worker pool size (0 = one per CPU, 1 = sequential; results are identical)")
+		cpuPath   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memPath   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if !*table && *figure == 0 && !*headline && !*all && !*stats && !*breakdown {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *cpuPath != "" {
+		stop, err := obs.StartCPUProfile(*cpuPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stop()
+	}
+	if *memPath != "" {
+		defer func() {
+			if err := obs.WriteHeapProfile(*memPath); err != nil {
+				log.Fatal(err)
+			}
+		}()
 	}
 
 	params := core.DefaultParams()

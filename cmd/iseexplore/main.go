@@ -5,6 +5,8 @@
 // Usage:
 //
 //	iseexplore -bench crc32 -opt O3 -issue 2 -read 4 -write 2 -algo MI
+//	iseexplore -bench crc32 -trace trace.json   # Perfetto-loadable timeline
+//	iseexplore -bench crc32 -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/machine"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/prog"
 	"repro/internal/vm"
@@ -51,8 +54,52 @@ func main() {
 		showDFG   = flag.Bool("dfg", false, "print the dataflow graph of each explored block")
 		verilog   = flag.Bool("verilog", false, "emit a Verilog datapath module for each ISE")
 		dot       = flag.Bool("dot", false, "emit a Graphviz DOT graph of each block with its ISEs highlighted")
+		tracePath = flag.String("trace", "", "write a Chrome trace-event JSON timeline of the exploration (load in Perfetto)")
+		cpuPath   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memPath   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopCPU := func() {}
+	if *cpuPath != "" {
+		stop, err := obs.StartCPUProfile(*cpuPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stopCPU = stop
+	}
+	var tr *obs.Tracer
+	if *tracePath != "" {
+		tr = obs.NewTracer()
+		tr.SetPID(0, "iseexplore")
+		tr.NameTrack(0, "blocks")
+		if *algo == "SI" {
+			log.Print("note: -trace records MI exploration; the SI baseline runs untraced")
+		}
+	}
+	// os.Exit skips deferred calls, so the artifact writes happen explicitly
+	// on the success path (a log.Fatal exit leaves no partial profiles).
+	finish := func() {
+		if tr != nil {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := tr.WriteJSON(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %d trace events to %s\n", tr.Len(), *tracePath)
+		}
+		stopCPU()
+		if *memPath != "" {
+			if err := obs.WriteHeapProfile(*memPath); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
 
 	cfg := machine.New(*issue, *reads, *writes)
 	params := core.DefaultParams()
@@ -101,7 +148,7 @@ func main() {
 	}
 
 	hotBlocks := prof.HotBlocks(program, *hot)
-	for _, d := range dfg.BuildAll(program, hotBlocks, prof.BlockCounts) {
+	for bi, d := range dfg.BuildAll(program, hotBlocks, prof.BlockCounts) {
 		fmt.Printf("\nblock %s: %d operations, weight %d, dependence depth %d\n",
 			d.Name, d.Len(), d.Weight, d.CriticalPathLen())
 		if *showDFG {
@@ -111,7 +158,9 @@ func main() {
 		var err error
 		switch *algo {
 		case "MI":
-			res, err = core.ExploreWithParamsCtx(ctx, d, cfg, params)
+			blockSpan := tr.Begin("block", 0).Arg("block", int64(bi))
+			res, _, err = core.ExploreResumable(ctx, d, cfg, params, core.ResumeOptions{Trace: tr})
+			blockSpan.End()
 		case "SI":
 			res, err = baseline.ExploreCtx(ctx, d, cfg, params)
 		default:
@@ -157,5 +206,6 @@ func main() {
 			}
 		}
 	}
+	finish()
 	os.Exit(0)
 }

@@ -19,6 +19,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -37,6 +38,7 @@ func main() {
 		runners      = flag.Int("runners", 2, "concurrent job runners")
 		deadline     = flag.Duration("deadline", 0, "default per-job deadline (0 = unlimited)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight jobs to checkpoint on shutdown")
+		pprofOn      = flag.Bool("pprof", false, "expose net/http/pprof handlers under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -54,7 +56,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := &http.Server{Handler: service.NewMux(m)}
+	mux := service.NewMux(m)
+	if *pprofOn {
+		// Explicit registration: the import-side effect of net/http/pprof
+		// targets http.DefaultServeMux, which this daemon does not serve.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		log.Printf("pprof enabled at /debug/pprof/")
+	}
+	srv := &http.Server{Handler: mux}
 	log.Printf("listening on %s (queue %d, runners %d, state %q)",
 		ln.Addr(), *queueSize, *runners, *stateDir)
 

@@ -11,6 +11,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"os"
 	"os/exec"
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 func TestServeSmoke(t *testing.T) {
@@ -141,6 +143,38 @@ func TestServeSmoke(t *testing.T) {
 		t.Fatalf("served result %d -> %d cycles, CLI says %d -> %d",
 			status.Blocks[0].BaseCycles, status.Blocks[0].FinalCycles, wantBase, wantFinal)
 	}
+
+	// Scrape /metrics: the exposition must parse as Prometheus text and
+	// cover the eval-cache, scheduler, worker-pool and job-lifecycle
+	// families now that a job has run through all of them.
+	resp, err = http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exposition, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics Content-Type = %q, want text/plain exposition", ct)
+	}
+	if err := obs.ValidateExposition(bytes.NewReader(exposition)); err != nil {
+		t.Fatalf("malformed Prometheus exposition: %v\n%s", err, exposition)
+	}
+	for _, family := range []string{
+		"jobs_submitted_total",
+		"jobs_done_total",
+		"job_latency_seconds_bucket",
+		"ise_evalcache_hits_total",
+		"ise_sched_schedule_calls_total",
+		"ise_parallel_items_total",
+	} {
+		if !strings.Contains(string(exposition), family) {
+			t.Fatalf("/metrics missing family %s:\n%s", family, exposition)
+		}
+	}
+	t.Logf("/metrics: %d bytes of valid exposition", len(exposition))
 
 	// SIGTERM drains cleanly.
 	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {

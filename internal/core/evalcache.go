@@ -105,11 +105,13 @@ func (c *EvalCache) ScheduleWith(kern *sched.Scheduler, d *dfg.DFG, a sched.Assi
 		return scheduleLen(kern, d, a, cfg)
 	}
 	k := evalKey{dfg: d.Name, cfg: cfg.Name, h: a.KeyHash()}
-	sh := &c.shards[k.shard()]
+	si := k.shard()
+	sh := &c.shards[si]
 	sh.mu.Lock()
 	if e, ok := sh.m[k]; ok {
 		sh.mu.Unlock()
 		c.hits.Add(1)
+		obsCacheHits[si].Inc()
 		<-e.done
 		return e.n, e.err
 	}
@@ -117,6 +119,7 @@ func (c *EvalCache) ScheduleWith(kern *sched.Scheduler, d *dfg.DFG, a sched.Assi
 	sh.m[k] = e
 	sh.mu.Unlock()
 	c.misses.Add(1)
+	obsCacheMisses[si].Inc()
 	n, err := scheduleLen(kern, d, a, cfg)
 	if err != nil {
 		sh.mu.Lock()

@@ -10,6 +10,7 @@ import (
 	"repro/internal/dfg"
 	"repro/internal/graph"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/sched"
 )
@@ -124,6 +125,12 @@ type ResumeOptions struct {
 	// workers). Events are observability only and are excluded from the
 	// determinism contract (their order is timing-dependent).
 	OnRestartDone func(RestartEvent)
+	// Trace, when non-nil, records spans over the exploration phases —
+	// restart, round, ant walk, trail update, candidate evaluation — on
+	// track restart+1 (track 0 is left to the caller). Tracing is
+	// observation-only: results are byte-identical with Trace set or nil
+	// (asserted by TestTracingDeterminism).
+	Trace *obs.Tracer
 }
 
 // RestartEvent reports one finished restart.
@@ -137,6 +144,11 @@ type RestartEvent struct {
 	// FinalCycles and ISECount summarize the restart's own result.
 	FinalCycles int
 	ISECount    int
+	// Rounds and Iterations are the finished restart's own algorithm-work
+	// counters (Result.Rounds / Result.Iterations for that restart), letting
+	// progress consumers render work done without polling.
+	Rounds     int
+	Iterations int
 	// CacheHits and CacheMisses are the shared cache's cumulative counters
 	// at the time of the event.
 	CacheHits, CacheMisses uint64
@@ -225,7 +237,7 @@ func exploreResumable(ctx context.Context, d *dfg.DFG, cfg machine.Config, p Par
 	}
 	cancelErr := parallel.ForEachWorkerCtx(ctx, len(todo), p.Workers, func(w, ti int) {
 		r := todo[ti]
-		res, part, err := runOnce(ctx, d, cfg, p, p.Seed+int64(r)*7919, baseCycles, cache, kerns[w], partials[r])
+		res, part, err := runOnce(ctx, d, cfg, p, p.Seed+int64(r)*7919, baseCycles, cache, kerns[w], partials[r], opts.Trace, r)
 		switch {
 		case err != nil:
 			errs[r] = err
@@ -234,6 +246,7 @@ func exploreResumable(ctx context.Context, d *dfg.DFG, cfg machine.Config, p Par
 		default:
 			results[r] = res
 			partials[r] = nil
+			obsRestarts.Inc()
 			if opts.OnRestartDone != nil {
 				hits, misses := cache.Stats()
 				opts.OnRestartDone(RestartEvent{
@@ -242,6 +255,8 @@ func exploreResumable(ctx context.Context, d *dfg.DFG, cfg machine.Config, p Par
 					Total:       restarts,
 					FinalCycles: res.FinalCycles,
 					ISECount:    len(res.ISEs),
+					Rounds:      res.Rounds,
+					Iterations:  res.Iterations,
 					CacheHits:   hits,
 					CacheMisses: misses,
 				})
@@ -294,10 +309,17 @@ func exploreResumable(ctx context.Context, d *dfg.DFG, cfg machine.Config, p Par
 // non-nil, the restart first restores that checkpoint (accepted ISEs,
 // trail/merit tables, RNG position) and continues as if it had never
 // stopped.
-func runOnce(ctx context.Context, d *dfg.DFG, cfg machine.Config, p Params, seed int64, baseCycles int, cache *EvalCache, kern *sched.Scheduler, resume *RestartPartial) (*Result, *RestartPartial, error) {
+func runOnce(ctx context.Context, d *dfg.DFG, cfg machine.Config, p Params, seed int64, baseCycles int, cache *EvalCache, kern *sched.Scheduler, resume *RestartPartial, tr *obs.Tracer, restart int) (*Result, *RestartPartial, error) {
 	if kern == nil {
 		kern = sched.NewScheduler()
 	}
+	tid := restart + 1
+	if tr.Enabled() {
+		tr.NameTrack(tid, fmt.Sprintf("restart %d", restart))
+	}
+	kern.SetTrace(tr, tid)
+	restartSpan := tr.Begin("restart", tid).Arg("restart", int64(restart))
+	defer restartSpan.End()
 	rng, rngSrc := aco.NewCountedRand(seed)
 	e := &explorer{
 		d:            d,
@@ -307,6 +329,8 @@ func runOnce(ctx context.Context, d *dfg.DFG, cfg machine.Config, p Params, seed
 		rngSrc:       rngSrc,
 		cache:        cache,
 		kern:         kern,
+		tr:           tr,
+		tid:          tid,
 		fixedGroupOf: make([]int, d.Len()),
 		sp:           make([]float64, d.Len()),
 	}
@@ -336,6 +360,7 @@ func runOnce(ctx context.Context, d *dfg.DFG, cfg machine.Config, p Params, seed
 		startRound = resume.Round
 	}
 	for round := startRound; round < p.MaxRounds; round++ {
+		roundSpan := e.tr.Begin("round", e.tid).Arg("round", int64(round))
 		e.initTables()
 		cs := &convergeState{tetOld: 1 << 30}
 		if resume != nil && round == startRound && resume.Iter > 0 {
@@ -343,9 +368,11 @@ func runOnce(ctx context.Context, d *dfg.DFG, cfg machine.Config, p Params, seed
 			// snapshotted ones and rejoin the convergence loop where it
 			// stopped.
 			if err := restoreTables(e.trail, resume.Trail); err != nil {
+				roundSpan.End()
 				return nil, nil, err
 			}
 			if err := restoreTables(e.merit, resume.Merit); err != nil {
+				roundSpan.End()
 				return nil, nil, err
 			}
 			cs.iter = resume.Iter
@@ -355,12 +382,16 @@ func runOnce(ctx context.Context, d *dfg.DFG, cfg machine.Config, p Params, seed
 		before := cs.iter
 		converged := e.converge(ctx, cs)
 		res.Iterations += cs.iter - before
+		obsIterations.Add(float64(cs.iter - before))
 		if !converged {
+			roundSpan.End()
 			return nil, e.capture(round, cs, res, curLen), nil
 		}
 		res.Rounds++
+		obsRounds.Inc()
 
 		cand := e.bestCandidate(curLen)
+		roundSpan.Arg("iters", int64(cs.iter)).End()
 		if cand == nil {
 			break
 		}
@@ -496,13 +527,17 @@ func (e *explorer) converge(ctx context.Context, cs *convergeState) bool {
 			return false
 		}
 		cs.iter++
+		walkSpan := e.tr.Begin("walk", e.tid).Arg("iter", int64(cs.iter))
 		res := e.walk()
+		walkSpan.Arg("tet", int64(res.tet)).End()
 		improved := res.tet <= cs.tetOld
+		trailSpan := e.tr.Begin("trail", e.tid)
 		e.trailUpdate(res, improved, cs.prevOrder)
 		if improved {
 			cs.tetOld = res.tet
 		}
 		e.meritUpdate(res)
+		trailSpan.End()
 		cs.prevOrder = append([]int(nil), res.orderPos...)
 		if e.convergedNow() {
 			return true
@@ -613,8 +648,12 @@ func (e *explorer) bestCandidate(curLen int) *candidate {
 // previous call's leading groups (the accepted ISEs), so only the candidate
 // group is validated and measured from scratch.
 func (e *explorer) evaluate(cand *ISE) (int, error) {
+	obsCandidates.Inc()
+	sp := e.tr.Begin("evaluate", e.tid).Arg("nodes", int64(cand.Nodes.Len()))
 	a := e.assignmentWith(cand)
-	return e.cache.ScheduleWith(e.kern, e.d, a, e.cfg)
+	n, err := e.cache.ScheduleWith(e.kern, e.d, a, e.cfg)
+	sp.Arg("cycles", int64(n)).End()
+	return n, err
 }
 
 // assignmentWith builds the assignment realizing the accepted ISEs plus cand

@@ -1,0 +1,33 @@
+package core
+
+import (
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// Process-wide engine metrics, registered on the obs.Default registry and
+// served by cmd/iseserve's /metrics (merged with the service registry).
+// These are observation-only: the engine writes them and never reads them
+// back (enforced by iselint's obspurity pass); the per-Result cache counters
+// that feed determinism-excluded Result fields stay on EvalCache's own
+// atomics.
+var (
+	obsCacheHits   [evalShards]*obs.Counter
+	obsCacheMisses [evalShards]*obs.Counter
+
+	obsRestarts   = obs.Default.Counter("ise_explore_restarts_total", "Exploration restarts completed.")
+	obsRounds     = obs.Default.Counter("ise_explore_rounds_total", "ACO rounds converged across all restarts.")
+	obsIterations = obs.Default.Counter("ise_explore_iterations_total", "ACO convergence iterations (ant walks) across all restarts.")
+	obsCandidates = obs.Default.Counter("ise_explore_candidates_total", "ISE candidate evaluations (schedule calls through the memo).")
+)
+
+func init() {
+	for i := range obsCacheHits {
+		shard := strconv.Itoa(i)
+		obsCacheHits[i] = obs.Default.Counter("ise_evalcache_hits_total",
+			"Schedule-evaluation cache hits per shard.", "shard", shard)
+		obsCacheMisses[i] = obs.Default.Counter("ise_evalcache_misses_total",
+			"Schedule-evaluation cache misses (scheduler invocations) per shard.", "shard", shard)
+	}
+}

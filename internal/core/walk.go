@@ -8,6 +8,7 @@ import (
 	"repro/internal/dfg"
 	"repro/internal/graph"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -27,6 +28,10 @@ type explorer struct {
 	// kern is this explorer's reusable scheduling kernel; restarts sharing a
 	// worker share one. Pure scratch — never affects results.
 	kern *sched.Scheduler
+	// tr records observation-only spans on track tid; nil when tracing is
+	// off (the common case — a nil tracer's methods are free).
+	tr  *obs.Tracer
+	tid int
 	// evalAssign is evaluate's reusable assignment buffer.
 	evalAssign sched.Assignment
 

@@ -15,6 +15,8 @@
 //   - sliceclobber: append(s[:i], s[j:]...) deletion on an aliased slice
 //   - lockguard:    fields annotated `// guarded by <mu>` touched without
 //     locking <mu>
+//   - obspurity:    internal/obs reads (counter values, quantiles) feeding
+//     back into deterministic computation
 //
 // A finding is silenced with a directive on the offending line or the line
 // above it:
@@ -62,7 +64,7 @@ type Analyzer struct {
 
 // All returns every analyzer of the suite, in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{MapOrder, GlobalRand, SliceClobber, LockGuard, ArenaEscape}
+	return []*Analyzer{MapOrder, GlobalRand, SliceClobber, LockGuard, ArenaEscape, ObsPurity}
 }
 
 // ByName resolves a comma-separated analyzer list ("maporder,lockguard").

@@ -15,6 +15,7 @@ var fixtureDeterministic = []string{
 	"fixture/maporder",
 	"fixture/globalrand",
 	"fixture/directive",
+	"fixture/obspurity",
 }
 
 // The fixture loader is shared across tests: the source importer re-parses
@@ -127,6 +128,10 @@ func TestArenaEscapeFixture(t *testing.T) {
 	checkFixture(t, "arenaescape", ArenaEscape, 1)
 }
 
+func TestObsPurityFixture(t *testing.T) {
+	checkFixture(t, "obspurity", ObsPurity, 1)
+}
+
 // TestDeterministicScope checks that maporder and globalrand stay quiet
 // outside the deterministic core, and fire inside it, on identical code.
 func TestDeterministicScope(t *testing.T) {
@@ -181,8 +186,8 @@ func TestDirectiveRequiresReason(t *testing.T) {
 
 // TestAnalyzerListing covers the driver-facing registry helpers.
 func TestAnalyzerListing(t *testing.T) {
-	if got := len(All()); got != 5 {
-		t.Fatalf("All() = %d analyzers, want 5", got)
+	if got := len(All()); got != 6 {
+		t.Fatalf("All() = %d analyzers, want 6", got)
 	}
 	sel, err := ByName("maporder,lockguard")
 	if err != nil || len(sel) != 2 || sel[0] != MapOrder || sel[1] != LockGuard {

@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	gopath "path"
+)
+
+// ObsPurity enforces the observation-only contract of internal/obs inside the
+// deterministic core (DESIGN.md §12): tracing and metrics may record what the
+// engine does, but nothing the engine computes may depend on what was
+// recorded. The dynamic half of the contract is the byte-identical
+// tracing-on/off test in internal/core; this pass is the static half, flagging
+// the feedback shape directly: a call into the obs package whose non-obs
+// result (a counter value, a histogram quantile, an event count …) is
+// consumed by surrounding code.
+//
+// Calls that only produce obs values (constructors, Begin/Arg span chaining)
+// or return nothing (Inc, Add, Observe, End) are always fine — an obs value
+// carries no engine-relevant data. A read is fine when it is discarded
+// (expression statement, blank assignment, defer/go) or fed straight back
+// into another obs call. Tracer.Enabled is allow-listed: it reflects whether
+// tracing was requested (configuration), not anything observed, and the
+// determinism test verifies that branches guarded by it do not change
+// results.
+var ObsPurity = &Analyzer{
+	Name:              "obspurity",
+	Doc:               "flags obs-package reads feeding back into deterministic computation",
+	DeterministicOnly: true,
+	Run:               runObsPurity,
+}
+
+func runObsPurity(p *Pass) {
+	for _, f := range p.Files {
+		parents := buildParents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := obsCallee(p.Info, call)
+			if fn == nil {
+				return true
+			}
+			if fn.Name() == "Enabled" {
+				return true // configuration predicate, not observed data
+			}
+			reads := nonObsResults(fn)
+			if len(reads) == 0 {
+				return true // write or obs-producing call: pure by construction
+			}
+			if obsReadDiscarded(p.Info, parents, call) {
+				return true
+			}
+			p.Reportf(call.Pos(), "result of obs call %s (%s) feeds back into a deterministic package; observability must be write-only here",
+				exprString(call.Fun), reads[0].String())
+			return true
+		})
+	}
+}
+
+// obsCallee resolves a call to a function or method declared in an obs
+// package (import path ending in /obs), or nil.
+func obsCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return nil
+	}
+	fn, ok := objOf(info, id).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	if gopath.Base(fn.Pkg().Path()) != "obs" {
+		return nil
+	}
+	return fn
+}
+
+// nonObsResults returns the call's result types that are NOT declared in an
+// obs package — the values that would constitute a read of observed state.
+func nonObsResults(fn *types.Func) []types.Type {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var out []types.Type
+	for i := 0; i < sig.Results().Len(); i++ {
+		t := sig.Results().At(i).Type()
+		if !isObsType(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// isObsType reports whether t (unwrapping pointers) is a named type declared
+// in an obs package.
+func isObsType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return gopath.Base(named.Obj().Pkg().Path()) == "obs"
+}
+
+// obsReadDiscarded reports whether the value of an obs read never reaches
+// engine code: the call is a statement of its own, deferred, assigned only to
+// blanks, or — climbing through parentheses and type conversions — an
+// argument of another obs call.
+func obsReadDiscarded(info *types.Info, parents map[ast.Node]ast.Node, call *ast.CallExpr) bool {
+	cur := ast.Node(call)
+	for {
+		switch parent := parents[cur].(type) {
+		case *ast.ExprStmt, *ast.DeferStmt, *ast.GoStmt:
+			return true
+		case *ast.AssignStmt:
+			for _, lhs := range parent.Lhs {
+				if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+					return false
+				}
+			}
+			return true
+		case *ast.ParenExpr:
+			cur = parent
+		case *ast.CallExpr:
+			if obsCallee(info, parent) != nil {
+				return true // fed back into obs, never touches engine state
+			}
+			if tv, ok := info.Types[parent.Fun]; ok && tv.IsType() {
+				cur = parent // conversion like float64(x): keep climbing
+				continue
+			}
+			return false
+		default:
+			return false
+		}
+	}
+}
+
+// buildParents indexes each node's immediate parent within one file.
+func buildParents(f *ast.File) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

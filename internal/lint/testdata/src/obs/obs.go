@@ -1,0 +1,37 @@
+// Package obs is a miniature stand-in for repro/internal/obs: the obspurity
+// pass identifies the real package by import-path base, so this fixture
+// exercises the same shapes without importing the module under test.
+package obs
+
+// Counter is a write-mostly metric with one read accessor.
+type Counter struct{ v float64 }
+
+func (c *Counter) Inc()                       { c.v++ }
+func (c *Counter) Add(d float64)              { c.v += d }
+func (c *Counter) Value() float64             { return c.v }
+func NewCounter(name string) *Counter         { return &Counter{} }
+func (c *Counter) With(label string) *Counter { return c }
+
+// Histogram observes samples and answers quantile queries.
+type Histogram struct{ n uint64 }
+
+func (h *Histogram) Observe(v float64)          { h.n++ }
+func (h *Histogram) Count() uint64              { return h.n }
+func (h *Histogram) Quantile(q float64) float64 { return 0 }
+
+// Tracer records spans; a nil Tracer is disabled.
+type Tracer struct{ events int }
+
+type Span struct{ t *Tracer }
+
+func NewTracer() *Tracer        { return &Tracer{} }
+func (t *Tracer) Enabled() bool { return t != nil }
+func (t *Tracer) Len() int      { return t.events }
+func (t *Tracer) Begin(name string, tid int) Span {
+	if t != nil {
+		t.events++
+	}
+	return Span{t: t}
+}
+func (s Span) Arg(key string, v int64) Span { return s }
+func (s Span) End()                         {}

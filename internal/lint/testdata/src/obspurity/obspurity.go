@@ -1,0 +1,51 @@
+// Package obspurity exercises the obspurity analyzer: obs writes and
+// span chains are fine anywhere; obs reads must not feed engine state.
+package obspurity
+
+import "fixture/obs"
+
+var hits = obs.NewCounter("hits")
+
+// pureWrites only records — never flagged.
+func pureWrites(tr *obs.Tracer, h *obs.Histogram, work func() int) int {
+	sp := tr.Begin("work", 0).Arg("k", 1)
+	defer sp.End()
+	hits.Inc()
+	n := work()
+	h.Observe(float64(n))
+	hits.With("shard").Add(2)
+	return n
+}
+
+// enabledGuard branches on the allow-listed configuration predicate.
+func enabledGuard(tr *obs.Tracer) {
+	if tr.Enabled() {
+		tr.Begin("named", 1).End()
+	}
+}
+
+// discardedReads throw the value away or feed it back into obs — all fine.
+func discardedReads(tr *obs.Tracer, h *obs.Histogram) {
+	_ = hits.Value()
+	h.Count()
+	h.Observe(float64(h.Count()))
+	defer tr.Len()
+}
+
+// feedback leaks observed state into computation — every read flagged.
+func feedback(tr *obs.Tracer, h *obs.Histogram) float64 {
+	budget := hits.Value() // want "feeds back into a deterministic package"
+	if h.Count() > 100 {   // want "feeds back into a deterministic package"
+		budget /= 2
+	}
+	if tr.Len() > 0 { // want "feeds back into a deterministic package"
+		budget++
+	}
+	return budget + h.Quantile(0.5) // want "feeds back into a deterministic package"
+}
+
+// reviewed demonstrates a suppressed read: the claim is stated and audited.
+func reviewed(h *obs.Histogram) uint64 {
+	//lint:ignore obspurity logging-only diagnostic counter, reviewed in PR 5
+	return h.Count()
+}

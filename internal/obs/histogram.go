@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// DefBuckets are the default histogram buckets, tuned for latencies in
+// seconds from sub-millisecond scheduling calls to multi-minute exploration
+// jobs.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300,
+}
+
+// Histogram counts observations into fixed buckets. Buckets are upper
+// bounds, ascending; a +Inf bucket is implicit. Observation is lock-free
+// (one atomic add per bucket hit plus a CAS on the sum); reading while
+// observing yields a consistent-enough view for monitoring — count, sum and
+// buckets are each exact, but are not sampled at one instant.
+type Histogram struct {
+	upper  []float64 // finite bucket upper bounds, ascending; immutable
+	counts []atomic.Uint64
+	inf    atomic.Uint64 // observations above the last finite bound
+	sum    atomic.Uint64 // float64 bits
+	n      atomic.Uint64
+}
+
+// NewHistogram builds a histogram over the given finite upper bounds. The
+// bounds are sorted and deduplicated; nil uses DefBuckets.
+func NewHistogram(buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	up := append([]float64(nil), buckets...)
+	sort.Float64s(up)
+	dedup := up[:0]
+	for i, b := range up {
+		if i == 0 || b != dedup[len(dedup)-1] {
+			dedup = append(dedup, b)
+		}
+	}
+	return &Histogram{upper: dedup, counts: make([]atomic.Uint64, len(dedup))}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Binary search for the first bucket whose upper bound covers v.
+	i := sort.SearchFloat64s(h.upper, v)
+	if i < len(h.upper) {
+		h.counts[i].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	addFloat(&h.sum, v)
+	h.n.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.n.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	return math.Float64frombits(h.sum.Load())
+}
+
+// cumulative returns the per-bucket cumulative counts (including +Inf last)
+// and the total.
+func (h *Histogram) cumulative() ([]uint64, uint64) {
+	out := make([]uint64, len(h.upper)+1)
+	var run uint64
+	for i := range h.upper {
+		run += h.counts[i].Load()
+		out[i] = run
+	}
+	run += h.inf.Load()
+	out[len(h.upper)] = run
+	return out, run
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts by
+// linear interpolation inside the target bucket — the same estimate
+// Prometheus's histogram_quantile computes server-side. q is clamped to
+// [0, 1] and the result to the observed bucket range, so every sample count
+// (including 0, 1 and 2 observations — the cases the old service quantile
+// mis-indexed) yields a well-defined value: an empty histogram reports 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	cum, total := h.cumulative()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the target observation, clamped into
+	// [1, total].
+	rank := uint64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	// Find the first bucket whose cumulative count reaches the rank.
+	b := sort.Search(len(cum), func(i int) bool { return cum[i] >= rank })
+	if b == len(h.upper) {
+		// +Inf bucket: report the largest finite bound (or the sum when
+		// there are no finite buckets at all).
+		if len(h.upper) == 0 {
+			return h.Sum()
+		}
+		return h.upper[len(h.upper)-1]
+	}
+	lo := 0.0
+	if b > 0 {
+		lo = h.upper[b-1]
+	}
+	hi := h.upper[b]
+	prev := uint64(0)
+	if b > 0 {
+		prev = cum[b-1]
+	}
+	inBucket := cum[b] - prev
+	if inBucket == 0 {
+		return hi
+	}
+	frac := float64(rank-prev) / float64(inBucket)
+	return lo + (hi-lo)*frac
+}

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. It stores a float64 (the
+// Prometheus counter model) behind a compare-and-swap loop, so integer
+// increments up to 2^53 are exact — the concurrency tests assert exact
+// totals under 8-way hammering. The zero value is ready to use.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds v, which must be non-negative (counters only go up).
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		panic("obs: counter decrement")
+	}
+	addFloat(&c.bits, v)
+}
+
+// Value returns the current total.
+func (c *Counter) Value() float64 {
+	return math.Float64frombits(c.bits.Load())
+}
+
+// Gauge is a metric that can go up and down. The zero value is ready to
+// use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds v (negative v decrements).
+func (g *Gauge) Add(v float64) { addFloat(&g.bits, v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	return math.Float64frombits(g.bits.Load())
+}
+
+// addFloat atomically adds v to a float64 stored as bits.
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if bits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}

@@ -1,0 +1,275 @@
+// Package obs is the repository's observability layer: a stdlib-only
+// metrics registry (atomic counters, gauges and fixed-bucket histograms
+// exported in Prometheus text exposition format), a low-overhead tracer
+// emitting Chrome trace-event JSON (loadable in Perfetto or
+// chrome://tracing), and nothing else — no third-party dependencies, no
+// background goroutines.
+//
+// Instrumentation through this package is observation-only by contract:
+// engine code may write into obs (increment a counter, open a span) but must
+// never read obs state back into a decision — exploration results are
+// byte-identical with every metric and trace enabled or disabled. The
+// iselint pass `obspurity` machine-checks that rule over the deterministic
+// packages (see DESIGN.md §12).
+//
+// The package-global Default registry collects the engine-level metrics
+// (schedule-evaluation cache, scheduling kernel, worker pool); process
+// front ends (cmd/iseserve) merge it with their own registries when serving
+// /metrics.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind is a metric family's type, matching the Prometheus TYPE keywords.
+type Kind string
+
+// Metric family kinds.
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// Default is the process-wide registry used by the engine packages
+// (internal/core, internal/sched, internal/parallel, internal/flow) for
+// their always-on counters. Servers merge it into their own exposition; see
+// (*Registry).WritePrometheus.
+var Default = NewRegistry()
+
+// Registry is a set of named metric families, each holding one series per
+// distinct label set. Registration is get-or-create: asking twice for the
+// same (name, labels) returns the same metric, so package-level metric
+// variables in independently initialized packages cannot collide. A name
+// re-registered with a different kind or help string panics — that is a
+// programming error, not a runtime condition.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family // guarded by mu
+}
+
+// family is one metric name: its metadata plus every labeled series.
+type family struct {
+	name    string
+	help    string
+	kind    Kind
+	buckets []float64 // histogram families only
+
+	mu     sync.Mutex
+	series map[string]*series // guarded by mu — key is the rendered label set
+	order  []string           // guarded by mu — label keys in first-seen order
+}
+
+// series is one (family, label set) time series.
+type series struct {
+	labels string // rendered `k="v",...` form, "" for unlabeled
+	c      *Counter
+	g      *Gauge
+	gf     func() float64
+	h      *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+var nameRe = func() func(string) bool {
+	// Prometheus metric and label names: [a-zA-Z_:][a-zA-Z0-9_:]*.
+	return func(s string) bool {
+		if s == "" {
+			return false
+		}
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			ok := c == '_' || c == ':' ||
+				(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+				(i > 0 && c >= '0' && c <= '9')
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+}()
+
+// renderLabels turns alternating key/value pairs into the canonical
+// `k1="v1",k2="v2"` form, keys sorted, values escaped.
+func renderLabels(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list %q", labels))
+	}
+	type kv struct{ k, v string }
+	kvs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		if !nameRe(labels[i]) {
+			panic(fmt.Sprintf("obs: invalid label name %q", labels[i]))
+		}
+		kvs = append(kvs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].k < kvs[j].k })
+	var b strings.Builder
+	for i, p := range kvs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(p.v))
+		b.WriteString(`"`)
+	}
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+// getFamily resolves (or creates) the family for name, checking metadata
+// consistency.
+func (r *Registry) getFamily(name, help string, kind Kind, buckets []float64) *family {
+	if !nameRe(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.fams[name]
+	if !ok {
+		f = &family{
+			name:    name,
+			help:    help,
+			kind:    kind,
+			buckets: append([]float64(nil), buckets...),
+			//lint:ignore lockguard the family is still private to its constructor; it is published under r.mu
+			series: make(map[string]*series),
+		}
+		r.fams[name] = f
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, f.kind))
+	}
+	return f
+}
+
+// getSeries resolves (or creates, via mk) the series for one label set.
+func (f *family) getSeries(labels []string, mk func(rendered string) *series) *series {
+	key := renderLabels(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s := mk(key)
+	f.series[key] = s
+	f.order = append(f.order, key)
+	return s
+}
+
+// Counter registers (or finds) a monotonically increasing counter. labels
+// are alternating key/value pairs; the same (name, labels) always returns
+// the same *Counter.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	f := r.getFamily(name, help, KindCounter, nil)
+	s := f.getSeries(labels, func(key string) *series {
+		return &series{labels: key, c: &Counter{}}
+	})
+	return s.c
+}
+
+// Gauge registers (or finds) a gauge — a value that can go up and down.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	f := r.getFamily(name, help, KindGauge, nil)
+	s := f.getSeries(labels, func(key string) *series {
+		return &series{labels: key, g: &Gauge{}}
+	})
+	return s.g
+}
+
+// GaugeFunc registers a gauge whose value is sampled by calling fn at
+// exposition time. Re-registering the same (name, labels) replaces the
+// callback — the latest owner wins, so a rebuilt component (a restarted
+// manager in tests) does not serve stale closures.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	f := r.getFamily(name, help, KindGauge, nil)
+	s := f.getSeries(labels, func(key string) *series {
+		return &series{labels: key}
+	})
+	f.mu.Lock()
+	s.gf = fn
+	f.mu.Unlock()
+}
+
+// Histogram registers (or finds) a histogram with the given ascending
+// finite bucket upper bounds (a +Inf bucket is implicit). A nil buckets
+// slice uses DefBuckets. Re-registering with different buckets keeps the
+// first registration's buckets.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	f := r.getFamily(name, help, KindHistogram, buckets)
+	s := f.getSeries(labels, func(key string) *series {
+		return &series{labels: key, h: NewHistogram(f.buckets)}
+	})
+	return s.h
+}
+
+// families returns the registry's families sorted by name — the stable
+// exposition order.
+func (r *Registry) families() []*family {
+	r.mu.Lock()
+	out := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		out = append(out, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// seriesView is a point-in-time copy of one series' handles, taken under
+// the family lock so exposition can read values (and call gauge funcs)
+// without holding any registry lock.
+type seriesView struct {
+	labels string
+	c      *Counter
+	g      *Gauge
+	gf     func() float64
+	h      *Histogram
+}
+
+// snapshotSeries returns a family's series in first-registration order.
+func (f *family) snapshotSeries() []seriesView {
+	f.mu.Lock()
+	out := make([]seriesView, 0, len(f.order))
+	for _, key := range f.order {
+		s := f.series[key]
+		out = append(out, seriesView{labels: s.labels, c: s.c, g: s.g, gf: s.gf, h: s.h})
+	}
+	f.mu.Unlock()
+	return out
+}

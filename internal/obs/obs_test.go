@@ -1,0 +1,337 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	c.Inc()
+	c.Add(2.5)
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", got)
+	}
+	if again := r.Counter("test_total", "a counter"); again != c {
+		t.Fatalf("re-registration returned a different counter")
+	}
+	g := r.Gauge("test_gauge", "a gauge")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %v, want 5", got)
+	}
+}
+
+func TestCounterPanicsOnDecrement(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Add(-1) did not panic")
+		}
+	}()
+	var c Counter
+	c.Add(-1)
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("name_total", "help")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("re-registering counter as gauge did not panic")
+		}
+	}()
+	r.Gauge("name_total", "help")
+}
+
+func TestLabeledSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("shards_total", "per shard", "shard", "0")
+	b := r.Counter("shards_total", "per shard", "shard", "1")
+	if a == b {
+		t.Fatalf("distinct label sets shared a counter")
+	}
+	a.Inc()
+	if b.Value() != 0 {
+		t.Fatalf("labels leaked between series")
+	}
+	// Label order must not matter.
+	x := r.Counter("multi_total", "m", "a", "1", "b", "2")
+	y := r.Counter("multi_total", "m", "b", "2", "a", "1")
+	if x != y {
+		t.Fatalf("label order created distinct series")
+	}
+}
+
+// TestRegistryConcurrency hammers one counter, one labeled counter family,
+// one gauge and one histogram from 8 goroutines and asserts exact totals —
+// the float64-bits CAS must not lose increments. Run under -race in tier 2.
+func TestRegistryConcurrency(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 20000
+	)
+	r := NewRegistry()
+	c := r.Counter("conc_total", "c")
+	g := r.Gauge("conc_gauge", "g")
+	h := r.Histogram("conc_seconds", "h", []float64{0.5, 1, 2})
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			lab := r.Counter("conc_shard_total", "per shard", "shard", string(rune('0'+id)))
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				g.Add(1)
+				lab.Inc()
+				h.Observe(float64(j%4) * 0.5)
+			}
+		}(i)
+	}
+	wg.Wait()
+	want := float64(goroutines * perG)
+	if got := c.Value(); got != want {
+		t.Errorf("counter = %v, want %v", got, want)
+	}
+	if got := g.Value(); got != want {
+		t.Errorf("gauge = %v, want %v", got, want)
+	}
+	if got := h.Count(); got != uint64(want) {
+		t.Errorf("histogram count = %d, want %d", got, uint64(want))
+	}
+	// Observations cycle 0, 0.5, 1, 1.5 → sum is perG/4*(0+0.5+1+1.5) per
+	// goroutine.
+	wantSum := float64(goroutines) * float64(perG) / 4 * 3.0
+	if got := h.Sum(); math.Abs(got-wantSum) > 1e-6 {
+		t.Errorf("histogram sum = %v, want %v", got, wantSum)
+	}
+	for i := 0; i < goroutines; i++ {
+		lab := r.Counter("conc_shard_total", "per shard", "shard", string(rune('0'+i)))
+		if got := lab.Value(); got != perG {
+			t.Errorf("shard %d = %v, want %d", i, got, perG)
+		}
+	}
+}
+
+// TestHistogramQuantile is the satellite's table-driven percentile test: the
+// old service ring-buffer p99 mis-indexed with fewer than 2 samples; the obs
+// histogram must be well-defined at 0, 1, 2 and 513 samples.
+func TestHistogramQuantile(t *testing.T) {
+	buckets := []float64{0.01, 0.1, 1, 10}
+	fill := func(n int) *Histogram {
+		h := NewHistogram(buckets)
+		for i := 0; i < n; i++ {
+			// Spread samples across [0, 1): all land in finite buckets.
+			h.Observe(float64(i%100) / 100)
+		}
+		return h
+	}
+	cases := []struct {
+		name       string
+		samples    int
+		q          float64
+		wantMin    float64
+		wantMax    float64
+		wantExact  float64
+		exactKnown bool
+	}{
+		{name: "empty p99", samples: 0, q: 0.99, exactKnown: true, wantExact: 0},
+		{name: "empty p50", samples: 0, q: 0.50, exactKnown: true, wantExact: 0},
+		{name: "one sample p99", samples: 1, q: 0.99, wantMin: 0, wantMax: 0.01},
+		{name: "one sample p50", samples: 1, q: 0.50, wantMin: 0, wantMax: 0.01},
+		{name: "two samples p99", samples: 2, q: 0.99, wantMin: 0, wantMax: 0.1},
+		{name: "two samples p0", samples: 2, q: 0, wantMin: 0, wantMax: 0.01},
+		{name: "513 samples p50", samples: 513, q: 0.50, wantMin: 0.1, wantMax: 1},
+		{name: "513 samples p99", samples: 513, q: 0.99, wantMin: 0.1, wantMax: 1},
+		{name: "513 samples p100", samples: 513, q: 1, wantMin: 0.1, wantMax: 1},
+		{name: "clamped q above 1", samples: 513, q: 1.7, wantMin: 0.1, wantMax: 1},
+		{name: "clamped q below 0", samples: 513, q: -0.3, wantMin: 0, wantMax: 0.01},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := fill(tc.samples)
+			got := h.Quantile(tc.q)
+			if tc.exactKnown {
+				if got != tc.wantExact {
+					t.Fatalf("Quantile(%v) with %d samples = %v, want %v", tc.q, tc.samples, got, tc.wantExact)
+				}
+				return
+			}
+			if got < tc.wantMin || got > tc.wantMax {
+				t.Fatalf("Quantile(%v) with %d samples = %v, want in [%v, %v]", tc.q, tc.samples, got, tc.wantMin, tc.wantMax)
+			}
+		})
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	h.Observe(100)
+	h.Observe(200)
+	if got := h.Quantile(0.99); got != 1 {
+		t.Fatalf("+Inf-bucket quantile = %v, want largest finite bound 1", got)
+	}
+	cum, total := h.cumulative()
+	if total != 2 || cum[0] != 0 || cum[1] != 2 {
+		t.Fatalf("cumulative = %v total %d, want [0 2] total 2", cum, total)
+	}
+}
+
+func TestWritePrometheusAndValidate(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jobs_done_total", "jobs finished").Add(3)
+	r.Counter("cache_hits_total", "hits", "shard", "0").Inc()
+	r.Counter("cache_hits_total", "hits", "shard", "1").Add(2)
+	r.Gauge("queue_depth", "queued jobs").Set(4)
+	r.GaugeFunc("live_gauge", "sampled", func() float64 { return 9 })
+	h := r.Histogram("latency_seconds", "job latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	text := buf.String()
+	wants := []string{
+		"# TYPE jobs_done_total counter",
+		"jobs_done_total 3",
+		`cache_hits_total{shard="0"} 1`,
+		`cache_hits_total{shard="1"} 2`,
+		"queue_depth 4",
+		"live_gauge 9",
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{le="0.1"} 1`,
+		`latency_seconds_bucket{le="1"} 2`,
+		`latency_seconds_bucket{le="+Inf"} 3`,
+		"latency_seconds_count 3",
+	}
+	for _, want := range wants {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+	if err := ValidateExposition(strings.NewReader(text)); err != nil {
+		t.Fatalf("ValidateExposition rejected our own output: %v\n%s", err, text)
+	}
+}
+
+func TestValidateExpositionRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"no samples", "# HELP a b\n# TYPE a counter\n"},
+		{"sample without type", "orphan_total 3\n"},
+		{"bad value", "# TYPE a counter\na notanumber\n"},
+		{"bad name", "# TYPE a counter\n2bad 3\n"},
+		{"unterminated labels", "# TYPE a counter\na{x=\"y\" 3\n"},
+		{"unquoted label", "# TYPE a counter\na{x=y} 3\n"},
+		{"unknown type", "# TYPE a widget\na 3\n"},
+		{"duplicate type", "# TYPE a counter\n# TYPE a counter\na 1\n"},
+		{"bare histogram sample", "# TYPE h histogram\nh 3\n"},
+		{"suffix on counter", "# TYPE c counter\nc_bucket{le=\"1\"} 3\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := ValidateExposition(strings.NewReader(tc.in)); err == nil {
+				t.Fatalf("ValidateExposition accepted malformed input:\n%s", tc.in)
+			}
+		})
+	}
+	good := "# HELP x_total fine\n# TYPE x_total counter\nx_total{a=\"b,c\",d=\"e\\\"f\"} 12 1700000000\n" +
+		"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 0.5\nh_count 1\n"
+	if err := ValidateExposition(strings.NewReader(good)); err != nil {
+		t.Fatalf("ValidateExposition rejected valid input: %v", err)
+	}
+}
+
+func TestTracerRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	tr.SetPID(2, "block demo")
+	tr.NameTrack(1, "restart 0")
+	sp := tr.Begin("round", 1).Arg("round", 3).Arg("ants", 8)
+	tr.Instant("checkpoint", 0)
+	sp.End()
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	// 2 metadata events (process_name, thread_name) + instant + span.
+	if len(out.TraceEvents) != 4 {
+		t.Fatalf("got %d events, want 4: %s", len(out.TraceEvents), buf.String())
+	}
+	byName := map[string]int{}
+	for i, e := range out.TraceEvents {
+		byName[e.Name] = i
+	}
+	span := out.TraceEvents[byName["round"]]
+	if span.Ph != "X" || span.PID != 2 || span.TID != 1 {
+		t.Errorf("span event = %+v, want ph X pid 2 tid 1", span)
+	}
+	if span.Args["round"] != float64(3) || span.Args["ants"] != float64(8) {
+		t.Errorf("span args = %v, want round=3 ants=8", span.Args)
+	}
+	if _, ok := byName["process_name"]; !ok {
+		t.Errorf("missing process_name metadata event")
+	}
+	if _, ok := byName["thread_name"]; !ok {
+		t.Errorf("missing thread_name metadata event")
+	}
+}
+
+func TestNilTracerIsFree(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatalf("nil tracer reports enabled")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Begin("hot", 1).Arg("k", 1)
+		tr.Instant("x", 0)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracer allocated %v allocs/op, want 0", allocs)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("nil tracer Len = %d", tr.Len())
+	}
+	if err := tr.WriteJSON(&bytes.Buffer{}); err != nil {
+		t.Fatalf("nil tracer WriteJSON: %v", err)
+	}
+}
+
+func TestCounterHotPathAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hot_total", "hot")
+	h := r.Histogram("hot_seconds", "hot", []float64{1})
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		h.Observe(0.5)
+	})
+	if allocs != 0 {
+		t.Fatalf("counter+histogram hot path allocated %v allocs/op, want 0", allocs)
+	}
+}

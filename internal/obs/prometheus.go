@@ -1,0 +1,297 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition content type served by
+// /metrics endpoints.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every family of the registry in Prometheus text
+// exposition format (version 0.0.4): `# HELP` and `# TYPE` headers followed
+// by one sample line per series, families sorted by name, series in
+// registration order. Histograms expand into the conventional
+// `_bucket{le=...}` / `_sum` / `_count` triple with cumulative buckets.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.families() {
+		if err := f.write(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func (f *family) write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+		f.name, escapeHelp(f.help), f.name, f.kind); err != nil {
+		return err
+	}
+	for _, s := range f.snapshotSeries() {
+		if err := f.writeSeries(w, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) writeSeries(w io.Writer, s seriesView) error {
+	switch {
+	case s.c != nil:
+		return writeSample(w, f.name, s.labels, s.c.Value())
+	case s.gf != nil:
+		return writeSample(w, f.name, s.labels, s.gf())
+	case s.g != nil:
+		return writeSample(w, f.name, s.labels, s.g.Value())
+	case s.h != nil:
+		cum, total := s.h.cumulative()
+		for i, ub := range s.h.upper {
+			le := formatFloat(ub)
+			if err := writeSample(w, f.name+"_bucket", joinLabels(s.labels, `le="`+le+`"`), float64(cum[i])); err != nil {
+				return err
+			}
+		}
+		if err := writeSample(w, f.name+"_bucket", joinLabels(s.labels, `le="+Inf"`), float64(total)); err != nil {
+			return err
+		}
+		if err := writeSample(w, f.name+"_sum", s.labels, s.h.Sum()); err != nil {
+			return err
+		}
+		return writeSample(w, f.name+"_count", s.labels, float64(total))
+	}
+	return nil
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+func writeSample(w io.Writer, name, labels string, v float64) error {
+	if labels == "" {
+		_, err := fmt.Fprintf(w, "%s %s\n", name, formatFloat(v))
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s{%s} %s\n", name, labels, formatFloat(v))
+	return err
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}
+
+// ValidateExposition checks that r is well-formed Prometheus text
+// exposition format: every comment line is a syntactically valid HELP or
+// TYPE line, every sample line parses (metric name, optional balanced label
+// set, float value, optional timestamp), every sample belongs to a family
+// announced by a preceding TYPE line (histogram samples may use the
+// _bucket/_sum/_count suffixes), and no family declares TYPE twice. It
+// returns nil for valid input and an error naming the first offending line
+// otherwise. `make serve-smoke` runs it against the live daemon's /metrics.
+func ValidateExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	types := map[string]string{}
+	sawSample := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := validateComment(line, types); err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		if err := validateSample(line, types); err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		sawSample = true
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if !sawSample {
+		return fmt.Errorf("no samples in exposition")
+	}
+	return nil
+}
+
+func validateComment(line string, types map[string]string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 {
+		return fmt.Errorf("malformed comment %q (want # HELP/TYPE name ...)", line)
+	}
+	switch fields[1] {
+	case "HELP":
+		if !nameRe(fields[2]) {
+			return fmt.Errorf("HELP for invalid metric name %q", fields[2])
+		}
+	case "TYPE":
+		if !nameRe(fields[2]) {
+			return fmt.Errorf("TYPE for invalid metric name %q", fields[2])
+		}
+		if len(fields) != 4 {
+			return fmt.Errorf("TYPE line %q missing the type", line)
+		}
+		typ := strings.TrimSpace(fields[3])
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", typ)
+		}
+		if _, dup := types[fields[2]]; dup {
+			return fmt.Errorf("duplicate TYPE for %q", fields[2])
+		}
+		types[fields[2]] = typ
+	default:
+		return fmt.Errorf("unknown comment keyword %q (want HELP or TYPE)", fields[1])
+	}
+	return nil
+}
+
+func validateSample(line string, types map[string]string) error {
+	rest := line
+	// Metric name.
+	end := 0
+	for end < len(rest) && rest[end] != '{' && rest[end] != ' ' {
+		end++
+	}
+	name := rest[:end]
+	if !nameRe(name) {
+		return fmt.Errorf("invalid metric name %q", name)
+	}
+	rest = rest[end:]
+	// Optional label set.
+	if strings.HasPrefix(rest, "{") {
+		close := findLabelEnd(rest)
+		if close < 0 {
+			return fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := validateLabels(rest[1:close]); err != nil {
+			return fmt.Errorf("%w in %q", err, line)
+		}
+		rest = rest[close+1:]
+	}
+	rest = strings.TrimLeft(rest, " ")
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("sample %q: want value [timestamp]", line)
+	}
+	if !validFloat(fields[0]) {
+		return fmt.Errorf("sample %q: bad value %q", line, fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return fmt.Errorf("sample %q: bad timestamp %q", line, fields[1])
+		}
+	}
+	// The sample must belong to an announced family. Histogram (and
+	// summary) samples carry the conventional suffixes.
+	base := name
+	if t, ok := types[base]; ok {
+		if t == "histogram" {
+			return fmt.Errorf("histogram %q sampled without _bucket/_sum/_count suffix", name)
+		}
+		return nil
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		trimmed := strings.TrimSuffix(base, suf)
+		if trimmed == base {
+			continue
+		}
+		if t, ok := types[trimmed]; ok {
+			if t != "histogram" && t != "summary" {
+				return fmt.Errorf("sample %q uses %s suffix on %s family %q", name, suf, t, trimmed)
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("sample %q has no preceding TYPE line", name)
+}
+
+// findLabelEnd returns the index of the closing brace of a label set that
+// starts at s[0] == '{', honoring quoted values with escapes.
+func findLabelEnd(s string) int {
+	inQuote := false
+	for i := 1; i < len(s); i++ {
+		switch {
+		case inQuote && s[i] == '\\':
+			i++ // skip the escaped byte
+		case s[i] == '"':
+			inQuote = !inQuote
+		case !inQuote && s[i] == '}':
+			return i
+		}
+	}
+	return -1
+}
+
+// validateLabels checks `k="v",...` pairs (empty set allowed).
+func validateLabels(body string) error {
+	if strings.TrimSpace(body) == "" {
+		return nil
+	}
+	for _, pair := range splitLabelPairs(body) {
+		eq := strings.Index(pair, "=")
+		if eq < 0 {
+			return fmt.Errorf("label pair %q missing '='", pair)
+		}
+		k := strings.TrimSpace(pair[:eq])
+		v := strings.TrimSpace(pair[eq+1:])
+		if !nameRe(k) {
+			return fmt.Errorf("invalid label name %q", k)
+		}
+		if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return fmt.Errorf("label value %s not quoted", v)
+		}
+	}
+	return nil
+}
+
+// splitLabelPairs splits on commas outside quotes.
+func splitLabelPairs(body string) []string {
+	var out []string
+	start, inQuote := 0, false
+	for i := 0; i < len(body); i++ {
+		switch {
+		case inQuote && body[i] == '\\':
+			i++
+		case body[i] == '"':
+			inQuote = !inQuote
+		case !inQuote && body[i] == ',':
+			out = append(out, body[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(body) {
+		out = append(out, body[start:])
+	}
+	return out
+}
+
+// validFloat accepts Prometheus sample values: Go floats plus the special
+// spellings NaN, +Inf, -Inf.
+func validFloat(s string) bool {
+	switch s {
+	case "NaN", "+Inf", "-Inf", "Inf":
+		return true
+	}
+	_, err := strconv.ParseFloat(s, 64)
+	return err == nil
+}

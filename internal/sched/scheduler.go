@@ -7,6 +7,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/isa"
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // Scheduler is a reusable list-scheduling kernel. It computes exactly what
@@ -97,6 +98,20 @@ type Scheduler struct {
 	// out is the arena-owned result; its slices and critical set are reused.
 	// arena: aliased by the returned *Schedule until the next call.
 	out Schedule
+
+	// tr records an observation-only span per Schedule call on track tid;
+	// nil (free) unless the owner called SetTrace. Never read back into
+	// scheduling decisions.
+	tr  *obs.Tracer
+	tid int
+}
+
+// SetTrace attaches a tracer to the kernel: every subsequent Schedule call
+// records one "sched" span on track tid. A nil tracer detaches (the default;
+// disabled spans cost nothing — see obs.Tracer).
+func (s *Scheduler) SetTrace(tr *obs.Tracer, tid int) {
+	s.tr = tr
+	s.tid = tid
 }
 
 // NewScheduler returns a kernel with an empty arena. The arena sizes itself
@@ -118,6 +133,7 @@ func (s *Schedule) Clone() *Schedule {
 // enough. Contents are unspecified; callers overwrite every element they read.
 func growInts(buf []int, n int) []int {
 	if cap(buf) < n {
+		obsArenaGrows.Inc()
 		return make([]int, n)
 	}
 	return buf[:n]
@@ -125,6 +141,7 @@ func growInts(buf []int, n int) []int {
 
 func growFloats(buf []float64, n int) []float64 {
 	if cap(buf) < n {
+		obsArenaGrows.Inc()
 		return make([]float64, n)
 	}
 	return buf[:n]
@@ -132,6 +149,7 @@ func growFloats(buf []float64, n int) []float64 {
 
 func growMarks(buf []uint32, n int) []uint32 {
 	if cap(buf) < n {
+		obsArenaGrows.Inc()
 		return make([]uint32, n)
 	}
 	return buf[:n]
@@ -141,6 +159,9 @@ func growMarks(buf []uint32, n int) []uint32 {
 // equivalent to ListSchedule in results and errors; the returned Schedule
 // aliases the receiver's arena and is valid until the next call.
 func (s *Scheduler) Schedule(d *dfg.DFG, a Assignment, cfg machine.Config) (*Schedule, error) {
+	obsScheduleCalls.Inc()
+	sp := s.tr.Begin("sched", s.tid)
+	defer sp.End()
 	reuse := s.lastOK && s.lastDFG == d && s.lastCfg == cfg
 	s.lastOK = false
 	s.lastDFG = d

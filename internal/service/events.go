@@ -28,6 +28,11 @@ type Event struct {
 	// Best-so-far summary of the finished restart / block.
 	BestCycles int `json:"best_cycles,omitempty"`
 	ISECount   int `json:"ise_count,omitempty"`
+	// Rounds and Iterations are the finished restart's algorithm-work
+	// counters ("restart" events), so clients can render progress bars
+	// without polling GET /v1/jobs/{id}.
+	Rounds     int `json:"rounds,omitempty"`
+	Iterations int `json:"iterations,omitempty"`
 	// CacheHitRate is the schedule-evaluation cache hit fraction so far.
 	CacheHitRate float64 `json:"cache_hit_rate,omitempty"`
 }

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+
+	"repro/internal/obs"
 )
 
 // NewMux builds the daemon's HTTP surface on a Go 1.22 pattern mux:
@@ -15,8 +17,10 @@ import (
 //	GET    /v1/jobs/{id}        status and results (404)
 //	DELETE /v1/jobs/{id}        cancel (404, 409 already finished)
 //	GET    /v1/jobs/{id}/events SSE progress stream (supports Last-Event-ID)
+//	GET    /v1/jobs/{id}/trace  Chrome trace-event JSON (404 if not traced)
 //	GET    /healthz             200 ok / 503 draining
-//	GET    /metrics             JSON counters and latency quantiles
+//	GET    /metrics             Prometheus text exposition (?format=json for
+//	                            the legacy JSON counters)
 func NewMux(m *Manager) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
@@ -44,6 +48,15 @@ func NewMux(m *Manager) *http.ServeMux {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
 		handleEvents(m, w, r)
 	})
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		tr, err := m.Trace(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = tr.WriteJSON(w)
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		if m.Draining() {
 			http.Error(w, "draining", http.StatusServiceUnavailable)
@@ -53,7 +66,14 @@ func NewMux(m *Manager) *http.ServeMux {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, m.Metrics())
+		if r.URL.Query().Get("format") == "json" {
+			writeJSON(w, http.StatusOK, m.Metrics())
+			return
+		}
+		w.Header().Set("Content-Type", obs.ContentType)
+		if err := m.WritePrometheus(w); err != nil {
+			m.logf("service: write /metrics: %v", err)
+		}
 	})
 	return mux
 }
@@ -147,7 +167,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 func writeError(w http.ResponseWriter, err error) {
 	code := http.StatusBadRequest
 	switch {
-	case errors.Is(err, ErrNotFound):
+	case errors.Is(err, ErrNotFound), errors.Is(err, ErrNoTrace):
 		code = http.StatusNotFound
 	case errors.Is(err, ErrQueueFull):
 		code = http.StatusTooManyRequests

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 func newTestServer(t *testing.T, cfg Config) (*httptest.Server, *Manager) {
@@ -119,7 +121,7 @@ func TestHTTPHealthAndMetrics(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz %d", resp.StatusCode)
 	}
-	resp, err = http.Get(srv.URL + "/metrics")
+	resp, err = http.Get(srv.URL + "/metrics?format=json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,6 +132,28 @@ func TestHTTPHealthAndMetrics(t *testing.T) {
 	}
 	if _, ok := met["queue_depth"]; !ok {
 		t.Fatalf("metrics missing queue_depth: %v", met)
+	}
+
+	// The default exposition is Prometheus text and must validate.
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); got != obs.ContentType {
+		t.Fatalf("metrics Content-Type = %q, want %q", got, obs.ContentType)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateExposition(bytes.NewReader(raw)); err != nil {
+		t.Fatalf("invalid Prometheus exposition: %v\n%s", err, raw)
+	}
+	for _, fam := range []string{"jobs_submitted_total", "queue_depth", "jobs_state_queued", "job_latency_seconds_bucket"} {
+		if !strings.Contains(string(raw), fam) {
+			t.Fatalf("exposition missing family %s:\n%s", fam, raw)
+		}
 	}
 }
 
@@ -235,6 +259,9 @@ func TestHTTPEventStream(t *testing.T) {
 			if ev.BestCycles <= 0 || ev.Total <= 0 {
 				t.Fatalf("bad restart event %+v", ev)
 			}
+			if ev.Rounds <= 0 || ev.Iterations <= 0 {
+				t.Fatalf("restart event missing progress counters: %+v", ev)
+			}
 		}
 	}
 	if restarts == 0 {
@@ -259,6 +286,61 @@ func TestHTTPEventStream(t *testing.T) {
 	}
 	if replay[0].Seq != mid+1 {
 		t.Fatalf("replay starts at seq %d, want %d", replay[0].Seq, mid+1)
+	}
+}
+
+// TestHTTPTraceEndpoint submits one traced and one untraced job and checks
+// GET /v1/jobs/{id}/trace: Chrome trace-event JSON for the former, 404 for
+// the latter.
+func TestHTTPTraceEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t, Config{Runners: 1})
+	spec := testSpec(1)
+	spec.Trace = true
+	st, resp := postJob(t, srv, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST: %d", resp.StatusCode)
+	}
+	waitDoneHTTP(t, srv, st.ID)
+
+	tresp, err := http.Get(srv.URL + "/v1/jobs/" + st.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	if tresp.StatusCode != http.StatusOK {
+		t.Fatalf("GET trace: %d", tresp.StatusCode)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(tresp.Body).Decode(&doc); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if n, ok := ev["name"].(string); ok {
+			names[n] = true
+		}
+	}
+	for _, want := range []string{"block", "restart", "round", "evaluate", "sched"} {
+		if !names[want] {
+			t.Fatalf("trace missing %q spans (got %v)", want, names)
+		}
+	}
+
+	// Untraced job: 404.
+	st2, resp2 := postJob(t, srv, testSpec(1))
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST: %d", resp2.StatusCode)
+	}
+	waitDoneHTTP(t, srv, st2.ID)
+	nresp, err := http.Get(srv.URL + "/v1/jobs/" + st2.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nresp.Body.Close()
+	if nresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("untraced job trace: %d, want 404", nresp.StatusCode)
 	}
 }
 

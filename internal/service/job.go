@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dfg"
+	"repro/internal/obs"
 )
 
 // State is a job's lifecycle state. The state machine is linear with three
@@ -102,6 +103,7 @@ type job struct {
 	started  time.Time               // guarded by mu
 	finished time.Time               // guarded by mu
 	resumed  bool                    // guarded by mu
+	trace    *obs.Tracer             // guarded by mu — set when the spec opts into tracing
 }
 
 // JobStatus is the wire form of a job for GET /v1/jobs{,/{id}}.

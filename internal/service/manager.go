@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Sentinel errors mapped to HTTP statuses by the handlers.
@@ -26,6 +27,9 @@ var (
 	// ErrFinished rejects cancelation of a job already in a terminal
 	// state (409 Conflict).
 	ErrFinished = errors.New("service: job already finished")
+	// ErrNoTrace reports a job that has no trace — submitted without
+	// "trace": true, or not started yet (404).
+	ErrNoTrace = errors.New("service: job has no trace")
 )
 
 // Cancel causes, distinguished via context.Cause so the runner knows
@@ -93,13 +97,14 @@ func New(cfg Config) (*Manager, error) {
 	runCtx, stop := context.WithCancel(context.Background())
 	m := &Manager{
 		cfg:        cfg,
-		met:        &metrics{},
+		met:        newMetrics(),
 		logf:       cfg.Logf,
 		wake:       make(chan struct{}, 1),
 		runCtx:     runCtx,
 		stopRunner: stop,
 		jobs:       make(map[string]*job),
 	}
+	m.registerGauges()
 	if cfg.StateDir != "" {
 		store, err := NewStore(cfg.StateDir)
 		if err != nil {
@@ -120,6 +125,37 @@ func New(cfg Config) (*Manager, error) {
 		go m.runner()
 	}
 	return m, nil
+}
+
+// registerGauges publishes the manager's live state — queue depth, running
+// jobs, per-state job counts — as sampled-at-exposition gauges on its own
+// registry. The callbacks take m.mu; obs snapshots series before calling
+// them, so no registry lock is held across the manager lock.
+func (m *Manager) registerGauges() {
+	m.met.reg.GaugeFunc("queue_depth", "Jobs waiting in the FIFO queue.", func() float64 {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return float64(len(m.queue))
+	})
+	m.met.reg.GaugeFunc("jobs_running", "Jobs currently executing on a runner.", func() float64 {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return float64(m.running)
+	})
+	for _, s := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
+		state := s
+		m.met.reg.GaugeFunc("jobs_state_"+string(state), "Jobs currently in the "+string(state)+" state.", func() float64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			n := 0
+			for _, j := range m.jobs {
+				if j.state == state {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	}
 }
 
 // reload re-queues one persisted checkpoint as a resumable job.
@@ -301,6 +337,22 @@ func (m *Manager) Cancel(id string) (JobStatus, error) {
 	}
 }
 
+// Trace returns a job's exploration tracer for GET /v1/jobs/{id}/trace.
+// ErrNoTrace reports a job submitted without tracing or not yet started; a
+// running job returns its live tracer (WriteJSON snapshots safely).
+func (m *Manager) Trace(id string) (*obs.Tracer, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if j.trace == nil {
+		return nil, ErrNoTrace
+	}
+	return j.trace, nil
+}
+
 // Subscribe opens a job's event stream from sequence `from` (0 = full
 // history).
 func (m *Manager) Subscribe(id string, from int) (<-chan Event, func(), error) {
@@ -406,8 +458,10 @@ func (m *Manager) next() *job {
 			m.queue = m.queue[1:]
 			j.state = StateRunning
 			j.started = time.Now()
+			wait := j.started.Sub(j.submitted)
 			m.running++
 			m.mu.Unlock()
+			m.met.observeQueueWait(wait)
 			return j
 		}
 		m.mu.Unlock()
@@ -442,6 +496,19 @@ func (m *Manager) run(j *job) {
 	p := j.spec.params()
 	cfg := j.spec.machineConfig()
 
+	// Per-job tracing, opted into via "trace": true in the spec. The tracer
+	// covers this run only — a job resumed after a drain starts a fresh
+	// trace. Observation-only: results are identical with or without it.
+	var tr *obs.Tracer
+	if j.spec.Trace {
+		tr = obs.NewTracer()
+		tr.SetPID(0, "job "+j.id)
+		tr.NameTrack(0, "blocks")
+		m.mu.Lock()
+		j.trace = tr
+		m.mu.Unlock()
+	}
+
 	blocks := append([]BlockResult(nil), cp.Blocks...)
 	startBlock, snap := cp.Block, cp.Snapshot
 	if startBlock > len(dfgs) {
@@ -452,8 +519,10 @@ func (m *Manager) run(j *job) {
 	for bi := startBlock; bi < len(dfgs); bi++ {
 		d := dfgs[bi]
 		cache := core.NewEvalCache()
+		blockSpan := tr.Begin("block", 0).Arg("block", int64(bi))
 		opts := core.ResumeOptions{
 			Cache: cache,
+			Trace: tr,
 			OnRestartDone: func(ev core.RestartEvent) {
 				e := Event{
 					Type:       EventRestart,
@@ -466,6 +535,8 @@ func (m *Manager) run(j *job) {
 					Total:      ev.Total,
 					BestCycles: ev.FinalCycles,
 					ISECount:   ev.ISECount,
+					Rounds:     ev.Rounds,
+					Iterations: ev.Iterations,
 				}
 				if lookups := ev.CacheHits + ev.CacheMisses; lookups > 0 {
 					e.CacheHitRate = float64(ev.CacheHits) / float64(lookups)
@@ -484,6 +555,7 @@ func (m *Manager) run(j *job) {
 		} else {
 			res, nsnap, rerr = core.ExploreResumable(ctx, d, cfg, p, opts)
 		}
+		blockSpan.End()
 		if rerr != nil {
 			m.interrupted(j, ctx, blocks, bi, nsnap, rerr)
 			return

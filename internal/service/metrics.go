@@ -1,104 +1,113 @@
 package service
 
 import (
-	"sort"
-	"sync"
+	"io"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// latencySamples bounds the job-latency reservoir: a ring of the most
-// recent completions, plenty for p50/p99 on a daemon-scale job rate.
-const latencySamples = 512
+// latencyBuckets cover job lifetimes from millisecond toy jobs to
+// multi-hour explorations.
+var latencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+	1, 2.5, 5, 10, 30, 60, 300, 1800, 3600,
+}
 
-// metrics aggregates service counters for GET /metrics. Counters only ever
-// increase; the latency ring keeps the newest latencySamples completions.
+// metrics aggregates the service-level counters and histograms on a
+// per-Manager obs registry. The registry is per Manager (not obs.Default) so
+// every manager — the tests build many — starts from zero and serves its own
+// gauges; /metrics merges it with the process-global engine registry.
+//
+// This replaces the previous hand-rolled mutex struct whose latency ring
+// quantile mis-indexed partially filled rings (p99 of a 1-sample ring read
+// past the data); obs.Histogram.Quantile is well-defined at every sample
+// count, which TestHistogramQuantile pins at 0, 1, 2 and 513 samples.
 type metrics struct {
-	mu sync.Mutex
+	reg *obs.Registry
 
-	submitted   uint64 // guarded by mu
-	rejected    uint64 // guarded by mu
-	resumed     uint64 // guarded by mu
-	done        uint64 // guarded by mu
-	failed      uint64 // guarded by mu
-	canceled    uint64 // guarded by mu
-	checkpoints uint64 // guarded by mu
-	cacheHits   uint64 // guarded by mu
-	cacheMisses uint64 // guarded by mu
-
-	latencies []float64 // guarded by mu — seconds, ring buffer
-	latPos    int       // guarded by mu
-	latFull   bool      // guarded by mu
+	submitted   *obs.Counter
+	rejected    *obs.Counter
+	resumed     *obs.Counter
+	done        *obs.Counter
+	failed      *obs.Counter
+	canceled    *obs.Counter
+	checkpoints *obs.Counter
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	latency     *obs.Histogram
+	queueWait   *obs.Histogram
 }
 
-func (m *metrics) incSubmitted() { m.mu.Lock(); defer m.mu.Unlock(); m.submitted++ }
-func (m *metrics) incRejected()  { m.mu.Lock(); defer m.mu.Unlock(); m.rejected++ }
-func (m *metrics) incResumed()   { m.mu.Lock(); defer m.mu.Unlock(); m.resumed++ }
-func (m *metrics) incDone()      { m.mu.Lock(); defer m.mu.Unlock(); m.done++ }
-func (m *metrics) incFailed()    { m.mu.Lock(); defer m.mu.Unlock(); m.failed++ }
-func (m *metrics) incCanceled()  { m.mu.Lock(); defer m.mu.Unlock(); m.canceled++ }
-func (m *metrics) incCheckpoints() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.checkpoints++
+func newMetrics() *metrics {
+	reg := obs.NewRegistry()
+	return &metrics{
+		reg:         reg,
+		submitted:   reg.Counter("jobs_submitted_total", "Jobs accepted by POST /v1/jobs."),
+		rejected:    reg.Counter("jobs_rejected_total", "Submissions rejected (queue full or draining)."),
+		resumed:     reg.Counter("jobs_resumed_total", "Jobs reloaded from checkpoints at startup."),
+		done:        reg.Counter("jobs_done_total", "Jobs finished successfully."),
+		failed:      reg.Counter("jobs_failed_total", "Jobs failed (error or deadline)."),
+		canceled:    reg.Counter("jobs_canceled_total", "Jobs canceled by clients."),
+		checkpoints: reg.Counter("checkpoints_total", "Drain checkpoints taken."),
+		cacheHits:   reg.Counter("eval_cache_hits_total", "Schedule-evaluation cache hits summed over finished blocks."),
+		cacheMisses: reg.Counter("eval_cache_misses_total", "Schedule-evaluation cache misses summed over finished blocks."),
+		latency:     reg.Histogram("job_latency_seconds", "Running time of successfully finished jobs.", latencyBuckets),
+		queueWait:   reg.Histogram("job_queue_wait_seconds", "Time from submission to a runner claiming the job.", latencyBuckets),
+	}
 }
+
+func (m *metrics) incSubmitted()   { m.submitted.Inc() }
+func (m *metrics) incRejected()    { m.rejected.Inc() }
+func (m *metrics) incResumed()     { m.resumed.Inc() }
+func (m *metrics) incDone()        { m.done.Inc() }
+func (m *metrics) incFailed()      { m.failed.Inc() }
+func (m *metrics) incCanceled()    { m.canceled.Inc() }
+func (m *metrics) incCheckpoints() { m.checkpoints.Inc() }
 
 // addCache folds one finished block's cache counters into the totals.
 func (m *metrics) addCache(hits, misses uint64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.cacheHits += hits
-	m.cacheMisses += misses
+	m.cacheHits.Add(float64(hits))
+	m.cacheMisses.Add(float64(misses))
 }
 
 // observeLatency records one completed job's running time.
-func (m *metrics) observeLatency(d time.Duration) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.latencies == nil {
-		m.latencies = make([]float64, latencySamples)
-	}
-	m.latencies[m.latPos] = d.Seconds()
-	m.latPos++
-	if m.latPos == len(m.latencies) {
-		m.latPos = 0
-		m.latFull = true
-	}
-}
+func (m *metrics) observeLatency(d time.Duration) { m.latency.Observe(d.Seconds()) }
+
+// observeQueueWait records how long a claimed job sat in the queue.
+func (m *metrics) observeQueueWait(d time.Duration) { m.queueWait.Observe(d.Seconds()) }
 
 // snapshot returns the counters and latency quantiles as a flat JSON-ready
-// map (expvar-style: one scalar per key).
+// map (expvar-style: one scalar per key) — the compatibility body of
+// GET /metrics?format=json. Counter keys and types match the pre-obs
+// implementation exactly; quantile keys appear once a job has finished.
 func (m *metrics) snapshot() map[string]any {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	out := map[string]any{
-		"jobs_submitted_total":    m.submitted,
-		"jobs_rejected_total":     m.rejected,
-		"jobs_resumed_total":      m.resumed,
-		"jobs_done_total":         m.done,
-		"jobs_failed_total":       m.failed,
-		"jobs_canceled_total":     m.canceled,
-		"checkpoints_total":       m.checkpoints,
-		"eval_cache_hits_total":   m.cacheHits,
-		"eval_cache_misses_total": m.cacheMisses,
+		"jobs_submitted_total":    uint64(m.submitted.Value()),
+		"jobs_rejected_total":     uint64(m.rejected.Value()),
+		"jobs_resumed_total":      uint64(m.resumed.Value()),
+		"jobs_done_total":         uint64(m.done.Value()),
+		"jobs_failed_total":       uint64(m.failed.Value()),
+		"jobs_canceled_total":     uint64(m.canceled.Value()),
+		"checkpoints_total":       uint64(m.checkpoints.Value()),
+		"eval_cache_hits_total":   uint64(m.cacheHits.Value()),
+		"eval_cache_misses_total": uint64(m.cacheMisses.Value()),
 	}
-	n := m.latPos
-	if m.latFull {
-		n = len(m.latencies)
-	}
-	if n > 0 {
-		s := append([]float64(nil), m.latencies[:n]...)
-		sort.Float64s(s)
-		out["job_latency_seconds_p50"] = quantile(s, 0.50)
-		out["job_latency_seconds_p99"] = quantile(s, 0.99)
+	if m.latency.Count() > 0 {
+		out["job_latency_seconds_p50"] = m.latency.Quantile(0.50)
+		out["job_latency_seconds_p99"] = m.latency.Quantile(0.99)
 	}
 	return out
 }
 
-// quantile reads q from an ascending sample using the nearest-rank method.
-func quantile(sorted []float64, q float64) float64 {
-	if len(sorted) == 0 {
-		return 0
+// WritePrometheus writes the manager's registry followed by the
+// process-global engine registry (eval-cache, scheduler, worker-pool
+// metrics) in Prometheus text exposition format — the default body of
+// GET /metrics. The two registries use disjoint family names (unprefixed
+// legacy service names vs. ise_*), so concatenation is a valid exposition.
+func (m *Manager) WritePrometheus(w io.Writer) error {
+	if err := m.met.reg.WritePrometheus(w); err != nil {
+		return err
 	}
-	i := int(q * float64(len(sorted)-1))
-	return sorted[i]
+	return obs.Default.WritePrometheus(w)
 }

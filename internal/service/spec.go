@@ -52,6 +52,11 @@ type JobSpec struct {
 	// DeadlineMS bounds the job's running time in milliseconds; 0 uses the
 	// server default (which may be unlimited).
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Trace records a Chrome trace-event timeline of the job's exploration,
+	// retrievable at GET /v1/jobs/{id}/trace (Perfetto-loadable). Tracing is
+	// observation-only — it never changes results — but the event buffer
+	// grows with exploration size, so it is opt-in.
+	Trace bool `json:"trace,omitempty"`
 }
 
 const maxProgramBytes = 1 << 20
