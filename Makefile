@@ -1,4 +1,4 @@
-.PHONY: tier1 race lint bench benchall fmt serve-smoke profile
+.PHONY: tier1 race lint bench benchsched benchall fmt serve-smoke profile
 
 # Tier 1: the fast correctness gate.
 tier1:
@@ -22,12 +22,22 @@ race: lint
 	go vet ./...
 	go test -race ./...
 
-# Benchmarks: the scheduling-kernel and exploration benchmarks, 5
-# repetitions each, folded into BENCH_sched.json (median ns/op, allocs/op,
-# custom metrics) alongside the pre-kernel baseline in BENCH_baseline.txt so
-# the perf trajectory is recorded in-repo. `make benchall` runs everything
-# without the JSON post-processing.
+# Benchmarks: the exploration benchmarks (ExploreMI / ExploreSI / Headline
+# plus the engine-ablation pair), 5 repetitions each, folded into
+# BENCH_explore.json with per-benchmark ns/op and allocs/op deltas against
+# the committed scheduling-kernel-era report BENCH_sched.json — the committed
+# file is read, never regenerated here, so it stays the fixed comparison
+# point for the zero-alloc exploration loop. `make benchsched` refreshes
+# BENCH_sched.json itself (kernel benchmarks against the pre-kernel text
+# baseline); `make benchall` runs everything without JSON post-processing.
 bench:
+	go test -bench 'Explore|Headline' -benchmem -count 5 \
+		| go run ./cmd/benchjson -prev BENCH_sched.json \
+			-cmd "go test -bench 'Explore|Headline' -benchmem -count 5" \
+			-o BENCH_explore.json
+	@cat BENCH_explore.json
+
+benchsched:
 	go test -bench 'Sched|Explore|Headline' -benchmem -count 5 \
 		| go run ./cmd/benchjson -baseline BENCH_baseline.txt -o BENCH_sched.json
 	@cat BENCH_sched.json

@@ -358,12 +358,18 @@ func BenchmarkHWSWPartition(b *testing.B) {
 	b.ReportMetric(last.Speedup(), "speedup-x")
 }
 
-// BenchmarkExploreMI measures one full MI exploration (default parameters)
-// of the crc32/O3 hot block.
+// BenchmarkExploreMI measures one full MI exploration of the crc32/O3 hot
+// block with the parallel engine but the eval cache disabled — the headline
+// allocs-per-op number for the zero-alloc exploration loop. Disabling the
+// cache is what distinguishes it from BenchmarkExploreMIParallelCached:
+// with both on default parameters the two benchmarks ran literally
+// identical configurations, so the "cached" variant's hit-rate metric
+// described a cache that the "uncached" one silently used too.
 func BenchmarkExploreMI(b *testing.B) {
 	d := ablationDFG()
 	cfg := machine.New(2, 4, 2)
 	p := core.DefaultParams()
+	p.NoEvalCache = true
 	for i := 0; i < b.N; i++ {
 		if _, err := core.ExploreWithParams(d, cfg, p); err != nil {
 			b.Fatal(err)

@@ -14,6 +14,12 @@
 // wall-time improvement percentage is computed for every benchmark present
 // in both runs.
 //
+// With -prev, an earlier benchjson JSON report (e.g. the committed
+// BENCH_sched.json) is loaded and per-benchmark ns/op and allocs/op deltas
+// are computed against it for every benchmark present in both — this is how
+// BENCH_explore.json records the exploration loop's allocation trajectory
+// against the scheduling-kernel era without re-running the old code.
+//
 // Exit status: 0 on success, 1 if stdin holds no benchmark lines or a file
 // cannot be read.
 package main
@@ -46,11 +52,18 @@ type report struct {
 	Benchmarks    map[string]*result `json:"benchmarks"`
 	Baseline      map[string]*result `json:"baseline,omitempty"`
 	ImprovementPc map[string]float64 `json:"improvement_pct,omitempty"`
+	// Deltas against a previous benchjson report (-prev): negative means
+	// the current run is lower (faster / fewer allocations).
+	PrevFile      string             `json:"prev_file,omitempty"`
+	NsDeltaPc     map[string]float64 `json:"ns_delta_pct,omitempty"`
+	AllocsDeltaPc map[string]float64 `json:"allocs_delta_pct,omitempty"`
 }
 
 func main() {
 	out := flag.String("o", "", "output file (default: stdout)")
 	baseline := flag.String("baseline", "", "bench-format file with pre-optimization numbers")
+	prev := flag.String("prev", "", "earlier benchjson JSON report to diff ns/op and allocs/op against")
+	cmd := flag.String("cmd", "", "command string recorded in the report (default: the Makefile bench invocation)")
 	flag.Parse()
 
 	cur, err := parseBench(os.Stdin)
@@ -73,6 +86,14 @@ func main() {
 		}
 	}
 	rep := buildReport(cur, base)
+	if *cmd != "" {
+		rep.Command = *cmd
+	}
+	if *prev != "" {
+		if err := addPrevDeltas(rep, *prev); err != nil {
+			fatal(err)
+		}
+	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -105,6 +126,37 @@ func buildReport(cur, base map[string]*result) *report {
 		}
 	}
 	return rep
+}
+
+// addPrevDeltas loads an earlier benchjson report and records the relative
+// ns/op and allocs/op change for every benchmark both runs measured. The
+// previous file is read, never re-run, so the committed report stays the
+// fixed point of comparison.
+func addPrevDeltas(rep *report, path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var old report
+	if err := json.Unmarshal(buf, &old); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	rep.PrevFile = path
+	rep.NsDeltaPc = map[string]float64{}
+	rep.AllocsDeltaPc = map[string]float64{}
+	for name, p := range old.Benchmarks {
+		c, ok := rep.Benchmarks[name]
+		if !ok {
+			continue
+		}
+		if p.NsPerOp > 0 {
+			rep.NsDeltaPc[name] = 100 * (c.NsPerOp - p.NsPerOp) / p.NsPerOp
+		}
+		if p.AllocsPerOp > 0 {
+			rep.AllocsDeltaPc[name] = 100 * (c.AllocsPerOp - p.AllocsPerOp) / p.AllocsPerOp
+		}
+	}
+	return nil
 }
 
 // parseBench reads `go test -bench` output and folds repetitions into their

@@ -113,6 +113,53 @@ func TestReportGolden(t *testing.T) {
 	}
 }
 
+// TestAddPrevDeltas covers the -prev path: ns/op and allocs/op deltas are
+// computed for benchmarks present in both reports, skipped for benchmarks
+// missing from either side or with a zero previous denominator.
+func TestAddPrevDeltas(t *testing.T) {
+	prev := &report{Benchmarks: map[string]*result{
+		"ExploreMI": {NsPerOp: 1000, AllocsPerOp: 500},
+		"OnlyPrev":  {NsPerOp: 10, AllocsPerOp: 10},
+		"ZeroPrev":  {NsPerOp: 0, AllocsPerOp: 0},
+	}}
+	buf, err := json.MarshalIndent(prev, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "prev.json")
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep := &report{Benchmarks: map[string]*result{
+		"ExploreMI": {NsPerOp: 900, AllocsPerOp: 50},
+		"ZeroPrev":  {NsPerOp: 5, AllocsPerOp: 5},
+		"OnlyCur":   {NsPerOp: 7, AllocsPerOp: 7},
+	}}
+	if err := addPrevDeltas(rep, path); err != nil {
+		t.Fatal(err)
+	}
+	if rep.PrevFile != path {
+		t.Fatalf("prev_file %q, want %q", rep.PrevFile, path)
+	}
+	if got := rep.NsDeltaPc["ExploreMI"]; got != -10 {
+		t.Fatalf("ExploreMI ns delta %v, want -10", got)
+	}
+	if got := rep.AllocsDeltaPc["ExploreMI"]; got != -90 {
+		t.Fatalf("ExploreMI allocs delta %v, want -90", got)
+	}
+	for _, name := range []string{"OnlyPrev", "OnlyCur", "ZeroPrev"} {
+		if _, ok := rep.NsDeltaPc[name]; ok {
+			t.Fatalf("%s: unexpected ns delta", name)
+		}
+		if _, ok := rep.AllocsDeltaPc[name]; ok {
+			t.Fatalf("%s: unexpected allocs delta", name)
+		}
+	}
+	if err := addPrevDeltas(rep, filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing prev file: want error")
+	}
+}
+
 func TestMedian(t *testing.T) {
 	cases := []struct {
 		in   []float64

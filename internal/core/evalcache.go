@@ -14,27 +14,35 @@ import (
 // worker count this repository uses while wasting nothing at one worker.
 const evalShards = 16
 
-// evalKey identifies one schedule evaluation: the DFG and machine by name
-// (one cache may serve several of each) and the assignment by its canonical
-// 128-bit hash. Distinct canonical assignments collide on the hash with
-// probability ~2^-128 (see sched.KeyHash and DESIGN.md §10), so equality on
-// evalKey is equality on the evaluation for every practical purpose.
+// evalKey identifies one schedule evaluation: the DFG by its 128-bit content
+// fingerprint (never by name — two distinct DFGs may share one; see
+// dfg.Fingerprint), the machine by its full comparable Config value, and the
+// assignment by its canonical 128-bit hash. Distinct canonical assignments
+// (or distinct DFG contents) collide with probability ~2^-128 (see
+// sched.KeyHash and DESIGN.md §10), so equality on evalKey is equality on
+// the evaluation for every practical purpose.
 type evalKey struct {
-	dfg string
-	cfg string
+	dfp [2]uint64
+	cfg machine.Config
 	h   sched.KeyHash
 }
 
 // shard maps the key to its shard index. The assignment hash alone would put
 // every block's all-software evaluation — the single hottest key shape — in
-// one shard, so the DFG and machine names are folded in.
+// one shard, so the DFG fingerprint and machine shape are folded in.
 func (k evalKey) shard() int {
 	h := k.h[0] ^ (k.h[1] >> 7)
-	for i := 0; i < len(k.dfg); i++ {
-		h = h*131 + uint64(k.dfg[i])
+	h = h*131 + k.dfp[0]
+	h = h*131 + k.dfp[1]
+	h = h*131 + uint64(k.cfg.IssueWidth)
+	h = h*131 + uint64(k.cfg.ReadPorts)
+	h = h*131 + uint64(k.cfg.WritePorts)
+	h = h*131 + uint64(k.cfg.ASFUs)
+	for _, n := range k.cfg.FUs {
+		h = h*131 + uint64(n)
 	}
-	for i := 0; i < len(k.cfg); i++ {
-		h = h*131 + uint64(k.cfg[i])
+	for i := 0; i < len(k.cfg.Name); i++ {
+		h = h*131 + uint64(k.cfg.Name[i])
 	}
 	return int(h & (evalShards - 1))
 }
@@ -67,12 +75,16 @@ type evalShard struct {
 // shard runs singleflight on misses: concurrent lookups of a key being
 // computed wait for the in-flight evaluation instead of scheduling again.
 // That makes the hit/miss counters exact — a miss is a lookup that actually
-// ran the scheduler, a hit is one that did not (including waiters), and
-// hits+misses equals lookups. Lookups are semantically transparent — the
-// scheduler is deterministic — so cached and uncached runs return identical
-// results. Errors are not cached: the computing call removes the entry before
-// publishing the error, so a failing assignment never pollutes the memo
-// (waiters of that in-flight computation still receive the same
+// ran the scheduler, a hit is one that was served a successful result
+// without running it (including waiters on an in-flight computation that
+// succeeds), and hits+misses equals the successful lookups plus the
+// scheduler invocations. A waiter whose in-flight computation fails is
+// counted as neither: it caused no scheduler invocation and received no
+// result, only the propagated error. Lookups are semantically transparent —
+// the scheduler is deterministic — so cached and uncached runs return
+// identical results. Errors are not cached: the computing call removes the
+// entry before publishing the error, so a failing assignment never pollutes
+// the memo (waiters of that in-flight computation still receive the same
 // deterministic error).
 type EvalCache struct {
 	shards [evalShards]evalShard
@@ -104,16 +116,22 @@ func (c *EvalCache) ScheduleWith(kern *sched.Scheduler, d *dfg.DFG, a sched.Assi
 	if c == nil {
 		return scheduleLen(kern, d, a, cfg)
 	}
-	k := evalKey{dfg: d.Name, cfg: cfg.Name, h: a.KeyHash()}
+	k := evalKey{dfp: d.Fingerprint(), cfg: cfg, h: a.KeyHash()}
 	si := k.shard()
 	sh := &c.shards[si]
 	sh.mu.Lock()
 	if e, ok := sh.m[k]; ok {
 		sh.mu.Unlock()
+		<-e.done
+		if e.err != nil {
+			// The in-flight computation failed: this lookup was served the
+			// propagated error, not a result. It ran no scheduler, so it is
+			// not a miss; it got no result, so it is not a hit either.
+			return 0, e.err
+		}
 		c.hits.Add(1)
 		obsCacheHits[si].Inc()
-		<-e.done
-		return e.n, e.err
+		return e.n, nil
 	}
 	e := &evalEntry{done: make(chan struct{})}
 	sh.m[k] = e
@@ -134,7 +152,14 @@ func (c *EvalCache) ScheduleWith(kern *sched.Scheduler, d *dfg.DFG, a sched.Assi
 	return n, nil
 }
 
+// evalSchedInvocations counts every real scheduler invocation made on the
+// evaluation path — exactly what the cache's miss counter promises to track.
+// Test support only (the kernel-bypass and error-accounting tests assert
+// against it); it is never read back into exploration decisions.
+var evalSchedInvocations atomic.Uint64
+
 func scheduleLen(kern *sched.Scheduler, d *dfg.DFG, a sched.Assignment, cfg machine.Config) (int, error) {
+	evalSchedInvocations.Add(1)
 	if kern == nil {
 		return sched.ListScheduleLength(d, a, cfg)
 	}
@@ -146,8 +171,10 @@ func scheduleLen(kern *sched.Scheduler, d *dfg.DFG, a sched.Assignment, cfg mach
 }
 
 // Stats returns the cumulative hit and miss counts. With singleflight these
-// are exact: misses count scheduler invocations, hits count lookups served
-// without one, and their sum counts lookups.
+// are exact: misses count scheduler invocations, hits count lookups served a
+// successful result without one. Waiters whose in-flight computation fails
+// count as neither (they neither scheduled nor received a result), so
+// hits+misses equals lookups minus error-waiters.
 func (c *EvalCache) Stats() (hits, misses uint64) {
 	if c == nil {
 		return 0, 0

@@ -142,6 +142,137 @@ func TestEvalCacheSingleflight(t *testing.T) {
 	}
 }
 
+// TestEvalCacheDistinctDFGsSameName is the regression test for keying by
+// DFG content: two different DFGs that happen to share a name must occupy
+// separate cache entries and return their own schedule lengths, not alias.
+func TestEvalCacheDistinctDFGsSameName(t *testing.T) {
+	// A 12-op serial chain vs 8 independent ops: very different lengths.
+	serial := blockDFG(t, func(b *prog.Builder) { logicChain(b, 12) })
+	wide := blockDFG(t, func(b *prog.Builder) {
+		dsts := []prog.Reg{prog.T0, prog.T1, prog.T2, prog.T3, prog.T4, prog.T5, prog.T6, prog.T7}
+		for _, r := range dsts {
+			b.R(isa.OpXOR, r, prog.A0, prog.A1)
+		}
+	})
+	serial.Name = "same-name"
+	wide.Name = "same-name"
+	cfg := machine.New(2, 4, 2)
+
+	wantSerial, err := sched.ListSchedule(serial, sched.AllSoftware(serial.Len()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWide, err := sched.ListSchedule(wide, sched.AllSoftware(wide.Len()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantSerial.Length == wantWide.Length {
+		t.Fatalf("test DFGs schedule to the same length %d; pick more divergent shapes", wantSerial.Length)
+	}
+
+	c := NewEvalCache()
+	// Interleave lookups so a name-keyed cache would serve the wrong entry.
+	for i := 0; i < 2; i++ {
+		n, err := c.Schedule(serial, sched.AllSoftware(serial.Len()), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != wantSerial.Length {
+			t.Fatalf("serial DFG length %d, want %d (aliased with same-named DFG?)", n, wantSerial.Length)
+		}
+		n, err = c.Schedule(wide, sched.AllSoftware(wide.Len()), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != wantWide.Length {
+			t.Fatalf("wide DFG length %d, want %d (aliased with same-named DFG?)", n, wantWide.Length)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d entries for two distinct same-named DFGs, want 2", c.Len())
+	}
+}
+
+// TestEvalCacheHitSkipsKernel pins the wiring the benchmarks advertise: a
+// cache hit must return without invoking the scheduling kernel at all.
+func TestEvalCacheHitSkipsKernel(t *testing.T) {
+	d := blockDFG(t, func(b *prog.Builder) { logicChain(b, 8) })
+	cfg := machine.New(2, 4, 2)
+	a := sched.AllSoftware(d.Len())
+	kern := sched.NewScheduler()
+
+	c := NewEvalCache()
+	if _, err := c.ScheduleWith(kern, d, a, cfg); err != nil { // cold: one real invocation
+		t.Fatal(err)
+	}
+	before := evalSchedInvocations.Load()
+	n, err := c.ScheduleWith(kern, d, a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := evalSchedInvocations.Load() - before; got != 0 {
+		t.Fatalf("cache hit ran the scheduler %d times, want 0", got)
+	}
+	want, err := sched.ListSchedule(d, a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != want.Length {
+		t.Fatalf("hit returned length %d, want %d", n, want.Length)
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d hits / %d misses, want 1/1", hits, misses)
+	}
+}
+
+// TestEvalCacheErrorWaiterAccounting races many goroutines onto one failing
+// key and checks the accounting contract exactly: every scheduler invocation
+// is a miss, no lookup is a hit (none received a result), and waiters served
+// the in-flight error count as neither. Run under -race this also covers the
+// error-waiter publication path.
+func TestEvalCacheErrorWaiterAccounting(t *testing.T) {
+	d := blockDFG(t, func(b *prog.Builder) { logicChain(b, 8) })
+	cfg := machine.New(2, 4, 2)
+	bad := sched.AllSoftware(d.Len() - 1) // wrong length: always an error
+
+	const goroutines = 16
+	c := NewEvalCache()
+	before := evalSchedInvocations.Load()
+	errs := make([]error, goroutines)
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer done.Done()
+			start.Wait()
+			_, errs[g] = c.Schedule(d, bad, cfg)
+		}(g)
+	}
+	start.Done()
+	done.Wait()
+
+	for g := 0; g < goroutines; g++ {
+		if errs[g] == nil {
+			t.Fatalf("goroutine %d scheduled an undersized assignment without error", g)
+		}
+	}
+	invocations := evalSchedInvocations.Load() - before
+	hits, misses := c.Stats()
+	if hits != 0 {
+		t.Fatalf("%d hits recorded for lookups that only ever saw errors, want 0", hits)
+	}
+	if misses != invocations {
+		t.Fatalf("misses %d != scheduler invocations %d: accounting contract broken", misses, invocations)
+	}
+	if misses < 1 || misses > goroutines {
+		t.Fatalf("misses %d out of range [1, %d]", misses, goroutines)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("cache holds %d entries after errors, want 0", c.Len())
+	}
+}
+
 // TestEvalCacheErrorNotCached checks that a failed evaluation leaves no
 // entry behind: retrying the same key schedules again (another miss) rather
 // than replaying a stale error or, worse, a bogus length.

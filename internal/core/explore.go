@@ -227,17 +227,21 @@ func exploreResumable(ctx context.Context, d *dfg.DFG, cfg machine.Config, p Par
 	var completed atomic.Int64
 	completed.Store(int64(restarts - len(todo)))
 	errs := make([]error, restarts)
-	// One scheduling kernel per worker: restarts running on the same worker
-	// reuse its arena (and, within a restart, its contraction prefix). The
-	// kernel is pure scratch — which worker runs which restart never affects
-	// the restart's result — so determinism is preserved.
+	// One scheduling kernel and one explorer per worker: restarts running on
+	// the same worker reuse the kernel's arena and the explorer's scratch
+	// (unit contraction, walk buffers, merit sweeps), so steady-state ant
+	// construction allocates nothing. Both are pure scratch — which worker
+	// runs which restart never affects the restart's result — so determinism
+	// is preserved.
 	kerns := make([]*sched.Scheduler, parallel.Degree(p.Workers, len(todo)))
+	exps := make([]*explorer, len(kerns))
 	for i := range kerns {
 		kerns[i] = sched.NewScheduler()
+		exps[i] = &explorer{}
 	}
 	cancelErr := parallel.ForEachWorkerCtx(ctx, len(todo), p.Workers, func(w, ti int) {
 		r := todo[ti]
-		res, part, err := runOnce(ctx, d, cfg, p, p.Seed+int64(r)*7919, baseCycles, cache, kerns[w], partials[r], opts.Trace, r)
+		res, part, err := runOnce(ctx, d, cfg, p, p.Seed+int64(r)*7919, baseCycles, cache, kerns[w], exps[w], partials[r], opts.Trace, r)
 		switch {
 		case err != nil:
 			errs[r] = err
@@ -309,9 +313,12 @@ func exploreResumable(ctx context.Context, d *dfg.DFG, cfg machine.Config, p Par
 // non-nil, the restart first restores that checkpoint (accepted ISEs,
 // trail/merit tables, RNG position) and continues as if it had never
 // stopped.
-func runOnce(ctx context.Context, d *dfg.DFG, cfg machine.Config, p Params, seed int64, baseCycles int, cache *EvalCache, kern *sched.Scheduler, resume *RestartPartial, tr *obs.Tracer, restart int) (*Result, *RestartPartial, error) {
+func runOnce(ctx context.Context, d *dfg.DFG, cfg machine.Config, p Params, seed int64, baseCycles int, cache *EvalCache, kern *sched.Scheduler, exp *explorer, resume *RestartPartial, tr *obs.Tracer, restart int) (*Result, *RestartPartial, error) {
 	if kern == nil {
 		kern = sched.NewScheduler()
+	}
+	if exp == nil {
+		exp = &explorer{}
 	}
 	tid := restart + 1
 	if tr.Enabled() {
@@ -321,23 +328,8 @@ func runOnce(ctx context.Context, d *dfg.DFG, cfg machine.Config, p Params, seed
 	restartSpan := tr.Begin("restart", tid).Arg("restart", int64(restart))
 	defer restartSpan.End()
 	rng, rngSrc := aco.NewCountedRand(seed)
-	e := &explorer{
-		d:            d,
-		cfg:          cfg,
-		p:            p,
-		rng:          rng,
-		rngSrc:       rngSrc,
-		cache:        cache,
-		kern:         kern,
-		tr:           tr,
-		tid:          tid,
-		fixedGroupOf: make([]int, d.Len()),
-		sp:           make([]float64, d.Len()),
-	}
-	for i := range e.fixedGroupOf {
-		e.fixedGroupOf[i] = -1
-	}
-	e.initPriority()
+	e := exp
+	e.reset(d, cfg, p, rng, rngSrc, cache, kern, tr, tid)
 
 	res := &Result{BaseCycles: baseCycles, FinalCycles: baseCycles}
 	curLen := baseCycles
@@ -483,19 +475,37 @@ func (e *explorer) initPriority() {
 }
 
 // initTables seeds trail and merit for every free node at the start of a
-// round (trail 0; merit 100 software / 200 hardware).
+// round (trail 0; merit 100 software / 200 hardware). The row structure is
+// built once per DFG over two flat backing arrays; later rounds only re-seed
+// the values, so round boundaries allocate nothing.
 func (e *explorer) initTables() {
 	n := e.d.Len()
-	e.trail = make([][]float64, n)
-	e.merit = make([][]float64, n)
-	e.numSW = make([]int, n)
+	if e.tablesFor != e.d {
+		e.numSW = make([]int, n)
+		total := 0
+		for i := 0; i < n; i++ {
+			node := e.d.Nodes[i]
+			e.numSW[i] = len(node.SW)
+			total += len(node.SW) + len(node.HW)
+		}
+		e.trail = make([][]float64, n)
+		e.merit = make([][]float64, n)
+		e.trailBuf = make([]float64, total)
+		e.meritBuf = make([]float64, total)
+		off := 0
+		for i := 0; i < n; i++ {
+			opts := e.numSW[i] + len(e.d.Nodes[i].HW)
+			//lint:ignore arenaescape trail rows alias trailBuf within the same owner; rows and backing array are rebuilt together on DFG change
+			e.trail[i] = e.trailBuf[off : off+opts : off+opts]
+			//lint:ignore arenaescape merit rows alias meritBuf within the same owner; rows and backing array are rebuilt together on DFG change
+			e.merit[i] = e.meritBuf[off : off+opts : off+opts]
+			off += opts
+		}
+		e.tablesFor = e.d
+	}
 	for i := 0; i < n; i++ {
-		node := e.d.Nodes[i]
-		e.numSW[i] = len(node.SW)
-		opts := len(node.SW) + len(node.HW)
-		e.trail[i] = make([]float64, opts)
-		e.merit[i] = make([]float64, opts)
-		for o := 0; o < opts; o++ {
+		for o := range e.trail[i] {
+			e.trail[i][o] = 0
 			if o < e.numSW[i] {
 				e.merit[i][o] = e.p.InitMeritSW
 			} else {
@@ -538,7 +548,10 @@ func (e *explorer) converge(ctx context.Context, cs *convergeState) bool {
 		}
 		e.meritUpdate(res)
 		trailSpan.End()
-		cs.prevOrder = append([]int(nil), res.orderPos...)
+		// res.orderPos is walk's arena; copy it into the round-local buffer
+		// (reused across iterations, nil only before the first one — the
+		// trailUpdate moved-earlier gate keys on that).
+		cs.prevOrder = append(cs.prevOrder[:0], res.orderPos...)
 		if e.convergedNow() {
 			return true
 		}
@@ -564,12 +577,14 @@ func (e *explorer) convergedNow() bool {
 }
 
 // spWeights returns the selected-probability weights (Eq. 3 numerators) of
-// node x.
+// node x. The result is the explorer's arena, valid until the next call.
 func (e *explorer) spWeights(x int) []float64 {
-	w := make([]float64, len(e.trail[x]))
+	w := growFloats(e.spw, len(e.trail[x]))
 	for o := range w {
 		w[o] = e.p.Alpha*e.trail[x][o] + (1-e.p.Alpha)*e.merit[x][o]
 	}
+	e.spw = w
+	//lint:ignore arenaescape callers consume the weights before the next spWeights call
 	return w
 }
 

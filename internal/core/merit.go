@@ -42,89 +42,87 @@ func (e *explorer) trailUpdate(res *walkResult, improved bool, prevOrder []int) 
 // virtualSubgraph returns vSx: operation x grouped with every reachable
 // operation that chose a hardware implementation option in this iteration
 // (Hardware-Grouping, §4.3). Reachability walks dependence edges in both
-// directions but only through hardware-chosen nodes.
+// directions but only through hardware-chosen nodes. The returned set is the
+// explorer's arena and is valid until the next call.
 func (e *explorer) virtualSubgraph(res *walkResult, x int) graph.NodeSet {
 	d := e.d
-	vs := graph.NewNodeSet(d.Len())
+	e.vsSet.Reset(d.Len())
+	vs := &e.vsSet
 	vs.Add(x)
-	stack := []int{x}
-	isHW := func(y int) bool {
-		return res.chosen[y] >= 0 && e.isHWOption(y, res.chosen[y])
-	}
-	visit := func(nb int) {
-		if vs.Contains(nb) || !isHW(nb) || e.fixedGroupOf[nb] >= 0 {
-			return
-		}
-		vs.Add(nb)
-		stack = append(stack, nb)
-	}
+	stack := append(e.vsStack[:0], x)
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, nb := range d.G.Succs(v) {
-			visit(nb)
-		}
-		for _, nb := range d.G.Preds(v) {
-			visit(nb)
+		for dir := 0; dir < 2; dir++ {
+			nbs := d.G.Succs(v)
+			if dir == 1 {
+				nbs = d.G.Preds(v)
+			}
+			for _, nb := range nbs {
+				if vs.Contains(nb) || e.fixedGroupOf[nb] >= 0 ||
+					res.chosen[nb] < 0 || !e.isHWOption(nb, res.chosen[nb]) {
+					continue
+				}
+				vs.Add(nb)
+				stack = append(stack, nb)
+			}
 		}
 	}
-	return vs
+	e.vsStack = stack
+	//lint:ignore arenaescape callers consume the subgraph before the next virtualSubgraph call
+	return e.vsSet
 }
 
 // vsMetrics measures vSx assuming x uses hardware option hwIdx (index into
 // the node's HW table) and every other member keeps its iteration choice.
-func (e *explorer) vsMetrics(res *walkResult, vs graph.NodeSet, x, hwIdx int) (delayNS, areaUM2 float64, cycles int) {
+// members must hold vs's members in topological order (membersInTopoOrder).
+func (e *explorer) vsMetrics(res *walkResult, vs graph.NodeSet, members []int, x, hwIdx int) (delayNS, areaUM2 float64, cycles int) {
 	d := e.d
-	delayOf := func(y int) float64 {
-		if y == x {
-			return d.Nodes[y].HW[hwIdx].DelayNS
-		}
-		if res.chosen[y] >= 0 && e.isHWOption(y, res.chosen[y]) {
-			return d.Nodes[y].HW[res.chosen[y]-e.numSW[y]].DelayNS
-		}
-		// Member never chose hardware this iteration (only possible for x
-		// itself, handled above); fall back to its first option.
-		return d.Nodes[y].HW[0].DelayNS
-	}
-	areaOf := func(y int) float64 {
-		if y == x {
-			return d.Nodes[y].HW[hwIdx].AreaUM2
-		}
-		if res.chosen[y] >= 0 && e.isHWOption(y, res.chosen[y]) {
-			return d.Nodes[y].HW[res.chosen[y]-e.numSW[y]].AreaUM2
-		}
-		return d.Nodes[y].HW[0].AreaUM2
-	}
 	if e.depthF == nil {
 		e.depthF = make([]float64, d.Len())
 	}
 	depth := e.depthF
-	for _, v := range e.membersInTopoOrder(vs) {
+	for _, v := range members {
 		in := 0.0
 		for _, p := range d.G.Preds(v) {
 			if vs.Contains(p) && depth[p] > in {
 				in = depth[p]
 			}
 		}
-		depth[v] = in + delayOf(v)
+		// The member's delay and area under the assumed choices: x takes
+		// option hwIdx, everyone else their iteration choice (a member that
+		// never chose hardware this iteration is only possible for x itself,
+		// so the first-option fallback mirrors the historical behavior).
+		var dl, ar float64
+		switch {
+		case v == x:
+			dl, ar = d.Nodes[v].HW[hwIdx].DelayNS, d.Nodes[v].HW[hwIdx].AreaUM2
+		case res.chosen[v] >= 0 && e.isHWOption(v, res.chosen[v]):
+			o := res.chosen[v] - e.numSW[v]
+			dl, ar = d.Nodes[v].HW[o].DelayNS, d.Nodes[v].HW[o].AreaUM2
+		default:
+			dl, ar = d.Nodes[v].HW[0].DelayNS, d.Nodes[v].HW[0].AreaUM2
+		}
+		depth[v] = in + dl
 		if depth[v] > delayNS {
 			delayNS = depth[v]
 		}
-		areaUM2 += areaOf(v)
+		areaUM2 += ar
 	}
 	return delayNS, areaUM2, sched.CyclesForDelay(delayNS)
 }
 
 // swDepth returns the longest dependence chain within vs at unit software
 // latency — the serial cycle count the subgraph costs when not packed.
-func (e *explorer) swDepth(vs graph.NodeSet) int {
+// members must hold vs's members in topological order.
+func (e *explorer) swDepth(vs graph.NodeSet, members []int) int {
 	d := e.d
 	if e.depthI == nil {
 		e.depthI = make([]int, d.Len())
 	}
 	depth := e.depthI
 	best := 0
-	for _, v := range e.membersInTopoOrder(vs) {
+	for _, v := range members {
 		in := 0
 		for _, p := range d.G.Preds(v) {
 			if vs.Contains(p) && depth[p] > in {
@@ -145,8 +143,10 @@ func (e *explorer) swDepth(vs graph.NodeSet) int {
 // subgraph may take up to this many cycles without hurting the makespan.
 func (e *explorer) mobility(res *walkResult, vs graph.NodeSet) int {
 	// First operation: the member with the smallest ASAP.
+	members := vs.AppendValues(e.mobMembers[:0])
+	e.mobMembers = members
 	first, bestASAP := -1, 1<<30
-	for _, v := range vs.Values() {
+	for _, v := range members {
 		if e.asap[v] < bestASAP {
 			bestASAP, first = e.asap[v], v
 		}
@@ -167,10 +167,8 @@ func (e *explorer) mobility(res *walkResult, vs graph.NodeSet) int {
 func (e *explorer) refreshMobility() {
 	d := e.d
 	n := d.Len()
-	if e.asap == nil {
-		e.asap = make([]int, n)
-		e.tail = make([]int, n)
-	}
+	e.asap = growInts(e.asap, n)
+	e.tail = growInts(e.tail, n)
 	order := e.topoOrder()
 	for _, v := range order {
 		in := 0
@@ -243,13 +241,13 @@ func (e *explorer) hwMerit(res *walkResult, x int) {
 
 	// Case 3: constraint violations.
 	violated := false
-	if d.In(vs) > e.cfg.ReadPorts || d.Out(vs) > e.cfg.WritePorts {
+	if e.countIn(vs) > e.cfg.ReadPorts || e.countOut(vs) > e.cfg.WritePorts {
 		for j := range hw {
 			e.merit[x][base+j] *= p.BetaIO
 		}
 		violated = true
 	}
-	if !d.IsConvex(vs) {
+	if !d.G.IsConvexScratch(vs, &e.convex) {
 		for j := range hw {
 			e.merit[x][base+j] *= p.BetaConvex
 		}
@@ -259,13 +257,16 @@ func (e *explorer) hwMerit(res *walkResult, x int) {
 		return
 	}
 
-	// Case 4: performance and area shaping.
-	swDepth := e.swDepth(vs)
-	cyclesOf := make([]int, len(hw))
-	areaOf := make([]float64, len(hw))
+	// Case 4: performance and area shaping. One topological member sweep
+	// serves the software-depth and every per-option metric pass.
+	members := e.membersInTopoOrder(vs)
+	swDepth := e.swDepth(vs, members)
+	e.hwCycles = growInts(e.hwCycles, len(hw))
+	e.hwAreas = growFloats(e.hwAreas, len(hw))
+	cyclesOf, areaOf := e.hwCycles, e.hwAreas
 	minCycles, maxArea := 1<<30, 0.0
 	for j := range hw {
-		_, area, cyc := e.vsMetrics(res, vs, x, j)
+		_, area, cyc := e.vsMetrics(res, vs, members, x, j)
 		cyclesOf[j], areaOf[j] = cyc, area
 		if cyc < minCycles {
 			minCycles = cyc
@@ -275,7 +276,7 @@ func (e *explorer) hwMerit(res *walkResult, x int) {
 		}
 	}
 	onCritical := false
-	for _, v := range vs.Values() {
+	for _, v := range members {
 		if res.critical.Contains(v) {
 			onCritical = true
 			break

@@ -2,7 +2,6 @@ package core
 
 import (
 	"math/rand"
-	"sort"
 
 	"repro/internal/aco"
 	"repro/internal/dfg"
@@ -13,7 +12,13 @@ import (
 )
 
 // explorer carries the per-DFG exploration state across rounds and
-// iterations.
+// iterations. One explorer is owned by one exploration worker and reused
+// across the restarts that worker runs (reset puts it back to a fresh
+// restart's state): all the `arena:` annotated fields below are scratch
+// recycled every iteration, so steady-state ant construction and merit
+// sweeps allocate nothing (DESIGN.md §13, TestExploreSteadyStateAllocs).
+// Reuse is pure scratch — which worker runs which restart never affects the
+// restart's result.
 type explorer struct {
 	d   *dfg.DFG
 	cfg machine.Config
@@ -32,7 +37,8 @@ type explorer struct {
 	// off (the common case — a nil tracer's methods are free).
 	tr  *obs.Tracer
 	tid int
-	// evalAssign is evaluate's reusable assignment buffer.
+	// evalAssign is evaluate's reusable assignment buffer. arena: valid
+	// until the next assignmentWith call.
 	evalAssign sched.Assignment
 
 	// fixed are ISEs accepted in earlier rounds; their members no longer
@@ -41,11 +47,16 @@ type explorer struct {
 	fixedGroupOf []int // node -> index into fixed, or -1
 
 	// Option tables for free nodes. Options are indexed software first
-	// (numSW of them), hardware after.
+	// (numSW of them), hardware after. The rows slice two flat backing
+	// arrays sized once per DFG; initTables re-seeds the values each round.
 	trail [][]float64
 	merit [][]float64
 	numSW []int
 	sp    []float64 // scheduling priority per node (child count)
+	// trailBuf and meritBuf back every trail/merit row. arena: resliced by
+	// initTables, owned by the rows for the explorer's lifetime.
+	trailBuf, meritBuf []float64
+	tablesFor          *dfg.DFG // DFG the table structure was built for
 
 	// topo caches the DFG's topological order and topoPos each node's
 	// position in it; asap/tail are per-iteration unit-latency longest-path
@@ -61,6 +72,94 @@ type explorer struct {
 	// between calls. Each restart owns its explorer, keeping them race-free.
 	depthF []float64
 	depthI []int
+
+	// Unit contraction of the accepted ISEs, rebuilt whenever the fixed set
+	// changes (once per round): unit u's members are
+	// unitMembers[unitStart[u]:unitStart[u+1]], unitOf maps node->unit, and
+	// unitSuccs CSR-lists each unit's deduplicated successor units in the
+	// exact first-encounter order walk's retire loop visits them, so the
+	// ready list grows in the same order the per-walk edge consumption used
+	// to produce. unitIndeg0 holds the initial unit indegrees.
+	unitFixedN    int   // len(fixed) the unit arena was built for; -1 forces a rebuild
+	unitStart     []int // arena: rebuilt when the fixed set changes
+	unitMembers   []int // arena: flat unit-member storage
+	unitOf        []int // arena: node -> unit
+	unitSuccStart []int // arena: CSR offsets into unitSuccs
+	unitSuccs     []int // arena: dedup'd successor units, retire order
+	unitIndeg0    []int // arena: initial indegree per unit
+	unitMark      []int // arena: era-stamped dedup marks, one per unit
+	unitEra       int
+
+	// Per-walk scheduling scratch. arena: reused every iteration.
+	wres       walkResult   // arena: the iteration result walk returns
+	table      *sched.Table // reusable reservation table
+	indeg      []int        // arena: per-unit remaining dependence count
+	doneCycle  []int        // arena: completion cycle per node, 0 = unscheduled
+	issueCycle []int        // arena: issue cycle per node
+	issued     []bool       // arena: per-unit issued flag
+	ready      []int        // arena: the walk's ready list
+	entUnit    []int        // arena: Ready-Matrix entry units
+	entOpt     []int        // arena: Ready-Matrix entry options
+	entW       []float64    // arena: Ready-Matrix entry weights
+
+	// criticalNodes scratch: the final contraction (iteration groups, fixed
+	// ISEs, software singles) and its longest-path sweep. arena: reused
+	// every iteration.
+	cFinalOf   []int // arena: node -> final unit
+	cLats      []int // arena: latency per final unit
+	cSuccStart []int // arena: CSR offsets, successors
+	cSuccs     []int // arena: successor units (duplicates allowed)
+	cPredStart []int // arena: CSR offsets, predecessors
+	cPreds     []int // arena: predecessor units (duplicates allowed)
+	cCurA      []int // arena: successor fill cursors
+	cCurB      []int // arena: predecessor fill cursors
+	cIndeg     []int // arena: topo indegrees
+	cOrder     []int // arena: FIFO topo order
+	cDown      []int // arena: downward longest path
+	cUp        []int // arena: upward longest path
+
+	// IN/OUT counting scratch: ioMark era-stamps dedup keys (producer node
+	// id, or Len()+register for live-ins), ioMembers holds the queried set's
+	// members. Replaces dfg.In/Out's per-call map on the packing hot path.
+	ioMark    []int // arena: era-stamped operand dedup marks
+	ioMembers []int // arena: member extraction buffer
+	ioEra     int
+	ioMarkFor *dfg.DFG // DFG ioMark was sized for
+
+	// Merit-sweep scratch. arena: reused for every node's hardware shaping.
+	vsSet      graph.NodeSet // arena: virtualSubgraph's result set
+	vsStack    []int         // arena: virtualSubgraph's DFS stack
+	vsMembers  []int         // arena: membersInTopoOrder's result
+	mobMembers []int         // arena: mobility's member extraction buffer
+	hwCycles   []int         // arena: per-option subgraph cycles
+	hwAreas    []float64     // arena: per-option subgraph areas
+	spw        []float64     // arena: spWeights' result
+	convex     graph.Scratch // reusable convexity-check traversal buffers
+}
+
+// reset rebinds a pooled explorer to one restart's inputs, keeping every
+// warmed arena. Restart-scoped state (accepted ISEs, priorities, unit
+// contraction) is reinitialized; per-iteration scratch needs none — each use
+// fully overwrites it.
+func (e *explorer) reset(d *dfg.DFG, cfg machine.Config, p Params, rng *rand.Rand, rngSrc *aco.CountingSource, cache *EvalCache, kern *sched.Scheduler, tr *obs.Tracer, tid int) {
+	if e.d != d {
+		e.topo, e.topoPos = nil, nil
+		e.tablesFor = nil
+		e.ioMarkFor = nil
+	}
+	e.d, e.cfg, e.p = d, cfg, p
+	e.rng, e.rngSrc = rng, rngSrc
+	e.cache, e.kern = cache, kern
+	e.tr, e.tid = tr, tid
+	e.fixed = e.fixed[:0]
+	n := d.Len()
+	e.fixedGroupOf = growInts(e.fixedGroupOf, n)
+	for i := range e.fixedGroupOf {
+		e.fixedGroupOf[i] = -1
+	}
+	e.sp = growFloats(e.sp, n)
+	e.unitFixedN = -1
+	e.initPriority()
 }
 
 // topoOrder returns the cached topological order of the DFG.
@@ -81,17 +180,99 @@ func (e *explorer) topoOrder() []int {
 
 // membersInTopoOrder returns the members of vs sorted by topological
 // position, so subgraph longest-path sweeps touch |vs| nodes instead of
-// rescanning the whole DFG.
+// rescanning the whole DFG. The result aliases the explorer's arena and is
+// valid until the next call.
 func (e *explorer) membersInTopoOrder(vs graph.NodeSet) []int {
 	e.topoOrder()
-	members := vs.Values()
-	sort.Slice(members, func(i, j int) bool {
-		return e.topoPos[members[i]] < e.topoPos[members[j]]
-	})
+	members := vs.AppendValues(e.vsMembers[:0])
+	// Insertion sort by (unique) topological position: members are already
+	// nearly sorted (node ids follow program order) and small, and unlike
+	// sort.Slice this allocates nothing.
+	for i := 1; i < len(members); i++ {
+		v := members[i]
+		j := i - 1
+		for j >= 0 && e.topoPos[members[j]] > e.topoPos[v] {
+			members[j+1] = members[j]
+			j--
+		}
+		members[j+1] = v
+	}
+	e.vsMembers = members
+	//lint:ignore arenaescape callers consume the member list before the next membersInTopoOrder call
 	return members
 }
 
+// countIn is dfg.In without the per-call map: the number of distinct
+// register values s consumes from outside itself, deduplicated with
+// era-stamped marks (external producers by node id, live-in operands by
+// register).
+func (e *explorer) countIn(s graph.NodeSet) int {
+	d := e.d
+	n := d.Len()
+	if e.ioMarkFor != d {
+		need := n
+		for i := range d.Nodes {
+			for _, src := range d.Nodes[i].Inputs {
+				if src.Producer < 0 && n+int(src.Reg) >= need {
+					need = n + int(src.Reg) + 1
+				}
+			}
+		}
+		// Stale marks hold earlier eras and never collide: ioEra only grows.
+		e.ioMark = growInts(e.ioMark, need)
+		e.ioMarkFor = d
+	}
+	e.ioEra++
+	era := e.ioEra
+	members := s.AppendValues(e.ioMembers[:0])
+	e.ioMembers = members
+	in := 0
+	for _, id := range members {
+		for _, src := range d.Nodes[id].Inputs {
+			if src.Producer >= 0 && s.Contains(src.Producer) {
+				continue // internal value
+			}
+			idx := n + int(src.Reg)
+			if src.Producer >= 0 {
+				idx = src.Producer // identified by producer alone
+			}
+			if e.ioMark[idx] != era {
+				e.ioMark[idx] = era
+				in++
+			}
+		}
+	}
+	return in
+}
+
+// countOut is dfg.Out without the member-slice allocation: the number of
+// nodes in s whose value escapes s.
+func (e *explorer) countOut(s graph.NodeSet) int {
+	d := e.d
+	members := s.AppendValues(e.ioMembers[:0])
+	e.ioMembers = members
+	out := 0
+	for _, id := range members {
+		node := d.Nodes[id]
+		escapes := node.LiveOut
+		if !escapes {
+			for _, succ := range node.DataSuccs {
+				if !s.Contains(succ) {
+					escapes = true
+					break
+				}
+			}
+		}
+		if escapes {
+			out++
+		}
+	}
+	return out
+}
+
 // walkGroup is an ISE instruction formed during one iteration's ant walk.
+// Groups live as values in walkResult.groups; their member sets are pooled
+// across iterations (appendGroup resets a truncated slot's bitmap in place).
 type walkGroup struct {
 	index   int // position in walkResult.groups, set at creation
 	nodes   graph.NodeSet
@@ -102,13 +283,15 @@ type walkGroup struct {
 	delayNS float64
 }
 
-// walkResult captures one iteration's constructed schedule.
+// walkResult captures one iteration's constructed schedule. It is the
+// explorer's per-iteration arena: walk returns the same instance every call,
+// and each caller consumes it before the next walk.
 type walkResult struct {
 	tet      int
 	chosen   []int // option index per node (-1 for fixed members / none)
 	orderPos []int // scheduling position of each node's unit
 	groupOf  []int // iteration group per node, -1 if software/fixed
-	groups   []*walkGroup
+	groups   []walkGroup
 	critical graph.NodeSet
 	depthNS  []float64 // combinational depth of each HW node within its group
 }
@@ -121,70 +304,140 @@ func (e *explorer) hwDelay(x, o int) float64 {
 	return e.d.Nodes[x].HW[o-e.numSW[x]].DelayNS
 }
 
-// units returns the contraction of the DFG into schedulable units: each
-// fixed ISE is one unit, every other node its own. unitNodes[u] lists member
-// nodes; unitOf maps node->unit.
-func (e *explorer) units() (unitNodes [][]int, unitOf []int) {
-	n := e.d.Len()
-	unitOf = make([]int, n)
-	for i := range unitOf {
-		unitOf[i] = -1
+// ensureUnits (re)builds the contraction of the DFG into schedulable units —
+// each fixed ISE one unit, every other node its own — plus the per-unit
+// successor CSR walk's retire loop consumes. Units only change when an ISE
+// is accepted, so this runs once per round, not per iteration.
+func (e *explorer) ensureUnits() {
+	d := e.d
+	n := d.Len()
+	if e.unitFixedN == len(e.fixed) && len(e.unitStart) > 0 && len(e.unitOf) == n {
+		return
 	}
+	e.unitFixedN = len(e.fixed)
+	e.unitOf = growInts(e.unitOf, n)
+	for i := range e.unitOf {
+		e.unitOf[i] = -1
+	}
+	starts := e.unitStart[:0]
+	mem := e.unitMembers[:0]
+	nu := 0
 	for _, f := range e.fixed {
-		u := len(unitNodes)
-		unitNodes = append(unitNodes, f.Nodes.Values())
-		for _, v := range f.Nodes.Values() {
-			unitOf[v] = u
+		starts = append(starts, len(mem))
+		mem = f.Nodes.AppendValues(mem)
+		for _, v := range mem[starts[nu]:] {
+			e.unitOf[v] = nu
 		}
+		nu++
 	}
 	for i := 0; i < n; i++ {
-		if unitOf[i] < 0 {
-			unitOf[i] = len(unitNodes)
-			unitNodes = append(unitNodes, []int{i})
+		if e.unitOf[i] < 0 {
+			e.unitOf[i] = nu
+			starts = append(starts, len(mem))
+			mem = append(mem, i)
+			nu++
 		}
 	}
-	return unitNodes, unitOf
+	starts = append(starts, len(mem))
+	e.unitStart, e.unitMembers = starts, mem
+
+	// Dedup'd successor units per unit, in the first-encounter order of the
+	// retire loop (members in unit order, node successors in edge order):
+	// consuming this list once per retired unit reproduces the edge-set
+	// bookkeeping the per-walk map used to do, with identical ready-list
+	// growth order — the order the deterministic random stream depends on.
+	e.unitMark = growInts(e.unitMark, nu)
+	e.unitIndeg0 = growInts(e.unitIndeg0, nu)
+	for u := 0; u < nu; u++ {
+		e.unitIndeg0[u] = 0
+	}
+	sstart := e.unitSuccStart[:0]
+	succs := e.unitSuccs[:0]
+	for u := 0; u < nu; u++ {
+		sstart = append(sstart, len(succs))
+		e.unitEra++
+		era := e.unitEra
+		for _, x := range mem[starts[u]:starts[u+1]] {
+			for _, v := range d.G.Succs(x) {
+				b := e.unitOf[v]
+				if b == u || e.unitMark[b] == era {
+					continue
+				}
+				e.unitMark[b] = era
+				succs = append(succs, b)
+				e.unitIndeg0[b]++
+			}
+		}
+	}
+	sstart = append(sstart, len(succs))
+	e.unitSuccStart, e.unitSuccs = sstart, succs
+}
+
+// appendGroup opens a fresh group slot in res.groups, reusing the pooled
+// member-set backing of a previously truncated slot when one is available.
+func (e *explorer) appendGroup(res *walkResult) *walkGroup {
+	gi := len(res.groups)
+	if gi < cap(res.groups) {
+		res.groups = res.groups[:gi+1]
+	} else {
+		res.groups = append(res.groups, walkGroup{})
+	}
+	g := &res.groups[gi]
+	g.index = gi
+	g.nodes.Reset(e.d.Len())
+	g.cycle, g.lat, g.reads, g.writes, g.delayNS = 0, 0, 0, 0, 0
+	return g
 }
 
 // walk runs one iteration: it constructs a complete schedule by repeatedly
 // selecting an (operation, implementation option) from the Ready-Matrix with
 // the chosen probability of Eq. 1 and scheduling it per Figs. 4.3.3/4.3.4.
+// The returned result is the explorer's reusable iteration arena, valid
+// until the next walk.
 func (e *explorer) walk() *walkResult {
 	d := e.d
 	n := d.Len()
-	unitNodes, unitOf := e.units()
-	nu := len(unitNodes)
+	e.ensureUnits()
+	nu := len(e.unitStart) - 1
+
+	res := &e.wres
+	res.tet = 0
+	res.chosen = growInts(res.chosen, n)
+	res.orderPos = growInts(res.orderPos, n)
+	res.groupOf = growInts(res.groupOf, n)
+	res.depthNS = growFloats(res.depthNS, n)
+	for i := 0; i < n; i++ {
+		res.chosen[i] = -1
+		res.orderPos[i] = 0
+		res.groupOf[i] = -1
+		res.depthNS[i] = 0
+	}
+	res.groups = res.groups[:0]
+
+	if e.table == nil {
+		e.table = sched.NewTable(e.cfg)
+	} else {
+		e.table.Reuse(e.cfg)
+	}
+	table := e.table
 
 	// Unit dependence counts.
-	indeg := make([]int, nu)
-	seen := map[[2]int]bool{}
-	for u := 0; u < n; u++ {
-		for _, v := range d.G.Succs(u) {
-			a, b := unitOf[u], unitOf[v]
-			if a == b || seen[[2]int{a, b}] {
-				continue
-			}
-			seen[[2]int{a, b}] = true
-			indeg[b]++
-		}
-	}
+	e.indeg = growInts(e.indeg, nu)
+	copy(e.indeg, e.unitIndeg0)
+	indeg := e.indeg
 
-	res := &walkResult{
-		chosen:   make([]int, n),
-		orderPos: make([]int, n),
-		groupOf:  make([]int, n),
-		depthNS:  make([]float64, n),
+	e.doneCycle = growInts(e.doneCycle, n) // completion cycle, 0 = unscheduled
+	e.issueCycle = growInts(e.issueCycle, n)
+	for i := 0; i < n; i++ {
+		e.doneCycle[i], e.issueCycle[i] = 0, 0
 	}
-	for i := range res.chosen {
-		res.chosen[i] = -1
-		res.groupOf[i] = -1
+	doneCycle, issueCycle := e.doneCycle, e.issueCycle
+	e.issued = growBools(e.issued, nu)
+	issued := e.issued
+	for u := 0; u < nu; u++ {
+		issued[u] = false
 	}
-
-	table := sched.NewTable(e.cfg)
-	doneCycle := make([]int, n) // completion cycle, 0 = unscheduled
-	issued := make([]bool, nu)
-	issueCycle := make([]int, n)
-	var ready []int
+	ready := e.ready[:0]
 	for u := 0; u < nu; u++ {
 		if indeg[u] == 0 {
 			ready = append(ready, u)
@@ -194,27 +447,23 @@ func (e *explorer) walk() *walkResult {
 	pos := 0
 	for len(ready) > 0 {
 		// Ready-Matrix: every implementation option of every ready unit.
-		type entry struct {
-			unit, opt int
-			weight    float64
-		}
-		var entries []entry
+		entU, entO, weights := e.entUnit[:0], e.entOpt[:0], e.entW[:0]
 		for _, u := range ready {
-			if len(unitNodes[u]) > 1 || e.fixedGroupOf[unitNodes[u][0]] >= 0 {
+			um := e.unitMembers[e.unitStart[u]:e.unitStart[u+1]]
+			if len(um) > 1 || e.fixedGroupOf[um[0]] >= 0 {
 				// Fixed ISE pseudo-operation: single implied option.
-				entries = append(entries, entry{u, -1, e.p.InitMeritHW})
+				entU, entO = append(entU, u), append(entO, -1)
+				weights = append(weights, e.p.InitMeritHW)
 				continue
 			}
-			x := unitNodes[u][0]
+			x := um[0]
 			for o := range e.trail[x] {
 				w := e.p.Alpha*e.trail[x][o] + (1-e.p.Alpha)*e.merit[x][o] + e.p.Lambda*e.sp[x]
-				entries = append(entries, entry{u, o, w})
+				entU, entO = append(entU, u), append(entO, o)
+				weights = append(weights, w)
 			}
 		}
-		weights := make([]float64, len(entries))
-		for i, en := range entries {
-			weights[i] = en.weight
-		}
+		e.entUnit, e.entOpt, e.entW = entU, entO, weights
 		var pickIdx int
 		if e.p.Greedy {
 			for i := 1; i < len(weights); i++ {
@@ -225,14 +474,14 @@ func (e *explorer) walk() *walkResult {
 		} else {
 			pickIdx = selectWeighted(e.rng, weights)
 		}
-		pick := entries[pickIdx]
-		u := pick.unit
+		u, pickOpt := entU[pickIdx], entO[pickIdx]
+		um := e.unitMembers[e.unitStart[u]:e.unitStart[u+1]]
 
 		// LTS: latest completion among predecessors (0 if none).
 		lts, lp := 0, -1
-		for _, x := range unitNodes[u] {
+		for _, x := range um {
 			for _, p := range d.G.Preds(x) {
-				if unitOf[p] == u {
+				if e.unitOf[p] == u {
 					continue
 				}
 				if doneCycle[p] >= lts {
@@ -243,23 +492,23 @@ func (e *explorer) walk() *walkResult {
 		}
 
 		switch {
-		case pick.opt < 0:
+		case pickOpt < 0:
 			// Fixed ISE group.
-			f := e.fixed[e.fixedGroupOf[unitNodes[u][0]]]
+			f := e.fixed[e.fixedGroupOf[um[0]]]
 			cts := lts + 1
 			for !table.FitsNewISE(cts, f.Cycles, f.In, f.Out) {
 				cts++
 			}
 			table.ReserveNewISE(cts, f.Cycles, f.In, f.Out)
-			for _, x := range unitNodes[u] {
+			for _, x := range um {
 				issueCycle[x] = cts
 				doneCycle[x] = cts + f.Cycles - 1
 				res.orderPos[x] = pos
 			}
-		case !e.isHWOption(unitNodes[u][0], pick.opt):
+		case !e.isHWOption(um[0], pickOpt):
 			// Software Operation-Scheduling (Fig. 4.3.3).
-			x := unitNodes[u][0]
-			class := d.Nodes[x].SW[pick.opt].Class
+			x := um[0]
+			class := d.Nodes[x].SW[pickOpt].Class
 			reads, writes := len(d.Nodes[x].Inputs), 0
 			if _, ok := d.Nodes[x].Instr.Defs(); ok {
 				writes = 1
@@ -269,45 +518,43 @@ func (e *explorer) walk() *walkResult {
 				cts++
 			}
 			table.ReserveSW(cts, class, reads, writes)
-			res.chosen[x] = pick.opt
+			res.chosen[x] = pickOpt
 			issueCycle[x] = cts
-			doneCycle[x] = cts + d.Nodes[x].SW[pick.opt].Cycles - 1
+			doneCycle[x] = cts + d.Nodes[x].SW[pickOpt].Cycles - 1
 			res.orderPos[x] = pos
 		default:
 			// Hardware Operation-Scheduling (Fig. 4.3.4): try to pack with
 			// the latest parent's iteration ISE, else open a new one.
-			x := unitNodes[u][0]
-			e.scheduleHW(res, table, x, pick.opt, lts, lp, doneCycle, issueCycle)
+			x := um[0]
+			e.scheduleHW(res, table, x, pickOpt, lts, lp, doneCycle, issueCycle)
 			res.orderPos[x] = pos
 		}
 		pos++
 
-		// Retire the unit, release successors.
+		// Retire the unit, release successors. The CSR list visits each
+		// dependent unit exactly once, in the first-encounter order the
+		// per-walk edge map used to consume — preserving the ready list's
+		// growth order and with it the deterministic random stream.
 		issued[u] = true
 		ready = removeUnit(ready, u)
-		for _, x := range unitNodes[u] {
-			for _, v := range d.G.Succs(x) {
-				b := unitOf[v]
-				if b == u || issued[b] {
-					continue
-				}
-				if seen[[2]int{u, b}] {
-					seen[[2]int{u, b}] = false // consume the edge once
-					indeg[b]--
-					if indeg[b] == 0 {
-						ready = append(ready, b)
-					}
-				}
+		for _, b := range e.unitSuccs[e.unitSuccStart[u]:e.unitSuccStart[u+1]] {
+			if issued[b] {
+				continue
+			}
+			indeg[b]--
+			if indeg[b] == 0 {
+				ready = append(ready, b)
 			}
 		}
 	}
+	e.ready = ready
 
 	for _, c := range doneCycle {
 		if c > res.tet {
 			res.tet = c
 		}
 	}
-	res.critical = e.criticalNodes(res, unitNodes, unitOf)
+	e.criticalNodes(res)
 	return res
 }
 
@@ -316,10 +563,9 @@ func (e *explorer) walk() *walkResult {
 // group's issue cycle; otherwise issue a fresh single-operation ISE after
 // lts.
 func (e *explorer) scheduleHW(res *walkResult, table *sched.Table, x, opt, lts, lp int, doneCycle, issueCycle []int) {
-	d := e.d
 	delay := e.hwDelay(x, opt)
 	if lp >= 0 && res.groupOf[lp] >= 0 {
-		g := res.groups[res.groupOf[lp]]
+		g := &res.groups[res.groupOf[lp]]
 		c := g.cycle
 		if e.tryPack(res, table, g, x, opt, delay, c, doneCycle, issueCycle) {
 			res.chosen[x] = opt
@@ -328,16 +574,16 @@ func (e *explorer) scheduleHW(res *walkResult, table *sched.Table, x, opt, lts, 
 	}
 	// New single-op ISE.
 	lat := sched.CyclesForDelay(delay)
-	single := graph.NodeSetOf(d.Len(), x)
-	reads, writes := d.In(single), d.Out(single)
+	g := e.appendGroup(res)
+	g.nodes.Add(x)
+	reads, writes := e.countIn(g.nodes), e.countOut(g.nodes)
 	cts := lts + 1
 	for !table.FitsNewISE(cts, lat, reads, writes) {
 		cts++
 	}
 	table.ReserveNewISE(cts, lat, reads, writes)
-	g := &walkGroup{index: len(res.groups), nodes: single, cycle: cts, lat: lat, reads: reads, writes: writes, delayNS: delay}
+	g.cycle, g.lat, g.reads, g.writes, g.delayNS = cts, lat, reads, writes, delay
 	res.groupOf[x] = g.index
-	res.groups = append(res.groups, g)
 	res.chosen[x] = opt
 	res.depthNS[x] = delay
 	issueCycle[x] = cts
@@ -345,6 +591,10 @@ func (e *explorer) scheduleHW(res *walkResult, table *sched.Table, x, opt, lts, 
 }
 
 // tryPack attempts to grow group g with node x at the group's issue cycle c.
+// The member set is grown in place and rolled back on failure; x cannot have
+// scheduled consumers (its own unit is only being issued now), so the grown
+// set is interchangeable with the pre-grown one for every membership test
+// below.
 func (e *explorer) tryPack(res *walkResult, table *sched.Table, g *walkGroup, x, opt int, delay float64, c int, doneCycle, issueCycle []int) bool {
 	d := e.d
 	// Every external operand of x must be available before c.
@@ -372,28 +622,30 @@ func (e *explorer) tryPack(res *walkResult, table *sched.Table, g *walkGroup, x,
 	if e.p.MaxISECycles > 0 && newLat > e.p.MaxISECycles {
 		return false
 	}
-	grown := g.nodes.Clone()
-	grown.Add(x)
-	newReads, newWrites := d.In(grown), d.Out(grown)
+	g.nodes.Add(x)
+	newReads, newWrites := e.countIn(g.nodes), e.countOut(g.nodes)
 	if !table.FitsISEUpdate(c, g.lat, newLat, g.reads, newReads, g.writes, newWrites) {
+		g.nodes.Remove(x)
 		return false
 	}
 	// Extending the latency must not invalidate already scheduled consumers
 	// of the group's results.
 	if newLat > g.lat {
-		for _, m := range g.nodes.Values() {
+		members := g.nodes.AppendValues(e.ioMembers[:0])
+		e.ioMembers = members
+		for _, m := range members {
 			for _, y := range d.Nodes[m].DataSuccs {
-				if grown.Contains(y) || doneCycle[y] == 0 {
+				if g.nodes.Contains(y) || doneCycle[y] == 0 {
 					continue
 				}
 				if issueCycle[y] < c+newLat {
+					g.nodes.Remove(x)
 					return false
 				}
 			}
 		}
 	}
 	table.UpdateISE(c, g.lat, newLat, g.reads, newReads, g.writes, newWrites)
-	g.nodes = grown
 	g.lat = newLat
 	g.reads, g.writes = newReads, newWrites
 	g.delayNS = newDelay
@@ -401,7 +653,9 @@ func (e *explorer) tryPack(res *walkResult, table *sched.Table, g *walkGroup, x,
 	res.depthNS[x] = depth
 	issueCycle[x] = c
 	done := c + newLat - 1
-	for _, m := range g.nodes.Values() {
+	members := g.nodes.AppendValues(e.ioMembers[:0])
+	e.ioMembers = members
+	for _, m := range members {
 		doneCycle[m] = done
 	}
 	return true
@@ -409,32 +663,37 @@ func (e *explorer) tryPack(res *walkResult, table *sched.Table, g *walkGroup, x,
 
 // criticalNodes computes the latency-weighted critical path of the
 // iteration's contracted schedule graph (walk groups, fixed ISEs, software
-// nodes) and marks member nodes.
-func (e *explorer) criticalNodes(res *walkResult, unitNodes [][]int, unitOf []int) graph.NodeSet {
+// nodes) and marks member nodes in res.critical. Duplicate contracted edges
+// (several node edges between one unit pair) are kept: the indegree
+// bookkeeping counts them consistently and the longest-path sweeps take
+// maxima, so deduplication would only cost time.
+func (e *explorer) criticalNodes(res *walkResult) {
 	d := e.d
 	n := d.Len()
 	// Final contraction: iteration groups override the unit view for free
 	// HW nodes.
-	finalOf := make([]int, n)
-	var members [][]int
-	var lats []int
-	addUnit := func(nodes []int, lat int) int {
-		id := len(members)
-		members = append(members, nodes)
-		lats = append(lats, lat)
-		for _, v := range nodes {
-			finalOf[v] = id
-		}
-		return id
-	}
+	e.cFinalOf = growInts(e.cFinalOf, n)
+	finalOf := e.cFinalOf
 	for i := range finalOf {
 		finalOf[i] = -1
 	}
-	for _, g := range res.groups {
-		addUnit(g.nodes.Values(), g.lat)
+	lats := e.cLats[:0]
+	for gi := range res.groups {
+		g := &res.groups[gi]
+		members := g.nodes.AppendValues(e.ioMembers[:0])
+		e.ioMembers = members
+		for _, v := range members {
+			finalOf[v] = len(lats)
+		}
+		lats = append(lats, g.lat)
 	}
 	for _, f := range e.fixed {
-		addUnit(f.Nodes.Values(), f.Cycles)
+		members := f.Nodes.AppendValues(e.ioMembers[:0])
+		e.ioMembers = members
+		for _, v := range members {
+			finalOf[v] = len(lats)
+		}
+		lats = append(lats, f.Cycles)
 	}
 	for i := 0; i < n; i++ {
 		if finalOf[i] < 0 {
@@ -442,31 +701,86 @@ func (e *explorer) criticalNodes(res *walkResult, unitNodes [][]int, unitOf []in
 			if res.chosen[i] >= 0 && !e.isHWOption(i, res.chosen[i]) {
 				lat = d.Nodes[i].SW[res.chosen[i]].Cycles
 			}
-			addUnit([]int{i}, lat)
+			finalOf[i] = len(lats)
+			lats = append(lats, lat)
 		}
 	}
-	nu := len(members)
-	succs := make([][]int, nu)
-	preds := make([][]int, nu)
-	seen := map[[2]int]bool{}
+	e.cLats = lats
+	nu := len(lats)
+
+	// Contracted edge CSR (with duplicates), built by counting sort.
+	e.cSuccStart = growInts(e.cSuccStart, nu+1)
+	e.cPredStart = growInts(e.cPredStart, nu+1)
+	sStart, pStart := e.cSuccStart, e.cPredStart
+	for i := 0; i <= nu; i++ {
+		sStart[i], pStart[i] = 0, 0
+	}
+	total := 0
 	for u := 0; u < n; u++ {
+		a := finalOf[u]
 		for _, v := range d.G.Succs(u) {
-			a, b := finalOf[u], finalOf[v]
-			if a == b || seen[[2]int{a, b}] {
-				continue
+			if b := finalOf[v]; a != b {
+				sStart[a+1]++
+				pStart[b+1]++
+				total++
 			}
-			seen[[2]int{a, b}] = true
-			succs[a] = append(succs[a], b)
-			preds[b] = append(preds[b], a)
 		}
 	}
-	down := make([]int, nu)
-	up := make([]int, nu)
-	order := topoUnits(nu, succs, preds)
+	for i := 0; i < nu; i++ {
+		sStart[i+1] += sStart[i]
+		pStart[i+1] += pStart[i]
+	}
+	e.cSuccs = growInts(e.cSuccs, total)
+	e.cPreds = growInts(e.cPreds, total)
+	succs, preds := e.cSuccs, e.cPreds
+	e.cCurA = growInts(e.cCurA, nu)
+	e.cCurB = growInts(e.cCurB, nu)
+	curA, curB := e.cCurA, e.cCurB
+	copy(curA, sStart[:nu])
+	copy(curB, pStart[:nu])
+	for u := 0; u < n; u++ {
+		a := finalOf[u]
+		for _, v := range d.G.Succs(u) {
+			if b := finalOf[v]; a != b {
+				succs[curA[a]] = b
+				curA[a]++
+				preds[curB[b]] = a
+				curB[b]++
+			}
+		}
+	}
+
+	// FIFO topological order over the contraction.
+	e.cIndeg = growInts(e.cIndeg, nu)
+	e.cOrder = growInts(e.cOrder, nu)
+	indeg, order := e.cIndeg, e.cOrder
+	qt := 0
+	for m := 0; m < nu; m++ {
+		indeg[m] = pStart[m+1] - pStart[m]
+		if indeg[m] == 0 {
+			order[qt] = m
+			qt++
+		}
+	}
+	for qh := 0; qh < qt; qh++ {
+		m := order[qh]
+		for _, s := range succs[sStart[m]:sStart[m+1]] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				order[qt] = s
+				qt++
+			}
+		}
+	}
+
+	e.cDown = growInts(e.cDown, nu)
+	e.cUp = growInts(e.cUp, nu)
+	down, up := e.cDown, e.cUp
 	best := 0
-	for _, m := range order {
+	for i := 0; i < nu; i++ {
+		m := order[i]
 		in := 0
-		for _, p := range preds[m] {
+		for _, p := range preds[pStart[m]:pStart[m+1]] {
 			if down[p] > in {
 				in = down[p]
 			}
@@ -479,64 +793,33 @@ func (e *explorer) criticalNodes(res *walkResult, unitNodes [][]int, unitOf []in
 	for i := nu - 1; i >= 0; i-- {
 		m := order[i]
 		out := 0
-		for _, s := range succs[m] {
+		for _, s := range succs[sStart[m]:sStart[m+1]] {
 			if up[s] > out {
 				out = up[s]
 			}
 		}
 		up[m] = out + lats[m]
 	}
-	crit := graph.NewNodeSet(n)
-	for m := 0; m < nu; m++ {
+	res.critical.Reset(n)
+	for v := 0; v < n; v++ {
+		m := finalOf[v]
 		if down[m]+up[m]-lats[m] == best {
-			for _, v := range members[m] {
-				crit.Add(v)
-			}
+			res.critical.Add(v)
 		}
 	}
-	return crit
 }
 
-func topoUnits(n int, succs, preds [][]int) []int {
-	indeg := make([]int, n)
-	for m := 0; m < n; m++ {
-		indeg[m] = len(preds[m])
-	}
-	var ready, order []int
-	for m := 0; m < n; m++ {
-		if indeg[m] == 0 {
-			ready = append(ready, m)
-		}
-	}
-	for len(ready) > 0 {
-		m := ready[0]
-		ready = ready[1:]
-		order = append(order, m)
-		for _, s := range succs[m] {
-			indeg[s]--
-			if indeg[s] == 0 {
-				ready = append(ready, s)
-			}
-		}
-	}
-	return order
-}
-
-// removeUnit returns s without unit v. Ordering contract: the ready list's
-// order feeds the Ready-Matrix and through it the deterministic random
-// stream, so removal must preserve the relative order of the surviving
-// units. The result is always a fresh slice — an in-place append over
-// s[:i] would clobber the shared backing array that earlier aliases of the
-// ready list may still reference.
+// removeUnit deletes unit v from s in place, preserving the relative order
+// of the surviving units: the ready list's order feeds the Ready-Matrix and
+// through it the deterministic random stream. In-place compaction is safe —
+// the ready list lives only in walk's frame, is reassigned with the return
+// value, and has no other alias.
 func removeUnit(s []int, v int) []int {
 	for i, x := range s {
-		if x != v {
-			continue
+		if x == v {
+			//lint:ignore sliceclobber ready list is walk-local; the caller reassigns the result and holds no other alias
+			return append(s[:i], s[i+1:]...)
 		}
-		out := make([]int, 0, len(s)-1)
-		out = append(out, s[:i]...)
-		out = append(out, s[i+1:]...)
-		return out
 	}
 	return s
 }

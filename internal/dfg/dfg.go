@@ -7,6 +7,8 @@ package dfg
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 	"strings"
 	"sync"
 
@@ -64,6 +66,11 @@ type DFG struct {
 	reach []graph.NodeSet
 	// reachDone marks filled entries of reach; guarded by reachMu.
 	reachDone []bool
+
+	// fp is the lazily computed content fingerprint; fpOnce ensures the
+	// computation runs at most once and publishes fp safely.
+	fpOnce sync.Once
+	fp     [2]uint64
 }
 
 // Build constructs the DFG of block blockIdx of p, weighted by weight.
@@ -151,6 +158,65 @@ func appendUnique(s []int, v int) []int {
 
 // Len returns the number of operations.
 func (d *DFG) Len() int { return len(d.Nodes) }
+
+// Fingerprint returns a 128-bit content hash of everything a schedule of
+// this DFG can depend on: the name, the per-node implementation-option
+// tables, input sources, data successors, live-out flags, and both edge
+// sets. Two DFGs with equal fingerprints are interchangeable for schedule
+// evaluation (up to the ~2^-128 collision probability of the two independent
+// multiply-mix chains), so caches may key on the fingerprint instead of the
+// (non-unique) name. Computed once per DFG and safe for concurrent use.
+func (d *DFG) Fingerprint() [2]uint64 {
+	d.fpOnce.Do(func() {
+		h1, h2 := uint64(14695981039346656037), uint64(0x9e3779b97f4a7c15)
+		mix := func(v uint64) {
+			h1 = (h1 ^ v) * 1099511628211
+			h2 = (h2 ^ bits.RotateLeft64(v, 31)) * 0xff51afd7ed558ccd
+		}
+		for i := 0; i < len(d.Name); i++ {
+			mix(uint64(d.Name[i]))
+		}
+		mix(uint64(len(d.Nodes)))
+		for _, n := range d.Nodes {
+			mix(uint64(n.Instr.Op))
+			mix(uint64(len(n.SW)))
+			for _, o := range n.SW {
+				mix(uint64(o.Cycles))
+				mix(uint64(o.Class))
+			}
+			mix(uint64(len(n.HW)))
+			for _, o := range n.HW {
+				mix(math.Float64bits(o.DelayNS))
+				mix(math.Float64bits(o.AreaUM2))
+			}
+			mix(uint64(len(n.Inputs)))
+			for _, src := range n.Inputs {
+				mix(uint64(int64(src.Producer)))
+				mix(uint64(src.Reg))
+			}
+			mix(uint64(len(n.DataSuccs)))
+			for _, s := range n.DataSuccs {
+				mix(uint64(s))
+			}
+			if n.LiveOut {
+				mix(1)
+			} else {
+				mix(0)
+			}
+		}
+		for _, g := range []*graph.Graph{d.G, d.Data} {
+			for u := 0; u < g.Len(); u++ {
+				ss := g.Succs(u)
+				mix(uint64(len(ss)))
+				for _, v := range ss {
+					mix(uint64(v))
+				}
+			}
+		}
+		d.fp = [2]uint64{h1, h2}
+	})
+	return d.fp
+}
 
 // In returns IN(S): the number of distinct register values the subgraph
 // consumes from outside itself — reads of the ISE's register operands.

@@ -73,6 +73,20 @@ func (s NodeSet) Values() []int {
 	return out
 }
 
+// AppendValues appends the members in increasing order to dst and returns
+// the extended slice. It is the allocation-free counterpart of Values for
+// arena-style callers that own a reusable buffer.
+func (s NodeSet) AppendValues(dst []int) []int {
+	for w, word := range s.bits {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			dst = append(dst, w*64+b)
+			word &^= 1 << uint(b)
+		}
+	}
+	return dst
+}
+
 // Reset reinitializes s in place to an empty set able to hold IDs in
 // [0, capacity), reusing the backing array when it is large enough. It is the
 // allocation-free counterpart of NewNodeSet for arena-style reuse.

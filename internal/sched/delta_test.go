@@ -1,0 +1,152 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dfg"
+	"repro/internal/machine"
+	"repro/internal/randprog"
+)
+
+// mutateOneGroup returns a copy of a that differs in exactly one ISE group —
+// the exploration's evaluate pattern and delta-scheduling's target case. The
+// mutation picks one of: demote a whole group to software, demote one member,
+// grow a group by one software node, change one member's hardware option, or
+// open a fresh small group. Results may be invalid (non-convex, interlocked,
+// over-ported); the kernel must match the reference either way.
+func mutateOneGroup(r *rand.Rand, d *dfg.DFG, a Assignment) Assignment {
+	out := append(Assignment(nil), a...)
+	var gids []int
+	seen := map[int]bool{}
+	for _, c := range out {
+		if c.Kind == KindHW && !seen[c.Group] {
+			seen[c.Group] = true
+			gids = append(gids, c.Group)
+		}
+	}
+	newGroup := func() {
+		g := 0
+		for seen[g] {
+			g++
+		}
+		members := 0
+		for i := range out {
+			if out[i].Kind == KindSW && len(d.Nodes[i].HW) > 0 && r.Intn(3) == 0 {
+				out[i] = NodeChoice{Kind: KindHW, Opt: r.Intn(len(d.Nodes[i].HW)), Group: g}
+				if members++; members == 2 {
+					return
+				}
+			}
+		}
+	}
+	if len(gids) == 0 {
+		newGroup()
+		return out
+	}
+	g := gids[r.Intn(len(gids))]
+	var members []int
+	for i, c := range out {
+		if c.Kind == KindHW && c.Group == g {
+			members = append(members, i)
+		}
+	}
+	switch r.Intn(5) {
+	case 0: // demote the whole group
+		for _, i := range members {
+			out[i] = NodeChoice{Kind: KindSW, Opt: 0, Group: -1}
+		}
+	case 1: // demote one member
+		i := members[r.Intn(len(members))]
+		out[i] = NodeChoice{Kind: KindSW, Opt: 0, Group: -1}
+	case 2: // grow the group by one software node
+		for off, n := r.Intn(d.Len()), 0; n < d.Len(); n++ {
+			i := (off + n) % d.Len()
+			if out[i].Kind == KindSW && len(d.Nodes[i].HW) > 0 {
+				out[i] = NodeChoice{Kind: KindHW, Opt: r.Intn(len(d.Nodes[i].HW)), Group: g}
+				break
+			}
+		}
+	case 3: // change one member's hardware option
+		i := members[r.Intn(len(members))]
+		out[i] = NodeChoice{Kind: KindHW, Opt: r.Intn(len(d.Nodes[i].HW)), Group: g}
+	default:
+		newGroup()
+	}
+	return out
+}
+
+// TestSchedulerDeltaMatchesReference is the differential fuzz test for
+// delta-scheduling: one long-lived kernel is driven through chains of
+// single-group mutations — each call differing from its predecessor in
+// exactly one group, so the repair path runs constantly — and every call
+// must agree with a from-scratch listScheduleReference run, including
+// identical schedules after repeats, identical error text on invalid
+// mutants, and correct reuse immediately after an error dropped the
+// baseline.
+func TestSchedulerDeltaMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	machines := machine.Configs()
+	kern := NewScheduler()
+	for trial := 0; trial < 120; trial++ {
+		d := randprog.DFG(r, randprog.Config{
+			Ops:      3 + r.Intn(45),
+			MemFrac:  r.Float64() * 0.25,
+			MultFrac: r.Float64() * 0.15,
+		})
+		cfg := machines[r.Intn(len(machines))]
+		cur := randomAssignment(r, d, cfg)
+		assertSameAsReference(t, kern, d, cur, cfg, "delta-base")
+		// A chain of single-group mutations: the exploration's
+		// prefix-plus-one-candidate evaluate pattern in miniature.
+		for k := 0; k < 6; k++ {
+			next := mutateOneGroup(r, d, cur)
+			assertSameAsReference(t, kern, d, next, cfg, "delta-step")
+			// Re-evaluating the unchanged assignment replays the whole
+			// previous schedule (the empty-affected-set fast path) when the
+			// previous call succeeded.
+			assertSameAsReference(t, kern, d, next, cfg, "delta-repeat")
+			cur = next
+		}
+		// Reuse-after-error: an often-invalid scramble, then a single-group
+		// mutation of the last good assignment — the baseline must have been
+		// dropped, not replayed stale.
+		assertSameAsReference(t, kern, d, mutate(r, cur), cfg, "delta-scramble")
+		assertSameAsReference(t, kern, d, mutateOneGroup(r, d, cur), cfg, "delta-after-error")
+		assertSameAsReference(t, kern, d, cur, cfg, "delta-restore")
+	}
+}
+
+// TestSchedulerDeltaSteadyStateAllocs extends the kernel's zero-allocation
+// pin to the delta path: once warm, single-group-mutation chains allocate
+// nothing, snapshotting included.
+func TestSchedulerDeltaSteadyStateAllocs(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	d := randprog.DFG(r, randprog.Config{Ops: 40, MemFrac: 0.2, MultFrac: 0.1})
+	cfg := machine.New(2, 6, 3)
+	// A fixed cycle of valid assignments differing by one group keeps the
+	// delta path live on every call.
+	as := []Assignment{AllSoftware(d.Len())}
+	base := randomAssignment(r, d, cfg)
+	as = append(as, base)
+	if sub := dropLastGroup(base); sub != nil {
+		as = append(as, sub)
+	}
+	kern := NewScheduler()
+	for _, a := range as {
+		if _, err := kern.Schedule(d, a, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		a := as[i%len(as)]
+		i++
+		if _, err := kern.Schedule(d, a, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state delta Schedule allocates %v/op, want 0", allocs)
+	}
+}

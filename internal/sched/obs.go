@@ -11,4 +11,6 @@ var (
 		"List-scheduling kernel invocations.")
 	obsArenaGrows = obs.Default.Counter("ise_sched_arena_grows_total",
 		"Scheduler arena buffer (re)allocations — nonzero only while arenas warm up to their workload.")
+	obsDeltaResumes = obs.Default.Counter("ise_sched_delta_resumes_total",
+		"Schedule calls that replayed the previous schedule's unaffected prefix instead of scheduling from cycle 1.")
 )

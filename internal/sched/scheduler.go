@@ -34,6 +34,13 @@ import (
 // keyed on group membership and option choices, never on group numbering, and
 // is dropped entirely after an error, so a failed call can never poison the
 // next one.
+//
+// The same baseline drives delta-scheduling (see delta.go): the cycle loop
+// resumes at the first cycle the previous successful schedule can differ at,
+// replaying the unaffected prefix of that schedule verbatim instead of
+// re-deriving it. Both reuses are pure optimizations — results and errors
+// are byte-identical to a from-scratch run, pinned differentially against
+// listScheduleReference.
 type Scheduler struct {
 	// Prologue-reuse identity: the (DFG, machine) of the last successful
 	// call, plus its group table snapshot. lastOK gates every reuse.
@@ -67,6 +74,29 @@ type Scheduler struct {
 	prevLat     []int
 	prevReads   []int
 	prevWrites  []int
+
+	// Previous successful call's macro table, issue cycles and contracted
+	// edges — the delta-scheduling baseline (see deltaFrom). CSR layouts over
+	// that call's macro IDs; prevMacAtMin maps minNode -> previous macro.
+	// arena: rebuilt by snapshotMacros after every successful schedule.
+	prevMacStart     []int
+	prevMacNodes     []int
+	prevMacLat       []int
+	prevMacReads     []int
+	prevMacWrites    []int
+	prevMacClass     []int
+	prevMacISE       []bool
+	prevMacIssue     []int
+	prevMacSuccStart []int
+	prevMacSuccs     []int
+	prevMacAtMin     []int
+
+	// Delta-repair scratch: old<->new macro matching, the affected flags and
+	// the dependence-only issue lower bound. arena: rebuilt per call.
+	matchOld []int
+	newOfOld []int
+	affected []bool
+	asap     []int
 
 	// Macro contraction. arena: macroNodes backs every macro's node list.
 	macros     []macro
@@ -155,6 +185,14 @@ func growMarks(buf []uint32, n int) []uint32 {
 	return buf[:n]
 }
 
+func growBools(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		obsArenaGrows.Inc()
+		return make([]bool, n)
+	}
+	return buf[:n]
+}
+
 // Schedule list-schedules d under assignment a on machine cfg. It is
 // equivalent to ListSchedule in results and errors; the returned Schedule
 // aliases the receiver's arena and is valid until the next call.
@@ -186,11 +224,12 @@ func (s *Scheduler) Schedule(d *dfg.DFG, a Assignment, cfg machine.Config) (*Sch
 	if s.topoMacrosArena() != len(s.macros) {
 		return nil, fmt.Errorf("sched: ISE groups are mutually dependent (contracted graph is cyclic)")
 	}
-	if err := s.listSchedule(d, cfg); err != nil {
+	if err := s.listSchedule(d, cfg, s.deltaFrom(reuse)); err != nil {
 		return nil, err
 	}
 	s.criticalArena(d)
 	s.snapshotGroups(a)
+	s.snapshotMacros(d)
 	s.lastOK = true
 	//lint:ignore arenaescape returning the arena-owned Schedule is the kernel's documented contract: valid until the next call, Clone to retain
 	return &s.out, nil
@@ -660,7 +699,12 @@ func (s *Scheduler) topoMacrosArena() int {
 }
 
 // listSchedule is the core scheduling loop of ListSchedule over the arena.
-func (s *Scheduler) listSchedule(d *dfg.DFG, cfg machine.Config) error {
+// from is the delta-scheduling resume cycle computed by deltaFrom: 1 runs the
+// loop from scratch; from > 1 first replays the previous successful call's
+// matched macros issued before that cycle (deltaFrom guarantees the
+// from-scratch run would issue exactly those macros at exactly those cycles)
+// and re-enters the cycle loop at from.
+func (s *Scheduler) listSchedule(d *dfg.DFG, cfg machine.Config, from int) error {
 	nm := len(s.macros)
 	s.sp = growInts(s.sp, nm)
 	s.earliest = growInts(s.earliest, nm)
@@ -672,12 +716,6 @@ func (s *Scheduler) listSchedule(d *dfg.DFG, cfg machine.Config) error {
 		s.earliest[m] = 1
 		s.issue[m] = 0
 	}
-	s.ready = s.ready[:0]
-	for m := 0; m < nm; m++ {
-		if s.indeg[m] == 0 {
-			s.ready = append(s.ready, m)
-		}
-	}
 	if s.table == nil {
 		s.table = NewTable(cfg)
 	} else {
@@ -686,6 +724,62 @@ func (s *Scheduler) listSchedule(d *dfg.DFG, cfg machine.Config) error {
 	scheduled := 0
 	cycle := 1
 	limit := 2*totalLatency(s.macros) + 2*nm + 16
+	if from > limit+1 {
+		// The repair point lies beyond the deadlock guard: replay stops at
+		// the guard so the resumed loop reproduces the from-scratch error
+		// (cycle and progress counts included) instead of skipping it.
+		from = limit + 1
+	}
+	if from > 1 {
+		obsDeltaResumes.Inc()
+		// Replay the unaffected prefix of the previous schedule: matched
+		// macros issued before the repair point keep their cycles and
+		// reservations verbatim. Reservations are commutative, so reserving
+		// them macro-by-macro reproduces the table state the from-scratch
+		// loop would have reached entering cycle `from`.
+		for m := 0; m < nm; m++ {
+			o := s.matchOld[m]
+			if o < 0 || s.prevMacIssue[o] >= from {
+				continue
+			}
+			mc := &s.macros[m]
+			c := s.prevMacIssue[o]
+			if mc.isISE {
+				s.table.ReserveNewISE(c, mc.lat, mc.reads, mc.writes)
+			} else {
+				s.table.ReserveSW(c, isa.Class(mc.class), mc.reads, mc.writes)
+			}
+			s.issue[m] = c
+			scheduled++
+		}
+		// Rebuild the loop state the from-scratch run maintains
+		// incrementally: for unissued macros, indeg counts unissued
+		// predecessors and earliest is the max completion of issued ones.
+		for m := 0; m < nm; m++ {
+			if s.issue[m] > 0 {
+				continue
+			}
+			cnt, earl := 0, 1
+			for _, p := range s.preds[m] {
+				if s.issue[p] > 0 {
+					if v := s.issue[p] + s.macros[p].lat; v > earl {
+						earl = v
+					}
+				} else {
+					cnt++
+				}
+			}
+			s.indeg[m] = cnt
+			s.earliest[m] = earl
+		}
+		cycle = from
+	}
+	s.ready = s.ready[:0]
+	for m := 0; m < nm; m++ {
+		if s.issue[m] == 0 && s.indeg[m] == 0 {
+			s.ready = append(s.ready, m)
+		}
+	}
 	for scheduled < nm {
 		if cycle > limit {
 			return fmt.Errorf("sched: no progress by cycle %d (%d/%d macros)", cycle, scheduled, nm)
