@@ -5,12 +5,14 @@ tier1:
 	go build ./...
 	go test ./...
 
-# Static analysis: the project lint suite (iselint enforces the determinism
-# and concurrency contracts; see DESIGN.md §9) plus gofmt cleanliness. The
-# sweep covers the commands too, so the daemon and CLIs sit under the same
-# maporder/lockguard/sliceclobber/arenaescape passes as the library.
+# Static analysis: the project lint suite (iselint enforces the determinism,
+# zero-allocation and concurrency contracts; see DESIGN.md §9) plus gofmt
+# cleanliness. The sweep covers the commands too, so the daemon and CLIs sit
+# under the same passes as the library. Findings are cached under .cache/lint
+# keyed by the content hash of every module source file, so a no-op re-run is
+# instant; any source edit invalidates the whole program-level entry.
 lint:
-	go run ./cmd/iselint ./internal/... ./cmd/...
+	go run ./cmd/iselint -cache .cache/lint ./internal/... ./cmd/...
 	@fmt_out=$$(gofmt -l .); \
 	if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \

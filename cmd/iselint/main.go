@@ -1,31 +1,51 @@
 // Command iselint runs the project's static-analysis suite (internal/lint)
 // over the given packages and fails the build on any unsuppressed finding.
 //
-//	go run ./cmd/iselint ./internal/...
+//	go run ./cmd/iselint ./internal/... ./cmd/...
 //
 // It enforces the determinism and concurrency contracts of the exploration
-// engine: no map-order-dependent results, no global randomness or wall-clock
-// reads in the deterministic core, no in-place deletion on aliased slices,
-// and no access to `// guarded by <mu>` fields without holding the mutex.
-// Sites that are provably safe carry //lint:ignore <analyzer> <reason>
-// annotations; the reason is mandatory.
+// engine. The package-local passes check map order, global randomness,
+// slice clobbering, `guarded by` fields and observability purity; the
+// interprocedural passes prove the //alloc:free kernel paths allocation-free,
+// the lock-acquisition order acyclic, and context cancellation threaded
+// through the service layer. Sites that are provably safe carry
+// //lint:ignore <analyzer> <reason> annotations; the reason is mandatory.
+//
+// Flags beyond analyzer selection:
+//
+//	-json        emit machine-readable findings on stdout (for CI artifacts)
+//	-cache DIR   memoize findings by content hash: when no analyzed file,
+//	             analyzer, or config changed, the previous findings are
+//	             replayed without re-loading or re-type-checking anything.
+//	             The whole program is one cache entry — the interprocedural
+//	             passes make findings depend on every package in view, so
+//	             per-package replay would be unsound.
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load failure.
 package main
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"repro/internal/lint"
 )
+
+// cacheSchema versions the cache entry format; bump on incompatible change.
+const cacheSchema = "iselint-cache-v1"
 
 func main() {
 	analyzers := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
 	verbose := flag.Bool("v", false, "also show suppressed findings")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON on stdout")
+	cacheDir := flag.String("cache", "", "cache findings by content hash in this directory")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: iselint [flags] [./pkg/... ...]\n")
 		flag.PrintDefaults()
@@ -38,6 +58,9 @@ func main() {
 			if a.DeterministicOnly {
 				scope = "deterministic packages"
 			}
+			if a.RunProgram != nil {
+				scope = "whole program"
+			}
 			fmt.Printf("%-14s %s (%s)\n", a.Name, a.Doc, scope)
 		}
 		return
@@ -48,10 +71,6 @@ func main() {
 		fatal(err)
 	}
 	root, err := moduleRoot()
-	if err != nil {
-		fatal(err)
-	}
-	loader, err := lint.NewLoader(root)
 	if err != nil {
 		fatal(err)
 	}
@@ -70,17 +89,21 @@ func main() {
 		dirs = append(dirs, d...)
 	}
 
+	findings, err := analyze(root, dirs, selected, cfg, *cacheDir)
+	if err != nil {
+		fatal(err)
+	}
+
 	bad := 0
-	for _, dir := range dirs {
-		pkg, err := loader.Load(dir)
-		if err != nil {
-			fatal(err)
-		}
-		for _, terr := range pkg.Errors {
-			fmt.Fprintf(os.Stderr, "iselint: %s: type error: %v\n", pkg.Path, terr)
+	for _, f := range findings {
+		if !f.Suppressed {
 			bad++
 		}
-		for _, f := range lint.RunPackage(pkg, cfg) {
+	}
+	if *jsonOut {
+		emitJSON(findings, selected, bad)
+	} else {
+		for _, f := range findings {
 			if f.Suppressed {
 				if *verbose {
 					fmt.Printf("%s (suppressed)\n", f)
@@ -88,12 +111,176 @@ func main() {
 				continue
 			}
 			fmt.Println(f)
-			bad++
 		}
 	}
 	if bad > 0 {
 		fmt.Fprintf(os.Stderr, "iselint: %d finding(s)\n", bad)
 		os.Exit(1)
+	}
+}
+
+// analyze loads the requested package dirs (plus their module-local
+// transitive imports), runs the suite as one program, and memoizes the
+// findings under the content-hash key when caching is enabled.
+func analyze(root string, dirs []string, selected []*lint.Analyzer, cfg *lint.Config, cacheDir string) ([]lint.Finding, error) {
+	var key string
+	if cacheDir != "" {
+		k, err := cacheKey(root, dirs, selected)
+		if err == nil {
+			key = k
+			if findings, ok := readCache(cacheDir, key); ok {
+				return findings, nil
+			}
+		}
+		// Hashing failure falls through to a full uncached run.
+	}
+
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, terr := range pkg.Errors {
+			return nil, fmt.Errorf("%s: type error: %v", pkg.Path, terr)
+		}
+	}
+	findings := lint.RunProgram(loader.Packages(), cfg)
+	if cacheDir != "" && key != "" {
+		writeCache(cacheDir, key, findings) // best-effort
+	}
+	return findings, nil
+}
+
+// cacheKey hashes everything a run's findings can depend on: the schema
+// version, the analyzer set, and per package the path plus the content of
+// every non-test Go file, for the requested dirs AND their module-local
+// transitive imports (resolved textually from go.mod's module path). Any
+// changed byte anywhere in the analyzed source changes the key.
+func cacheKey(root string, dirs []string, selected []*lint.Analyzer) (string, error) {
+	h := sha256.New()
+	fmt.Fprintln(h, cacheSchema)
+	for _, a := range selected {
+		fmt.Fprintln(h, "analyzer", a.Name)
+	}
+	gomod, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	h.Write(gomod)
+
+	// The requested dirs under-approximate the analyzed set (imports are
+	// pulled in transitively), so hash every package dir in the module:
+	// cheaper than resolving the import graph and still precise — any
+	// module source change invalidates.
+	all, err := lint.PackageDirs(root, "./...")
+	if err != nil {
+		return "", err
+	}
+	seen := map[string]bool{}
+	var hashDirs []string
+	for _, d := range append(append([]string{}, dirs...), all...) {
+		if !seen[d] {
+			seen[d] = true
+			hashDirs = append(hashDirs, d)
+		}
+	}
+	sort.Strings(hashDirs)
+	for _, dir := range hashDirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return "", err
+		}
+		var names []string
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || filepath.Ext(name) != ".go" ||
+				len(name) > 8 && name[len(name)-8:] == "_test.go" {
+				continue
+			}
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			data, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintln(h, "file", dir, name, len(data))
+			h.Write(data)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+func cachePath(cacheDir, key string) string {
+	return filepath.Join(cacheDir, key+".json")
+}
+
+func readCache(cacheDir, key string) ([]lint.Finding, bool) {
+	data, err := os.ReadFile(cachePath(cacheDir, key))
+	if err != nil {
+		return nil, false
+	}
+	var findings []lint.Finding
+	if err := json.Unmarshal(data, &findings); err != nil {
+		return nil, false
+	}
+	return findings, true
+}
+
+func writeCache(cacheDir, key string, findings []lint.Finding) {
+	if err := os.MkdirAll(cacheDir, 0o755); err != nil {
+		return
+	}
+	data, err := json.Marshal(findings)
+	if err != nil {
+		return
+	}
+	tmp := cachePath(cacheDir, key) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, cachePath(cacheDir, key))
+}
+
+// jsonFinding is the machine-readable finding shape CI consumes.
+type jsonFinding struct {
+	Analyzer   string `json:"analyzer"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Column     int    `json:"column"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+func emitJSON(findings []lint.Finding, selected []*lint.Analyzer, bad int) {
+	var names []string
+	for _, a := range selected {
+		names = append(names, a.Name)
+	}
+	out := struct {
+		Analyzers    []string      `json:"analyzers"`
+		Findings     []jsonFinding `json:"findings"`
+		Unsuppressed int           `json:"unsuppressed"`
+	}{Analyzers: names, Findings: []jsonFinding{}, Unsuppressed: bad}
+	for _, f := range findings {
+		out.Findings = append(out.Findings, jsonFinding{
+			Analyzer:   f.Analyzer,
+			File:       f.Pos.Filename,
+			Line:       f.Pos.Line,
+			Column:     f.Pos.Column,
+			Message:    f.Message,
+			Suppressed: f.Suppressed,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
 	}
 }
 

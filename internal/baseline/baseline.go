@@ -33,6 +33,7 @@ import (
 // Final cycle counts are nevertheless measured on cfg by the multiple-issue
 // scheduler so that results are directly comparable with core.Explore.
 func Explore(d *dfg.DFG, cfg machine.Config, p core.Params) (*core.Result, error) {
+	//lint:ignore ctxflow compat wrapper: Explore predates cancellation; ExploreCtx is the cancellable form
 	return ExploreCtx(context.Background(), d, cfg, p)
 }
 

@@ -11,6 +11,7 @@ import "repro/internal/obs"
 var obsExploreArenaGrows = obs.Default.Counter("ise_explore_arena_grows_total",
 	"Explorer arena buffer (re)allocations — nonzero only while per-worker arenas warm up to their DFG.")
 
+//alloc:amortized grow-on-demand arena helper; allocates only while per-worker buffers warm up to the DFG size
 func growInts(buf []int, n int) []int {
 	if cap(buf) < n {
 		obsExploreArenaGrows.Inc()
@@ -19,6 +20,7 @@ func growInts(buf []int, n int) []int {
 	return buf[:n]
 }
 
+//alloc:amortized grow-on-demand arena helper; allocates only while per-worker buffers warm up to the DFG size
 func growFloats(buf []float64, n int) []float64 {
 	if cap(buf) < n {
 		obsExploreArenaGrows.Inc()
@@ -27,6 +29,7 @@ func growFloats(buf []float64, n int) []float64 {
 	return buf[:n]
 }
 
+//alloc:amortized grow-on-demand arena helper; allocates only while per-worker buffers warm up to the DFG size
 func growBools(buf []bool, n int) []bool {
 	if cap(buf) < n {
 		obsExploreArenaGrows.Inc()

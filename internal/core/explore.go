@@ -95,6 +95,7 @@ func ExploreWithParamsCtx(ctx context.Context, d *dfg.DFG, cfg machine.Config, p
 // or without the cache — only the CacheHits/CacheMisses observability
 // counters may differ.
 func ExploreWithCache(d *dfg.DFG, cfg machine.Config, p Params, cache *EvalCache) (*Result, error) {
+	//lint:ignore ctxflow compat wrapper: ExploreWithCache predates cancellation; ExploreWithCacheCtx is the cancellable form
 	return ExploreWithCacheCtx(context.Background(), d, cfg, p, cache)
 }
 

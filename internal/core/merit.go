@@ -11,6 +11,8 @@ import (
 // lose ρ3, unselected options regain ρ4, and every option of an operation
 // whose execution order moved earlier additionally loses ρ5. Trails are
 // clamped at zero (pheromone cannot go negative).
+//
+//alloc:free
 func (e *explorer) trailUpdate(res *walkResult, improved bool, prevOrder []int) {
 	for x := 0; x < e.d.Len(); x++ {
 		if e.fixedGroupOf[x] >= 0 {
@@ -78,9 +80,7 @@ func (e *explorer) virtualSubgraph(res *walkResult, x int) graph.NodeSet {
 // members must hold vs's members in topological order (membersInTopoOrder).
 func (e *explorer) vsMetrics(res *walkResult, vs graph.NodeSet, members []int, x, hwIdx int) (delayNS, areaUM2 float64, cycles int) {
 	d := e.d
-	if e.depthF == nil {
-		e.depthF = make([]float64, d.Len())
-	}
+	e.depthF = growFloats(e.depthF, d.Len())
 	depth := e.depthF
 	for _, v := range members {
 		in := 0.0
@@ -117,9 +117,7 @@ func (e *explorer) vsMetrics(res *walkResult, vs graph.NodeSet, members []int, x
 // members must hold vs's members in topological order.
 func (e *explorer) swDepth(vs graph.NodeSet, members []int) int {
 	d := e.d
-	if e.depthI == nil {
-		e.depthI = make([]int, d.Len())
-	}
+	e.depthI = growInts(e.depthI, d.Len())
 	depth := e.depthI
 	best := 0
 	for _, v := range members {
@@ -193,6 +191,8 @@ func (e *explorer) refreshMobility() {
 
 // meritUpdate implements the merit function (Eq. 3 software part and
 // Fig. 4.3.7 hardware part) followed by per-operation normalization.
+//
+//alloc:free
 func (e *explorer) meritUpdate(res *walkResult) {
 	d := e.d
 	e.refreshMobility()

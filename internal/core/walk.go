@@ -163,6 +163,8 @@ func (e *explorer) reset(d *dfg.DFG, cfg machine.Config, p Params, rng *rand.Ran
 }
 
 // topoOrder returns the cached topological order of the DFG.
+//
+//alloc:amortized computes and caches the topo order on first use; every later call returns the cache
 func (e *explorer) topoOrder() []int {
 	if e.topo == nil {
 		order, err := e.d.G.TopoOrder()
@@ -394,6 +396,8 @@ func (e *explorer) appendGroup(res *walkResult) *walkGroup {
 // the chosen probability of Eq. 1 and scheduling it per Figs. 4.3.3/4.3.4.
 // The returned result is the explorer's reusable iteration arena, valid
 // until the next walk.
+//
+//alloc:free
 func (e *explorer) walk() *walkResult {
 	d := e.d
 	n := d.Len()

@@ -267,6 +267,8 @@ func (d *DFG) Out(s graph.NodeSet) int {
 func (d *DFG) IsConvex(s graph.NodeSet) bool { return d.G.IsConvex(s) }
 
 // descendants returns (and caches) the set of nodes reachable from v.
+//
+//alloc:amortized memoized per-node reachability; each set is computed once and served from the cache thereafter
 func (d *DFG) descendants(v int) graph.NodeSet {
 	d.reachMu.Lock()
 	defer d.reachMu.Unlock()

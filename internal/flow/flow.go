@@ -152,6 +152,7 @@ func (r *Report) Reduction() float64 {
 // explores the hottest blocks with the chosen algorithm, measures each
 // candidate's gain, and merges candidates into hardware-sharing groups.
 func BuildPool(bm *bench.Benchmark, opts Options) (*Pool, error) {
+	//lint:ignore ctxflow compat wrapper: BuildPool predates cancellation; BuildPoolCtx is the cancellable form
 	return BuildPoolCtx(context.Background(), bm, opts)
 }
 
@@ -304,6 +305,15 @@ func realMarginalGains(d *dfg.DFG, cfg machine.Config, ises []*core.ISE, cache *
 // sharing, replacement, final scheduling — and reports whole-program
 // results.
 func (p *Pool) Evaluate(c selection.Constraints) (*Report, error) {
+	//lint:ignore ctxflow compat wrapper: Evaluate predates cancellation; EvaluateCtx is the cancellable form
+	return p.EvaluateCtx(context.Background(), c)
+}
+
+// EvaluateCtx is Evaluate with cooperative cancellation, checked between
+// blocks: a constraint sweep over a large pool re-schedules every block per
+// point, and a cancelled sweep should stop at a block boundary instead of
+// finishing the whole evaluation.
+func (p *Pool) EvaluateCtx(ctx context.Context, c selection.Constraints) (*Report, error) {
 	dec := selection.Select(p.Groups, c)
 	rep := &Report{
 		Benchmark:  p.Benchmark.Name,
@@ -320,6 +330,9 @@ func (p *Pool) Evaluate(c selection.Constraints) (*Report, error) {
 	// block — the steady-state hot path of constraint sweeps.
 	kern := sched.NewScheduler()
 	for _, bi := range sortedBlocks(p.DFGs) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		d := p.DFGs[bi]
 		s, _, _, err := replace.ApplyWith(kern, d, p.Machine, dec.Selected)
 		if err != nil {
@@ -333,14 +346,16 @@ func (p *Pool) Evaluate(c selection.Constraints) (*Report, error) {
 // Run executes the whole flow for one benchmark under unlimited selection
 // constraints.
 func Run(bm *bench.Benchmark, opts Options) (*Report, error) {
+	//lint:ignore ctxflow compat wrapper: Run predates cancellation; RunCtx is the cancellable form
 	return RunCtx(context.Background(), bm, opts)
 }
 
-// RunCtx is Run with cooperative cancellation (see BuildPoolCtx).
+// RunCtx is Run with cooperative cancellation (see BuildPoolCtx), threaded
+// through both the pool build and the final evaluation.
 func RunCtx(ctx context.Context, bm *bench.Benchmark, opts Options) (*Report, error) {
 	pool, err := BuildPoolCtx(ctx, bm, opts)
 	if err != nil {
 		return nil, err
 	}
-	return pool.Evaluate(selection.Constraints{})
+	return pool.EvaluateCtx(ctx, selection.Constraints{})
 }

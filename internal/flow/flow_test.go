@@ -1,6 +1,8 @@
 package flow
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"testing"
 
@@ -332,4 +334,47 @@ func TestPoolParallelSweepRace(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
+}
+
+// TestCanceledContextPropagates pins the ctxflow fixes: every Ctx entry
+// point must observe an already-canceled context and fail with its error
+// instead of running the uncancellable legacy path (RunCtx used to build the
+// pool cancellably and then evaluate it with no context at all).
+func TestCanceledContextPropagates(t *testing.T) {
+	bm, err := bench.Get("crc32", "O0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{
+		Machine:   machine.New(2, 4, 2),
+		Params:    core.FastParams(),
+		Algorithm: MI,
+		HotBlocks: 2,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := RunCtx(ctx, bm, opts); err == nil || !errors.Is(err, context.Canceled) {
+		t.Errorf("RunCtx on canceled ctx = %v, want context.Canceled", err)
+	}
+	if _, err := BuildMultiPoolCtx(ctx, []*bench.Benchmark{bm}, opts); err == nil || !errors.Is(err, context.Canceled) {
+		t.Errorf("BuildMultiPoolCtx on canceled ctx = %v, want context.Canceled", err)
+	}
+
+	pool := testPool(t, "crc32", "O0", MI)
+	if _, err := pool.EvaluateCtx(ctx, selection.Constraints{}); err == nil || !errors.Is(err, context.Canceled) {
+		t.Errorf("Pool.EvaluateCtx on canceled ctx = %v, want context.Canceled", err)
+	}
+	mp, err := BuildMultiPool([]*bench.Benchmark{bm}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mp.EvaluateCtx(ctx, selection.Constraints{}); err == nil || !errors.Is(err, context.Canceled) {
+		t.Errorf("MultiPool.EvaluateCtx on canceled ctx = %v, want context.Canceled", err)
+	}
+
+	// The ctx-less wrappers must keep working: same pool, nil error.
+	if _, err := pool.Evaluate(selection.Constraints{}); err != nil {
+		t.Errorf("Evaluate after ctx fixes: %v", err)
+	}
 }

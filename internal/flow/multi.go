@@ -50,6 +50,7 @@ func (r *MultiReport) Reduction() float64 {
 // matches), so an ISE useful to several programs outranks an equally fast
 // single-program one.
 func BuildMultiPool(benches []*bench.Benchmark, opts Options) (*MultiPool, error) {
+	//lint:ignore ctxflow compat wrapper: BuildMultiPool predates cancellation; BuildMultiPoolCtx is the cancellable form
 	return BuildMultiPoolCtx(context.Background(), benches, opts)
 }
 
@@ -73,8 +74,14 @@ func BuildMultiPoolCtx(ctx context.Context, benches []*bench.Benchmark, opts Opt
 		}
 	}
 	// Re-price gains suite-wide: isolated deployment of each candidate
-	// across every application of the suite.
+	// across every application of the suite. This is the expensive half of
+	// the build — |candidates| × |pools| × |blocks| schedule calls — so the
+	// cancellation the doc promises is checked per candidate here, not just
+	// inside the per-benchmark pool builds above.
 	for _, cand := range all {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		total := 0.0
 		for _, pool := range mp.Pools {
 			for _, bi := range sortedBlocks(pool.DFGs) {
@@ -99,6 +106,13 @@ func BuildMultiPoolCtx(ctx context.Context, benches []*bench.Benchmark, opts Opt
 // Evaluate selects one ISE set under the constraints and deploys it into
 // every application of the suite.
 func (mp *MultiPool) Evaluate(c selection.Constraints) (*MultiReport, error) {
+	//lint:ignore ctxflow compat wrapper: Evaluate predates cancellation; EvaluateCtx is the cancellable form
+	return mp.EvaluateCtx(context.Background(), c)
+}
+
+// EvaluateCtx is Evaluate with cooperative cancellation, checked per
+// application before its blocks are re-scheduled.
+func (mp *MultiPool) EvaluateCtx(ctx context.Context, c selection.Constraints) (*MultiReport, error) {
 	dec := selection.Select(mp.Groups, c)
 	rep := &MultiReport{
 		Machine:   mp.Pools[0].Machine.Name,
@@ -108,6 +122,9 @@ func (mp *MultiPool) Evaluate(c selection.Constraints) (*MultiReport, error) {
 		Selected:  dec.Selected,
 	}
 	for _, pool := range mp.Pools {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		app := &Report{
 			Benchmark:  pool.Benchmark.Name,
 			OptLevel:   pool.Benchmark.Opt,

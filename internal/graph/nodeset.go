@@ -90,6 +90,8 @@ func (s NodeSet) AppendValues(dst []int) []int {
 // Reset reinitializes s in place to an empty set able to hold IDs in
 // [0, capacity), reusing the backing array when it is large enough. It is the
 // allocation-free counterpart of NewNodeSet for arena-style reuse.
+//
+//alloc:amortized grows the backing bitmap only when capacity increases; steady-state resets reuse it
 func (s *NodeSet) Reset(capacity int) {
 	w := (capacity + 63) / 64
 	if cap(s.bits) < w {

@@ -18,6 +18,18 @@
 //   - obspurity:    internal/obs reads (counter values, quantiles) feeding
 //     back into deterministic computation
 //
+// On top of the package-local passes sits an interprocedural layer (Program:
+// a call graph over every analyzed package with per-function summaries
+// propagated bottom-up to a fixpoint) and three whole-program passes:
+//
+//   - allocfree: functions reachable from //alloc:free roots — the
+//     sched.Scheduler kernel and the explorer steady-state loop — must
+//     contain no steady-state allocation site
+//   - lockorder: the lock-acquisition-order graph must be acyclic
+//     (AB/BA nesting across functions is a potential deadlock)
+//   - ctxflow:   contexts must be forwarded, context.Background() stays in
+//     package main, and service-layer goroutine loops must be cancellable
+//
 // A finding is silenced with a directive on the offending line or the line
 // above it:
 //
@@ -51,7 +63,10 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
 }
 
-// Analyzer is one static-analysis pass.
+// Analyzer is one static-analysis pass. Package-local passes set Run and are
+// invoked once per package; interprocedural passes set RunProgram and are
+// invoked once per program, with the call graph and fixpoint summaries
+// already computed.
 type Analyzer struct {
 	Name string
 	Doc  string
@@ -60,11 +75,16 @@ type Analyzer struct {
 	// across runs and worker counts.
 	DeterministicOnly bool
 	Run               func(*Pass)
+	RunProgram        func(*ProgramPass)
 }
 
-// All returns every analyzer of the suite, in reporting order.
+// All returns every analyzer of the suite, in reporting order: the six
+// package-local passes, then the three interprocedural ones.
 func All() []*Analyzer {
-	return []*Analyzer{MapOrder, GlobalRand, SliceClobber, LockGuard, ArenaEscape, ObsPurity}
+	return []*Analyzer{
+		MapOrder, GlobalRand, SliceClobber, LockGuard, ArenaEscape, ObsPurity,
+		AllocFree, LockOrder, CtxFlow,
+	}
 }
 
 // ByName resolves a comma-separated analyzer list ("maporder,lockguard").
@@ -102,6 +122,15 @@ var DefaultDeterministic = []string{
 	"repro/internal/selection",
 }
 
+// DefaultServiceRoots lists the service-layer packages whose goroutines
+// ctxflow holds to the cancellable-loop rule: everything those packages can
+// reach through the call graph runs inside the daemon and must drain when
+// the daemon does.
+var DefaultServiceRoots = []string{
+	"repro/internal/service",
+	"repro/cmd/iseserve",
+}
+
 // Config parameterizes a run of the suite.
 type Config struct {
 	// Analyzers to run; nil means All().
@@ -109,6 +138,9 @@ type Config struct {
 	// Deterministic is the import-path list of deterministic packages; nil
 	// means DefaultDeterministic.
 	Deterministic []string
+	// ServiceRoots is the import-path list of service-layer packages for
+	// ctxflow's goroutine-loop rule; nil means DefaultServiceRoots.
+	ServiceRoots []string
 }
 
 func (c *Config) analyzers() []*Analyzer {
@@ -139,6 +171,10 @@ type Pass struct {
 	Files    []*ast.File
 	Types    *types.Package
 	Info     *types.Info
+	// Prog is the whole-program view the package belongs to; package-local
+	// passes use it for the shared indexes (function summaries, guarded
+	// fields) instead of re-deriving them.
+	Prog *Program
 	// Deterministic reports whether the package is part of the
 	// deterministic core.
 	Deterministic bool
@@ -222,28 +258,82 @@ func (idx ignoreIndex) covers(analyzer string, pos token.Position) bool {
 	return false
 }
 
+// ProgramPass carries what an interprocedural analyzer needs for one run:
+// the whole program plus the merged suppression index.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+	Config   *Config
+
+	findings *[]Finding
+	ignores  ignoreIndex
+}
+
+// Reportf records a program-level finding at pos, applying suppressions.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Prog.Fset.Position(pos)
+	f := Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	}
+	if p.ignores.covers(p.Analyzer.Name, position) {
+		f.Suppressed = true
+	}
+	*p.findings = append(*p.findings, f)
+}
+
 // RunPackage runs the configured analyzers over one loaded package and
-// returns its findings sorted by position.
+// returns its findings sorted by position. The package is analyzed as a
+// single-package program, so the interprocedural passes run too (with
+// summaries limited to what the one package can see).
 func RunPackage(pkg *Package, cfg *Config) []Finding {
+	return RunProgram([]*Package{pkg}, cfg)
+}
+
+// RunProgram builds the whole-program view over pkgs — function index, call
+// graph, fixpoint summaries — and runs the configured analyzers: the
+// package-local passes once per package, the interprocedural passes once
+// over the program. Findings come back sorted by position.
+func RunProgram(pkgs []*Package, cfg *Config) []Finding {
+	prog := NewProgram(pkgs)
 	var findings []Finding
-	ignores := buildIgnoreIndex(pkg.Fset, pkg.Files, &findings)
-	det := cfg.isDeterministic(pkg.Path)
+	ignores := ignoreIndex{}
+	for _, pkg := range pkgs {
+		for file, dirs := range buildIgnoreIndex(pkg.Fset, pkg.Files, &findings) {
+			ignores[file] = append(ignores[file], dirs...)
+		}
+	}
 	for _, a := range cfg.analyzers() {
-		if a.DeterministicOnly && !det {
-			continue
+		if a.Run != nil {
+			for _, pkg := range pkgs {
+				det := cfg.isDeterministic(pkg.Path)
+				if a.DeterministicOnly && !det {
+					continue
+				}
+				a.Run(&Pass{
+					Analyzer:      a,
+					Pkg:           pkg,
+					Fset:          pkg.Fset,
+					Files:         pkg.Files,
+					Types:         pkg.Types,
+					Info:          pkg.Info,
+					Prog:          prog,
+					Deterministic: det,
+					findings:      &findings,
+					ignores:       ignores,
+				})
+			}
 		}
-		pass := &Pass{
-			Analyzer:      a,
-			Pkg:           pkg,
-			Fset:          pkg.Fset,
-			Files:         pkg.Files,
-			Types:         pkg.Types,
-			Info:          pkg.Info,
-			Deterministic: det,
-			findings:      &findings,
-			ignores:       ignores,
+		if a.RunProgram != nil {
+			a.RunProgram(&ProgramPass{
+				Analyzer: a,
+				Prog:     prog,
+				Config:   cfg,
+				findings: &findings,
+				ignores:  ignores,
+			})
 		}
-		a.Run(pass)
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i].Pos, findings[j].Pos

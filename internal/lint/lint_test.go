@@ -74,11 +74,19 @@ func expectations(pkg *Package) map[string]string {
 // many findings the fixture's lint:ignore directives silenced.
 func checkFixture(t *testing.T, pkgName string, a *Analyzer, wantSuppressed int) {
 	t.Helper()
-	pkg := fixturePackage(t, pkgName)
-	findings := RunPackage(pkg, &Config{
+	checkFixtureCfg(t, pkgName, &Config{
 		Analyzers:     []*Analyzer{a},
 		Deterministic: fixtureDeterministic,
-	})
+	}, wantSuppressed)
+}
+
+// checkFixtureCfg is checkFixture with a caller-built Config, for passes
+// whose behavior depends on more than the analyzer list (ctxflow's service
+// roots).
+func checkFixtureCfg(t *testing.T, pkgName string, cfg *Config, wantSuppressed int) {
+	t.Helper()
+	pkg := fixturePackage(t, pkgName)
+	findings := RunPackage(pkg, cfg)
 	wants := expectations(pkg)
 	matched := map[string]bool{}
 	suppressed := 0
@@ -130,6 +138,36 @@ func TestArenaEscapeFixture(t *testing.T) {
 
 func TestObsPurityFixture(t *testing.T) {
 	checkFixture(t, "obspurity", ObsPurity, 1)
+}
+
+func TestAllocFreeFixture(t *testing.T) {
+	checkFixture(t, "allocfree", AllocFree, 1)
+}
+
+func TestLockOrderFixture(t *testing.T) {
+	checkFixture(t, "lockorder", LockOrder, 0)
+}
+
+func TestCtxFlowFixture(t *testing.T) {
+	checkFixtureCfg(t, "ctxflow", &Config{
+		Analyzers:     []*Analyzer{CtxFlow},
+		Deterministic: fixtureDeterministic,
+		ServiceRoots:  []string{"fixture/ctxflow"},
+	}, 1)
+}
+
+// TestAllocAmortizedRequiresReason checks that a reasonless //alloc:amortized
+// is itself reported: an exemption without a rationale is indistinguishable
+// from a silenced bug.
+func TestAllocAmortizedRequiresReason(t *testing.T) {
+	pkg := fixturePackage(t, "allocamort")
+	findings := RunPackage(pkg, &Config{
+		Analyzers:     []*Analyzer{AllocFree},
+		Deterministic: fixtureDeterministic,
+	})
+	if len(findings) != 1 || !strings.Contains(findings[0].Message, "requires a reason") {
+		t.Fatalf("want exactly one requires-a-reason finding, got %v", findings)
+	}
 }
 
 // TestDeterministicScope checks that maporder and globalrand stay quiet
@@ -186,8 +224,8 @@ func TestDirectiveRequiresReason(t *testing.T) {
 
 // TestAnalyzerListing covers the driver-facing registry helpers.
 func TestAnalyzerListing(t *testing.T) {
-	if got := len(All()); got != 6 {
-		t.Fatalf("All() = %d analyzers, want 6", got)
+	if got := len(All()); got != 9 {
+		t.Fatalf("All() = %d analyzers, want 9", got)
 	}
 	sel, err := ByName("maporder,lockguard")
 	if err != nil || len(sel) != 2 || sel[0] != MapOrder || sel[1] != LockGuard {

@@ -150,6 +150,20 @@ func (l *Loader) loadPath(path string) (*Package, error) {
 	return pkg, nil
 }
 
+// Packages returns every package the loader has loaded so far — requested
+// directly or pulled in as a module-local import — sorted by import path.
+// Interprocedural analysis wants this closure: summaries must flow through
+// every module function a root can reach, not just the packages named on
+// the command line.
+func (l *Loader) Packages() []*Package {
+	var out []*Package
+	for _, pkg := range l.pkgs {
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
 // Import implements types.Importer.
 func (l *Loader) Import(path string) (*types.Package, error) {
 	return l.ImportFrom(path, l.ModuleRoot, 0)

@@ -2,33 +2,47 @@ package lint
 
 import (
 	"go/ast"
-	"go/types"
 	"regexp"
+	"strings"
 )
 
 // LockGuard is a best-effort checker for the project's mutex annotations. A
 // struct field whose doc or line comment says
 //
 //	// guarded by <mu>
+//	// guarded by <Owner>.<mu>
 //
 // may only be read or written inside functions that lock <mu> (Lock or
-// RLock, on any receiver path ending in that mutex name). This is the
-// Pool.blockBase race class from PR 1: a lazily-filled map behind a mutex,
-// plus one forgotten call site. The check is intraprocedural and
-// flow-insensitive — it does not prove the lock is held at the access, only
-// that the function takes it somewhere — so it catches forgotten locks, not
-// lock-ordering bugs. Initialization before the value is shared is a
-// legitimate unlocked access; annotate it //lint:ignore lockguard <reason>.
+// RLock, on any receiver path ending in that mutex name). The qualified form
+// names a mutex on another struct — service.job's mutable fields are owned
+// by the Manager and guarded by Manager.mu — and matches on the same final
+// name. This is the Pool.blockBase race class from PR 1: a lazily-filled map
+// behind a mutex, plus one forgotten call site. The check is flow-insensitive
+// — it does not prove the lock is held at the access, only that the function
+// takes it somewhere (the lock set comes from the shared interprocedural
+// summaries; lockorder checks the ordering side) — so it catches forgotten
+// locks, not lock-ordering bugs. Initialization before the value is shared
+// is a legitimate unlocked access; annotate it //lint:ignore lockguard
+// <reason>.
 var LockGuard = &Analyzer{
 	Name: "lockguard",
 	Doc:  "checks that fields annotated `// guarded by <mu>` are only touched under that mutex",
 	Run:  runLockGuard,
 }
 
-var guardedRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+var guardedRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*(?:\.[A-Za-z_][A-Za-z0-9_]*)?)`)
+
+// guardBaseName strips the optional Owner. qualifier from a guard
+// annotation: lock acquisition matches on the mutex's own name.
+func guardBaseName(mu string) string {
+	if i := strings.LastIndexByte(mu, '.'); i >= 0 {
+		return mu[i+1:]
+	}
+	return mu
+}
 
 func runLockGuard(p *Pass) {
-	guarded := collectGuardedFields(p)
+	guarded := p.Prog.GuardedFields(p.Pkg)
 	if len(guarded) == 0 {
 		return
 	}
@@ -38,7 +52,13 @@ func runLockGuard(p *Pass) {
 			if !ok || fn.Body == nil {
 				continue
 			}
-			locked := lockedMutexes(p, fn.Body)
+			// The set of mutexes this function locks comes from the shared
+			// interprocedural summary (same bare-name semantics the pass
+			// used when it derived the set itself).
+			var locked map[string]bool
+			if fi := p.Prog.FuncOf(p.Pkg, fn); fi != nil {
+				locked = fi.Summary.LockNames
+			}
 			ast.Inspect(fn.Body, func(n ast.Node) bool {
 				sel, ok := n.(*ast.SelectorExpr)
 				if !ok {
@@ -49,7 +69,7 @@ func runLockGuard(p *Pass) {
 					return true
 				}
 				mu, ok := guarded[fv]
-				if !ok || locked[mu] {
+				if !ok || locked[guardBaseName(mu)] {
 					return true
 				}
 				p.Reportf(sel.Sel.Pos(), "field %s is annotated `guarded by %s` but %s does not lock %s",
@@ -58,33 +78,6 @@ func runLockGuard(p *Pass) {
 			})
 		}
 	}
-}
-
-// collectGuardedFields scans struct declarations for `guarded by <mu>`
-// comments and returns the annotated field objects with their mutex names.
-func collectGuardedFields(p *Pass) map[*types.Var]string {
-	guarded := map[*types.Var]string{}
-	for _, f := range p.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			st, ok := n.(*ast.StructType)
-			if !ok || st.Fields == nil {
-				return true
-			}
-			for _, field := range st.Fields.List {
-				mu := guardAnnotation(field)
-				if mu == "" {
-					continue
-				}
-				for _, name := range field.Names {
-					if v, ok := p.Info.Defs[name].(*types.Var); ok {
-						guarded[v] = mu
-					}
-				}
-			}
-			return true
-		})
-	}
-	return guarded
 }
 
 // guardAnnotation extracts the mutex name from a field's doc or line comment.
@@ -98,28 +91,4 @@ func guardAnnotation(field *ast.Field) string {
 		}
 	}
 	return ""
-}
-
-// lockedMutexes returns the names of mutexes the body locks: the final
-// receiver component of every x.y.mu.Lock() / mu.RLock() call.
-func lockedMutexes(p *Pass, body *ast.BlockStmt) map[string]bool {
-	locked := map[string]bool{}
-	ast.Inspect(body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
-			return true
-		}
-		switch recv := sel.X.(type) {
-		case *ast.Ident:
-			locked[recv.Name] = true
-		case *ast.SelectorExpr:
-			locked[recv.Sel.Name] = true
-		}
-		return true
-	})
-	return locked
 }

@@ -1,0 +1,282 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds a program-wide lock-acquisition-order graph and reports
+// cycles as potential deadlocks. It extends the `guarded by <mu>` discipline
+// lockguard checks per access: lockguard proves each guarded field is
+// touched under its mutex, lockorder proves the mutexes themselves are
+// always taken in a consistent global order.
+//
+// Edges come from replaying each function's summary event stream (acquire,
+// release, call — in source order): acquiring B while A is held adds A→B,
+// and a call made while A is held adds A→t for every lock t the callee
+// transitively acquires on the same goroutine (go-spawned work drops the
+// held set; deferred unlocks pin the lock to function exit). An AB/BA pair
+// — the eval-cache shard mutex vs job-manager mutex shape — shows up as a
+// two-node cycle; acquiring a mutex the function already holds is a
+// one-node cycle (sync.Mutex is not reentrant).
+//
+// The replay is linear and branch-insensitive: an early-return branch that
+// unlocks is treated as unlocking for the rest of the function, which
+// under-approximates held sets but never invents them — the pass errs
+// toward missing an edge rather than reporting a false deadlock.
+//
+// The annotation sanity check rides along: every `guarded by <mu>` must
+// name a field of the same struct (a typo'd mutex name silently disables
+// lockguard for that field).
+var LockOrder = &Analyzer{
+	Name:       "lockorder",
+	Doc:        "derives the lock-acquisition-order graph and reports cycles as potential deadlocks",
+	RunProgram: runLockOrder,
+}
+
+// lockEdge is one "from held while to acquired" witness.
+type lockEdge struct {
+	pos token.Pos
+	fn  *FuncInfo
+}
+
+func runLockOrder(p *ProgramPass) {
+	prog := p.Prog
+	checkGuardNames(p)
+
+	// Build the order graph.
+	edges := map[LockID]map[LockID]lockEdge{}
+	addEdge := func(from, to LockID, pos token.Pos, fn *FuncInfo) {
+		if _, ok := edges[from]; !ok {
+			edges[from] = map[LockID]lockEdge{}
+		}
+		if _, ok := edges[from][to]; !ok {
+			edges[from][to] = lockEdge{pos: pos, fn: fn}
+		}
+	}
+	for _, fi := range prog.funcList {
+		var held []LockID
+		for _, ev := range fi.Summary.LockEvents {
+			switch ev.Kind {
+			case lockAcq:
+				for _, h := range held {
+					addEdge(h, ev.Lock, ev.Pos, fi)
+				}
+				held = append(held, ev.Lock)
+			case lockRel:
+				for i := len(held) - 1; i >= 0; i-- {
+					if held[i] == ev.Lock {
+						held = append(held[:i], held[i+1:]...)
+						break
+					}
+				}
+			case lockCall:
+				if len(held) == 0 {
+					break
+				}
+				cs := fi.Calls[ev.Call]
+				if cs.Go {
+					break // spawned goroutine does not inherit held locks
+				}
+				for _, callee := range cs.Callees {
+					ci := prog.Funcs[callee]
+					if ci == nil {
+						continue
+					}
+					for to := range ci.Summary.TransLocks {
+						for _, h := range held {
+							addEdge(h, to, ev.Pos, fi)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Find the locks on cycles (strongly connected components of size > 1,
+	// plus self-edges) and report every edge inside one.
+	inCycle := cyclicLocks(edges)
+	var ids []LockID
+	for from := range edges {
+		ids = append(ids, from)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].String() < ids[j].String() })
+	for _, from := range ids {
+		var tos []LockID
+		for to := range edges[from] {
+			tos = append(tos, to)
+		}
+		sort.Slice(tos, func(i, j int) bool { return tos[i].String() < tos[j].String() })
+		for _, to := range tos {
+			w := edges[from][to]
+			if from == to {
+				p.Reportf(w.pos, "lock %s acquired in %s while already held (sync mutexes are not reentrant; potential self-deadlock)",
+					from, w.fn.Name())
+				continue
+			}
+			if inCycle[from] && inCycle[to] {
+				p.Reportf(w.pos, "lock order cycle: %s is held while acquiring %s in %s, but the reverse order also occurs (potential deadlock; cycle through %s)",
+					from, to, w.fn.Name(), cycleMembers(inCycle))
+			}
+		}
+	}
+}
+
+// cyclicLocks returns the locks belonging to a strongly connected component
+// of size > 1 (self-edges are reported separately).
+func cyclicLocks(edges map[LockID]map[LockID]lockEdge) map[LockID]bool {
+	// Kosaraju on the small lock graph: order by finish time, then assign
+	// components on the transpose.
+	var nodes []LockID
+	seen := map[LockID]bool{}
+	add := func(id LockID) {
+		if !seen[id] {
+			seen[id] = true
+			nodes = append(nodes, id)
+		}
+	}
+	for from, tos := range edges {
+		add(from)
+		for to := range tos {
+			add(to)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].String() < nodes[j].String() })
+
+	visited := map[LockID]bool{}
+	var order []LockID
+	var dfs1 func(LockID)
+	dfs1 = func(n LockID) {
+		visited[n] = true
+		var tos []LockID
+		for to := range edges[n] {
+			tos = append(tos, to)
+		}
+		sort.Slice(tos, func(i, j int) bool { return tos[i].String() < tos[j].String() })
+		for _, to := range tos {
+			if !visited[to] {
+				dfs1(to)
+			}
+		}
+		order = append(order, n)
+	}
+	for _, n := range nodes {
+		if !visited[n] {
+			dfs1(n)
+		}
+	}
+
+	rev := map[LockID][]LockID{}
+	for from, tos := range edges {
+		for to := range tos {
+			rev[to] = append(rev[to], from)
+		}
+	}
+	comp := map[LockID]int{}
+	var dfs2 func(LockID, int) int
+	dfs2 = func(n LockID, c int) int {
+		comp[n] = c
+		size := 1
+		for _, from := range rev[n] {
+			if _, ok := comp[from]; !ok {
+				size += dfs2(from, c)
+			}
+		}
+		return size
+	}
+	inCycle := map[LockID]bool{}
+	compSize := map[int]int{}
+	c := 0
+	for i := len(order) - 1; i >= 0; i-- {
+		if _, ok := comp[order[i]]; !ok {
+			compSize[c] = dfs2(order[i], c)
+			c++
+		}
+	}
+	for n, cid := range comp {
+		if compSize[cid] > 1 {
+			inCycle[n] = true
+		}
+	}
+	return inCycle
+}
+
+// cycleMembers renders the cyclic lock set deterministically.
+func cycleMembers(inCycle map[LockID]bool) string {
+	var names []string
+	for id := range inCycle {
+		names = append(names, id.String())
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// checkGuardNames verifies every `guarded by` annotation resolves: the bare
+// form `guarded by mu` must name a field of the same struct, the qualified
+// form `guarded by Owner.mu` a field of the named type in the same package.
+// A typo'd mutex name silently disables lockguard for that field.
+func checkGuardNames(p *ProgramPass) {
+	for _, pkg := range p.Prog.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				st, ok := n.(*ast.StructType)
+				if !ok || st.Fields == nil {
+					return true
+				}
+				names := map[string]bool{}
+				for _, field := range st.Fields.List {
+					for _, name := range field.Names {
+						names[name.Name] = true
+					}
+					// Embedded sync.Mutex is addressable by its type name.
+					if len(field.Names) == 0 {
+						if base := recvTypeName(field.Type); base != "" {
+							names[base] = true
+						}
+					}
+				}
+				for _, field := range st.Fields.List {
+					mu := guardAnnotation(field)
+					if mu == "" {
+						continue
+					}
+					if owner, name, ok := strings.Cut(mu, "."); ok {
+						if !typeHasField(pkg, owner, name) {
+							p.Reportf(field.Pos(), "field is annotated `guarded by %s` but %s has no field %s in this package", mu, owner, name)
+						}
+						continue
+					}
+					if !names[mu] {
+						p.Reportf(field.Pos(), "field is annotated `guarded by %s` but the struct has no field %s", mu, mu)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// typeHasField reports whether the package declares a struct type owner with
+// a field named name.
+func typeHasField(pkg *Package, owner, name string) bool {
+	if pkg.Types == nil {
+		return false
+	}
+	tn, ok := pkg.Types.Scope().Lookup(owner).(*types.TypeName)
+	if !ok {
+		return false
+	}
+	st, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == name {
+			return true
+		}
+	}
+	return false
+}

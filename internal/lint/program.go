@@ -1,0 +1,300 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Program is the whole-program view behind the interprocedural passes
+// (allocfree, lockorder, ctxflow): every analyzed package, an index of every
+// declared function, a call graph over them, and per-function summaries
+// propagated bottom-up to a fixpoint. Package-local passes receive it too
+// (Pass.Prog) so they can share the indexes instead of re-deriving them —
+// lockguard, for instance, reads lock acquisitions from the shared summaries.
+//
+// The call graph is conservative where Go makes static resolution hard:
+//
+//   - interface method calls fan out to every module type implementing the
+//     interface (all implementers, no pointer analysis);
+//   - method values (x.M used as a value) and bare function references add
+//     Ref edges — the target may run, so its summary still flows;
+//   - go and defer call sites are kept with their flavor, because the passes
+//     weight them differently (a deferred unlock pins the lock to function
+//     exit; a spawned goroutine does not inherit the spawner's held locks);
+//   - calls through plain function values resolve to nothing and are handled
+//     pessimistically by the passes that care (allocfree records them as
+//     assumed-allocating sites).
+type Program struct {
+	// Packages under analysis, in load order. Transitive module-local
+	// dependencies of the requested packages are included: summaries must
+	// flow through every module function a root can reach.
+	Packages []*Package
+	Fset     *token.FileSet
+	// Funcs indexes every function and method declared in Packages.
+	Funcs map[*types.Func]*FuncInfo
+
+	funcList []*FuncInfo    // deterministic (position) order
+	named    []*types.Named // module-defined named types, for dispatch
+	implMemo map[*types.Func][]*types.Func
+	guards   map[*Package]map[*types.Var]string
+}
+
+// FuncInfo is one declared function with its call sites and summary.
+type FuncInfo struct {
+	Obj  *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	// Calls are the function's resolved outgoing call sites, in source
+	// order. Function literals are merged into their declaring function:
+	// a call inside a closure body is a call site of the declarer.
+	Calls   []CallSite
+	Summary Summary
+
+	// AllocFree marks an //alloc:free root: the function and everything it
+	// reaches must be allocation-free in steady state.
+	AllocFree bool
+	// Amortized marks an //alloc:amortized function: its direct allocation
+	// sites are reviewed arena-warmup growth and exempt from allocfree.
+	Amortized       bool
+	AmortizedReason string
+	amortizedPos    token.Pos
+}
+
+// Name returns the diagnostic name, qualified by receiver when present.
+func (fi *FuncInfo) Name() string {
+	if fi.Decl.Recv != nil && len(fi.Decl.Recv.List) > 0 {
+		if t := recvTypeName(fi.Decl.Recv.List[0].Type); t != "" {
+			return t + "." + fi.Obj.Name()
+		}
+	}
+	return fi.Obj.Name()
+}
+
+// CallSite is one resolved outgoing call (or callable reference).
+type CallSite struct {
+	Pos token.Pos
+	// Callees are the possible static targets. One entry for a direct
+	// call; all module implementers for an interface method call; empty
+	// for a call through a plain function value.
+	Callees []*types.Func
+	Go      bool // spawned with `go`
+	Defer   bool // registered with `defer`
+	// Ref marks a callable reference that is not itself a call — a method
+	// value or a function passed as a value. The target may run later, so
+	// summaries still flow, but no argument list exists at this site.
+	Ref bool
+}
+
+// NewProgram builds the function index, call graph and fixpoint summaries
+// over the given packages.
+func NewProgram(pkgs []*Package) *Program {
+	prog := &Program{
+		Packages: pkgs,
+		Funcs:    map[*types.Func]*FuncInfo{},
+		implMemo: map[*types.Func][]*types.Func{},
+		guards:   map[*Package]map[*types.Var]string{},
+	}
+	if len(pkgs) > 0 {
+		prog.Fset = pkgs[0].Fset
+	}
+	for _, pkg := range pkgs {
+		prog.collectNamed(pkg)
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fn.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fi := &FuncInfo{Obj: obj, Decl: fn, Pkg: pkg}
+				readAllocAnnotations(fi)
+				prog.Funcs[obj] = fi
+				prog.funcList = append(prog.funcList, fi)
+			}
+		}
+	}
+	sort.Slice(prog.funcList, func(i, j int) bool {
+		return prog.funcList[i].Decl.Pos() < prog.funcList[j].Decl.Pos()
+	})
+	for _, fi := range prog.funcList {
+		prog.summarize(fi)
+	}
+	prog.propagate()
+	return prog
+}
+
+// FuncInfo returns the entry for a declared function object, or nil.
+func (prog *Program) FuncInfo(obj *types.Func) *FuncInfo { return prog.Funcs[obj] }
+
+// FuncOf resolves a FuncDecl of pkg to its entry, or nil.
+func (prog *Program) FuncOf(pkg *Package, fn *ast.FuncDecl) *FuncInfo {
+	obj, ok := pkg.Info.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	return prog.Funcs[obj]
+}
+
+// collectNamed records the package's named (non-alias, non-interface) types
+// for interface-dispatch resolution.
+func (prog *Program) collectNamed(pkg *Package) {
+	if pkg.Types == nil {
+		return
+	}
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		n, ok := tn.Type().(*types.Named)
+		if !ok || types.IsInterface(n) {
+			continue
+		}
+		prog.named = append(prog.named, n)
+	}
+}
+
+// implementers resolves an interface method to every module-declared concrete
+// method that can satisfy it — conservative dispatch: all implementers.
+func (prog *Program) implementers(m *types.Func) []*types.Func {
+	if got, ok := prog.implMemo[m]; ok {
+		return got
+	}
+	var out []*types.Func
+	sig, _ := m.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		prog.implMemo[m] = nil
+		return nil
+	}
+	iface, ok := sig.Recv().Type().Underlying().(*types.Interface)
+	if !ok {
+		prog.implMemo[m] = nil
+		return nil
+	}
+	for _, n := range prog.named {
+		ptr := types.NewPointer(n)
+		if !types.Implements(n, iface) && !types.Implements(ptr, iface) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(ptr, true, m.Pkg(), m.Name())
+		impl, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		if prog.Funcs[impl] != nil {
+			out = append(out, impl)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	prog.implMemo[m] = out
+	return out
+}
+
+// GuardedFields returns the package's `guarded by <mu>` field index, shared
+// between lockguard and lockorder. Memoized per package.
+func (prog *Program) GuardedFields(pkg *Package) map[*types.Var]string {
+	if got, ok := prog.guards[pkg]; ok {
+		return got
+	}
+	guarded := map[*types.Var]string{}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardAnnotation(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+						guarded[v] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	prog.guards[pkg] = guarded
+	return guarded
+}
+
+// resolveCallees maps a call expression to its static targets. Interface
+// method calls fan out to all module implementers; calls through plain
+// function values resolve to nothing.
+func (prog *Program) resolveCallees(pkg *Package, call *ast.CallExpr) []*types.Func {
+	fun := ast.Unparen(call.Fun)
+	// Generic instantiation F[T](...) — resolve the underlying name.
+	switch idx := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(idx.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(idx.X)
+	}
+	switch f := fun.(type) {
+	case *ast.Ident:
+		if fn, ok := objOf(pkg.Info, f).(*types.Func); ok {
+			return []*types.Func{fn}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[f]; ok && sel.Kind() == types.MethodVal {
+			fn, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return nil
+			}
+			if recvIsInterface(fn) {
+				return prog.implementers(fn)
+			}
+			return []*types.Func{fn}
+		}
+		// Qualified identifier pkg.F.
+		if fn, ok := objOf(pkg.Info, f.Sel).(*types.Func); ok {
+			return []*types.Func{fn}
+		}
+	}
+	return nil
+}
+
+// recvIsInterface reports whether fn is an interface method.
+func recvIsInterface(fn *types.Func) bool {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}
+
+// recvTypeName renders a receiver type expression's base name ("*Scheduler"
+// → "Scheduler").
+func recvTypeName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr:
+		return recvTypeName(t.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(t.X)
+	}
+	return ""
+}
+
+// namedTypeName renders the named-type base name of t ("" if unnamed).
+func namedTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}

@@ -1,0 +1,969 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Summary holds the per-function facts the interprocedural passes consume.
+// Local facts are extracted in one AST walk per function (summarize);
+// transitive bits are closed over the call graph by propagate.
+type Summary struct {
+	// AllocSites are the function's direct steady-state allocation sites:
+	// cold error/panic paths are excluded, amortized arena appends are
+	// excluded, and //alloc:amortized functions keep their sites here but
+	// allocfree skips them at report time.
+	AllocSites []AllocSite
+	// Allocates reports whether the function allocates directly or through
+	// any callee (transitive; includes Ref and go/defer edges).
+	Allocates bool
+
+	// LockNames are the bare names of mutexes the function Lock/RLocks
+	// anywhere in its body — the flow-insensitive fact lockguard checks.
+	LockNames map[string]bool
+	// LockEvents is the source-ordered acquire/release/call event stream
+	// lockorder replays to build the acquisition-order graph.
+	LockEvents []LockEvent
+	// TransLocks are the qualified locks acquired directly or via callees
+	// on the same goroutine (go edges excluded).
+	TransLocks map[LockID]bool
+
+	// HasCtx reports a context.Context parameter.
+	HasCtx bool
+	// ChecksDone reports a direct ctx.Done() / ctx.Err() / context.Cause
+	// use; ChecksDoneTrans closes it over ordinary call edges.
+	ChecksDone      bool
+	ChecksDoneTrans bool
+	// BackgroundCalls are direct context.Background()/TODO() call sites.
+	BackgroundCalls []token.Pos
+}
+
+// AllocSite is one direct allocation with a human-readable description.
+type AllocSite struct {
+	Pos  token.Pos
+	Kind string // make, new, lit, closure, go, concat, box, conv, append, call, dyncall
+	Desc string
+}
+
+// LockID names a mutex precisely enough to correlate acquisitions across
+// functions: package path, owning type (or enclosing function for locals),
+// and the mutex's own name.
+type LockID struct {
+	Pkg   string
+	Owner string
+	Name  string
+}
+
+func (l LockID) String() string {
+	if l.Owner != "" {
+		return l.Pkg + "." + l.Owner + "." + l.Name
+	}
+	return l.Pkg + "." + l.Name
+}
+
+// LockEvent is one step of a function's lock discipline, in source order.
+type LockEvent struct {
+	Pos  token.Pos
+	Kind int    // lockAcq, lockRel, lockCall
+	Lock LockID // for Acq/Rel
+	Call int    // index into FuncInfo.Calls, for lockCall
+}
+
+const (
+	lockAcq = iota
+	lockRel
+	lockCall
+)
+
+var (
+	allocFreeRe  = regexp.MustCompile(`^//\s*alloc:free\b`)
+	allocAmortRe = regexp.MustCompile(`^//\s*alloc:amortized(?:\s+(.*))?$`)
+)
+
+// readAllocAnnotations parses //alloc:free and //alloc:amortized directives
+// from a function's doc comment.
+func readAllocAnnotations(fi *FuncInfo) {
+	if fi.Decl.Doc == nil {
+		return
+	}
+	for _, c := range fi.Decl.Doc.List {
+		if allocFreeRe.MatchString(c.Text) {
+			fi.AllocFree = true
+		}
+		if m := allocAmortRe.FindStringSubmatch(c.Text); m != nil {
+			fi.Amortized = true
+			fi.AmortizedReason = strings.TrimSpace(m[1])
+			fi.amortizedPos = c.Pos()
+		}
+	}
+}
+
+// allocAllowedPkgs are external packages whose functions are known not to
+// allocate on any path the kernel uses.
+var allocAllowedPkgs = map[string]bool{
+	"math":        true,
+	"math/bits":   true,
+	"sync/atomic": true,
+}
+
+// allocAllowedFuncs are individually vetted external functions and methods
+// ("pkg.Name" or "pkg.Recv.Name") that do not allocate.
+var allocAllowedFuncs = map[string]bool{
+	"sync.Mutex.Lock":            true,
+	"sync.Mutex.Unlock":          true,
+	"sync.Mutex.TryLock":         true,
+	"sync.RWMutex.Lock":          true,
+	"sync.RWMutex.Unlock":        true,
+	"sync.RWMutex.RLock":         true,
+	"sync.RWMutex.RUnlock":       true,
+	"sync.WaitGroup.Add":         true,
+	"sync.WaitGroup.Done":        true,
+	"sync.WaitGroup.Wait":        true,
+	"sort.SearchInts":            true,
+	"time.Now":                   true,
+	"time.Since":                 true,
+	"time.Duration.Microseconds": true,
+	"time.Duration.Milliseconds": true,
+	"time.Duration.Nanoseconds":  true,
+	"time.Duration.Seconds":      true,
+	"math/rand.Rand.Int":         true,
+	"math/rand.Rand.Intn":        true,
+	"math/rand.Rand.Int31":       true,
+	"math/rand.Rand.Int31n":      true,
+	"math/rand.Rand.Int63":       true,
+	"math/rand.Rand.Int63n":      true,
+	"math/rand.Rand.Uint32":      true,
+	"math/rand.Rand.Uint64":      true,
+	"math/rand.Rand.Float32":     true,
+	"math/rand.Rand.Float64":     true,
+	"math/rand.Rand.ExpFloat64":  true,
+	"math/rand.Rand.NormFloat64": true,
+}
+
+// summarize computes fi's local facts and call sites in one walk of its
+// body. Function literals are merged into the declarer; go/defer call sites
+// keep their flavor.
+func (prog *Program) summarize(fi *FuncInfo) {
+	s := &fi.Summary
+	s.LockNames = map[string]bool{}
+	s.TransLocks = map[LockID]bool{}
+	info := fi.Pkg.Info
+	s.HasCtx = hasCtxParam(fi.Obj)
+
+	if fi.Decl.Body == nil {
+		return
+	}
+
+	w := &summaryWalker{prog: prog, fi: fi, info: info}
+	w.collectOrigins(fi.Decl.Body)
+	w.params = funcScopeVars(info, fi.Decl)
+	w.walk(fi.Decl.Body)
+	s.LockEvents = append(s.LockEvents, w.deferredRels...)
+	s.ChecksDoneTrans = s.ChecksDone
+	s.Allocates = len(s.AllocSites) > 0
+	for id := range w.directLocks {
+		s.TransLocks[id] = true
+	}
+}
+
+// summaryWalker carries the traversal state for one function body.
+type summaryWalker struct {
+	prog   *Program
+	fi     *FuncInfo
+	info   *types.Info
+	stack  []ast.Node
+	params map[types.Object]bool
+	// origins maps each local variable to the RHS expressions assigned to
+	// it anywhere in the body, for the amortized-append rule.
+	origins     map[*types.Var][]ast.Expr
+	callFuns    map[ast.Expr]bool // expressions in call-fun position
+	directLocks map[LockID]bool
+	// deferredCalls marks call expressions registered with defer; their
+	// mutex releases are pinned to function exit rather than replayed at
+	// their source position.
+	deferredCalls map[*ast.CallExpr]bool
+	deferredRels  []LockEvent
+}
+
+// collectOrigins indexes every assignment and var-spec RHS per local, and
+// every expression appearing as a call's Fun (so references can be told
+// apart from calls).
+func (w *summaryWalker) collectOrigins(body *ast.BlockStmt) {
+	w.origins = map[*types.Var][]ast.Expr{}
+	w.callFuns = map[ast.Expr]bool{}
+	w.directLocks = map[LockID]bool{}
+	w.deferredCalls = map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(st.Rhs) {
+					continue
+				}
+				if v, ok := objOf(w.info, id).(*types.Var); ok {
+					w.origins[v] = append(w.origins[v], st.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i, id := range st.Names {
+				if i >= len(st.Values) {
+					continue
+				}
+				if v, ok := w.info.Defs[id].(*types.Var); ok {
+					w.origins[v] = append(w.origins[v], st.Values[i])
+				}
+			}
+		case *ast.CallExpr:
+			w.callFuns[ast.Unparen(st.Fun)] = true
+		}
+		return true
+	})
+}
+
+// walk is the main traversal: it maintains the ancestor stack (for the
+// cold-path rule) and dispatches per node kind.
+func (w *summaryWalker) walk(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			w.stack = w.stack[:len(w.stack)-1]
+			return true
+		}
+		w.stack = append(w.stack, n)
+		w.visit(n)
+		return true
+	})
+}
+
+func (w *summaryWalker) visit(n ast.Node) {
+	switch v := n.(type) {
+	case *ast.CallExpr:
+		w.visitCall(v)
+	case *ast.GoStmt:
+		w.addCallSite(v.Call, true, false)
+		w.site(v.Pos(), "go", "goroutine spawn")
+	case *ast.DeferStmt:
+		w.deferredCalls[v.Call] = true
+		w.addCallSite(v.Call, false, true)
+	case *ast.FuncLit:
+		// The closure value itself; captures force a heap allocation.
+		// Immediately-invoked literals (func(){...}()) do not escape.
+		if !w.callFuns[ast.Expr(v)] {
+			w.site(v.Pos(), "closure", "function literal (closure capture)")
+		}
+	case *ast.CompositeLit:
+		w.visitCompositeLit(v)
+	case *ast.UnaryExpr:
+		if v.Op == token.AND {
+			if _, ok := ast.Unparen(v.X).(*ast.CompositeLit); ok {
+				w.site(v.Pos(), "lit", "&composite literal (heap allocation)")
+			}
+		}
+	case *ast.BinaryExpr:
+		if v.Op == token.ADD && w.isNonConstString(v) {
+			w.site(v.Pos(), "concat", "string concatenation")
+		}
+	case *ast.AssignStmt:
+		if v.Tok == token.ADD_ASSIGN && len(v.Lhs) == 1 && w.isNonConstString(v.Lhs[0]) {
+			w.site(v.Pos(), "concat", "string += concatenation")
+		}
+	case *ast.SelectorExpr:
+		w.visitSelector(v)
+	case *ast.ReturnStmt:
+		w.visitReturnBoxing(v)
+	case *ast.Ident:
+		// Bare function reference passed as a value.
+		if w.callFuns[ast.Expr(v)] {
+			return
+		}
+		if fn, ok := w.info.Uses[v].(*types.Func); ok && w.prog.Funcs[fn] != nil {
+			if !w.inSelector(v) {
+				w.fi.Calls = append(w.fi.Calls, CallSite{Pos: v.Pos(), Callees: []*types.Func{fn}, Ref: true})
+			}
+		}
+	}
+}
+
+// inSelector reports whether id is the Sel of an enclosing SelectorExpr (its
+// resolution is handled by the selector case).
+func (w *summaryWalker) inSelector(id *ast.Ident) bool {
+	if len(w.stack) < 2 {
+		return false
+	}
+	sel, ok := w.stack[len(w.stack)-2].(*ast.SelectorExpr)
+	return ok && sel.Sel == id
+}
+
+// visitSelector handles method values (x.M not in call position) and direct
+// ctx.Done/ctx.Err detection.
+func (w *summaryWalker) visitSelector(sel *ast.SelectorExpr) {
+	if w.callFuns[ast.Expr(sel)] {
+		return
+	}
+	selx, ok := w.info.Selections[sel]
+	if !ok || selx.Kind() != types.MethodVal {
+		// Qualified function reference pkg.F as a value.
+		if fn, ok := objOf(w.info, sel.Sel).(*types.Func); ok && w.prog.Funcs[fn] != nil {
+			w.fi.Calls = append(w.fi.Calls, CallSite{Pos: sel.Pos(), Callees: []*types.Func{fn}, Ref: true})
+		}
+		return
+	}
+	fn, ok := selx.Obj().(*types.Func)
+	if !ok {
+		return
+	}
+	// A bound method value allocates its receiver binding.
+	w.site(sel.Pos(), "closure", "method value "+fn.Name()+" (bound-method allocation)")
+	targets := []*types.Func{fn}
+	if recvIsInterface(fn) {
+		targets = w.prog.implementers(fn)
+	}
+	var module []*types.Func
+	for _, t := range targets {
+		if w.prog.Funcs[t] != nil {
+			module = append(module, t)
+		}
+	}
+	if len(module) > 0 {
+		w.fi.Calls = append(w.fi.Calls, CallSite{Pos: sel.Pos(), Callees: module, Ref: true})
+	}
+}
+
+// visitCall classifies one call expression: conversions, builtins, mutex
+// operations, context facts, callee edges, external-call and boxing sites.
+func (w *summaryWalker) visitCall(call *ast.CallExpr) {
+	info := w.info
+	fun := ast.Unparen(call.Fun)
+	s := &w.fi.Summary
+
+	// Type conversion T(x).
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		w.visitConversion(call, tv.Type)
+		return
+	}
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, ok := objOf(info, id).(*types.Builtin); ok {
+			switch id.Name {
+			case "make":
+				if len(call.Args) > 0 {
+					w.site(call.Pos(), "make", "make("+exprString(call.Args[0])+")")
+				}
+			case "new":
+				if len(call.Args) > 0 {
+					w.site(call.Pos(), "new", "new("+exprString(call.Args[0])+")")
+				}
+			case "append":
+				if len(call.Args) > 0 && !w.appendAmortized(call.Args[0], nil) {
+					w.site(call.Pos(), "append", "append growth on fresh slice "+exprString(call.Args[0]))
+				}
+			}
+			return
+		}
+	}
+
+	// Mutex discipline + context facts for selector calls.
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		w.visitMutexOp(call, sel)
+		if (sel.Sel.Name == "Done" || sel.Sel.Name == "Err") && isCtxType(info.Types[sel.X].Type) {
+			s.ChecksDone = true
+		}
+	}
+
+	callees := w.prog.resolveCallees(w.fi.Pkg, call)
+	if len(callees) == 1 && callees[0].Pkg() != nil && callees[0].Pkg().Path() == "context" {
+		switch callees[0].Name() {
+		case "Background", "TODO":
+			s.BackgroundCalls = append(s.BackgroundCalls, call.Pos())
+		case "Cause":
+			s.ChecksDone = true
+		}
+	}
+
+	var module []*types.Func
+	for _, c := range callees {
+		if w.prog.Funcs[c] != nil {
+			module = append(module, c)
+		} else {
+			if !allocAllowed(c) {
+				w.site(call.Pos(), "call", "call to "+externalName(c)+" (assumed to allocate)")
+			}
+		}
+	}
+	if len(callees) == 0 {
+		if sel, ok := fun.(*ast.SelectorExpr); ok {
+			if selx, ok := info.Selections[sel]; ok && selx.Kind() == types.MethodVal {
+				if m, ok := selx.Obj().(*types.Func); ok && recvIsInterface(m) && !allocAllowed(m) {
+					// Interface dispatch with no module implementer in view.
+					w.site(call.Pos(), "dyncall", "interface call "+sel.Sel.Name+" with no module implementation (assumed to allocate)")
+				}
+			}
+		}
+		if w.isDynamicCall(fun) {
+			w.site(call.Pos(), "dyncall", "call through function value "+exprString(fun)+" (unknown allocations)")
+		}
+	}
+	if len(module) > 0 {
+		w.addResolvedSite(call.Pos(), module, false, false)
+	}
+	w.visitArgBoxing(call, callees)
+}
+
+// isDynamicCall reports whether fun is a call through a plain function value
+// (not a builtin, named function, or method).
+func (w *summaryWalker) isDynamicCall(fun ast.Expr) bool {
+	switch f := fun.(type) {
+	case *ast.Ident:
+		_, isVar := objOf(w.info, f).(*types.Var)
+		return isVar
+	case *ast.SelectorExpr:
+		if selx, ok := w.info.Selections[f]; ok {
+			return selx.Kind() == types.FieldVal
+		}
+		_, isVar := objOf(w.info, f.Sel).(*types.Var)
+		return isVar
+	case *ast.FuncLit:
+		return false // immediately-invoked, body analyzed in place
+	}
+	return false
+}
+
+// addCallSite resolves and records a go/defer call.
+func (w *summaryWalker) addCallSite(call *ast.CallExpr, isGo, isDefer bool) {
+	callees := w.prog.resolveCallees(w.fi.Pkg, call)
+	var module []*types.Func
+	for _, c := range callees {
+		if w.prog.Funcs[c] != nil {
+			module = append(module, c)
+		}
+	}
+	if len(module) == 0 {
+		return
+	}
+	w.addResolvedSite(call.Pos(), module, isGo, isDefer)
+}
+
+func (w *summaryWalker) addResolvedSite(pos token.Pos, callees []*types.Func, isGo, isDefer bool) {
+	w.fi.Calls = append(w.fi.Calls, CallSite{Pos: pos, Callees: callees, Go: isGo, Defer: isDefer})
+	if w.inFuncLit() {
+		return // see visitMutexOp: closure bodies are not inline execution
+	}
+	w.fi.Summary.LockEvents = append(w.fi.Summary.LockEvents, LockEvent{
+		Pos: pos, Kind: lockCall, Call: len(w.fi.Calls) - 1,
+	})
+}
+
+// inFuncLit reports whether the node being visited sits inside a function
+// literal of the declaring function.
+func (w *summaryWalker) inFuncLit() bool {
+	for i := len(w.stack) - 2; i >= 0; i-- {
+		if _, ok := w.stack[i].(*ast.FuncLit); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// visitMutexOp records Lock/Unlock events on sync.Mutex / sync.RWMutex
+// receivers, and the bare-name lock set lockguard consumes.
+func (w *summaryWalker) visitMutexOp(call *ast.CallExpr, sel *ast.SelectorExpr) {
+	name := sel.Sel.Name
+	acquire := name == "Lock" || name == "RLock"
+	release := name == "Unlock" || name == "RUnlock"
+	if !acquire && !release {
+		return
+	}
+	// Bare-name fact (lockguard): any receiver shape, no type check — this
+	// preserves the pre-interprocedural semantics exactly.
+	if acquire {
+		switch recv := sel.X.(type) {
+		case *ast.Ident:
+			w.fi.Summary.LockNames[recv.Name] = true
+		case *ast.SelectorExpr:
+			w.fi.Summary.LockNames[recv.Sel.Name] = true
+		}
+	}
+	// Qualified event (lockorder): only genuine sync mutexes.
+	if !isSyncMutex(w.info.Types[sel.X].Type) {
+		return
+	}
+	id, ok := w.lockIDOf(sel.X)
+	if !ok {
+		return
+	}
+	kind := lockRel
+	if acquire {
+		kind = lockAcq
+		w.directLocks[id] = true
+	}
+	if w.inFuncLit() {
+		// A closure's lock discipline is not part of the declarer's inline
+		// execution — the literal may run later or on another goroutine, so
+		// replaying its events linearly would invent interleavings (a gauge
+		// callback's Lock is not held while the next callback registers).
+		// The acquisition still reaches TransLocks via directLocks, so call
+		// edges continue to see it.
+		return
+	}
+	ev := LockEvent{Pos: call.Pos(), Kind: kind, Lock: id}
+	if kind == lockRel && w.deferredCalls[call] {
+		// A deferred unlock runs at function exit: the lock stays held for
+		// the rest of the body, so the release is replayed last.
+		w.deferredRels = append(w.deferredRels, ev)
+		return
+	}
+	w.fi.Summary.LockEvents = append(w.fi.Summary.LockEvents, ev)
+}
+
+// lockIDOf qualifies a mutex expression: field mutexes by owning type,
+// package-level mutexes by package, locals by enclosing function.
+func (w *summaryWalker) lockIDOf(e ast.Expr) (LockID, bool) {
+	pkgPath := w.fi.Pkg.Path
+	switch v := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if selx, ok := w.info.Selections[v]; ok && selx.Kind() == types.FieldVal {
+			owner := namedTypeName(selx.Recv())
+			return LockID{Pkg: pkgPath, Owner: owner, Name: v.Sel.Name}, true
+		}
+		if o := objOf(w.info, v.Sel); o != nil && o.Pkg() != nil {
+			return LockID{Pkg: o.Pkg().Path(), Name: v.Sel.Name}, true
+		}
+	case *ast.Ident:
+		o, ok := objOf(w.info, v).(*types.Var)
+		if !ok {
+			return LockID{}, false
+		}
+		if o.Pkg() != nil && o.Parent() == o.Pkg().Scope() {
+			return LockID{Pkg: o.Pkg().Path(), Name: o.Name()}, true
+		}
+		return LockID{Pkg: pkgPath, Owner: "(" + w.fi.Obj.Name() + ")", Name: o.Name()}, true
+	case *ast.IndexExpr:
+		// shards[i].mu style — qualify by the indexed expression's element.
+		return w.lockIDOf(v.X)
+	}
+	return LockID{}, false
+}
+
+// visitConversion flags allocating conversions: string<->[]byte/[]rune and
+// boxing into an interface.
+func (w *summaryWalker) visitConversion(call *ast.CallExpr, target types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	at := w.info.Types[call.Args[0]].Type
+	if at == nil {
+		return
+	}
+	tu, au := target.Underlying(), at.Underlying()
+	if isStringByteConv(tu, au) {
+		w.site(call.Pos(), "conv", fmt.Sprintf("conversion %s(%s) copies its operand",
+			types.TypeString(target, nil), exprString(call.Args[0])))
+		return
+	}
+	if types.IsInterface(target) && !types.IsInterface(at) && !isUntypedNil(at) {
+		w.site(call.Pos(), "box", "interface conversion boxes "+exprString(call.Args[0]))
+	}
+}
+
+// isStringByteConv reports a copying conversion between string and
+// []byte / []rune (in either direction).
+func isStringByteConv(tu, au types.Type) bool {
+	isStr := func(t types.Type) bool {
+		b, ok := t.(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isBytes := func(t types.Type) bool {
+		s, ok := t.(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+			b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+	}
+	return (isStr(tu) && isBytes(au)) || (isBytes(tu) && isStr(au))
+}
+
+// visitArgBoxing flags concrete values passed to interface parameters.
+func (w *summaryWalker) visitArgBoxing(call *ast.CallExpr, callees []*types.Func) {
+	sig := w.callSignature(call, callees)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			st, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = st.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		at := w.info.Types[arg].Type
+		if at == nil || !types.IsInterface(pt) || types.IsInterface(at) || isUntypedNil(at) {
+			continue
+		}
+		w.site(arg.Pos(), "box", "argument "+exprString(arg)+" boxes into interface parameter")
+	}
+}
+
+// callSignature returns the called signature, from the resolved callee when
+// available (more precise for methods) or the call expression's type.
+func (w *summaryWalker) callSignature(call *ast.CallExpr, callees []*types.Func) *types.Signature {
+	if len(callees) > 0 {
+		if sig, ok := callees[0].Type().(*types.Signature); ok {
+			return sig
+		}
+	}
+	if tv, ok := w.info.Types[ast.Unparen(call.Fun)]; ok && tv.Type != nil {
+		if sig, ok := tv.Type.Underlying().(*types.Signature); ok {
+			return sig
+		}
+	}
+	return nil
+}
+
+// visitReturnBoxing flags concrete results returned as interfaces. Returns
+// on cold error paths are excluded by the site filter like everything else.
+func (w *summaryWalker) visitReturnBoxing(ret *ast.ReturnStmt) {
+	sig, _ := w.fi.Obj.Type().(*types.Signature)
+	if lit := w.enclosingFuncLit(len(w.stack) - 1); lit != nil {
+		if tv, ok := w.info.Types[lit]; ok {
+			sig, _ = tv.Type.(*types.Signature)
+		}
+	}
+	if sig == nil || sig.Results().Len() != len(ret.Results) {
+		return
+	}
+	for i, res := range ret.Results {
+		rt := sig.Results().At(i).Type()
+		at := w.info.Types[res].Type
+		if at == nil || !types.IsInterface(rt) || types.IsInterface(at) || isUntypedNil(at) {
+			continue
+		}
+		if isErrorIface(rt) {
+			continue // error returns are the cold path's business
+		}
+		w.site(res.Pos(), "box", "result "+exprString(res)+" boxes into interface return")
+	}
+}
+
+// visitCompositeLit flags map and slice literals (arrays and plain struct
+// values live on the stack and are not flagged).
+func (w *summaryWalker) visitCompositeLit(lit *ast.CompositeLit) {
+	tv, ok := w.info.Types[ast.Expr(lit)]
+	if !ok || tv.Type == nil {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Map:
+		w.site(lit.Pos(), "lit", "map literal")
+	case *types.Slice:
+		w.site(lit.Pos(), "lit", "slice literal")
+	}
+}
+
+// site records one allocation site unless it sits on a cold error/panic path.
+func (w *summaryWalker) site(pos token.Pos, kind, desc string) {
+	if w.onColdPath() {
+		return
+	}
+	w.fi.Summary.AllocSites = append(w.fi.Summary.AllocSites, AllocSite{Pos: pos, Kind: kind, Desc: desc})
+}
+
+// onColdPath implements the steady-state exclusion: a site is cold when an
+// enclosing statement chain terminates the function with a non-nil error
+// return or a panic. The //alloc:free contract is about the converged hot
+// loop; paths that exist only to report failure never run in steady state.
+func (w *summaryWalker) onColdPath() bool {
+	for i := len(w.stack) - 1; i >= 0; i-- {
+		switch n := w.stack[i].(type) {
+		case *ast.ReturnStmt:
+			if w.returnsError(n, i) {
+				return true
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				if _, isB := objOf(w.info, id).(*types.Builtin); isB {
+					return true
+				}
+			}
+		case *ast.BlockStmt:
+			if len(n.List) > 0 && w.terminatesCold(n.List[len(n.List)-1], i) {
+				return true
+			}
+		case *ast.CaseClause:
+			if len(n.Body) > 0 && w.terminatesCold(n.Body[len(n.Body)-1], i) {
+				return true
+			}
+		case *ast.CommClause:
+			if len(n.Body) > 0 && w.terminatesCold(n.Body[len(n.Body)-1], i) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// terminatesCold reports whether stmt ends the enclosing path with an error
+// return or panic.
+func (w *summaryWalker) terminatesCold(stmt ast.Stmt, depth int) bool {
+	switch st := stmt.(type) {
+	case *ast.ReturnStmt:
+		return w.returnsError(st, depth)
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				_, isB := objOf(w.info, id).(*types.Builtin)
+				return isB
+			}
+		}
+	}
+	return false
+}
+
+// returnsError reports whether ret returns a non-nil error: the enclosing
+// callable's final result is error and the final returned value is not the
+// nil literal.
+func (w *summaryWalker) returnsError(ret *ast.ReturnStmt, depth int) bool {
+	sig, _ := w.fi.Obj.Type().(*types.Signature)
+	if lit := w.enclosingFuncLit(depth); lit != nil {
+		if tv, ok := w.info.Types[lit]; ok {
+			sig, _ = tv.Type.(*types.Signature)
+		}
+	}
+	if sig == nil || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	if !isErrorIface(last) {
+		return false
+	}
+	if len(ret.Results) == 0 {
+		return false // named results; cannot tell, assume warm
+	}
+	fin := ast.Unparen(ret.Results[len(ret.Results)-1])
+	if id, ok := fin.(*ast.Ident); ok && id.Name == "nil" {
+		return false
+	}
+	return true
+}
+
+// enclosingFuncLit returns the innermost function literal strictly enclosing
+// stack index depth, or nil when the declaration itself encloses it.
+func (w *summaryWalker) enclosingFuncLit(depth int) *ast.FuncLit {
+	for i := depth - 1; i >= 0; i-- {
+		if lit, ok := w.stack[i].(*ast.FuncLit); ok {
+			return lit
+		}
+	}
+	return nil
+}
+
+// appendAmortized implements the arena rule: growing a slice whose backing
+// persists across calls (a struct field, parameter, or package variable) is
+// amortized warmup, not a steady-state allocation. Appends to fresh local
+// slices (declared nil, never seeded from persistent storage) are flagged.
+// Origins through make/composite literals are not re-flagged here — those
+// sites are reported on their own.
+func (w *summaryWalker) appendAmortized(base ast.Expr, visited map[*types.Var]bool) bool {
+	switch v := ast.Unparen(base).(type) {
+	case *ast.SliceExpr:
+		return w.appendAmortized(v.X, visited)
+	case *ast.IndexExpr:
+		return w.appendAmortized(v.X, visited)
+	case *ast.SelectorExpr:
+		return true // field or package-level storage persists
+	case *ast.CallExpr:
+		fun := ast.Unparen(v.Fun)
+		if id, ok := fun.(*ast.Ident); ok {
+			if _, isB := objOf(w.info, id).(*types.Builtin); isB && id.Name == "append" && len(v.Args) > 0 {
+				return w.appendAmortized(v.Args[0], visited)
+			}
+		}
+		return true // make/constructor results carry their own site
+	case *ast.CompositeLit:
+		return true // the literal is its own site
+	case *ast.Ident:
+		if v.Name == "nil" {
+			return false
+		}
+		o, ok := objOf(w.info, v).(*types.Var)
+		if !ok {
+			return true
+		}
+		if w.params[o] || o.IsField() || (o.Pkg() != nil && o.Parent() == o.Pkg().Scope()) {
+			return true
+		}
+		if visited[o] {
+			// The chain cycled back without reaching persistent storage
+			// (field, param, global, make, literal): the slice starts nil
+			// and regrows on every call. Another origin can still prove
+			// the base amortized.
+			return false
+		}
+		origins := w.origins[o]
+		if len(origins) == 0 {
+			return false // `var s []T` — fresh nil slice
+		}
+		if visited == nil {
+			visited = map[*types.Var]bool{}
+		}
+		visited[o] = true
+		for _, rhs := range origins {
+			if w.appendAmortized(rhs, visited) {
+				return true
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// isNonConstString reports a non-constant expression of string type.
+func (w *summaryWalker) isNonConstString(e ast.Expr) bool {
+	tv, ok := w.info.Types[e]
+	if !ok || tv.Type == nil || tv.Value != nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// propagate closes the transitive summary bits over the call graph with a
+// fixpoint iteration — recursion converges because every fact is monotone
+// (bools only flip false→true, lock sets only grow).
+func (prog *Program) propagate() {
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range prog.funcList {
+			for _, cs := range fi.Calls {
+				for _, callee := range cs.Callees {
+					ci := prog.Funcs[callee]
+					if ci == nil {
+						continue
+					}
+					if ci.Summary.Allocates && !fi.Summary.Allocates {
+						fi.Summary.Allocates = true
+						changed = true
+					}
+					// Done-checks only count through plain calls: a check
+					// inside a goroutine or deferred func does not gate
+					// the caller's loop.
+					if !cs.Go && !cs.Defer && !cs.Ref &&
+						ci.Summary.ChecksDoneTrans && !fi.Summary.ChecksDoneTrans {
+						fi.Summary.ChecksDoneTrans = true
+						changed = true
+					}
+					// Held locks do not cross goroutine spawns; unknown
+					// invocation times (Ref) are excluded too.
+					if !cs.Go && !cs.Ref {
+						for id := range ci.Summary.TransLocks {
+							if !fi.Summary.TransLocks[id] {
+								fi.Summary.TransLocks[id] = true
+								changed = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// hasCtxParam reports whether fn takes a context.Context parameter.
+func hasCtxParam(fn *types.Func) bool {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isCtxType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isCtxType reports whether t is context.Context.
+func isCtxType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isSyncMutex reports whether t is sync.Mutex or sync.RWMutex (possibly via
+// pointer).
+func isSyncMutex(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// isErrorIface reports whether t is the built-in error interface.
+func isErrorIface(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// isUntypedNil reports the untyped nil type.
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+// allocAllowed reports whether an external function is on the vetted
+// non-allocating allowlist.
+func allocAllowed(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return true // universe-scope (error.Error etc. resolve elsewhere)
+	}
+	if allocAllowedPkgs[fn.Pkg().Path()] {
+		return true
+	}
+	return allocAllowedFuncs[externalName(fn)]
+}
+
+// externalName renders pkg.Name or pkg.Recv.Name for diagnostics and the
+// allowlist.
+func externalName(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if recv := namedTypeName(sig.Recv().Type()); recv != "" {
+			return pkg + "." + recv + "." + fn.Name()
+		}
+	}
+	return pkg + "." + fn.Name()
+}

@@ -1,0 +1,12 @@
+// Package allocamort holds a reasonless //alloc:amortized annotation, which
+// allocfree must itself report: an exemption without a recorded rationale is
+// indistinguishable from a silenced bug.
+package allocamort
+
+//alloc:amortized
+func grow(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}

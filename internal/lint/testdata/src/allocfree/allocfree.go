@@ -1,0 +1,50 @@
+// Package allocfree reconstructs the delta-scheduling repair-path allocation
+// bug: the steady-state kernel (annotated //alloc:free) reached a repair
+// helper whose displaced-operation list started nil, so every hot iteration
+// allocated. The arena grow helper below shows the sanctioned amortized
+// pattern, and scratchLen a site-level suppression of a vetted allocation.
+package allocfree
+
+type kernel struct {
+	marks []bool
+}
+
+// Schedule is the steady-state entry point; the delta-repair bug lived one
+// call below it and must be reported with the full chain from this root.
+//
+//alloc:free
+func (k *kernel) Schedule(n int) int {
+	k.marks = growBools(k.marks, n)
+	total := 0
+	for i := 0; i < n; i++ {
+		total += k.deltaRepair(i)
+	}
+	return total
+}
+
+// deltaRepair mirrors the historical bug: displaced starts nil rather than
+// slicing a warmed arena buffer, so the append allocates on every call.
+func (k *kernel) deltaRepair(i int) int {
+	var displaced []int
+	displaced = append(displaced, i) // want "Schedule -> kernel.deltaRepair"
+	return len(displaced) + k.scratchLen(i)
+}
+
+// scratchLen holds a vetted allocation silenced at the site, proving the
+// finding is reported where the allocation happens, not at the root.
+func (k *kernel) scratchLen(i int) int {
+	//lint:ignore allocfree bounded one-shot scratch vetted by the alloc benchmarks
+	tmp := make([]int, i+1)
+	return len(tmp)
+}
+
+// growBools is the sanctioned arena pattern: amortized growth annotated with
+// a reason, so allocfree prunes the whole subtree under it.
+//
+//alloc:amortized grows once to the DFG size, then reuses the buffer
+func growBools(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	return buf[:n]
+}

@@ -1,0 +1,58 @@
+// Package callgraph exercises the call-graph builder: static calls, method
+// values, interface dispatch (conservative all-implementers fan-out), mutual
+// recursion driven to a fixpoint, and go/defer call-site flavors.
+package callgraph
+
+type runner interface{ run() int }
+
+type fast struct{}
+
+func (fast) run() int { return 1 }
+
+type slow struct{ n int }
+
+func (s *slow) run() int {
+	buf := make([]int, s.n)
+	return len(buf)
+}
+
+// top makes a plain static call.
+func top() int { return leaf() }
+
+func leaf() int { return 1 }
+
+// methodVal takes a method value: a Ref edge, not a call.
+func methodVal(f fast) func() int {
+	g := f.run
+	return g
+}
+
+// dispatch calls through the interface: edges to every module implementer.
+func dispatch(r runner) int { return r.run() }
+
+// even and odd are mutually recursive; odd allocates, and the fixpoint must
+// carry Allocates around the cycle into even's summary.
+func even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return odd(n - 1)
+}
+
+func odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	scratch := make([]bool, n)
+	_ = scratch
+	return even(n - 1)
+}
+
+// spawn exercises the go/defer call-site flavors.
+func spawn() {
+	go worker()
+	defer cleanup()
+}
+
+func worker()  {}
+func cleanup() {}

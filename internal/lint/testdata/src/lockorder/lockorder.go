@@ -1,0 +1,63 @@
+// Package lockorder reconstructs the AB/BA deadlock shape between the
+// eval-cache shard mutex and the job-manager mutex: eviction takes the shard
+// lock and then reports to the manager, while snapshotting takes the manager
+// lock and then reads the shard — the reverse order. Either order alone is
+// fine; together they can deadlock under contention.
+package lockorder
+
+import "sync"
+
+type shard struct {
+	mu   sync.Mutex
+	hits int // guarded by mu
+}
+
+type manager struct {
+	mu    sync.Mutex
+	jobs  int // guarded by mu
+	cache *shard
+}
+
+// evict takes shard.mu then (through noteEviction) manager.mu.
+func (m *manager) evict() {
+	m.cache.mu.Lock()
+	defer m.cache.mu.Unlock()
+	m.cache.hits = 0
+	m.noteEviction() // want "lock order cycle"
+}
+
+// noteEviction acquires manager.mu; called with shard.mu held, its summary
+// carries the lock into evict's held set.
+func (m *manager) noteEviction() {
+	m.mu.Lock()
+	m.jobs--
+	m.mu.Unlock()
+}
+
+// snapshot takes manager.mu then shard.mu directly — the reverse order,
+// closing the cycle.
+func (m *manager) snapshot() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cache.mu.Lock() // want "lock order cycle"
+	h := m.cache.hits
+	m.cache.mu.Unlock()
+	return m.jobs + h
+}
+
+// touch re-locks a mutex the function already holds: sync.Mutex is not
+// reentrant, so this self-edge is an unconditional deadlock.
+func (s *shard) touch() {
+	s.mu.Lock()
+	s.mu.Lock() // want "not reentrant"
+	s.hits++
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// stale carries a typo'd guard annotation: the named mutex does not exist,
+// which would silently disable lockguard for the field.
+type stale struct {
+	mu  sync.Mutex
+	age int // guarded by mux // want "no field mux"
+}

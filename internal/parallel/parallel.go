@@ -90,6 +90,7 @@ func ForEachCtx(ctx context.Context, n, workers int, fn func(i int)) error {
 // output for a given i.
 func ForEachWorker(n, workers int, fn func(worker, i int)) {
 	// context.Background() is never done, so the error is always nil.
+	//lint:ignore ctxflow compat wrapper: ForEachWorker predates cancellation; ForEachWorkerCtx is the cancellable form
 	_ = ForEachWorkerCtx(context.Background(), n, workers, fn)
 }
 

@@ -161,6 +161,8 @@ func (s *Schedule) Clone() *Schedule {
 
 // growInts returns buf resized to n, reusing its backing array when large
 // enough. Contents are unspecified; callers overwrite every element they read.
+//
+//alloc:amortized grow-on-demand arena helper; allocates only while the scheduler arena warms up to the DFG size
 func growInts(buf []int, n int) []int {
 	if cap(buf) < n {
 		obsArenaGrows.Inc()
@@ -169,6 +171,7 @@ func growInts(buf []int, n int) []int {
 	return buf[:n]
 }
 
+//alloc:amortized grow-on-demand arena helper; allocates only while the scheduler arena warms up to the DFG size
 func growFloats(buf []float64, n int) []float64 {
 	if cap(buf) < n {
 		obsArenaGrows.Inc()
@@ -177,6 +180,7 @@ func growFloats(buf []float64, n int) []float64 {
 	return buf[:n]
 }
 
+//alloc:amortized grow-on-demand arena helper; allocates only while the scheduler arena warms up to the DFG size
 func growMarks(buf []uint32, n int) []uint32 {
 	if cap(buf) < n {
 		obsArenaGrows.Inc()
@@ -185,6 +189,7 @@ func growMarks(buf []uint32, n int) []uint32 {
 	return buf[:n]
 }
 
+//alloc:amortized grow-on-demand arena helper; allocates only while the scheduler arena warms up to the DFG size
 func growBools(buf []bool, n int) []bool {
 	if cap(buf) < n {
 		obsArenaGrows.Inc()
@@ -196,6 +201,8 @@ func growBools(buf []bool, n int) []bool {
 // Schedule list-schedules d under assignment a on machine cfg. It is
 // equivalent to ListSchedule in results and errors; the returned Schedule
 // aliases the receiver's arena and is valid until the next call.
+//
+//alloc:free
 func (s *Scheduler) Schedule(d *dfg.DFG, a Assignment, cfg machine.Config) (*Schedule, error) {
 	obsScheduleCalls.Inc()
 	sp := s.tr.Begin("sched", s.tid)
@@ -328,6 +335,7 @@ func (s *Scheduler) buildGroups(d *dfg.DFG, a Assignment) {
 	s.cands = fill[:0]
 	// Per-group member sets, used by convexity and interlock checks.
 	if cap(s.gSet) < ng {
+		//lint:ignore allocfree cap-guarded arena growth preserving warmed member sets
 		grown := make([]graph.NodeSet, ng)
 		copy(grown, s.gSet)
 		s.gSet = grown
@@ -441,14 +449,11 @@ func (s *Scheduler) reaches(d *dfg.DFG, from, to int) bool {
 	return false
 }
 
-// measureGroups fills gLat/gReads/gWrites for every group at or beyond
-// prefix, reproducing GroupCycles, d.In and d.Out arithmetic exactly.
-func (s *Scheduler) measureGroups(d *dfg.DFG, a Assignment, prefix int) {
-	n := d.Len()
-	ng := len(s.gids)
-	if prefix >= ng {
-		return
-	}
+// topoFor ensures s.topo holds a topological order of d, memoized per DFG:
+// delta re-schedules of the same DFG reuse the order computed on first sight.
+//
+//alloc:amortized computes the topo order once per DFG; subsequent schedules of the same DFG reuse it
+func (s *Scheduler) topoFor(d *dfg.DFG) {
 	if s.topoDFG != d {
 		order, err := d.G.TopoOrder()
 		if err != nil {
@@ -457,6 +462,17 @@ func (s *Scheduler) measureGroups(d *dfg.DFG, a Assignment, prefix int) {
 		s.topo = order
 		s.topoDFG = d
 	}
+}
+
+// measureGroups fills gLat/gReads/gWrites for every group at or beyond
+// prefix, reproducing GroupCycles, d.In and d.Out arithmetic exactly.
+func (s *Scheduler) measureGroups(d *dfg.DFG, a Assignment, prefix int) {
+	n := d.Len()
+	ng := len(s.gids)
+	if prefix >= ng {
+		return
+	}
+	s.topoFor(d)
 	s.depth = growFloats(s.depth, n)
 	s.prodMark = growMarks(s.prodMark, n)
 	s.regMark = growMarks(s.regMark, 64)
@@ -527,6 +543,7 @@ func (s *Scheduler) groupIn(d *dfg.DFG, gi int, members []int) int {
 			}
 			r := int(src.Reg)
 			if r >= len(s.regMark) {
+				//lint:ignore allocfree len-guarded arena growth preserving era marks; register ids are bounded by the ISA
 				grown := make([]uint32, r+1)
 				copy(grown, s.regMark)
 				s.regMark = grown
@@ -576,6 +593,7 @@ func (s *Scheduler) buildMacroArena(d *dfg.DFG, a Assignment, cfg machine.Config
 	// never move under a later append.
 	s.macroNodes = growInts(s.macroNodes, n)[:0]
 	if cap(s.macros) < ng+n {
+		//lint:ignore allocfree cap-guarded arena growth; reused once warmed to the DFG size
 		s.macros = make([]macro, 0, ng+n)
 	}
 	s.macros = s.macros[:0]
@@ -634,9 +652,11 @@ func (s *Scheduler) buildMacroArena(d *dfg.DFG, a Assignment, cfg machine.Config
 func (s *Scheduler) macroEdgesArena(d *dfg.DFG) {
 	nm := len(s.macros)
 	if cap(s.succs) < nm {
+		//lint:ignore allocfree cap-guarded arena growth preserving warmed edge slots
 		grown := make([][]int, nm)
 		copy(grown, s.succs)
 		s.succs = grown
+		//lint:ignore allocfree cap-guarded arena growth preserving warmed edge slots
 		grownP := make([][]int, nm)
 		copy(grownP, s.preds)
 		s.preds = grownP

@@ -24,6 +24,8 @@ type cycleUse struct {
 }
 
 // NewTable returns an empty ledger for the given machine.
+//
+//alloc:amortized constructor; the explorer builds one table per worker and reuses it across iterations via Reuse
 func NewTable(cfg machine.Config) *Table {
 	return &Table{cfg: cfg, use: make([]cycleUse, 1, 64)}
 }

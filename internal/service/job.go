@@ -95,15 +95,15 @@ type job struct {
 	submitted time.Time
 	events    *bus
 
-	state    State                   // guarded by mu (the owning Manager's)
-	errMsg   string                  // guarded by mu
-	blocks   []BlockResult           // guarded by mu
-	cp       *Checkpoint             // guarded by mu
-	cancel   context.CancelCauseFunc // guarded by mu
-	started  time.Time               // guarded by mu
-	finished time.Time               // guarded by mu
-	resumed  bool                    // guarded by mu
-	trace    *obs.Tracer             // guarded by mu — set when the spec opts into tracing
+	state    State                   // guarded by Manager.mu
+	errMsg   string                  // guarded by Manager.mu
+	blocks   []BlockResult           // guarded by Manager.mu
+	cp       *Checkpoint             // guarded by Manager.mu
+	cancel   context.CancelCauseFunc // guarded by Manager.mu
+	started  time.Time               // guarded by Manager.mu
+	finished time.Time               // guarded by Manager.mu
+	resumed  bool                    // guarded by Manager.mu
+	trace    *obs.Tracer             // guarded by Manager.mu — set when the spec opts into tracing
 }
 
 // JobStatus is the wire form of a job for GET /v1/jobs{,/{id}}.

@@ -94,6 +94,7 @@ func New(cfg Config) (*Manager, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
+	//lint:ignore ctxflow manager-lifetime root: runCtx outlives any caller; Close cancels it explicitly
 	runCtx, stop := context.WithCancel(context.Background())
 	m := &Manager{
 		cfg:        cfg,
