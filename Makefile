@@ -1,4 +1,4 @@
-.PHONY: tier1 race lint bench benchsched benchall fmt serve-smoke profile
+.PHONY: tier1 race lint bench benchcheck benchsched benchall fmt serve-smoke profile
 
 # Tier 1: the fast correctness gate.
 tier1:
@@ -24,20 +24,29 @@ race: lint
 	go vet ./...
 	go test -race ./...
 
-# Benchmarks: the exploration benchmarks (ExploreMI / ExploreSI / Headline
-# plus the engine-ablation pair), 5 repetitions each, folded into
-# BENCH_explore.json with per-benchmark ns/op and allocs/op deltas against
-# the committed scheduling-kernel-era report BENCH_sched.json — the committed
-# file is read, never regenerated here, so it stays the fixed comparison
-# point for the zero-alloc exploration loop. `make benchsched` refreshes
-# BENCH_sched.json itself (kernel benchmarks against the pre-kernel text
-# baseline); `make benchall` runs everything without JSON post-processing.
+# Benchmarks: the exploration + flow benchmarks (ExploreMI / ExploreSI /
+# Headline / BuildPool plus the engine-ablation pair), 5 repetitions each,
+# folded into BENCH_pool.json with per-benchmark ns/op and allocs/op deltas
+# against the committed exploration-era report BENCH_explore.json — the
+# committed file is read, never regenerated here, so it stays the fixed
+# comparison point for the cross-block arena-reuse work. Deltas worse than
+# +10% land in the report's `regressions` section, which `make benchcheck`
+# turns into an exit status (PR 6's ExploreSI/Headline regressions landed
+# silently in the JSON; this makes that impossible). `make benchsched`
+# refreshes BENCH_sched.json itself (kernel benchmarks against the pre-kernel
+# text baseline); `make benchall` runs everything without JSON
+# post-processing.
 bench:
-	go test -bench 'Explore|Headline' -benchmem -count 5 \
-		| go run ./cmd/benchjson -prev BENCH_sched.json \
-			-cmd "go test -bench 'Explore|Headline' -benchmem -count 5" \
-			-o BENCH_explore.json
-	@cat BENCH_explore.json
+	go test -bench 'Explore|Headline|BuildPool' -benchmem -count 5 \
+		| go run ./cmd/benchjson -prev BENCH_explore.json -maxdelta 10 \
+			-cmd "go test -bench 'Explore|Headline|BuildPool' -benchmem -count 5" \
+			-o BENCH_pool.json
+	@cat BENCH_pool.json
+
+# Fail if the committed bench report records regressions against its -prev
+# comparison point.
+benchcheck:
+	go run ./cmd/benchjson -check BENCH_pool.json
 
 benchsched:
 	go test -bench 'Sched|Explore|Headline' -benchmem -count 5 \

@@ -427,17 +427,26 @@ func BenchmarkExploreSI(b *testing.B) {
 	}
 }
 
-// BenchmarkBuildPool measures the full profile+explore+merge pipeline.
+// BenchmarkBuildPool measures the full profile+explore+merge pipeline, and
+// reports the schedule-evaluation cache hit rate of the last build so the
+// cross-block cache behavior is visible in the BENCH files, like
+// BenchmarkHeadline's custom metrics.
 func BenchmarkBuildPool(b *testing.B) {
 	bm, err := bench.Get("bitcount", "O3")
 	if err != nil {
 		b.Fatal(err)
 	}
 	opts := flow.Options{Machine: machine.New(2, 4, 2), Params: core.FastParams(), Algorithm: flow.MI, HotBlocks: 2}
+	var last *flow.Pool
 	for i := 0; i < b.N; i++ {
-		if _, err := flow.BuildPool(bm, opts); err != nil {
+		pool, err := flow.BuildPool(bm, opts)
+		if err != nil {
 			b.Fatal(err)
 		}
+		last = pool
+	}
+	if lookups := last.CacheHits + last.CacheMisses; lookups > 0 {
+		b.ReportMetric(100*float64(last.CacheHits)/float64(lookups), "cache-hit-%")
 	}
 }
 

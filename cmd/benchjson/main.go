@@ -20,8 +20,18 @@
 // BENCH_explore.json records the exploration loop's allocation trajectory
 // against the scheduling-kernel era without re-running the old code.
 //
-// Exit status: 0 on success, 1 if stdin holds no benchmark lines or a file
-// cannot be read.
+// With -maxdelta N (requires -prev), every benchmark whose ns/op or
+// allocs/op delta exceeds +N% is listed in a "regressions" section of the
+// report, worst first — so a perf regression lands as an explicit record,
+// not as a sign buried in a delta map.
+//
+// With -check FILE, no bench output is read: the named report is loaded and
+// the exit status reflects its regressions section — nonzero when non-empty.
+// `make benchcheck` wires this into the build so a refreshed BENCH file with
+// regressions fails loudly.
+//
+// Exit status: 0 on success, 1 if stdin holds no benchmark lines, a file
+// cannot be read, or -check finds recorded regressions.
 package main
 
 import (
@@ -57,15 +67,37 @@ type report struct {
 	PrevFile      string             `json:"prev_file,omitempty"`
 	NsDeltaPc     map[string]float64 `json:"ns_delta_pct,omitempty"`
 	AllocsDeltaPc map[string]float64 `json:"allocs_delta_pct,omitempty"`
+	// Regressions lists every benchmark metric whose delta against -prev
+	// exceeded +RegressionThresholdPc, worst first (-maxdelta).
+	RegressionThresholdPc float64      `json:"regression_threshold_pct,omitempty"`
+	Regressions           []regression `json:"regressions,omitempty"`
+}
+
+// regression records one benchmark metric that got worse than the -maxdelta
+// threshold against the -prev report.
+type regression struct {
+	Benchmark string  `json:"benchmark"`
+	Metric    string  `json:"metric"` // "ns/op" or "allocs/op"
+	Prev      float64 `json:"prev"`
+	Cur       float64 `json:"cur"`
+	DeltaPc   float64 `json:"delta_pct"`
 }
 
 func main() {
 	out := flag.String("o", "", "output file (default: stdout)")
 	baseline := flag.String("baseline", "", "bench-format file with pre-optimization numbers")
 	prev := flag.String("prev", "", "earlier benchjson JSON report to diff ns/op and allocs/op against")
+	maxDelta := flag.Float64("maxdelta", 0, "with -prev: record benchmarks whose ns/op or allocs/op delta exceeds +N% in a regressions section")
+	check := flag.String("check", "", "load an emitted report and exit nonzero if its regressions section is non-empty (no bench input read)")
 	cmd := flag.String("cmd", "", "command string recorded in the report (default: the Makefile bench invocation)")
 	flag.Parse()
 
+	if *check != "" {
+		if err := checkReport(*check); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	cur, err := parseBench(os.Stdin)
 	if err != nil {
 		fatal(err)
@@ -92,6 +124,9 @@ func main() {
 	if *prev != "" {
 		if err := addPrevDeltas(rep, *prev); err != nil {
 			fatal(err)
+		}
+		if *maxDelta > 0 {
+			addRegressions(rep, *maxDelta)
 		}
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
@@ -156,6 +191,71 @@ func addPrevDeltas(rep *report, path string) error {
 			rep.AllocsDeltaPc[name] = 100 * (c.AllocsPerOp - p.AllocsPerOp) / p.AllocsPerOp
 		}
 	}
+	return nil
+}
+
+// addRegressions records every benchmark metric whose -prev delta exceeds
+// +threshold percent, worst first (ties broken by benchmark name, then
+// metric, so the section is deterministic).
+func addRegressions(rep *report, threshold float64) {
+	rep.RegressionThresholdPc = threshold
+	add := func(deltas map[string]float64, metric string, value func(*result) float64) {
+		for name, d := range deltas {
+			if d <= threshold {
+				continue
+			}
+			var prevV float64
+			if rep.PrevFile != "" {
+				// Reconstruct the previous value from the delta: cur = prev*(1+d/100).
+				prevV = value(rep.Benchmarks[name]) / (1 + d/100)
+			}
+			rep.Regressions = append(rep.Regressions, regression{
+				Benchmark: name,
+				Metric:    metric,
+				Prev:      prevV,
+				Cur:       value(rep.Benchmarks[name]),
+				DeltaPc:   d,
+			})
+		}
+	}
+	add(rep.NsDeltaPc, "ns/op", func(r *result) float64 { return r.NsPerOp })
+	add(rep.AllocsDeltaPc, "allocs/op", func(r *result) float64 { return r.AllocsPerOp })
+	sort.Slice(rep.Regressions, func(i, j int) bool {
+		a, b := rep.Regressions[i], rep.Regressions[j]
+		if a.DeltaPc != b.DeltaPc {
+			return a.DeltaPc > b.DeltaPc
+		}
+		if a.Benchmark != b.Benchmark {
+			return a.Benchmark < b.Benchmark
+		}
+		return a.Metric < b.Metric
+	})
+}
+
+// checkReport loads an emitted report and fails if it recorded regressions —
+// the `make benchcheck` gate. A report written without -maxdelta has no
+// threshold recorded and passes vacuously (there is nothing to check).
+func checkReport(path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	if len(rep.Regressions) > 0 {
+		for _, r := range rep.Regressions {
+			fmt.Fprintf(os.Stderr, "benchjson: regression: %s %s %+.1f%% (%.0f -> %.0f) vs %s\n",
+				r.Benchmark, r.Metric, r.DeltaPc, r.Prev, r.Cur, rep.PrevFile)
+		}
+		return fmt.Errorf("%s records %d regression(s) over +%.0f%%", path, len(rep.Regressions), rep.RegressionThresholdPc)
+	}
+	if rep.RegressionThresholdPc == 0 {
+		fmt.Printf("benchjson: %s has no regression threshold recorded; nothing to check\n", path)
+		return nil
+	}
+	fmt.Printf("benchjson: %s clean (no deltas over +%.0f%% vs %s)\n", path, rep.RegressionThresholdPc, rep.PrevFile)
 	return nil
 }
 

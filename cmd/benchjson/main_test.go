@@ -184,3 +184,70 @@ func keys(m map[string]*result) []string {
 	}
 	return out
 }
+
+// TestAddRegressions pins the -maxdelta section: only deltas strictly over
+// the threshold are recorded, worst first, with prev reconstructed from the
+// delta.
+func TestAddRegressions(t *testing.T) {
+	rep := &report{
+		PrevFile: "BENCH_prev.json",
+		Benchmarks: map[string]*result{
+			"Fast":  {NsPerOp: 900, AllocsPerOp: 100},
+			"Slow":  {NsPerOp: 2000, AllocsPerOp: 100},
+			"Worse": {NsPerOp: 1100, AllocsPerOp: 400},
+		},
+		NsDeltaPc:     map[string]float64{"Fast": -10, "Slow": 100, "Worse": 10},
+		AllocsDeltaPc: map[string]float64{"Fast": 0, "Slow": 0, "Worse": 300},
+	}
+	addRegressions(rep, 10)
+	if rep.RegressionThresholdPc != 10 {
+		t.Fatalf("threshold %v, want 10", rep.RegressionThresholdPc)
+	}
+	if len(rep.Regressions) != 2 {
+		t.Fatalf("got %d regressions, want 2: %+v", len(rep.Regressions), rep.Regressions)
+	}
+	// Worst first: Worse allocs/op +300% before Slow ns/op +100%. The +10%
+	// ns delta of Worse is at, not over, the threshold and stays out.
+	if r := rep.Regressions[0]; r.Benchmark != "Worse" || r.Metric != "allocs/op" || r.Cur != 400 || r.Prev != 100 {
+		t.Fatalf("regressions[0] = %+v", r)
+	}
+	if r := rep.Regressions[1]; r.Benchmark != "Slow" || r.Metric != "ns/op" || r.Cur != 2000 || r.Prev != 1000 {
+		t.Fatalf("regressions[1] = %+v", r)
+	}
+}
+
+// TestCheckReport pins the -check exit contract: clean and threshold-less
+// reports pass, reports with recorded regressions fail.
+func TestCheckReport(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, rep *report) string {
+		t.Helper()
+		buf, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	clean := write("clean.json", &report{RegressionThresholdPc: 10, Benchmarks: map[string]*result{}})
+	if err := checkReport(clean); err != nil {
+		t.Fatalf("clean report failed: %v", err)
+	}
+	unchecked := write("unchecked.json", &report{Benchmarks: map[string]*result{}})
+	if err := checkReport(unchecked); err != nil {
+		t.Fatalf("threshold-less report failed: %v", err)
+	}
+	bad := write("bad.json", &report{
+		RegressionThresholdPc: 10,
+		Regressions:           []regression{{Benchmark: "X", Metric: "ns/op", Prev: 1, Cur: 2, DeltaPc: 100}},
+	})
+	if err := checkReport(bad); err == nil {
+		t.Fatal("report with regressions passed")
+	}
+	if err := checkReport(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing report passed")
+	}
+}

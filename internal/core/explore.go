@@ -132,6 +132,13 @@ type ResumeOptions struct {
 	// observation-only: results are byte-identical with Trace set or nil
 	// (asserted by TestTracingDeterminism).
 	Trace *obs.Tracer
+	// Scratch, when non-nil, supplies the per-worker scheduling kernels and
+	// explorer arenas from a pool shared across explorations, so a run over
+	// many blocks pays arena warmup once per worker instead of once per
+	// (worker, block). Nil uses a private pool (per-exploration reuse only).
+	// Scratch is pure scratch: results are byte-identical with or without
+	// it, at any worker count (TestExploreSharedScratchDeterminism).
+	Scratch *Scratch
 }
 
 // RestartEvent reports one finished restart.
@@ -233,16 +240,26 @@ func exploreResumable(ctx context.Context, d *dfg.DFG, cfg machine.Config, p Par
 	// (unit contraction, walk buffers, merit sweeps), so steady-state ant
 	// construction allocates nothing. Both are pure scratch — which worker
 	// runs which restart never affects the restart's result — so determinism
-	// is preserved.
-	kerns := make([]*sched.Scheduler, parallel.Degree(p.Workers, len(todo)))
-	exps := make([]*explorer, len(kerns))
-	for i := range kerns {
-		kerns[i] = sched.NewScheduler()
-		exps[i] = &explorer{}
+	// is preserved. The pairs come from the caller's Scratch pool when one is
+	// supplied, so arenas warmed on an earlier block of the same run stay
+	// warm here (cross-block reuse, DESIGN.md §13); otherwise a private pool
+	// scopes the reuse to this exploration.
+	scratch := opts.Scratch
+	if scratch == nil {
+		scratch = NewScratch()
 	}
+	ws := make([]*WorkerScratch, parallel.Degree(p.Workers, len(todo)))
+	for i := range ws {
+		ws[i] = scratch.Acquire()
+	}
+	defer func() {
+		for _, w := range ws {
+			scratch.Release(w)
+		}
+	}()
 	cancelErr := parallel.ForEachWorkerCtx(ctx, len(todo), p.Workers, func(w, ti int) {
 		r := todo[ti]
-		res, part, err := runOnce(ctx, d, cfg, p, p.Seed+int64(r)*7919, baseCycles, cache, kerns[w], exps[w], partials[r], opts.Trace, r)
+		res, part, err := runOnce(ctx, d, cfg, p, p.Seed+int64(r)*7919, baseCycles, cache, ws[w].kern, ws[w].exp, partials[r], opts.Trace, r)
 		switch {
 		case err != nil:
 			errs[r] = err

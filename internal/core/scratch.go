@@ -1,0 +1,66 @@
+package core
+
+import (
+	"repro/internal/obs"
+	"repro/internal/parallel"
+	"repro/internal/sched"
+)
+
+// Cross-exploration scratch pooling (DESIGN.md §13). One exploration worker
+// needs a scheduling kernel and an explorer, both of which are grow-only
+// arenas: warming them is a fixed cost per (worker, DFG) pair. A Scratch
+// keeps those pairs alive across explorations, so a flow run that explores
+// many hot blocks — or an experiments sweep that builds many pools — pays
+// warmup once per worker for the whole run instead of once per block.
+var (
+	obsScratchReused = obs.Default.Counter("ise_explore_scratch_reused_total",
+		"Exploration worker scratch (kernel + explorer arenas) acquisitions served warm from a Scratch pool.")
+	obsScratchFresh = obs.Default.Counter("ise_explore_scratch_fresh_total",
+		"Exploration worker scratch acquisitions that had to build a fresh kernel + explorer.")
+)
+
+// WorkerScratch bundles the reusable per-worker state of one exploration
+// worker: the scheduling kernel and the explorer arenas. Both are pure
+// scratch — which worker (or which exploration) previously used them never
+// affects a restart's result, because every consumer resets or overwrites
+// what it reads (explorer.reset rebinds per-DFG state; the kernel versions
+// its own tables per call).
+type WorkerScratch struct {
+	kern *sched.Scheduler
+	exp  *explorer
+}
+
+// Kernel exposes the scratch's scheduling kernel so flow stages that only
+// schedule (candidate pricing, pool evaluation) can share the same warmed
+// arenas the exploration used.
+func (w *WorkerScratch) Kernel() *sched.Scheduler { return w.kern }
+
+// Scratch is a pool of WorkerScratch shared across the explorations of one
+// run (or one process — the pool only ever holds as many items as were
+// simultaneously in use). Safe for concurrent use; see
+// parallel.ScratchPool for the reuse contract.
+type Scratch struct {
+	pool parallel.ScratchPool
+}
+
+// NewScratch returns an empty scratch pool.
+func NewScratch() *Scratch {
+	s := &Scratch{}
+	s.pool.New = func() any {
+		return &WorkerScratch{kern: sched.NewScheduler(), exp: &explorer{}}
+	}
+	s.pool.Reused = obsScratchReused
+	s.pool.Fresh = obsScratchFresh
+	return s
+}
+
+// Acquire hands out one worker's scratch, warm when a previous exploration
+// released one. Callers must Release it when their exploration finishes.
+func (s *Scratch) Acquire() *WorkerScratch {
+	return s.pool.Get().(*WorkerScratch)
+}
+
+// Release returns ws to the pool. ws must not be used afterwards.
+func (s *Scratch) Release(ws *WorkerScratch) {
+	s.pool.Put(ws)
+}

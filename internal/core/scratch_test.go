@@ -1,0 +1,48 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// TestExploreSharedScratchDeterminism pins the Scratch-pooling contract
+// promised by ResumeOptions.Scratch: explorations drawing worker scratch
+// from a shared pool — including scratch warmed on a *different* DFG —
+// return byte-identical results to private-pool explorations, at every
+// worker count. This is the cross-block reuse path flow.BuildPool drives.
+func TestExploreSharedScratchDeterminism(t *testing.T) {
+	d1 := hotBenchDFG(t, "crc32", "O3")
+	d2 := hotBenchDFG(t, "bitcount", "O3")
+	cfg := machine.New(2, 4, 2)
+	p := FastParams()
+	p.Restarts = 3
+
+	want1, _, err := ExploreResumable(t.Context(), d1, cfg, p, ResumeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2, _, err := ExploreResumable(t.Context(), d2, cfg, p, ResumeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		pw := p
+		pw.Workers = workers
+		scr := NewScratch()
+		// Interleave the two DFGs twice so reused scratch has always been
+		// warmed on the other DFG at least once.
+		for round := 0; round < 2; round++ {
+			got1, _, err := ExploreResumable(t.Context(), d1, cfg, pw, ResumeOptions{Scratch: scr})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, "shared scratch d1", got1, want1)
+			got2, _, err := ExploreResumable(t.Context(), d2, cfg, pw, ResumeOptions{Scratch: scr})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, "shared scratch d2", got2, want2)
+		}
+	}
+}

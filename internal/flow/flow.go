@@ -189,10 +189,11 @@ func BuildPoolCtx(ctx context.Context, bm *bench.Benchmark, opts Options) (*Pool
 
 	// Whole-program baseline: every block all-software, in ascending block
 	// order so the float accumulation of BaseCycles is reproducible. One
-	// kernel serves the whole sequential loop, so the per-block scratch is
-	// allocated once, not once per block.
+	// pooled kernel serves the whole sequential loop, so the per-block
+	// scratch stays warm across blocks — and across pool builds.
 	base := make(map[int]int, len(pool.DFGs))
-	baseKern := sched.NewScheduler()
+	baseKern := getKern()
+	defer putKern(baseKern)
 	for _, bi := range sortedBlocks(pool.DFGs) {
 		d := pool.DFGs[bi]
 		s, err := baseKern.Schedule(d, sched.AllSoftware(d.Len()), opts.Machine)
@@ -224,8 +225,13 @@ func BuildPoolCtx(ctx context.Context, bm *bench.Benchmark, opts Options) (*Pool
 	errs := make([]error, len(pool.Hot))
 	priceKerns := make([]*sched.Scheduler, parallel.Degree(opts.Params.Workers, len(pool.Hot)))
 	for i := range priceKerns {
-		priceKerns[i] = sched.NewScheduler()
+		priceKerns[i] = getKern()
 	}
+	defer func() {
+		for _, k := range priceKerns {
+			putKern(k)
+		}
+	}()
 	cancelErr := parallel.ForEachWorkerCtx(ctx, len(pool.Hot), opts.Params.Workers, func(w, hi int) {
 		d := pool.DFGs[pool.Hot[hi]]
 		var ises []*core.ISE
@@ -233,13 +239,14 @@ func BuildPoolCtx(ctx context.Context, bm *bench.Benchmark, opts Options) (*Pool
 		switch opts.Algorithm {
 		case MI:
 			var r *core.Result
-			r, err = core.ExploreWithCacheCtx(ctx, d, opts.Machine, opts.Params, cache)
+			r, _, err = core.ExploreResumable(ctx, d, opts.Machine, opts.Params,
+				core.ResumeOptions{Cache: cache, Scratch: exploreScratch})
 			if r != nil {
 				ises = r.ISEs
 			}
 		case SI:
 			var r *core.Result
-			r, err = baseline.ExploreCtx(ctx, d, opts.Machine, opts.Params)
+			r, err = baseline.ExploreSharedCtx(ctx, d, opts.Machine, opts.Params, baselineScratch)
 			if r != nil {
 				ises = r.ISEs
 			}
@@ -325,10 +332,12 @@ func (p *Pool) EvaluateCtx(ctx context.Context, c selection.Constraints) (*Repor
 		NumISEs:    len(dec.Selected),
 		Selected:   dec.Selected,
 	}
-	// One kernel per Evaluate call: sweeps may run Evaluate concurrently, so
-	// the kernel is call-local, and within the call it is reused across every
-	// block — the steady-state hot path of constraint sweeps.
-	kern := sched.NewScheduler()
+	// One pooled kernel per Evaluate call: sweeps may run Evaluate
+	// concurrently, so the kernel is call-local, and across calls the pool
+	// keeps its per-block scratch warm — the steady-state hot path of
+	// constraint sweeps pays no warmup after the first evaluation.
+	kern := getKern()
+	defer putKern(kern)
 	for _, bi := range sortedBlocks(p.DFGs) {
 		if err := ctx.Err(); err != nil {
 			return nil, err

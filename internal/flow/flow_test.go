@@ -378,3 +378,34 @@ func TestCanceledContextPropagates(t *testing.T) {
 		t.Errorf("Evaluate after ctx fixes: %v", err)
 	}
 }
+
+// TestBuildPoolCrossBlockReuseDeterminism pins the cross-block arena-reuse
+// contract (DESIGN.md §13): pool builds draw worker scratch — kernels and
+// explorer arenas — from process-wide pools warmed by earlier builds and
+// other blocks, and that reuse must never leak into results. Both
+// algorithms, workers ∈ {1, 4, 8}, two builds each (the second is guaranteed
+// to reuse scratch the first warmed) all land on identical pools.
+func TestBuildPoolCrossBlockReuseDeterminism(t *testing.T) {
+	bm, err := bench.Get("crc32", "O3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{MI, SI} {
+		opts := Options{Machine: machine.New(2, 4, 2), Params: core.FastParams(), Algorithm: alg, HotBlocks: 3}
+		opts.Params.Workers = 1
+		want, err := BuildPool(bm, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 4, 8} {
+			opts.Params.Workers = workers
+			for round := 0; round < 2; round++ {
+				got, err := BuildPool(bm, opts)
+				if err != nil {
+					t.Fatalf("%s workers=%d round=%d: %v", alg, workers, round, err)
+				}
+				poolsEqual(t, want, got)
+			}
+		}
+	}
+}

@@ -77,7 +77,10 @@ func BuildMultiPoolCtx(ctx context.Context, benches []*bench.Benchmark, opts Opt
 	// across every application of the suite. This is the expensive half of
 	// the build — |candidates| × |pools| × |blocks| schedule calls — so the
 	// cancellation the doc promises is checked per candidate here, not just
-	// inside the per-benchmark pool builds above.
+	// inside the per-benchmark pool builds above. One pooled kernel serves
+	// the whole sequential sweep, keeping its per-block scratch warm.
+	kern := getKern()
+	defer putKern(kern)
 	for _, cand := range all {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -86,7 +89,7 @@ func BuildMultiPoolCtx(ctx context.Context, benches []*bench.Benchmark, opts Opt
 		for _, pool := range mp.Pools {
 			for _, bi := range sortedBlocks(pool.DFGs) {
 				d := pool.DFGs[bi]
-				s, _, _, err := replace.Apply(d, pool.Machine, []*merging.Candidate{cand})
+				s, _, _, err := replace.ApplyWith(kern, d, pool.Machine, []*merging.Candidate{cand})
 				if err != nil {
 					return nil, err
 				}
@@ -121,6 +124,8 @@ func (mp *MultiPool) EvaluateCtx(ctx context.Context, c selection.Constraints) (
 		NumISEs:   len(dec.Selected),
 		Selected:  dec.Selected,
 	}
+	kern := getKern()
+	defer putKern(kern)
 	for _, pool := range mp.Pools {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -135,7 +140,7 @@ func (mp *MultiPool) EvaluateCtx(ctx context.Context, c selection.Constraints) (
 		}
 		for _, bi := range sortedBlocks(pool.DFGs) {
 			d := pool.DFGs[bi]
-			s, _, _, err := replace.Apply(d, pool.Machine, dec.Selected)
+			s, _, _, err := replace.ApplyWith(kern, d, pool.Machine, dec.Selected)
 			if err != nil {
 				return nil, err
 			}
