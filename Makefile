@@ -1,4 +1,4 @@
-.PHONY: tier1 race lint bench benchcheck benchsched benchall fmt serve-smoke profile
+.PHONY: tier1 race lint bench benchcheck benchsched benchall fmt serve-smoke cluster-smoke profile
 
 # Tier 1: the fast correctness gate.
 tier1:
@@ -66,6 +66,14 @@ fmt:
 # behind an env var so plain `go test ./...` stays fast.
 serve-smoke:
 	ISESERVE_SMOKE=1 go test -run TestServeSmoke -v ./cmd/iseserve/
+
+# End-to-end smoke test of fleet mode (DESIGN.md §15): boots one coordinator
+# and two worker daemons on loopback, runs the same distributed job twice,
+# asserts both results match the single-node CLI answer byte for byte, and
+# requires the second job to be served from the shared eval-cache tier
+# (remote-hit counters must grow on the coordinator's /metrics).
+cluster-smoke:
+	ISECLUSTER_SMOKE=1 go test -run TestClusterSmoke -v ./cmd/iseserve/
 
 # CPU-profile the headline benchmark and print the top-10 hot functions.
 # Artifacts land in /tmp so the repo stays clean.

@@ -1,0 +1,248 @@
+package main
+
+// TestClusterSmoke is the `make cluster-smoke` target: it builds the real
+// iseserve binary, boots one coordinator and two worker daemons on loopback,
+// runs the same distributed job twice, and asserts (a) both results match
+// what the iseexplore CLI prints for the identical kernel/machine/parameters
+// — the fleet determinism contract end to end over real processes and real
+// HTTP — and (b) the second job is served from the shared eval-cache tier
+// (ise_cluster_cache_remote_hits_total grows, because every shard's base-
+// schedule evaluation is already published). It finishes by scraping the
+// coordinator's /metrics for the cluster families and SIGTERMing all three
+// daemons. Gated behind ISECLUSTER_SMOKE so `go test ./...` stays fast.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+func TestClusterSmoke(t *testing.T) {
+	if os.Getenv("ISECLUSTER_SMOKE") == "" {
+		t.Skip("set ISECLUSTER_SMOKE=1 (or run `make cluster-smoke`) to run the fleet smoke test")
+	}
+	dir := t.TempDir()
+	serveBin := filepath.Join(dir, "iseserve")
+	exploreBin := filepath.Join(dir, "iseexplore")
+	build(t, serveBin, ".")
+	build(t, exploreBin, "../iseexplore")
+
+	// CLI reference run: crc32/O3, 2-issue 4/2, fast parameters, seed 1 —
+	// the single-node answer every fleet topology must reproduce.
+	cliOut, err := exec.Command(exploreBin,
+		"-bench", "crc32", "-issue", "2", "-read", "4", "-write", "2",
+		"-fast", "-seed", "1").CombinedOutput()
+	if err != nil {
+		t.Fatalf("iseexplore: %v\n%s", err, cliOut)
+	}
+	wantBase, wantFinal := parseScheduleLine(t, string(cliOut))
+	t.Logf("CLI: %d -> %d cycles", wantBase, wantFinal)
+
+	// One coordinator, two workers, all real processes on loopback.
+	coord, coordURL := startDaemon(t, serveBin,
+		"-addr", "127.0.0.1:0", "-runners", "1", "-coordinator")
+	t.Logf("coordinator at %s", coordURL)
+	workers := make([]*exec.Cmd, 2)
+	for i := range workers {
+		var url string
+		workers[i], url = startDaemon(t, serveBin,
+			"-addr", "127.0.0.1:0", "-worker-of", coordURL, "-cluster-checkpoint", "500ms")
+		t.Logf("worker %d at %s", i, url)
+	}
+
+	// Two identical distributed jobs, back to back. Job A pays the
+	// evaluations and publishes them; job B's workers start with empty local
+	// caches, so their base-schedule lookups are guaranteed remote hits.
+	p := core.FastParams()
+	p.Seed = 1
+	spec := map[string]any{
+		"name":        "cluster-smoke",
+		"bench":       "crc32",
+		"machine":     map[string]int{"issue": 2, "read_ports": 4, "write_ports": 2},
+		"params":      p,
+		"distributed": map[string]int{"shards": 2},
+	}
+	hitsAfterA := -1.0
+	for _, run := range []string{"A", "B"} {
+		base, final, shardEvents := runDistributedJob(t, coordURL, spec)
+		if base != wantBase || final != wantFinal {
+			t.Fatalf("job %s: fleet result %d -> %d cycles, CLI says %d -> %d",
+				run, base, final, wantBase, wantFinal)
+		}
+		if shardEvents != 2 {
+			t.Fatalf("job %s: %d shard_done events, want 2", run, shardEvents)
+		}
+		hits, exposition := scrapeClusterMetrics(t, coordURL)
+		if run == "A" {
+			hitsAfterA = hits
+		} else {
+			if hits <= hitsAfterA {
+				t.Fatalf("shared tier served no remote hits on the second job: %v -> %v", hitsAfterA, hits)
+			}
+			// The remote-hit family is created lazily on the first hit, so
+			// require it only once the tier has provably served one.
+			if !strings.Contains(exposition, "ise_cluster_cache_remote_hits_total") {
+				t.Fatalf("/metrics missing family ise_cluster_cache_remote_hits_total:\n%s", exposition)
+			}
+		}
+		t.Logf("job %s: %d -> %d cycles, remote hits %v", run, base, final, hits)
+	}
+
+	// All three daemons drain cleanly on SIGTERM.
+	for _, cmd := range append([]*exec.Cmd{coord}, workers...) {
+		if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, cmd := range append([]*exec.Cmd{coord}, workers...) {
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("daemon exit: %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("daemon did not exit after SIGTERM")
+		}
+	}
+}
+
+// startDaemon boots one iseserve process and waits for its listen address.
+func startDaemon(t *testing.T, bin string, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill() })
+	return cmd, waitListening(t, stderr)
+}
+
+// runDistributedJob submits spec, streams its events to completion, and
+// returns the block's cycle counts plus the shard_done event count.
+func runDistributedJob(t *testing.T, baseURL string, spec map[string]any) (base, final, shardEvents int) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(baseURL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var submitted struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&submitted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || submitted.ID == "" {
+		t.Fatalf("submit: status %d, id %q", resp.StatusCode, submitted.ID)
+	}
+
+	sresp, err := http.Get(baseURL + "/v1/jobs/" + submitted.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := ""
+	sc := bufio.NewScanner(sresp.Body)
+	for sc.Scan() {
+		data, ok := strings.CutPrefix(sc.Text(), "data: ")
+		if !ok {
+			continue
+		}
+		var ev struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal([]byte(data), &ev); err != nil {
+			t.Fatalf("bad event %q: %v", data, err)
+		}
+		last = ev.Type
+		if ev.Type == "shard_done" {
+			shardEvents++
+		}
+	}
+	sresp.Body.Close()
+	if last != "done" {
+		t.Fatalf("event stream ended on %q, want done", last)
+	}
+
+	resp, err = http.Get(baseURL + "/v1/jobs/" + submitted.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status struct {
+		State  string `json:"state"`
+		Blocks []struct {
+			BaseCycles  int `json:"base_cycles"`
+			FinalCycles int `json:"final_cycles"`
+		} `json:"blocks"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if status.State != "done" || len(status.Blocks) != 1 {
+		t.Fatalf("status %+v", status)
+	}
+	return status.Blocks[0].BaseCycles, status.Blocks[0].FinalCycles, shardEvents
+}
+
+// scrapeClusterMetrics validates the coordinator's exposition, requires the
+// always-registered cluster families, and returns the summed remote-cache
+// hit count (0 while the lazily-created family is absent) plus the raw
+// exposition for further checks.
+func scrapeClusterMetrics(t *testing.T, baseURL string) (float64, string) {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exposition, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateExposition(bytes.NewReader(exposition)); err != nil {
+		t.Fatalf("malformed Prometheus exposition: %v\n%s", err, exposition)
+	}
+	for _, family := range []string{
+		"ise_cluster_shards_total",
+		"ise_cluster_shard_retries_total",
+		"ise_cluster_shard_cache_hits_total",
+	} {
+		if !strings.Contains(string(exposition), family) {
+			t.Fatalf("/metrics missing family %s:\n%s", family, exposition)
+		}
+	}
+	re := regexp.MustCompile(`(?m)^ise_cluster_cache_remote_hits_total\{[^}]*\} (\S+)$`)
+	var hits float64
+	for _, m := range re.FindAllStringSubmatch(string(exposition), -1) {
+		v, err := strconv.ParseFloat(m[1], 64)
+		if err != nil {
+			t.Fatalf("bad remote-hit sample %q: %v", m[0], err)
+		}
+		hits += v
+	}
+	return hits, string(exposition)
+}

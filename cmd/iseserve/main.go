@@ -9,6 +9,15 @@
 //
 //	iseserve -addr :8080 -state /var/lib/iseserve
 //
+// Fleet mode (DESIGN.md §15): -coordinator additionally mounts the cluster
+// RPC surface and lets jobs opt into "distributed": {...}; -worker-of URL
+// attaches this process to a coordinator as a shard worker (it still serves
+// its own /metrics and can take local jobs):
+//
+//	iseserve -addr :9090 -coordinator
+//	iseserve -addr :9091 -worker-of http://localhost:9090
+//	iseserve -addr :9092 -worker-of http://localhost:9090
+//
 // See DESIGN.md §11 and the README quickstart for the API.
 package main
 
@@ -25,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/service"
 )
 
@@ -39,14 +49,25 @@ func main() {
 		deadline     = flag.Duration("deadline", 0, "default per-job deadline (0 = unlimited)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight jobs to checkpoint on shutdown")
 		pprofOn      = flag.Bool("pprof", false, "expose net/http/pprof handlers under /debug/pprof/")
+
+		coordOn    = flag.Bool("coordinator", false, "serve the cluster coordinator RPC surface and accept distributed jobs")
+		workerOf   = flag.String("worker-of", "", "attach to the coordinator at this base URL as a fleet shard worker")
+		lease      = flag.Duration("cluster-lease", 15*time.Second, "coordinator: shard heartbeat lease before re-dispatch")
+		checkpoint = flag.Duration("cluster-checkpoint", 2*time.Second, "worker: shard time-slice between snapshot heartbeats")
 	)
 	flag.Parse()
+
+	var coord *cluster.Coordinator
+	if *coordOn {
+		coord = cluster.NewCoordinator(cluster.Options{Lease: *lease, Logf: log.Printf})
+	}
 
 	m, err := service.New(service.Config{
 		QueueSize:       *queueSize,
 		Runners:         *runners,
 		DefaultDeadline: *deadline,
 		StateDir:        *stateDir,
+		Coordinator:     coord,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -57,6 +78,10 @@ func main() {
 		log.Fatal(err)
 	}
 	mux := service.NewMux(m)
+	if coord != nil {
+		cluster.Mount(mux, coord)
+		log.Printf("cluster coordinator enabled (lease %s)", *lease)
+	}
 	if *pprofOn {
 		// Explicit registration: the import-side effect of net/http/pprof
 		// targets http.DefaultServeMux, which this daemon does not serve.
@@ -71,11 +96,33 @@ func main() {
 	log.Printf("listening on %s (queue %d, runners %d, state %q)",
 		ln.Addr(), *queueSize, *runners, *stateDir)
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	// Fleet worker: pull shards from the coordinator until shutdown. The
+	// worker abandons any in-flight shard when ctx cancels; the coordinator
+	// re-dispatches it from the last heartbeat snapshot.
+	workerDone := make(chan struct{})
+	if *workerOf != "" {
+		wk := cluster.NewWorker(cluster.WorkerOptions{
+			Coordinator:     *workerOf,
+			CheckpointEvery: *checkpoint,
+			Logf:            log.Printf,
+		})
+		go func() {
+			defer close(workerDone)
+			if err := wk.Run(ctx); err != nil {
+				log.Printf("cluster worker: %v", err)
+			}
+		}()
+		log.Printf("cluster worker attached to %s (checkpoint every %s)", *workerOf, *checkpoint)
+	} else {
+		close(workerDone)
+	}
+
 	select {
 	case err := <-errCh:
 		log.Fatal(err)
@@ -83,6 +130,7 @@ func main() {
 	}
 	stop()
 	log.Printf("shutdown: draining (timeout %s)", *drainTimeout)
+	<-workerDone
 
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sched"
+)
+
+func TestCacheServerBound(t *testing.T) {
+	cs := newCacheServer(2)
+	cs.put("a", 1)
+	cs.put("b", 2)
+	cs.put("c", 3) // over the bound: insert-drop
+	if cs.len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", cs.len())
+	}
+	if _, ok := cs.get("c"); ok {
+		t.Fatal("over-bound insert was kept")
+	}
+	if n, ok := cs.get("a"); !ok || n != 1 {
+		t.Fatalf("get(a) = %d,%v, want 1,true", n, ok)
+	}
+	// Republishing a resident key is a no-op (values for one key are always
+	// identical — outputs of the deterministic scheduler).
+	cs.put("a", 9)
+	if n, _ := cs.get("a"); n != 1 {
+		t.Fatalf("republish overwrote: got %d, want 1", n)
+	}
+}
+
+func TestCacheKeyString(t *testing.T) {
+	cfg := machine.New(2, 4, 2)
+	base := cacheKeyString([2]uint64{1, 2}, cfg, sched.KeyHash{3, 4})
+	if len(base) != 80 {
+		t.Fatalf("key length %d, want 80 fixed hex digits", len(base))
+	}
+	variants := []string{
+		cacheKeyString([2]uint64{9, 2}, cfg, sched.KeyHash{3, 4}),
+		cacheKeyString([2]uint64{1, 9}, cfg, sched.KeyHash{3, 4}),
+		cacheKeyString([2]uint64{1, 2}, machine.New(4, 8, 4), sched.KeyHash{3, 4}),
+		cacheKeyString([2]uint64{1, 2}, cfg, sched.KeyHash{9, 4}),
+		cacheKeyString([2]uint64{1, 2}, cfg, sched.KeyHash{3, 9}),
+	}
+	for i, v := range variants {
+		if v == base {
+			t.Fatalf("variant %d collided with the base key %s", i, base)
+		}
+	}
+}
+
+// TestCacheClientRoundTrip drives the worker-side client against a real
+// coordinator over loopback: miss, publish, hit, and key separation.
+func TestCacheClientRoundTrip(t *testing.T) {
+	_, url := startCoordinator(t, Options{})
+	cfg := machine.New(2, 4, 2)
+	dfp := [2]uint64{7, 11}
+	h := sched.KeyHash{13, 17}
+
+	cc := NewCacheClient(t.Context(), url, 0, nil, 4)
+	if _, ok := cc.Lookup(dfp, cfg, h); ok {
+		t.Fatal("hit on an empty tier")
+	}
+	cc.Publish(dfp, cfg, h, 42)
+	cc.Close() // waits for the async publish to land
+	if n, ok := cc.Lookup(dfp, cfg, h); !ok || n != 42 {
+		t.Fatalf("lookup after publish = %d,%v, want 42,true", n, ok)
+	}
+	if _, ok := cc.Lookup(dfp, machine.New(4, 8, 4), h); ok {
+		t.Fatal("machine config leaked across cache keys")
+	}
+	if _, ok := cc.Lookup([2]uint64{7, 12}, cfg, h); ok {
+		t.Fatal("DFG fingerprint leaked across cache keys")
+	}
+}
+
+// TestCacheClientPublishWindow: publishes beyond the in-flight window are
+// dropped (and counted) instead of blocking the exploration hot path.
+func TestCacheClientPublishWindow(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("PUT /v1/cache/{key}", func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-release
+		w.WriteHeader(http.StatusOK)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+
+	cfg := machine.New(2, 4, 2)
+	cc := NewCacheClient(t.Context(), srv.URL, 0, nil, 1)
+	drops := obsCachePublishDrops.Value()
+	cc.Publish([2]uint64{1, 1}, cfg, sched.KeyHash{1, 1}, 1)
+	<-entered // the only window slot is now held by an in-flight publish
+	cc.Publish([2]uint64{2, 2}, cfg, sched.KeyHash{2, 2}, 2)
+	if d := obsCachePublishDrops.Value() - drops; d != 1 {
+		t.Fatalf("publish-drop counter moved by %v, want 1", d)
+	}
+	close(release)
+	cc.Close()
+}

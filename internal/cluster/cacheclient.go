@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/sched"
+)
+
+// CacheClient is the worker-side face of the shared eval-cache tier: it
+// implements core.RemoteEvalCache over the coordinator's /v1/cache endpoints,
+// so a worker's local cache (the L1) consults the fleet tier on a local miss
+// and offers what it computes back. Failure is always a miss — a coordinator
+// that is slow, down, or evicting only costs recomputation, never
+// correctness (values are outputs of the deterministic scheduler).
+//
+// Publish is asynchronous with a bounded in-flight window: each publish runs
+// on its own goroutine, at most window concurrently; beyond that publishes
+// are dropped (and counted), keeping the exploration hot path free of
+// network backpressure. Lookup is synchronous (the caller needs the value)
+// but bounded by lookupTimeout.
+type CacheClient struct {
+	base   string // coordinator base URL, no trailing slash
+	shard  int
+	client *http.Client
+	// ctx bounds every request the client issues; canceling it (the worker's
+	// shard context) aborts in-flight traffic. Held in the struct because
+	// core.RemoteEvalCache's methods carry no context.
+	ctx           context.Context
+	lookupTimeout time.Duration
+	now           func() time.Time // latency clock, observation only
+
+	window chan struct{} // in-flight publish slots
+	wg     sync.WaitGroup
+}
+
+const (
+	defaultPublishWindow = 32
+	defaultLookupTimeout = 2 * time.Second
+)
+
+// NewCacheClient builds a client against the coordinator at base, attributing
+// its traffic to shard. window bounds concurrent publishes (default 32).
+func NewCacheClient(ctx context.Context, base string, shard int, client *http.Client, window int) *CacheClient {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if window <= 0 {
+		window = defaultPublishWindow
+	}
+	c := &CacheClient{
+		base:          base,
+		shard:         shard,
+		client:        client,
+		ctx:           ctx,
+		lookupTimeout: defaultLookupTimeout,
+		window:        make(chan struct{}, window),
+	}
+	c.now = time.Now
+	return c
+}
+
+// Lookup consults the coordinator tier. Any transport or server problem is a
+// miss.
+func (c *CacheClient) Lookup(dfp [2]uint64, cfg machine.Config, h sched.KeyHash) (int, bool) {
+	ctx, cancel := context.WithTimeout(c.ctx, c.lookupTimeout)
+	defer cancel()
+	url := c.base + "/v1/cache/" + cacheKeyString(dfp, cfg, h) + "?shard=" + strconv.Itoa(c.shard)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, false
+	}
+	start := c.now()
+	resp, err := c.client.Do(req)
+	obsCacheLookupSeconds.Observe(c.now().Sub(start).Seconds())
+	if err != nil {
+		return 0, false
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return 0, false
+	}
+	var v cacheValue
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return 0, false
+	}
+	return v.N, true
+}
+
+// Publish offers a locally computed value to the tier, asynchronously. Drops
+// (window full) are counted, not retried: the value stays in the local cache
+// and any other node that needs it recomputes once.
+func (c *CacheClient) Publish(dfp [2]uint64, cfg machine.Config, h sched.KeyHash, n int) {
+	select {
+	case c.window <- struct{}{}:
+	default:
+		obsCachePublishDrops.Inc()
+		return
+	}
+	key := cacheKeyString(dfp, cfg, h)
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		defer func() { <-c.window }()
+		body, _ := json.Marshal(cacheValue{N: n})
+		ctx, cancel := context.WithTimeout(c.ctx, c.lookupTimeout)
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.base+"/v1/cache/"+key, bytes.NewReader(body))
+		if err != nil {
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.client.Do(req)
+		if err != nil {
+			return
+		}
+		drainClose(resp.Body)
+		obsCachePublishes.Inc()
+	}()
+}
+
+// Close waits for in-flight publishes to land (or abort via ctx). Call it
+// after the shard finishes so the coordinator tier sees the shard's tail of
+// evaluations before the next shard starts.
+func (c *CacheClient) Close() {
+	c.wg.Wait()
+}
+
+func drainClose(rc io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, rc)
+	_ = rc.Close()
+}

@@ -1,0 +1,50 @@
+package cluster
+
+import "sync"
+
+// cacheServer is the coordinator-hosted tier of the shared eval cache: a
+// bounded map from wire keys (cacheKeyString) to schedule lengths. Values
+// are outputs of the deterministic scheduler, so concurrent publishes of one
+// key always carry the same value and last-write-wins is consistent; a
+// lookup either sees the value or misses and the worker recomputes — the
+// tier can only save work, never change a result (the shared-cache
+// consistency model, DESIGN.md §15).
+//
+// The bound is a simple insert-drop: once max entries are resident, new
+// keys are ignored. Exploration key traffic is heavily skewed toward the
+// accepted-prefix evaluations published early in a job, so dropping the
+// tail loses little; a dropped key costs exactly one local recompute.
+type cacheServer struct {
+	mu  sync.Mutex
+	m   map[string]int // guarded by mu
+	max int
+}
+
+func newCacheServer(max int) *cacheServer {
+	if max <= 0 {
+		max = 1 << 20
+	}
+	return &cacheServer{m: make(map[string]int), max: max}
+}
+
+func (s *cacheServer) get(key string) (int, bool) {
+	s.mu.Lock()
+	n, ok := s.m[key]
+	s.mu.Unlock()
+	return n, ok
+}
+
+func (s *cacheServer) put(key string, n int) {
+	s.mu.Lock()
+	if _, ok := s.m[key]; !ok && len(s.m) < s.max {
+		s.m[key] = n
+		obsCacheEntries.Set(float64(len(s.m)))
+	}
+	s.mu.Unlock()
+}
+
+func (s *cacheServer) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}

@@ -1,0 +1,283 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dfg"
+)
+
+// WorkerOptions parameterize a Worker.
+type WorkerOptions struct {
+	// Coordinator is the coordinator's base URL, e.g. "http://host:9090".
+	Coordinator string
+	// Name identifies this worker to the coordinator (lease ownership).
+	// Default: "w<pid>-<n>", unique within the process.
+	Name string
+	// CheckpointEvery is the shard time-slice length: the worker interrupts
+	// its exploration this often to heartbeat and upload a resume snapshot
+	// (default 2s). Must be well under the coordinator's lease.
+	CheckpointEvery time.Duration
+	// Poll is the idle claim-poll interval (default 250ms).
+	Poll time.Duration
+	// Client issues the worker's RPCs (default http.DefaultClient).
+	Client *http.Client
+	// NoSharedCache detaches the worker's local eval cache from the
+	// coordinator's shared tier. Results are identical either way; the tier
+	// only saves recomputation.
+	NoSharedCache bool
+	// CacheWindow bounds concurrent shared-cache publishes (default 32).
+	CacheWindow int
+	// Logf receives operational log lines (default: discard).
+	Logf func(format string, args ...any)
+
+	// onClaim and onBeat are test seams: onClaim observes each claimed
+	// envelope before the shard runs; onBeat observes each successful
+	// heartbeat's uploaded snapshot. Both may cancel the worker's context to
+	// simulate mid-shard death.
+	onClaim func(*ShardEnvelope)
+	onBeat  func(*core.Snapshot)
+}
+
+var workerSeq atomic.Int64
+
+func (o WorkerOptions) withDefaults() WorkerOptions {
+	if o.Name == "" {
+		o.Name = fmt.Sprintf("w%d-%d", os.Getpid(), workerSeq.Add(1))
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 2 * time.Second
+	}
+	if o.Poll <= 0 {
+		o.Poll = 250 * time.Millisecond
+	}
+	if o.Client == nil {
+		o.Client = http.DefaultClient
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Worker pulls shards from a coordinator and runs them with the ordinary
+// single-node exploration entrypoints: a claimed shard is explored with its
+// rebased parameters (ShardSpec.shardParams) — or resumed from the envelope's
+// snapshot — in time slices, heartbeating a fresh snapshot after each slice
+// so the coordinator can re-dispatch the shard if this worker dies. The
+// worker's scratch arenas persist across shards, so warmup is paid once per
+// worker per fleet membership, not once per shard.
+type Worker struct {
+	opts    WorkerOptions
+	scratch *core.Scratch
+}
+
+// NewWorker builds a worker against opts.Coordinator.
+func NewWorker(opts WorkerOptions) *Worker {
+	return &Worker{opts: opts.withDefaults(), scratch: core.NewScratch()}
+}
+
+// Run claims and executes shards until ctx is done. It returns nil on a
+// clean shutdown (ctx canceled between shards or mid-shard).
+func (w *Worker) Run(ctx context.Context) error {
+	w.opts.Logf("cluster: worker %s joining fleet at %s", w.opts.Name, w.opts.Coordinator)
+	idle := time.NewTimer(0)
+	if !idle.Stop() {
+		<-idle.C
+	}
+	defer idle.Stop()
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		env, err := w.claim(ctx)
+		if err != nil {
+			w.opts.Logf("cluster: worker %s claim: %v", w.opts.Name, err)
+		}
+		if env == nil {
+			idle.Reset(w.opts.Poll)
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-idle.C:
+			}
+			continue
+		}
+		w.runShard(ctx, env)
+	}
+}
+
+// claim asks the coordinator for the next shard; (nil, nil) means no work.
+func (w *Worker) claim(ctx context.Context) (*ShardEnvelope, error) {
+	resp, err := w.post(ctx, w.opts.Coordinator+"/v1/shards/claim", claimRequest{Worker: w.opts.Name})
+	if err != nil {
+		return nil, err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode == http.StatusNoContent {
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, errHTTP(resp)
+	}
+	var env ShardEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		return nil, fmt.Errorf("cluster: decode claim: %w", err)
+	}
+	return &env, nil
+}
+
+// runShard executes one claimed shard to a posted result, a posted error, or
+// abandonment (canceled context / lost lease — the coordinator re-dispatches
+// from the last uploaded snapshot either way).
+func (w *Worker) runShard(ctx context.Context, env *ShardEnvelope) {
+	if w.opts.onClaim != nil {
+		w.opts.onClaim(env)
+	}
+	spec := env.Spec
+	w.opts.Logf("cluster: worker %s running job %s shard %d/%d (restarts [%d,%d), resume=%v)",
+		w.opts.Name, spec.Job, spec.Shard, spec.Shards, spec.FirstRestart,
+		spec.FirstRestart+spec.Restarts, env.Snapshot != nil)
+
+	d, err := w.buildBlock(spec)
+	if err != nil {
+		w.postResult(ctx, spec, resultRequest{Worker: w.opts.Name, Error: err.Error()})
+		return
+	}
+	cfg := spec.Workload.MachineConfig()
+
+	// The shard context bounds everything the shard does, including the
+	// cache client's in-flight traffic.
+	shardCtx, cancelShard := context.WithCancel(ctx)
+	defer cancelShard()
+
+	cache := core.NewEvalCache()
+	if !w.opts.NoSharedCache {
+		cc := NewCacheClient(shardCtx, w.opts.Coordinator, spec.Shard, w.opts.Client, w.opts.CacheWindow)
+		cache.SetRemote(cc)
+		defer cc.Close()
+	}
+	w.scratch.Prewarm(d)
+	ropts := core.ResumeOptions{Cache: cache, Scratch: w.scratch}
+	p := spec.shardParams()
+
+	snap := env.Snapshot
+	for {
+		sliceCtx, cancelSlice := context.WithTimeout(shardCtx, w.opts.CheckpointEvery)
+		var (
+			res  *core.Result
+			next *core.Snapshot
+			rerr error
+		)
+		if snap == nil {
+			res, next, rerr = core.ExploreResumable(sliceCtx, d, cfg, p, ropts)
+		} else {
+			res, next, rerr = core.ResumeFrom(sliceCtx, d, cfg, snap, ropts)
+		}
+		cancelSlice()
+
+		if rerr != nil && next != nil {
+			// Slice expired mid-run: checkpoint and keep going, unless the
+			// worker itself is shutting down.
+			if ctx.Err() != nil {
+				obsWorkerAbandoned.Inc()
+				w.opts.Logf("cluster: worker %s abandoning job %s shard %d (shutdown)", w.opts.Name, spec.Job, spec.Shard)
+				return
+			}
+			snap = next
+			hits, misses := cache.Stats()
+			if err := w.heartbeat(ctx, spec, heartbeatRequest{
+				Worker: w.opts.Name, Snapshot: snap, CacheHits: hits, CacheMisses: misses,
+			}); err != nil {
+				if errors.Is(err, ErrGone) {
+					obsWorkerAbandoned.Inc()
+					w.opts.Logf("cluster: worker %s abandoning job %s shard %d (lease gone)", w.opts.Name, spec.Job, spec.Shard)
+					return
+				}
+				// Transient coordinator trouble: keep exploring; the next
+				// slice retries the heartbeat before the lease lapses.
+				w.opts.Logf("cluster: worker %s heartbeat job %s shard %d: %v", w.opts.Name, spec.Job, spec.Shard, err)
+			} else if w.opts.onBeat != nil {
+				w.opts.onBeat(snap)
+			}
+			continue
+		}
+		if rerr != nil {
+			w.postResult(ctx, spec, resultRequest{Worker: w.opts.Name, Error: rerr.Error()})
+			return
+		}
+		hits, misses := cache.Stats()
+		w.postResult(ctx, spec, resultRequest{
+			Worker: w.opts.Name, Result: res.State(), CacheHits: hits, CacheMisses: misses,
+		})
+		return
+	}
+}
+
+// buildBlock rebuilds the shard's graph from its workload description.
+func (w *Worker) buildBlock(spec ShardSpec) (*dfg.DFG, error) {
+	if err := spec.Workload.Validate(); err != nil {
+		return nil, err
+	}
+	dfgs, err := spec.Workload.BuildDFGs()
+	if err != nil {
+		return nil, err
+	}
+	if spec.Block < 0 || spec.Block >= len(dfgs) {
+		return nil, fmt.Errorf("cluster: block %d out of range (%d blocks)", spec.Block, len(dfgs))
+	}
+	return dfgs[spec.Block], nil
+}
+
+func (w *Worker) heartbeat(ctx context.Context, spec ShardSpec, req heartbeatRequest) error {
+	return w.rpc(ctx, w.shardURL(spec, "heartbeat"), req)
+}
+
+// postResult delivers the shard outcome, counting the shard as run. A
+// delivery error is logged and dropped: the lease lapses and the shard
+// re-dispatches, which is the same recovery path as worker death.
+func (w *Worker) postResult(ctx context.Context, spec ShardSpec, req resultRequest) {
+	obsWorkerShardsRun.Inc()
+	if err := w.rpc(ctx, w.shardURL(spec, "result"), req); err != nil && !errors.Is(err, ErrGone) {
+		w.opts.Logf("cluster: worker %s result job %s shard %d: %v", w.opts.Name, spec.Job, spec.Shard, err)
+	}
+}
+
+func (w *Worker) shardURL(spec ShardSpec, verb string) string {
+	return w.opts.Coordinator + "/v1/shards/" + spec.Job + "/" + strconv.Itoa(spec.Shard) + "/" + verb
+}
+
+// rpc posts v and expects a 2xx.
+func (w *Worker) rpc(ctx context.Context, url string, v any) error {
+	resp, err := w.post(ctx, url, v)
+	if err != nil {
+		return err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode/100 != 2 {
+		return errHTTP(resp)
+	}
+	return nil
+}
+
+func (w *Worker) post(ctx context.Context, url string, v any) (*http.Response, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return w.opts.Client.Do(req)
+}

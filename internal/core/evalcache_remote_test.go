@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/prog"
+	"repro/internal/sched"
+)
+
+// fakeRemote is an in-memory RemoteEvalCache standing in for the cluster
+// coordinator's shared tier.
+type fakeRemote struct {
+	mu        sync.Mutex
+	m         map[string]int
+	lookups   int
+	hits      int
+	publishes int
+}
+
+func newFakeRemote() *fakeRemote {
+	return &fakeRemote{m: map[string]int{}}
+}
+
+func remoteKey(dfp [2]uint64, cfg machine.Config, h sched.KeyHash) string {
+	return fmt.Sprintf("%x/%x/%s/%x/%x", dfp[0], dfp[1], cfg.Name, h[0], h[1])
+}
+
+func (f *fakeRemote) Lookup(dfp [2]uint64, cfg machine.Config, h sched.KeyHash) (int, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.lookups++
+	n, ok := f.m[remoteKey(dfp, cfg, h)]
+	if ok {
+		f.hits++
+	}
+	return n, ok
+}
+
+func (f *fakeRemote) Publish(dfp [2]uint64, cfg machine.Config, h sched.KeyHash, n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.publishes++
+	f.m[remoteKey(dfp, cfg, h)] = n
+}
+
+// TestEvalCacheRemoteTier pins the two-tier contract: a local miss consults
+// the remote tier before scheduling; a remote hit is served without a
+// scheduler invocation and counts as a local hit (preserving the exact-
+// counter contract); a remote miss schedules locally and publishes the value
+// back.
+func TestEvalCacheRemoteTier(t *testing.T) {
+	d := blockDFG(t, func(b *prog.Builder) { logicChain(b, 8) })
+	cfg := machine.New(2, 4, 2)
+	a := sched.AllSoftware(d.Len())
+	remote := newFakeRemote()
+
+	// Node 1: cold everywhere. The leader misses both tiers, schedules, and
+	// publishes to the shared tier.
+	c1 := NewEvalCache()
+	c1.SetRemote(remote)
+	want, err := c1.Schedule(d, a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, m := c1.Stats(); h != 0 || m != 1 {
+		t.Fatalf("node 1 stats = %d/%d, want 0 hits / 1 miss", h, m)
+	}
+	if remote.lookups != 1 || remote.hits != 0 || remote.publishes != 1 {
+		t.Fatalf("remote saw lookups=%d hits=%d publishes=%d, want 1/0/1",
+			remote.lookups, remote.hits, remote.publishes)
+	}
+
+	// Node 2: fresh local cache, warm shared tier. The lookup must be served
+	// remotely — zero scheduler invocations — and count as a hit.
+	c2 := NewEvalCache()
+	c2.SetRemote(remote)
+	before := evalSchedInvocations.Load()
+	got, err := c2.Schedule(d, a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("remote-served length %d, locally computed %d", got, want)
+	}
+	if inv := evalSchedInvocations.Load() - before; inv != 0 {
+		t.Fatalf("remote hit ran the scheduler %d times, want 0", inv)
+	}
+	if h, m := c2.Stats(); h != 1 || m != 0 {
+		t.Fatalf("node 2 stats = %d/%d, want 1 hit / 0 misses", h, m)
+	}
+	if remote.publishes != 1 {
+		t.Fatalf("remote hit republished (publishes=%d, want 1)", remote.publishes)
+	}
+
+	// Node 2 again: now locally cached; the remote tier must not be consulted.
+	lookups := remote.lookups
+	if _, err := c2.Schedule(d, a, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if remote.lookups != lookups {
+		t.Fatalf("local hit still consulted the remote tier")
+	}
+}
+
+// TestEvalCacheRemoteTransparent: with and without the remote tier, every
+// served length is identical — the tier is purely a recomputation saver.
+func TestEvalCacheRemoteTransparent(t *testing.T) {
+	d := blockDFG(t, func(b *prog.Builder) { logicChain(b, 6) })
+	cfg := machine.New(2, 4, 2)
+	a := sched.AllSoftware(d.Len())
+
+	plain := NewEvalCache()
+	want, err := plain.Schedule(d, a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	remote := newFakeRemote()
+	seed := NewEvalCache()
+	seed.SetRemote(remote)
+	if _, err := seed.Schedule(d, a, cfg); err != nil {
+		t.Fatal(err)
+	}
+	served := NewEvalCache()
+	served.SetRemote(remote)
+	got, err := served.Schedule(d, a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("remote tier changed the served length: %d vs %d", got, want)
+	}
+}

@@ -311,17 +311,37 @@ func exploreResumable(ctx context.Context, d *dfg.DFG, cfg machine.Config, p Par
 		}
 		return nil, out, cancelErr
 	}
+	best := BestResult(results)
+	best.CacheHits, best.CacheMisses = cache.Stats()
+	return best, nil, nil
+}
+
+// BestResult is the deterministic reduction over per-restart results: a
+// strict left-to-right scan keeping the result with the fewest FinalCycles,
+// breaking ties by least area and then by earliest index (the strict `<`
+// comparisons encode the index tiebreak). Nil entries are skipped.
+//
+// Because every comparison is strict, the scan is associative over
+// contiguous segments: folding each contiguous restart range first and then
+// folding the per-range winners in range order selects the same element as
+// one global scan. That is the property the distributed coordinator
+// (internal/cluster) relies on — each shard owns a contiguous restart range,
+// reduces it with this same function (via exploreResumable on the worker),
+// and the coordinator folds the shard winners in shard order, so node count
+// never changes the answer.
+func BestResult(results []*Result) *Result {
 	var best *Result
-	for r := 0; r < restarts; r++ {
-		res := results[r]
+	for _, res := range results {
+		if res == nil {
+			continue
+		}
 		if best == nil ||
 			res.FinalCycles < best.FinalCycles ||
 			(res.FinalCycles == best.FinalCycles && res.AreaUM2() < best.AreaUM2()) {
 			best = res
 		}
 	}
-	best.CacheHits, best.CacheMisses = cache.Stats()
-	return best, nil, nil
+	return best
 }
 
 // runOnce performs one full exploration: rounds of ACO iterations, each
@@ -495,21 +515,25 @@ func (e *explorer) initPriority() {
 // initTables seeds trail and merit for every free node at the start of a
 // round (trail 0; merit 100 software / 200 hardware). The row structure is
 // built once per DFG over two flat backing arrays; later rounds only re-seed
-// the values, so round boundaries allocate nothing.
+// the values, so round boundaries allocate nothing. The rows and backing
+// arrays are grow-on-demand arenas: rebinding the explorer to a smaller (or
+// equal, after presize) DFG reslices the warm buffers instead of
+// reallocating, so a flow run over many blocks pays table warmup once per
+// worker, not once per (worker, block).
 func (e *explorer) initTables() {
 	n := e.d.Len()
 	if e.tablesFor != e.d {
-		e.numSW = make([]int, n)
+		e.numSW = growInts(e.numSW, n)
 		total := 0
 		for i := 0; i < n; i++ {
 			node := e.d.Nodes[i]
 			e.numSW[i] = len(node.SW)
 			total += len(node.SW) + len(node.HW)
 		}
-		e.trail = make([][]float64, n)
-		e.merit = make([][]float64, n)
-		e.trailBuf = make([]float64, total)
-		e.meritBuf = make([]float64, total)
+		e.trail = growRows(e.trail, n)
+		e.merit = growRows(e.merit, n)
+		e.trailBuf = growFloats(e.trailBuf, total)
+		e.meritBuf = growFloats(e.meritBuf, total)
 		off := 0
 		for i := 0; i < n; i++ {
 			opts := e.numSW[i] + len(e.d.Nodes[i].HW)

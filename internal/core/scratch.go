@@ -1,6 +1,9 @@
 package core
 
 import (
+	"sync"
+
+	"repro/internal/dfg"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/sched"
@@ -41,6 +44,63 @@ func (w *WorkerScratch) Kernel() *sched.Scheduler { return w.kern }
 // parallel.ScratchPool for the reuse contract.
 type Scratch struct {
 	pool parallel.ScratchPool
+
+	// Prewarm bounds: the arena sizes of the largest DFG announced so far.
+	// Acquire presizes every handed-out explorer to them, so arenas warmed
+	// for a run's biggest block never regrow on any block (see prewarm.go).
+	mu     sync.Mutex
+	nodes  int // guarded by mu
+	opts   int // guarded by mu
+	row    int // guarded by mu
+	edges  int // guarded by mu
+	ioNeed int // guarded by mu
+}
+
+// Prewarm announces the DFGs an upcoming run will explore, so every
+// WorkerScratch handed out afterwards is presized to the largest of them —
+// the arena-warmup amortization that removes the per-(worker, block) warmup
+// cost. Bounds only ever grow (several callers may announce different runs);
+// the call itself allocates nothing beyond the pool items' own growth.
+func (s *Scratch) Prewarm(dfgs ...*dfg.DFG) {
+	var n, opts, row, edges, ioNeed int
+	for _, d := range dfgs {
+		if d == nil {
+			continue
+		}
+		bn, bo, br, be, bi := arenaBounds(d)
+		if bn > n {
+			n = bn
+		}
+		if bo > opts {
+			opts = bo
+		}
+		if br > row {
+			row = br
+		}
+		if be > edges {
+			edges = be
+		}
+		if bi > ioNeed {
+			ioNeed = bi
+		}
+	}
+	s.mu.Lock()
+	if n > s.nodes {
+		s.nodes = n
+	}
+	if opts > s.opts {
+		s.opts = opts
+	}
+	if row > s.row {
+		s.row = row
+	}
+	if edges > s.edges {
+		s.edges = edges
+	}
+	if ioNeed > s.ioNeed {
+		s.ioNeed = ioNeed
+	}
+	s.mu.Unlock()
 }
 
 // NewScratch returns an empty scratch pool.
@@ -55,9 +115,17 @@ func NewScratch() *Scratch {
 }
 
 // Acquire hands out one worker's scratch, warm when a previous exploration
-// released one. Callers must Release it when their exploration finishes.
+// released one, presized to the Prewarm bounds when any were announced.
+// Callers must Release it when their exploration finishes.
 func (s *Scratch) Acquire() *WorkerScratch {
-	return s.pool.Get().(*WorkerScratch)
+	ws := s.pool.Get().(*WorkerScratch)
+	s.mu.Lock()
+	n, opts, row, edges, ioNeed := s.nodes, s.opts, s.row, s.edges, s.ioNeed
+	s.mu.Unlock()
+	if n > 0 {
+		ws.exp.presize(n, opts, row, edges, ioNeed)
+	}
+	return ws
 }
 
 // Release returns ws to the pool. ws must not be used afterwards.

@@ -181,6 +181,21 @@ func isesFromStates(d *dfg.DFG, sts []ISEState) ([]*ISE, error) {
 	return out, nil
 }
 
+// State converts r to its serializable ResultState. The distributed worker
+// (internal/cluster) ships shard results over the wire in this form; the
+// coordinator rebuilds them with ResultFromState. CacheHits/CacheMisses are
+// intentionally absent — they are outside the determinism contract and
+// travel separately as observability data.
+func (r *Result) State() *ResultState { return resultState(r) }
+
+// ResultFromState rebuilds a Result on d from its serializable form, exactly
+// as checkpoint resumption does: the assignment and per-ISE hardware metrics
+// are recomputed deterministically from the member/option sets, so the
+// rebuilt Result is byte-identical to the one State serialized.
+func ResultFromState(d *dfg.DFG, st *ResultState) (*Result, error) {
+	return resultFromState(d, st)
+}
+
 // resultState converts a finished restart's Result to its serializable form.
 func resultState(r *Result) *ResultState {
 	return &ResultState{

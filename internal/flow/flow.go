@@ -221,6 +221,17 @@ func BuildPoolCtx(ctx context.Context, bm *bench.Benchmark, opts Options) (*Pool
 	if !opts.Params.NoEvalCache {
 		cache = core.NewEvalCache()
 	}
+	if opts.Algorithm == MI {
+		// Size the shared explorer arenas to the run's largest hot block
+		// before fanning out, so no worker grows them mid-exploration — the
+		// whole warmup cost is paid here, once per process
+		// (core.TestPrewarmedExploreGrowsNoArenas pins this).
+		hotDFGs := make([]*dfg.DFG, 0, len(pool.Hot))
+		for _, bi := range pool.Hot {
+			hotDFGs = append(hotDFGs, pool.DFGs[bi])
+		}
+		exploreScratch.Prewarm(hotDFGs...)
+	}
 	perBlock := make([][]*merging.Candidate, len(pool.Hot))
 	errs := make([]error, len(pool.Hot))
 	priceKerns := make([]*sched.Scheduler, parallel.Degree(opts.Params.Workers, len(pool.Hot)))

@@ -120,6 +120,10 @@ var DefaultDeterministic = []string{
 	"repro/internal/baseline",
 	"repro/internal/aco",
 	"repro/internal/selection",
+	// cluster carries the fleet determinism contract: shard partitioning,
+	// reduction order and snapshot re-dispatch must never depend on map
+	// iteration or wall-clock time (leases inject their clock explicitly).
+	"repro/internal/cluster",
 }
 
 // DefaultServiceRoots lists the service-layer packages whose goroutines

@@ -1,0 +1,41 @@
+package parallel
+
+// Range is a contiguous half-open slice [Lo, Hi) of an indexed work list.
+type Range struct {
+	Lo, Hi int
+}
+
+// Len returns the number of items in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// SplitRanges partitions [0, n) into at most k contiguous ranges whose sizes
+// differ by at most one, earlier ranges taking the extra items. It never
+// returns an empty range: k is clamped to [1, n], so callers get the actual
+// partition count from len(result). n <= 0 yields no ranges.
+//
+// The distributed coordinator (internal/cluster) shards a job's restarts
+// with this: contiguity is what lets the per-shard best-result fold compose
+// with the coordinator's in-order fold into exactly the single global
+// left-to-right scan core.BestResult defines.
+func SplitRanges(n, k int) []Range {
+	if n <= 0 {
+		return nil
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	out := make([]Range, k)
+	lo := 0
+	for i := 0; i < k; i++ {
+		hi := lo + n/k
+		if i < n%k {
+			hi++
+		}
+		out[i] = Range{Lo: lo, Hi: hi}
+		lo = hi
+	}
+	return out
+}

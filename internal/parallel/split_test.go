@@ -1,0 +1,68 @@
+package parallel
+
+import "testing"
+
+func TestSplitRanges(t *testing.T) {
+	for _, tc := range []struct {
+		n, k int
+		want []Range
+	}{
+		{0, 3, nil},
+		{-1, 2, nil},
+		{5, 1, []Range{{0, 5}}},
+		{5, 0, []Range{{0, 5}}},
+		{5, -2, []Range{{0, 5}}},
+		{5, 2, []Range{{0, 3}, {3, 5}}},
+		{6, 3, []Range{{0, 2}, {2, 4}, {4, 6}}},
+		{7, 3, []Range{{0, 3}, {3, 5}, {5, 7}}},
+		{2, 5, []Range{{0, 1}, {1, 2}}},
+		{1, 1, []Range{{0, 1}}},
+	} {
+		got := SplitRanges(tc.n, tc.k)
+		if len(got) != len(tc.want) {
+			t.Fatalf("SplitRanges(%d, %d) = %v, want %v", tc.n, tc.k, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("SplitRanges(%d, %d)[%d] = %v, want %v", tc.n, tc.k, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+// TestSplitRangesCoversExactly checks the partition invariants for a sweep
+// of (n, k): ranges are contiguous, non-empty, in order, cover [0, n)
+// exactly, and sizes differ by at most one.
+func TestSplitRangesCoversExactly(t *testing.T) {
+	for n := 1; n <= 40; n++ {
+		for k := 1; k <= 12; k++ {
+			rs := SplitRanges(n, k)
+			want := k
+			if want > n {
+				want = n
+			}
+			if len(rs) != want {
+				t.Fatalf("n=%d k=%d: %d ranges, want %d", n, k, len(rs), want)
+			}
+			lo, min, max := 0, n+1, 0
+			for _, r := range rs {
+				if r.Lo != lo || r.Len() <= 0 {
+					t.Fatalf("n=%d k=%d: bad range %v at lo=%d", n, k, r, lo)
+				}
+				if r.Len() < min {
+					min = r.Len()
+				}
+				if r.Len() > max {
+					max = r.Len()
+				}
+				lo = r.Hi
+			}
+			if lo != n {
+				t.Fatalf("n=%d k=%d: ranges end at %d, want %d", n, k, lo, n)
+			}
+			if max-min > 1 {
+				t.Fatalf("n=%d k=%d: range sizes differ by %d", n, k, max-min)
+			}
+		}
+	}
+}

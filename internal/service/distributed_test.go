@@ -1,0 +1,109 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// TestDistributedJobMatchesLocal runs the same job locally and through the
+// "distributed" option against a coordinator-backed manager with two
+// in-process fleet workers, and requires identical block results — the
+// service-layer face of the fleet determinism contract. It also checks the
+// shard-level progress events reach the job's stream.
+func TestDistributedJobMatchesLocal(t *testing.T) {
+	coord := cluster.NewCoordinator(cluster.Options{Logf: t.Logf})
+	mux := http.NewServeMux()
+	cluster.Mount(mux, coord)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var workers []<-chan struct{}
+	for i := 0; i < 2; i++ {
+		done := make(chan struct{})
+		w := cluster.NewWorker(cluster.WorkerOptions{
+			Coordinator: srv.URL,
+			Poll:        2 * time.Millisecond,
+			Logf:        t.Logf,
+		})
+		go func() {
+			defer close(done)
+			_ = w.Run(ctx)
+		}()
+		workers = append(workers, done)
+	}
+	stopWorkers := func() {
+		cancel()
+		for _, d := range workers {
+			<-d
+		}
+	}
+	defer stopWorkers()
+
+	m := newTestManager(t, Config{Runners: 1, Coordinator: coord})
+
+	local, err := m.Submit(testSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	localDone := waitState(t, m, local.ID, StateDone)
+
+	spec := testSpec(1)
+	spec.Distributed = &DistributedSpec{Shards: 2}
+	dist, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distDone := waitState(t, m, dist.ID, StateDone)
+	stopWorkers()
+
+	if len(localDone.Blocks) != len(distDone.Blocks) {
+		t.Fatalf("block counts differ: %d vs %d", len(localDone.Blocks), len(distDone.Blocks))
+	}
+	for i := range localDone.Blocks {
+		a, b := localDone.Blocks[i], distDone.Blocks[i]
+		// Everything but the cache counters is determinism-covered.
+		a.CacheHits, a.CacheMisses = 0, 0
+		b.CacheHits, b.CacheMisses = 0, 0
+		if a.BaseCycles != b.BaseCycles || a.FinalCycles != b.FinalCycles ||
+			a.Rounds != b.Rounds || a.Iterations != b.Iterations || len(a.ISEs) != len(b.ISEs) {
+			t.Fatalf("block %d diverged: local %+v vs distributed %+v", i, a, b)
+		}
+	}
+
+	ch, unsub, err := m.Subscribe(dist.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer unsub()
+	shardEvents := 0
+	for ev := range ch {
+		if ev.Type == EventShardDone {
+			shardEvents++
+			if ev.Shards != 2 || ev.Shard < 0 || ev.Shard >= 2 {
+				t.Fatalf("bad shard event: %+v", ev)
+			}
+		}
+	}
+	if shardEvents != 2 {
+		t.Fatalf("saw %d shard_done events, want 2", shardEvents)
+	}
+}
+
+// TestDistributedRequiresCoordinator: a distributed job against a plain
+// manager is rejected at submit time with an actionable error.
+func TestDistributedRequiresCoordinator(t *testing.T) {
+	m := newTestManager(t, Config{Runners: 1})
+	spec := testSpec(1)
+	spec.Distributed = &DistributedSpec{Shards: 2}
+	if _, err := m.Submit(spec); err == nil || !strings.Contains(err.Error(), "coordinator") {
+		t.Fatalf("submit = %v, want not-a-coordinator rejection", err)
+	}
+}

@@ -35,6 +35,12 @@ type Event struct {
 	Iterations int `json:"iterations,omitempty"`
 	// CacheHitRate is the schedule-evaluation cache hit fraction so far.
 	CacheHitRate float64 `json:"cache_hit_rate,omitempty"`
+	// Shard progress within the current block ("shard_done" events, fleet
+	// jobs only): which shard of how many finished, and how many times it
+	// was re-dispatched. Restart/Total carry the shard's restart window.
+	Shard   int `json:"shard,omitempty"`
+	Shards  int `json:"shards,omitempty"`
+	Retries int `json:"retries,omitempty"`
 }
 
 // Event types.
@@ -42,6 +48,7 @@ const (
 	EventQueued       = "queued"
 	EventStarted      = "started"
 	EventRestart      = "restart"
+	EventShardDone    = "shard_done"
 	EventBlockDone    = "block_done"
 	EventCheckpointed = "checkpointed"
 	EventDone         = "done"

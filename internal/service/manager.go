@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/obs"
 )
@@ -57,6 +58,12 @@ type Config struct {
 	StateDir string
 	// Logf receives operational log lines (default log.Printf).
 	Logf func(format string, args ...any)
+	// Coordinator, when non-nil, lets jobs opt into fleet execution with
+	// "distributed": {...} — each block is sharded across the coordinator's
+	// workers instead of the local pool. Jobs without the option run locally
+	// as always. Submissions requesting it on a manager without a
+	// coordinator are rejected at validation time.
+	Coordinator *cluster.Coordinator
 }
 
 // Manager owns the job queue, the runner pool, and every job's lifecycle.
@@ -67,6 +74,11 @@ type Manager struct {
 	store *Store // nil when persistence is disabled
 	met   *metrics
 	logf  func(format string, args ...any)
+	// scratch pools the exploration workers' scheduling kernels and arenas
+	// across every job this manager runs, prewarmed per job to the largest
+	// block so arena warmup is paid once per worker per process, not once
+	// per (job, block, worker).
+	scratch *core.Scratch
 
 	// wake signals runners that the queue became non-empty; runCtx stops
 	// them. Both are set once at construction.
@@ -100,6 +112,7 @@ func New(cfg Config) (*Manager, error) {
 		cfg:        cfg,
 		met:        newMetrics(),
 		logf:       cfg.Logf,
+		scratch:    core.NewScratch(),
 		wake:       make(chan struct{}, 1),
 		runCtx:     runCtx,
 		stopRunner: stop,
@@ -194,6 +207,9 @@ func newJobID() string {
 func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 	if err := spec.validate(); err != nil {
 		return JobStatus{}, fmt.Errorf("invalid job: %w", err)
+	}
+	if spec.Distributed != nil && m.cfg.Coordinator == nil {
+		return JobStatus{}, fmt.Errorf("invalid job: distributed execution requested but this server is not a coordinator (run with -coordinator)")
 	}
 	j := &job{
 		id:        newJobID(),
@@ -494,8 +510,20 @@ func (m *Manager) run(j *job) {
 		m.finish(j, StateFailed, fmt.Sprintf("build workload: %v", err))
 		return
 	}
+	if j.spec.Distributed != nil && m.cfg.Coordinator == nil {
+		// A distributed job checkpoint reloaded into a non-coordinator
+		// process cannot run anywhere.
+		m.finish(j, StateFailed, "distributed job resumed on a server without a coordinator")
+		return
+	}
 	p := j.spec.params()
 	cfg := j.spec.machineConfig()
+	// Size the shared worker arenas to the job's largest block up front, so
+	// no exploration worker grows them mid-run (local runs only — distributed
+	// blocks run on the fleet workers' own scratch).
+	if j.spec.Distributed == nil {
+		m.scratch.Prewarm(dfgs...)
+	}
 
 	// Per-job tracing, opted into via "trace": true in the spec. The tracer
 	// covers this run only — a job resumed after a drain starts a fresh
@@ -519,11 +547,26 @@ func (m *Manager) run(j *job) {
 	}
 	for bi := startBlock; bi < len(dfgs); bi++ {
 		d := dfgs[bi]
+		if j.spec.Distributed != nil {
+			blockSpan := tr.Begin("block", 0).Arg("block", int64(bi))
+			res, rerr := m.runDistributed(ctx, j, bi, len(dfgs), d.Name)
+			blockSpan.End()
+			if rerr != nil {
+				// Fleet blocks have no local snapshot: a drained distributed
+				// job re-runs the interrupted block from its start (finished
+				// blocks stay checkpointed).
+				m.interrupted(j, ctx, blocks, bi, nil, rerr)
+				return
+			}
+			blocks = m.blockDone(j, blocks, blockResult(d, res), bi, len(dfgs), d.Name)
+			continue
+		}
 		cache := core.NewEvalCache()
 		blockSpan := tr.Begin("block", 0).Arg("block", int64(bi))
 		opts := core.ResumeOptions{
-			Cache: cache,
-			Trace: tr,
+			Cache:   cache,
+			Trace:   tr,
+			Scratch: m.scratch,
 			OnRestartDone: func(ev core.RestartEvent) {
 				e := Event{
 					Type:       EventRestart,
@@ -561,31 +604,64 @@ func (m *Manager) run(j *job) {
 			m.interrupted(j, ctx, blocks, bi, nsnap, rerr)
 			return
 		}
-		br := blockResult(d, res)
-		blocks = append(blocks, br)
-		m.mu.Lock()
-		j.blocks = append([]BlockResult(nil), blocks...)
-		j.cp = &Checkpoint{JobID: j.id, Spec: j.spec, SubmittedAt: j.submitted,
-			Blocks: j.blocks, Block: bi + 1}
-		ncp := j.cp
-		m.mu.Unlock()
-		m.met.addCache(br.CacheHits, br.CacheMisses)
-		if m.store != nil {
-			if err := m.store.Save(ncp); err != nil {
-				m.logf("service: persist job %s: %v", j.id, err)
-			}
-		}
-		j.events.publish(Event{
-			Type:       EventBlockDone,
-			Time:       time.Now(),
-			Block:      d.Name,
-			BlockIndex: bi,
-			BlockTotal: len(dfgs),
-			BestCycles: br.FinalCycles,
-			ISECount:   len(br.ISEs),
-		})
+		blocks = m.blockDone(j, blocks, blockResult(d, res), bi, len(dfgs), d.Name)
 	}
 	m.finish(j, StateDone, "")
+}
+
+// blockDone records one finished block: extend the result list, advance the
+// checkpoint past the block, persist it, and emit the progress event.
+func (m *Manager) blockDone(j *job, blocks []BlockResult, br BlockResult, bi, total int, name string) []BlockResult {
+	blocks = append(blocks, br)
+	m.mu.Lock()
+	j.blocks = append([]BlockResult(nil), blocks...)
+	j.cp = &Checkpoint{JobID: j.id, Spec: j.spec, SubmittedAt: j.submitted,
+		Blocks: j.blocks, Block: bi + 1}
+	ncp := j.cp
+	m.mu.Unlock()
+	m.met.addCache(br.CacheHits, br.CacheMisses)
+	if m.store != nil {
+		if err := m.store.Save(ncp); err != nil {
+			m.logf("service: persist job %s: %v", j.id, err)
+		}
+	}
+	j.events.publish(Event{
+		Type:       EventBlockDone,
+		Time:       time.Now(),
+		Block:      name,
+		BlockIndex: bi,
+		BlockTotal: total,
+		BestCycles: br.FinalCycles,
+		ISECount:   len(br.ISEs),
+	})
+	return blocks
+}
+
+// runDistributed runs one block on the fleet via the manager's coordinator,
+// streaming per-shard completion into the job's event bus.
+func (m *Manager) runDistributed(ctx context.Context, j *job, bi, total int, name string) (*core.Result, error) {
+	shards := 1
+	if d := j.spec.Distributed; d != nil && d.Shards > 0 {
+		shards = d.Shards
+	}
+	return m.cfg.Coordinator.ExploreBlock(ctx, j.spec.workload(), bi, cluster.BlockOptions{
+		Shards: shards,
+		OnShardDone: func(ev cluster.ShardEvent) {
+			j.events.publish(Event{
+				Type:       EventShardDone,
+				Time:       time.Now(),
+				Block:      name,
+				BlockIndex: bi,
+				BlockTotal: total,
+				Shard:      ev.Shard,
+				Shards:     ev.Shards,
+				Restart:    ev.FirstRestart,
+				Total:      ev.Restarts,
+				BestCycles: ev.FinalCycles,
+				Retries:    ev.Retries,
+			})
+		},
+	})
 }
 
 // interrupted finalizes a job whose exploration returned an error. Cause

@@ -10,13 +10,10 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/bench"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dfg"
 	"repro/internal/machine"
-	"repro/internal/opt"
-	"repro/internal/prog"
-	"repro/internal/vm"
 )
 
 // MachineSpec selects the target machine configuration of a job.
@@ -57,6 +54,20 @@ type JobSpec struct {
 	// observation-only — it never changes results — but the event buffer
 	// grows with exploration size, so it is opt-in.
 	Trace bool `json:"trace,omitempty"`
+	// Distributed, when present, shards each block's exploration across the
+	// fleet attached to this server's cluster coordinator instead of running
+	// it on the local worker pool. Requires the server to run with
+	// -coordinator; results are byte-identical to a local run (see
+	// DESIGN.md §15).
+	Distributed *DistributedSpec `json:"distributed,omitempty"`
+}
+
+// DistributedSpec parameterizes fleet execution of a job.
+type DistributedSpec struct {
+	// Shards is the number of contiguous restart ranges each block is split
+	// into (default 1; clamped to the restart count). More shards than fleet
+	// workers is fine — workers pull shards as they free up.
+	Shards int `json:"shards,omitempty"`
 }
 
 const maxProgramBytes = 1 << 20
@@ -81,6 +92,9 @@ func (s *JobSpec) validate() error {
 		if p.Restarts < 0 || p.MaxRounds < 0 || p.MaxIterations < 0 {
 			return fmt.Errorf("params counts must be >= 0")
 		}
+	}
+	if d := s.Distributed; d != nil && d.Shards < 0 {
+		return fmt.Errorf("distributed.shards must be >= 0, got %d", d.Shards)
 	}
 	return nil
 }
@@ -117,48 +131,28 @@ func (s *JobSpec) deadline(def time.Duration) time.Duration {
 	return def
 }
 
+// workload is the job's kernel + parameters in the fleet's wire form. The
+// cluster package owns workload building (every fleet node rebuilds the same
+// graphs from it); the service delegates so there is exactly one
+// implementation of the first link in the resume-determinism chain.
+func (s *JobSpec) workload() cluster.Workload {
+	return cluster.Workload{
+		Name:     s.Name,
+		Bench:    s.Bench,
+		OptLevel: s.OptLevel,
+		Program:  s.Program,
+		Optimize: s.Optimize,
+		Hot:      s.Hot,
+		Machine:  cluster.MachineSpec(s.Machine),
+		Params:   s.params(),
+	}
+}
+
 // buildDFGs rebuilds the job's workload: parse or fetch the kernel, profile
 // it on the reference VM, and lift the hot blocks to dataflow graphs. Every
 // step is deterministic, so a resumed job (possibly in a different daemon
 // process) explores byte-identical graphs — this is the first link in the
 // resume-determinism chain (DESIGN.md §11).
 func (s *JobSpec) buildDFGs() ([]*dfg.DFG, error) {
-	var (
-		program *prog.Program
-		profile *vm.Profile
-		err     error
-	)
-	if s.Program != "" {
-		name := s.Name
-		if name == "" {
-			name = "program"
-		}
-		program, err = prog.Parse(name, s.Program)
-		if err != nil {
-			return nil, err
-		}
-		if s.Optimize {
-			if program, err = opt.Optimize(program); err != nil {
-				return nil, err
-			}
-		}
-		profile, err = vm.NewMachine(bench.MemSize).Run(program, bench.MaxSteps)
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		bm, berr := bench.Get(s.Bench, s.optLevel())
-		if berr != nil {
-			return nil, berr
-		}
-		program = bm.Prog
-		if profile, err = bm.Run(); err != nil {
-			return nil, err
-		}
-	}
-	ds := dfg.BuildAll(program, profile.HotBlocks(program, s.hot()), profile.BlockCounts)
-	if len(ds) == 0 {
-		return nil, fmt.Errorf("no explorable basic blocks")
-	}
-	return ds, nil
+	return s.workload().BuildDFGs()
 }
