@@ -25,21 +25,23 @@ race: lint
 	go test -race ./...
 
 # Benchmarks: the exploration + flow benchmarks (ExploreMI / ExploreSI /
-# Headline / BuildPool plus the engine-ablation pair), 5 repetitions each,
-# folded into BENCH_pool.json with per-benchmark ns/op and allocs/op deltas
-# against the committed exploration-era report BENCH_explore.json — the
-# committed file is read, never regenerated here, so it stays the fixed
-# comparison point for the cross-block arena-reuse work. Deltas worse than
-# +10% land in the report's `regressions` section, which `make benchcheck`
-# turns into an exit status (PR 6's ExploreSI/Headline regressions landed
-# silently in the JSON; this makes that impossible). `make benchsched`
-# refreshes BENCH_sched.json itself (kernel benchmarks against the pre-kernel
-# text baseline); `make benchall` runs everything without JSON
-# post-processing.
+# Headline / BuildPool plus the engine-ablation pair) and the instrumented
+# round-loop pair from internal/core (ExploreIter{Trace,Flight}{Off,On} —
+# the nil-path ones must stay at 0 allocs/op, see DESIGN.md §16), 5
+# repetitions each, folded into BENCH_pool.json with per-benchmark ns/op and
+# allocs/op deltas against the committed exploration-era report
+# BENCH_explore.json — the committed file is read, never regenerated here, so
+# it stays the fixed comparison point for the cross-block arena-reuse work.
+# Deltas worse than +10% land in the report's `regressions` section, which
+# `make benchcheck` turns into an exit status (PR 6's ExploreSI/Headline
+# regressions landed silently in the JSON; this makes that impossible).
+# `make benchsched` refreshes BENCH_sched.json itself (kernel benchmarks
+# against the pre-kernel text baseline); `make benchall` runs everything
+# without JSON post-processing.
 bench:
-	go test -bench 'Explore|Headline|BuildPool' -benchmem -count 5 \
+	go test -bench 'Explore|Headline|BuildPool' -benchmem -count 5 -run XXX . ./internal/core \
 		| go run ./cmd/benchjson -prev BENCH_explore.json -maxdelta 10 \
-			-cmd "go test -bench 'Explore|Headline|BuildPool' -benchmem -count 5" \
+			-cmd "go test -bench 'Explore|Headline|BuildPool' -benchmem -count 5 -run XXX . ./internal/core" \
 			-o BENCH_pool.json
 	@cat BENCH_pool.json
 
@@ -67,11 +69,15 @@ fmt:
 serve-smoke:
 	ISESERVE_SMOKE=1 go test -run TestServeSmoke -v ./cmd/iseserve/
 
-# End-to-end smoke test of fleet mode (DESIGN.md §15): boots one coordinator
-# and two worker daemons on loopback, runs the same distributed job twice,
-# asserts both results match the single-node CLI answer byte for byte, and
-# requires the second job to be served from the shared eval-cache tier
-# (remote-hit counters must grow on the coordinator's /metrics).
+# End-to-end smoke test of fleet mode (DESIGN.md §15–16): boots one
+# coordinator and two worker daemons on loopback, runs the same distributed
+# job twice, asserts both results match the single-node CLI answer byte for
+# byte, requires the second job to be served from the shared eval-cache tier
+# (remote-hit counters must grow on the coordinator's /metrics), and
+# validates the fleet observability surface: the merged Chrome trace shows
+# both workers' tracks inside the coordinator's dispatch spans on one
+# monotone timeline, both jobs record identical convergence flight series,
+# and /v1/fleet/metrics serves a valid node-labeled exposition.
 cluster-smoke:
 	ISECLUSTER_SMOKE=1 go test -run TestClusterSmoke -v ./cmd/iseserve/
 

@@ -28,6 +28,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("isebench: ")
+	obs.RegisterBuildInfo(obs.Default)
 	var (
 		table     = flag.Bool("table", false, "print Table 5.1.1 (hardware option settings)")
 		figure    = flag.Int("figure", 0, "regenerate one figure: 16, 17 or 18")

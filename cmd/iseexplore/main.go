@@ -34,6 +34,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("iseexplore: ")
+	obs.RegisterBuildInfo(obs.Default)
 	// Ctrl-C / SIGTERM cancels the exploration at the next convergence
 	// iteration instead of killing it mid-write.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

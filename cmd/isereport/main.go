@@ -19,6 +19,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/machine"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/replace"
 	"repro/internal/sched"
 	"repro/internal/selection"
@@ -27,6 +28,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("isereport: ")
+	obs.RegisterBuildInfo(obs.Default)
 	var (
 		benchName = flag.String("bench", "crc32", "benchmark name")
 		optLevel  = flag.String("opt", "O3", "optimization level (O0 or O3)")

@@ -31,10 +31,12 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -52,10 +54,13 @@ func main() {
 
 		coordOn    = flag.Bool("coordinator", false, "serve the cluster coordinator RPC surface and accept distributed jobs")
 		workerOf   = flag.String("worker-of", "", "attach to the coordinator at this base URL as a fleet shard worker")
+		advertise  = flag.String("advertise", "", "worker mode: base URL where the coordinator can reach this server's /metrics (default: derived from the listen address)")
 		lease      = flag.Duration("cluster-lease", 15*time.Second, "coordinator: shard heartbeat lease before re-dispatch")
 		checkpoint = flag.Duration("cluster-checkpoint", 2*time.Second, "worker: shard time-slice between snapshot heartbeats")
+		poll       = flag.Duration("cluster-poll", 0, "worker: idle claim-poll interval (0 = cluster default)")
 	)
 	flag.Parse()
+	obs.RegisterBuildInfo(obs.Default)
 
 	var coord *cluster.Coordinator
 	if *coordOn {
@@ -110,6 +115,8 @@ func main() {
 		wk := cluster.NewWorker(cluster.WorkerOptions{
 			Coordinator:     *workerOf,
 			CheckpointEvery: *checkpoint,
+			Poll:            *poll,
+			MetricsURL:      metricsURL(*advertise, ln.Addr()),
 			Logf:            log.Printf,
 		})
 		go func() {
@@ -145,4 +152,23 @@ func main() {
 	}
 	srv.Close()
 	log.Printf("drained, bye")
+}
+
+// metricsURL derives the worker's advertised Prometheus endpoint for the
+// coordinator's fleet registry: an explicit -advertise base URL wins;
+// otherwise the bound listen address, with an unspecified host rewritten to
+// loopback (a ":9091" listener is reachable at 127.0.0.1 in the
+// single-machine fleets the flag defaults target).
+func metricsURL(advertise string, addr net.Addr) string {
+	if advertise != "" {
+		return strings.TrimRight(advertise, "/") + "/metrics"
+	}
+	host, port, err := net.SplitHostPort(addr.String())
+	if err != nil {
+		return ""
+	}
+	if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port) + "/metrics"
 }

@@ -37,8 +37,10 @@ type Options struct {
 	// Logf receives operational log lines (default: discard).
 	Logf func(format string, args ...any)
 	// Trace, when non-nil, records one span per shard dispatch on track 0 —
-	// claim to result — labeled with shard, first restart and retry.
-	// Observation only.
+	// claim to result — labeled with shard and first restart, and receives
+	// the workers' uploaded shard spans as per-worker process rows. It is
+	// the coordinator-wide fallback; a job whose BlockOptions carry their
+	// own Trace uses that instead. Observation only.
 	Trace *obs.Tracer
 
 	// sweepEvery overrides the lease sweep interval while ExploreBlock
@@ -86,20 +88,78 @@ type Coordinator struct {
 	cache *cacheServer
 
 	mu      sync.Mutex
-	jobs    map[string]*dJob // guarded by mu
-	jobList []*dJob          // guarded by mu — insertion order, for map-free sweeps
-	pending []*shard         // guarded by mu — FIFO claim queue
-	nextID  int              // guarded by mu
+	jobs    map[string]*dJob        // guarded by mu
+	jobList []*dJob                 // guarded by mu — insertion order, for map-free sweeps
+	pending []*shard                // guarded by mu — FIFO claim queue
+	nextID  int                     // guarded by mu
+	fleet   map[string]*fleetWorker // guarded by mu — worker name → registration
+	// fleetList mirrors fleet in registration order, for map-free iteration
+	// (maporder) and stable pid assignment.
+	fleetList []*fleetWorker // guarded by mu
+}
+
+// fleetWorker is one worker node the coordinator has heard from. name and
+// pid are fixed at registration; pid is the trace process row the worker's
+// uploaded spans merge into (1 + registration order; pid 0 is the
+// coordinator's own row).
+type fleetWorker struct {
+	name       string
+	pid        int
+	metricsURL string    // guarded by Coordinator.mu — last advertised /metrics URL
+	lastSeen   time.Time // guarded by Coordinator.mu — last RPC from this worker
+}
+
+// registerWorker get-or-creates the worker's fleet registration and marks it
+// alive. It takes mu itself; callers invoke it before (not inside) their own
+// critical sections.
+func (c *Coordinator) registerWorker(name, metricsURL string, now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fw := c.fleet[name]
+	if fw == nil {
+		fw = &fleetWorker{name: name, pid: len(c.fleetList) + 1}
+		c.fleet[name] = fw
+		c.fleetList = append(c.fleetList, fw)
+	}
+	if metricsURL != "" {
+		fw.metricsURL = metricsURL
+	}
+	fw.lastSeen = now
+}
+
+// FleetNode describes one registered worker to the fleet-metrics
+// aggregator (the service layer's /v1/fleet/metrics handler).
+type FleetNode struct {
+	// Name is the worker's self-chosen identity (lease ownership).
+	Name string `json:"name"`
+	// MetricsURL is the worker's advertised Prometheus endpoint; empty when
+	// the worker never advertised one (it is then listed but not scraped).
+	MetricsURL string `json:"metrics_url,omitempty"`
+	// LastSeen is the coordinator-clock time of the worker's last RPC.
+	LastSeen time.Time `json:"last_seen"`
+}
+
+// FleetNodes snapshots the fleet registry in registration order.
+func (c *Coordinator) FleetNodes() []FleetNode {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]FleetNode, len(c.fleetList))
+	for i, fw := range c.fleetList {
+		out[i] = FleetNode{Name: fw.name, MetricsURL: fw.metricsURL, LastSeen: fw.lastSeen}
+	}
+	return out
 }
 
 // dJob is one distributed block exploration in flight. id, wl, block, d,
-// done and onShardDone are set in enqueue before the job is published and
-// immutable afterwards.
+// done, trace, flight and onShardDone are set in enqueue before the job is
+// published and immutable afterwards.
 type dJob struct {
-	id    string
-	wl    Workload
-	block int
-	d     *dfg.DFG // the block's graph, for reduction
+	id     string
+	wl     Workload
+	block  int
+	d      *dfg.DFG    // the block's graph, for reduction
+	trace  *obs.Tracer // per-job merged trace (nil: fall back to Options.Trace)
+	flight *obs.Flight // per-job convergence journal (nil: disabled)
 
 	// shards is set once in enqueue before the job is published; the
 	// entries' mutable fields carry their own guard annotations.
@@ -129,15 +189,16 @@ type shard struct {
 	firstRestart int
 	restarts     int
 
-	state    shardState        // guarded by Coordinator.mu
-	worker   string            // guarded by Coordinator.mu
-	lastBeat time.Time         // guarded by Coordinator.mu
-	snap     *core.Snapshot    // guarded by Coordinator.mu — last uploaded checkpoint
-	retries  int               // guarded by Coordinator.mu
-	result   *core.ResultState // guarded by Coordinator.mu
-	hits     uint64            // guarded by Coordinator.mu — last cumulative L1 report
-	misses   uint64            // guarded by Coordinator.mu
-	span     obs.Span          // guarded by Coordinator.mu — open dispatch span
+	state     shardState        // guarded by Coordinator.mu
+	worker    string            // guarded by Coordinator.mu
+	lastBeat  time.Time         // guarded by Coordinator.mu
+	claimedAt time.Time         // guarded by Coordinator.mu — when the current lease began
+	snap      *core.Snapshot    // guarded by Coordinator.mu — last uploaded checkpoint
+	retries   int               // guarded by Coordinator.mu
+	result    *core.ResultState // guarded by Coordinator.mu
+	hits      uint64            // guarded by Coordinator.mu — last cumulative L1 report
+	misses    uint64            // guarded by Coordinator.mu
+	span      obs.Span          // guarded by Coordinator.mu — open dispatch span
 
 	// hitC/missC are the shard-index-labeled metric series, resolved once.
 	hitC, missC *obs.Counter
@@ -150,6 +211,7 @@ func NewCoordinator(opts Options) *Coordinator {
 		opts:  o,
 		cache: newCacheServer(o.CacheMax),
 		jobs:  make(map[string]*dJob),
+		fleet: make(map[string]*fleetWorker),
 	}
 }
 
@@ -178,6 +240,28 @@ type BlockOptions struct {
 	// for concurrent use. Observability only; event order is timing-
 	// dependent and outside the determinism contract.
 	OnShardDone func(ShardEvent)
+	// Trace, when non-nil, receives this job's merged distributed trace:
+	// the coordinator's dispatch spans on pid 0 plus every worker's
+	// uploaded shard spans as their own process rows, rebased onto the
+	// coordinator clock and clamped into their dispatch window (see
+	// obs.Tracer.Import). Overrides Options.Trace for this job.
+	// Observation only.
+	Trace *obs.Tracer
+	// Flight, when non-nil, receives the job's convergence journal: shard
+	// lifecycle events ("claim"/"retry"/"done"/"failed") recorded by the
+	// coordinator, plus each shard's worker-recorded samples rebased from
+	// shard-local to global restart indices on result delivery.
+	// Observation only.
+	Flight *obs.Flight
+}
+
+// tracer returns the tracer receiving j's spans: the per-job one when the
+// caller supplied it, else the coordinator-wide fallback.
+func (j *dJob) tracer(fallback *obs.Tracer) *obs.Tracer {
+	if j.trace != nil {
+		return j.trace
+	}
+	return fallback
 }
 
 // ExploreBlock runs one block exploration sharded across the fleet and
@@ -223,6 +307,8 @@ func (c *Coordinator) enqueue(wl Workload, block int, d *dfg.DFG, opts BlockOpti
 		wl:          wl,
 		block:       block,
 		d:           d,
+		trace:       opts.Trace,
+		flight:      opts.Flight,
 		done:        make(chan struct{}),
 		onShardDone: opts.OnShardDone,
 		shards:      make([]*shard, len(ranges)),
@@ -288,12 +374,17 @@ func specFor(s *shard) ShardSpec {
 	}
 }
 
-// Claim hands the next pending shard to worker, re-checking leases first so
-// a dead worker's shard re-dispatches as soon as anyone asks for work. The
-// envelope carries the shard's last uploaded snapshot on a re-dispatch.
-func (c *Coordinator) Claim(worker string) (*ShardEnvelope, bool) {
+// Claim hands the next pending shard to the requesting worker, re-checking
+// leases first so a dead worker's shard re-dispatches as soon as anyone asks
+// for work. The envelope carries the shard's last uploaded snapshot on a
+// re-dispatch; the returned TraceContext names the distributed trace the
+// shard's work belongs to (the job) and the dispatch span it nests under —
+// the HTTP layer propagates it as response headers, and the worker echoes it
+// on every RPC of the shard.
+func (c *Coordinator) Claim(req claimRequest) (*ShardEnvelope, obs.TraceContext, bool) {
 	now := c.opts.Now()
 	c.expire(now)
+	c.registerWorker(req.Worker, req.MetricsURL, now)
 	c.mu.Lock()
 	for len(c.pending) > 0 {
 		s := c.pending[0]
@@ -302,23 +393,35 @@ func (c *Coordinator) Claim(worker string) (*ShardEnvelope, bool) {
 			continue
 		}
 		s.state = shardClaimed
-		s.worker = worker
+		s.worker = req.Worker
 		s.lastBeat = now
-		if c.opts.Trace.Enabled() {
-			s.span = c.opts.Trace.Begin("shard", 0).
+		s.claimedAt = now
+		tr := s.job.tracer(c.opts.Trace)
+		if tr.Enabled() {
+			s.span = tr.Begin("shard", 0).
 				Arg("shard", int64(s.index)).
 				Arg("first_restart", int64(s.firstRestart))
 		}
+		tc := obs.TraceContext{
+			TraceID:    s.job.id,
+			ParentSpan: fmt.Sprintf("shard-%d-try-%d", s.index, s.retries),
+		}
 		env := &ShardEnvelope{Spec: specFor(s), Snapshot: s.snap}
 		retry := s.retries
+		fl := s.job.flight
 		c.mu.Unlock()
+		label := "claim"
+		if retry > 0 {
+			label = "retry"
+		}
+		fl.RecordEvent(obs.FlightShard, label, s.index, retry, 0)
 		obsShardsClaimed.Inc()
 		c.opts.Logf("cluster: job %s shard %d -> worker %s (resume=%v, retry %d)",
-			env.Spec.Job, env.Spec.Shard, worker, env.Snapshot != nil, retry)
-		return env, true
+			env.Spec.Job, env.Spec.Shard, req.Worker, env.Snapshot != nil, retry)
+		return env, tc, true
 	}
 	c.mu.Unlock()
-	return nil, false
+	return nil, obs.TraceContext{}, false
 }
 
 // expire re-queues every claimed shard whose lease lapsed, failing a job
@@ -327,6 +430,15 @@ func (c *Coordinator) Claim(worker string) (*ShardEnvelope, bool) {
 // jobs whose shards can never finish. Iterates the ordered job list, never
 // a map (maporder).
 func (c *Coordinator) expire(now time.Time) {
+	// Flight events are recorded after mu is released (Flight has its own
+	// lock; keeping the two disjoint fixes the lock order trivially).
+	type flightEvent struct {
+		fl    *obs.Flight
+		label string
+		shard int
+		retry int
+	}
+	var events []flightEvent
 	c.mu.Lock()
 	for _, j := range c.jobList {
 		if j.failed != nil || j.canceled {
@@ -348,15 +460,20 @@ func (c *Coordinator) expire(now time.Time) {
 				j.failed = fmt.Errorf("cluster: job %s shard %d exceeded %d retries",
 					j.id, s.index, c.opts.MaxRetries)
 				obsJobsFailed.Inc()
+				events = append(events, flightEvent{j.flight, "failed", s.index, s.retries})
 				close(j.done)
 				break // job is dead; its other shards no longer matter
 			}
+			events = append(events, flightEvent{j.flight, "retry", s.index, s.retries})
 			s.state = shardPending
 			s.worker = ""
 			c.pending = append(c.pending, s)
 		}
 	}
 	c.mu.Unlock()
+	for _, e := range events {
+		e.fl.RecordEvent(obs.FlightShard, e.label, e.shard, e.retry, 0)
+	}
 }
 
 // Heartbeat renews worker's lease on a shard, stores the uploaded snapshot
@@ -365,6 +482,7 @@ func (c *Coordinator) expire(now time.Time) {
 // tells the worker its lease is lost and the shard should be abandoned.
 func (c *Coordinator) Heartbeat(jobID string, shard int, req heartbeatRequest) error {
 	now := c.opts.Now()
+	c.registerWorker(req.Worker, "", now)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	j, ok := c.jobs[jobID]
@@ -405,9 +523,15 @@ func (c *Coordinator) Heartbeat(jobID string, shard int, req heartbeatRequest) e
 
 // Result records a shard's outcome. A worker error consumes one retry and
 // re-queues the shard (resuming from its last snapshot); a success stores
-// the serialized shard winner and completes the job when it was the last.
-func (c *Coordinator) Result(jobID string, shard int, req resultRequest) error {
+// the serialized shard winner, folds the shard's observability sidecar —
+// uploaded spans rebased onto the coordinator clock, flight samples rebased
+// to global restart indices — into the job's trace and journal, and
+// completes the job when it was the last shard. tc is the trace context the
+// worker echoed on the RPC (observability cross-check only; a zero context
+// is fine).
+func (c *Coordinator) Result(jobID string, shard int, req resultRequest, tc obs.TraceContext) error {
 	now := c.opts.Now()
+	c.registerWorker(req.Worker, "", now)
 	var ev ShardEvent
 	var notify func(ShardEvent)
 	c.mu.Lock()
@@ -434,22 +558,31 @@ func (c *Coordinator) Result(jobID string, shard int, req resultRequest) error {
 		s.span = obs.Span{}
 		s.retries++
 		obsShardRetries.Inc()
+		label := "retry"
 		if s.retries > c.opts.MaxRetries {
 			j.failed = fmt.Errorf("cluster: job %s shard %d exceeded %d retries",
 				jobID, shard, c.opts.MaxRetries)
 			obsJobsFailed.Inc()
+			label = "failed"
 			close(j.done)
 		} else {
 			s.state = shardPending
 			s.worker = ""
 			c.pending = append(c.pending, s)
 		}
+		retries, fl := s.retries, j.flight
 		c.mu.Unlock()
+		fl.RecordEvent(obs.FlightShard, label, shard, retries, 0)
 		return nil
 	}
 	if req.Result == nil {
 		c.mu.Unlock()
 		return fmt.Errorf("cluster: job %s shard %d: result without payload", jobID, shard)
+	}
+	if tc.TraceID != "" && tc.TraceID != jobID {
+		// Propagation bug, not a protocol violation: the result is valid,
+		// the spans just belong to another trace. Surface it, keep going.
+		c.opts.Logf("cluster: job %s shard %d: worker %s echoed trace id %q", jobID, shard, req.Worker, tc.TraceID)
 	}
 	if req.CacheHits < s.hits || req.CacheMisses < s.misses {
 		s.hits, s.misses = 0, 0
@@ -482,7 +615,23 @@ func (c *Coordinator) Result(jobID string, shard int, req resultRequest) error {
 		}
 		notify = j.onShardDone
 	}
+	tr := j.tracer(c.opts.Trace)
+	fl := j.flight
+	pid := c.fleet[req.Worker].pid
+	claimed := s.claimedAt
+	retries := s.retries
+	firstRestart, block := s.firstRestart, j.block
 	c.mu.Unlock()
+	// Fold the shard's observability sidecar into the job's trace and
+	// journal (both have their own locks; done outside mu). The worker's
+	// spans rebase by the negated worker-measured offset (worker − coord ⇒
+	// coord = worker − offset) and clamp into the dispatch window
+	// [claim, result] on the coordinator clock, so offset-estimation error
+	// cannot break nesting under the dispatch span ended above.
+	tr.Import(req.Trace, -req.Clock.OffsetMicros, pid, "worker "+req.Worker,
+		claimed.UnixMicro(), now.UnixMicro())
+	fl.MergeRebased(req.Flight, block, firstRestart)
+	fl.RecordEvent(obs.FlightShard, "done", shard, retries, float64(req.Result.FinalCycles))
 	obsShardsDone.Inc()
 	if notify != nil {
 		notify(ev)

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // fakeClock is an injectable lease clock (Options.Now) so fault tests drive
@@ -144,7 +145,7 @@ func TestWorkerErrorExhaustsRetries(t *testing.T) {
 	claim := func() *ShardEnvelope {
 		deadline := time.Now().Add(10 * time.Second)
 		for time.Now().Before(deadline) {
-			if env, ok := coord.Claim("w"); ok {
+			if env, _, ok := coord.Claim(claimRequest{Worker: "w"}); ok {
 				return env
 			}
 			time.Sleep(time.Millisecond)
@@ -154,7 +155,7 @@ func TestWorkerErrorExhaustsRetries(t *testing.T) {
 	}
 	for i := 0; i < 3; i++ { // initial dispatch + 2 retries
 		env := claim()
-		if err := coord.Result(env.Spec.Job, env.Spec.Shard, resultRequest{Worker: "w", Error: "boom"}); err != nil {
+		if err := coord.Result(env.Spec.Job, env.Spec.Shard, resultRequest{Worker: "w", Error: "boom"}, obs.TraceContext{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -182,7 +183,7 @@ func TestLeaseOwnership(t *testing.T) {
 	var env *ShardEnvelope
 	deadline := time.Now().Add(10 * time.Second)
 	for time.Now().Before(deadline) {
-		if e, ok := coord.Claim("owner"); ok {
+		if e, _, ok := coord.Claim(claimRequest{Worker: "owner"}); ok {
 			env = e
 			break
 		}
@@ -196,13 +197,13 @@ func TestLeaseOwnership(t *testing.T) {
 	if err := coord.Heartbeat(job, shard, heartbeatRequest{Worker: "impostor"}); err != ErrGone {
 		t.Fatalf("impostor heartbeat: %v, want ErrGone", err)
 	}
-	if err := coord.Result(job, shard, resultRequest{Worker: "impostor", Result: state}); err != ErrGone {
+	if err := coord.Result(job, shard, resultRequest{Worker: "impostor", Result: state}, obs.TraceContext{}); err != ErrGone {
 		t.Fatalf("impostor result: %v, want ErrGone", err)
 	}
 	if err := coord.Heartbeat(job, shard, heartbeatRequest{Worker: "owner"}); err != nil {
 		t.Fatalf("owner heartbeat: %v", err)
 	}
-	if err := coord.Result(job, shard, resultRequest{Worker: "owner", Result: state}); err != nil {
+	if err := coord.Result(job, shard, resultRequest{Worker: "owner", Result: state}, obs.TraceContext{}); err != nil {
 		t.Fatalf("owner result: %v", err)
 	}
 	res := <-resCh

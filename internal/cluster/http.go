@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+
+	"repro/internal/obs"
 )
 
 const maxBodyBytes = 16 << 20 // snapshots of large jobs ride in heartbeats
@@ -22,18 +24,24 @@ const maxBodyBytes = 16 << 20 // snapshots of large jobs ride in heartbeats
 // -coordinator is set, so one listener serves both jobs and the fleet.
 func Mount(mux *http.ServeMux, c *Coordinator) {
 	mux.HandleFunc("POST /v1/shards/claim", func(w http.ResponseWriter, r *http.Request) {
+		c.stampClock(w)
 		var req claimRequest
 		if !decodeBody(w, r, &req) {
 			return
 		}
-		env, ok := c.Claim(req.Worker)
+		env, tc, ok := c.Claim(req)
 		if !ok {
 			w.WriteHeader(http.StatusNoContent)
 			return
 		}
+		// The claim response carries the distributed trace context as
+		// headers; the worker echoes them on the shard's heartbeat and
+		// result RPCs.
+		tc.Inject(w.Header())
 		writeJSON(w, http.StatusOK, env)
 	})
 	mux.HandleFunc("POST /v1/shards/{job}/{shard}/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		c.stampClock(w)
 		job, shard, ok := shardPath(w, r)
 		if !ok {
 			return
@@ -49,6 +57,7 @@ func Mount(mux *http.ServeMux, c *Coordinator) {
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 	})
 	mux.HandleFunc("POST /v1/shards/{job}/{shard}/result", func(w http.ResponseWriter, r *http.Request) {
+		c.stampClock(w)
 		job, shard, ok := shardPath(w, r)
 		if !ok {
 			return
@@ -57,7 +66,7 @@ func Mount(mux *http.ServeMux, c *Coordinator) {
 		if !decodeBody(w, r, &req) {
 			return
 		}
-		if err := c.Result(job, shard, req); err != nil {
+		if err := c.Result(job, shard, req, obs.TraceContextFromHeader(r.Header)); err != nil {
 			writeRPCError(w, err)
 			return
 		}
@@ -85,6 +94,15 @@ func Mount(mux *http.ServeMux, c *Coordinator) {
 		c.CachePut(r.PathValue("key"), v.N)
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 	})
+}
+
+// stampClock timestamps an RPC response with the coordinator's clock
+// (Options.Now, so fake-clock tests stay coherent) so workers can estimate
+// their offset (obs.ClockSync). Stamped on every shard RPC — the
+// worker→coordinator RPCs are exactly the exchanges whose round trips
+// bound the estimate.
+func (c *Coordinator) stampClock(w http.ResponseWriter) {
+	obs.StampServerTime(w.Header(), c.opts.Now())
 }
 
 func shardPath(w http.ResponseWriter, r *http.Request) (string, int, bool) {

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -46,9 +47,13 @@ type ShardEnvelope struct {
 	Snapshot *core.Snapshot `json:"snapshot,omitempty"`
 }
 
-// claimRequest asks for the next pending shard.
+// claimRequest asks for the next pending shard. MetricsURL, when set,
+// advertises where the worker's Prometheus /metrics endpoint lives; the
+// coordinator's fleet registry serves it to the /v1/fleet/metrics
+// aggregator.
 type claimRequest struct {
-	Worker string `json:"worker"`
+	Worker     string `json:"worker"`
+	MetricsURL string `json:"metrics_url,omitempty"`
 }
 
 // heartbeatRequest renews a shard's lease. Snapshot, when present, replaces
@@ -65,12 +70,22 @@ type heartbeatRequest struct {
 // resultRequest delivers a shard's outcome: the serialized best result of
 // its restart window, or a terminal error message. Cache counters as in
 // heartbeatRequest.
+//
+// The trailing fields are the shard's observability sidecar (DESIGN.md
+// §16), all outside the determinism contract: Trace is the worker's
+// buffered shard spans with its local trace epoch, Clock the worker's
+// clock-offset estimate against this coordinator (the coordinator rebases
+// Trace onto its own timeline with it), and Flight the shard's convergence
+// journal in shard-local restart coordinates.
 type resultRequest struct {
-	Worker      string            `json:"worker"`
-	Error       string            `json:"error,omitempty"`
-	Result      *core.ResultState `json:"result,omitempty"`
-	CacheHits   uint64            `json:"cache_hits"`
-	CacheMisses uint64            `json:"cache_misses"`
+	Worker      string             `json:"worker"`
+	Error       string             `json:"error,omitempty"`
+	Result      *core.ResultState  `json:"result,omitempty"`
+	CacheHits   uint64             `json:"cache_hits"`
+	CacheMisses uint64             `json:"cache_misses"`
+	Trace       obs.TraceExport    `json:"trace,omitempty"`
+	Clock       obs.ClockState     `json:"clock,omitempty"`
+	Flight      []obs.FlightSample `json:"flight,omitempty"`
 }
 
 // cacheValue is the wire form of one shared eval-cache entry.

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dfg"
+	"repro/internal/obs"
 )
 
 // WorkerOptions parameterize a Worker.
@@ -31,6 +32,11 @@ type WorkerOptions struct {
 	Poll time.Duration
 	// Client issues the worker's RPCs (default http.DefaultClient).
 	Client *http.Client
+	// MetricsURL advertises this worker's Prometheus /metrics endpoint to
+	// the coordinator's fleet registry (served back to the
+	// /v1/fleet/metrics aggregator). Empty: the worker is registered but
+	// not scraped.
+	MetricsURL string
 	// NoSharedCache detaches the worker's local eval cache from the
 	// coordinator's shared tier. Results are identical either way; the tier
 	// only saves recomputation.
@@ -46,6 +52,11 @@ type WorkerOptions struct {
 	// simulate mid-shard death.
 	onClaim func(*ShardEnvelope)
 	onBeat  func(*core.Snapshot)
+
+	// now supplies the wall clock the clock-offset estimator samples
+	// (default time.Now; injectable so skew tests fake a worker clock).
+	// Observability only — never consulted for exploration decisions.
+	now func() time.Time
 }
 
 var workerSeq atomic.Int64
@@ -66,6 +77,9 @@ func (o WorkerOptions) withDefaults() WorkerOptions {
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
 	}
+	if o.now == nil {
+		o.now = time.Now
+	}
 	return o
 }
 
@@ -79,11 +93,15 @@ func (o WorkerOptions) withDefaults() WorkerOptions {
 type Worker struct {
 	opts    WorkerOptions
 	scratch *core.Scratch
+	// clock estimates this worker's offset against the coordinator clock
+	// from every shard RPC exchange; its state ships with shard results so
+	// the coordinator can rebase the worker's spans (DESIGN.md §16).
+	clock *obs.ClockSync
 }
 
 // NewWorker builds a worker against opts.Coordinator.
 func NewWorker(opts WorkerOptions) *Worker {
-	return &Worker{opts: opts.withDefaults(), scratch: core.NewScratch()}
+	return &Worker{opts: opts.withDefaults(), scratch: core.NewScratch(), clock: &obs.ClockSync{}}
 }
 
 // Run claims and executes shards until ctx is done. It returns nil on a
@@ -99,7 +117,7 @@ func (w *Worker) Run(ctx context.Context) error {
 		if ctx.Err() != nil {
 			return nil
 		}
-		env, err := w.claim(ctx)
+		env, tc, err := w.claim(ctx)
 		if err != nil {
 			w.opts.Logf("cluster: worker %s claim: %v", w.opts.Name, err)
 		}
@@ -112,34 +130,42 @@ func (w *Worker) Run(ctx context.Context) error {
 			}
 			continue
 		}
-		w.runShard(ctx, env)
+		w.runShard(ctx, env, tc)
 	}
 }
 
-// claim asks the coordinator for the next shard; (nil, nil) means no work.
-func (w *Worker) claim(ctx context.Context) (*ShardEnvelope, error) {
-	resp, err := w.post(ctx, w.opts.Coordinator+"/v1/shards/claim", claimRequest{Worker: w.opts.Name})
+// claim asks the coordinator for the next shard; a nil envelope with nil
+// error means no work. The returned trace context — read from the claim
+// response headers — identifies the distributed trace the shard belongs to;
+// the worker echoes it on the shard's other RPCs.
+func (w *Worker) claim(ctx context.Context) (*ShardEnvelope, obs.TraceContext, error) {
+	req := claimRequest{Worker: w.opts.Name, MetricsURL: w.opts.MetricsURL}
+	resp, err := w.post(ctx, w.opts.Coordinator+"/v1/shards/claim", req, obs.TraceContext{})
 	if err != nil {
-		return nil, err
+		return nil, obs.TraceContext{}, err
 	}
 	defer drainClose(resp.Body)
 	if resp.StatusCode == http.StatusNoContent {
-		return nil, nil
+		return nil, obs.TraceContext{}, nil
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, errHTTP(resp)
+		return nil, obs.TraceContext{}, errHTTP(resp)
 	}
 	var env ShardEnvelope
 	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
-		return nil, fmt.Errorf("cluster: decode claim: %w", err)
+		return nil, obs.TraceContext{}, fmt.Errorf("cluster: decode claim: %w", err)
 	}
-	return &env, nil
+	return &env, obs.TraceContextFromHeader(resp.Header), nil
 }
 
 // runShard executes one claimed shard to a posted result, a posted error, or
 // abandonment (canceled context / lost lease — the coordinator re-dispatches
-// from the last uploaded snapshot either way).
-func (w *Worker) runShard(ctx context.Context, env *ShardEnvelope) {
+// from the last uploaded snapshot either way). tc is the claim's propagated
+// trace context: when it names a trace, the shard runs with a local tracer
+// whose buffered spans ship with the result for the coordinator to merge.
+// The shard's flight journal is always on — it is bounded, cheap, and rides
+// the same result post.
+func (w *Worker) runShard(ctx context.Context, env *ShardEnvelope, tc obs.TraceContext) {
 	if w.opts.onClaim != nil {
 		w.opts.onClaim(env)
 	}
@@ -148,9 +174,18 @@ func (w *Worker) runShard(ctx context.Context, env *ShardEnvelope) {
 		w.opts.Name, spec.Job, spec.Shard, spec.Shards, spec.FirstRestart,
 		spec.FirstRestart+spec.Restarts, env.Snapshot != nil)
 
+	var tr *obs.Tracer
+	if tc.Valid() {
+		tr = obs.NewTracer()
+	}
+	fl := obs.NewFlight(0)
+	shardSpan := tr.Begin("worker shard", 0).
+		Arg("shard", int64(spec.Shard)).
+		Arg("first_restart", int64(spec.FirstRestart))
+
 	d, err := w.buildBlock(spec)
 	if err != nil {
-		w.postResult(ctx, spec, resultRequest{Worker: w.opts.Name, Error: err.Error()})
+		w.postResult(ctx, spec, resultRequest{Worker: w.opts.Name, Error: err.Error()}, tc)
 		return
 	}
 	cfg := spec.Workload.MachineConfig()
@@ -167,7 +202,7 @@ func (w *Worker) runShard(ctx context.Context, env *ShardEnvelope) {
 		defer cc.Close()
 	}
 	w.scratch.Prewarm(d)
-	ropts := core.ResumeOptions{Cache: cache, Scratch: w.scratch}
+	ropts := core.ResumeOptions{Cache: cache, Scratch: w.scratch, Trace: tr, Flight: fl}
 	p := spec.shardParams()
 
 	snap := env.Snapshot
@@ -197,7 +232,7 @@ func (w *Worker) runShard(ctx context.Context, env *ShardEnvelope) {
 			hits, misses := cache.Stats()
 			if err := w.heartbeat(ctx, spec, heartbeatRequest{
 				Worker: w.opts.Name, Snapshot: snap, CacheHits: hits, CacheMisses: misses,
-			}); err != nil {
+			}, tc); err != nil {
 				if errors.Is(err, ErrGone) {
 					obsWorkerAbandoned.Inc()
 					w.opts.Logf("cluster: worker %s abandoning job %s shard %d (lease gone)", w.opts.Name, spec.Job, spec.Shard)
@@ -212,13 +247,19 @@ func (w *Worker) runShard(ctx context.Context, env *ShardEnvelope) {
 			continue
 		}
 		if rerr != nil {
-			w.postResult(ctx, spec, resultRequest{Worker: w.opts.Name, Error: rerr.Error()})
+			w.postResult(ctx, spec, resultRequest{Worker: w.opts.Name, Error: rerr.Error()}, tc)
 			return
 		}
 		hits, misses := cache.Stats()
+		shardSpan.End()
+		// The observability sidecar rides the result post: buffered shard
+		// spans with this worker's trace epoch, the clock-offset estimate
+		// the coordinator rebases them with, and the shard's convergence
+		// journal in shard-local restart coordinates.
 		w.postResult(ctx, spec, resultRequest{
 			Worker: w.opts.Name, Result: res.State(), CacheHits: hits, CacheMisses: misses,
-		})
+			Trace: tr.Export(), Clock: w.clock.State(), Flight: fl.Series(),
+		}, tc)
 		return
 	}
 }
@@ -238,16 +279,16 @@ func (w *Worker) buildBlock(spec ShardSpec) (*dfg.DFG, error) {
 	return dfgs[spec.Block], nil
 }
 
-func (w *Worker) heartbeat(ctx context.Context, spec ShardSpec, req heartbeatRequest) error {
-	return w.rpc(ctx, w.shardURL(spec, "heartbeat"), req)
+func (w *Worker) heartbeat(ctx context.Context, spec ShardSpec, req heartbeatRequest, tc obs.TraceContext) error {
+	return w.rpc(ctx, w.shardURL(spec, "heartbeat"), req, tc)
 }
 
 // postResult delivers the shard outcome, counting the shard as run. A
 // delivery error is logged and dropped: the lease lapses and the shard
 // re-dispatches, which is the same recovery path as worker death.
-func (w *Worker) postResult(ctx context.Context, spec ShardSpec, req resultRequest) {
+func (w *Worker) postResult(ctx context.Context, spec ShardSpec, req resultRequest, tc obs.TraceContext) {
 	obsWorkerShardsRun.Inc()
-	if err := w.rpc(ctx, w.shardURL(spec, "result"), req); err != nil && !errors.Is(err, ErrGone) {
+	if err := w.rpc(ctx, w.shardURL(spec, "result"), req, tc); err != nil && !errors.Is(err, ErrGone) {
 		w.opts.Logf("cluster: worker %s result job %s shard %d: %v", w.opts.Name, spec.Job, spec.Shard, err)
 	}
 }
@@ -257,8 +298,8 @@ func (w *Worker) shardURL(spec ShardSpec, verb string) string {
 }
 
 // rpc posts v and expects a 2xx.
-func (w *Worker) rpc(ctx context.Context, url string, v any) error {
-	resp, err := w.post(ctx, url, v)
+func (w *Worker) rpc(ctx context.Context, url string, v any, tc obs.TraceContext) error {
+	resp, err := w.post(ctx, url, v, tc)
 	if err != nil {
 		return err
 	}
@@ -269,7 +310,11 @@ func (w *Worker) rpc(ctx context.Context, url string, v any) error {
 	return nil
 }
 
-func (w *Worker) post(ctx context.Context, url string, v any) (*http.Response, error) {
+// post issues one coordinator RPC: the propagated trace context rides the
+// request headers (a zero context writes none), and the exchange's timing
+// plus the coordinator's response clock stamp feed the worker's clock-offset
+// estimate.
+func (w *Worker) post(ctx context.Context, url string, v any, tc obs.TraceContext) (*http.Response, error) {
 	body, err := json.Marshal(v)
 	if err != nil {
 		return nil, err
@@ -279,5 +324,12 @@ func (w *Worker) post(ctx context.Context, url string, v any) (*http.Response, e
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	return w.opts.Client.Do(req)
+	tc.Inject(req.Header)
+	sent := w.opts.now().UnixMicro()
+	resp, err := w.opts.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	w.clock.Observe(sent, w.opts.now().UnixMicro(), resp.Header)
+	return resp, nil
 }

@@ -139,6 +139,18 @@ type ResumeOptions struct {
 	// Scratch is pure scratch: results are byte-identical with or without
 	// it, at any worker count (TestExploreSharedScratchDeterminism).
 	Scratch *Scratch
+	// Flight, when non-nil, is the convergence flight recorder: the loop
+	// records one obs.FlightRound sample per converged round (best
+	// schedule length so far) plus per-restart eval-cache and
+	// delta-resume snapshots. Like Trace it is observation-only — the
+	// engine writes samples and never reads them back (enforced by
+	// iselint's obspurity pass), results are byte-identical with Flight
+	// set or nil, and a nil recorder costs nothing on the hot path
+	// (TestExploreSteadyStateAllocs covers the instrumented loop). An
+	// interrupted run carries the journal in the snapshot's observational
+	// sidecar (Snapshot.Flight) and ResumeFrom restores it, so the round
+	// series survives checkpoint/resume.
+	Flight *obs.Flight
 }
 
 // RestartEvent reports one finished restart.
@@ -211,6 +223,14 @@ func exploreResumable(ctx context.Context, d *dfg.DFG, cfg machine.Config, p Par
 	results := make([]*Result, restarts)
 	partials := make([]*RestartPartial, restarts)
 	if snap != nil {
+		// The journal sidecar rides the snapshot so the convergence series
+		// survives interruption; replayed rounds re-record identical
+		// samples and Series() canonicalization collapses them. Merged, not
+		// restored: the caller's recorder may already hold earlier blocks'
+		// samples (the service resumes a multi-block job into one journal).
+		if len(snap.Flight) > 0 {
+			opts.Flight.Merge(snap.Flight)
+		}
 		if snap.BaseCycles != baseCycles {
 			return nil, nil, fmt.Errorf("core: snapshot base cycles %d, but %s schedules to %d — stale checkpoint",
 				snap.BaseCycles, d.Name, baseCycles)
@@ -259,7 +279,7 @@ func exploreResumable(ctx context.Context, d *dfg.DFG, cfg machine.Config, p Par
 	}()
 	cancelErr := parallel.ForEachWorkerCtx(ctx, len(todo), p.Workers, func(w, ti int) {
 		r := todo[ti]
-		res, part, err := runOnce(ctx, d, cfg, p, p.Seed+int64(r)*7919, baseCycles, cache, ws[w].kern, ws[w].exp, partials[r], opts.Trace, r)
+		res, part, err := runOnce(ctx, d, cfg, p, p.Seed+int64(r)*7919, baseCycles, cache, ws[w].kern, ws[w].exp, partials[r], opts.Trace, opts.Flight, r)
 		switch {
 		case err != nil:
 			errs[r] = err
@@ -269,6 +289,18 @@ func exploreResumable(ctx context.Context, d *dfg.DFG, cfg machine.Config, p Par
 			results[r] = res
 			partials[r] = nil
 			obsRestarts.Inc()
+			if opts.Flight.Enabled() {
+				hits, misses := cache.Stats()
+				rate := 0.0
+				if total := hits + misses; total > 0 {
+					rate = float64(hits) / float64(total)
+				}
+				opts.Flight.Record(obs.FlightCache, r, res.Rounds, rate, float64(hits+misses))
+				// The cumulative kernel delta-resume counter, snapshotted
+				// into the journal (an obs value fed straight back into
+				// obs — the read never reaches a decision).
+				opts.Flight.Record(obs.FlightDelta, r, res.Rounds, obsDeltaResumes.Value(), 0)
+			}
 			if opts.OnRestartDone != nil {
 				hits, misses := cache.Stats()
 				opts.OnRestartDone(RestartEvent{
@@ -309,6 +341,7 @@ func exploreResumable(ctx context.Context, d *dfg.DFG, cfg machine.Config, p Par
 			}
 			out.Restarts[r] = st
 		}
+		out.Flight = opts.Flight.Series()
 		return nil, out, cancelErr
 	}
 	best := BestResult(results)
@@ -351,7 +384,7 @@ func BestResult(results []*Result) *Result {
 // non-nil, the restart first restores that checkpoint (accepted ISEs,
 // trail/merit tables, RNG position) and continues as if it had never
 // stopped.
-func runOnce(ctx context.Context, d *dfg.DFG, cfg machine.Config, p Params, seed int64, baseCycles int, cache *EvalCache, kern *sched.Scheduler, exp *explorer, resume *RestartPartial, tr *obs.Tracer, restart int) (*Result, *RestartPartial, error) {
+func runOnce(ctx context.Context, d *dfg.DFG, cfg machine.Config, p Params, seed int64, baseCycles int, cache *EvalCache, kern *sched.Scheduler, exp *explorer, resume *RestartPartial, tr *obs.Tracer, fl *obs.Flight, restart int) (*Result, *RestartPartial, error) {
 	if kern == nil {
 		kern = sched.NewScheduler()
 	}
@@ -422,15 +455,21 @@ func runOnce(ctx context.Context, d *dfg.DFG, cfg machine.Config, p Params, seed
 
 		cand := e.bestCandidate(curLen)
 		roundSpan.Arg("iters", int64(cs.iter)).End()
+		if cand != nil {
+			cand.ise.SavingCycles = curLen - cand.cycles
+			e.fixed = append(e.fixed, cand.ise)
+			for _, v := range cand.ise.Nodes.Values() {
+				e.fixedGroupOf[v] = len(e.fixed) - 1
+			}
+			curLen = cand.cycles
+		}
+		// Convergence sample: best schedule length after this round and the
+		// accepted-ISE count. Pure function of the exploration inputs, so a
+		// resumed run re-records identical samples for replayed rounds.
+		fl.Record(obs.FlightRound, restart, round, float64(curLen), float64(len(e.fixed)))
 		if cand == nil {
 			break
 		}
-		cand.ise.SavingCycles = curLen - cand.cycles
-		e.fixed = append(e.fixed, cand.ise)
-		for _, v := range cand.ise.Nodes.Values() {
-			e.fixedGroupOf[v] = len(e.fixed) - 1
-		}
-		curLen = cand.cycles
 	}
 
 	res.ISEs = append(res.ISEs, e.fixed...)

@@ -13,7 +13,7 @@ import (
 
 // newExplorer builds an explorer with initialized tables for direct testing
 // of the algorithm's internals.
-func newExplorer(t *testing.T, d *dfg.DFG, cfg machine.Config) *explorer {
+func newExplorer(t testing.TB, d *dfg.DFG, cfg machine.Config) *explorer {
 	t.Helper()
 	e := &explorer{
 		d: d, cfg: cfg, p: DefaultParams(),

@@ -11,7 +11,7 @@ import (
 )
 
 // hotBenchDFG returns the hottest basic block of a real benchmark.
-func hotBenchDFG(t *testing.T, name, opt string) *dfg.DFG {
+func hotBenchDFG(t testing.TB, name, opt string) *dfg.DFG {
 	t.Helper()
 	bm, err := bench.Get(name, opt)
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"repro/internal/dfg"
 	"repro/internal/graph"
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // SnapshotVersion is the checkpoint format version. Bump it whenever the
@@ -39,6 +40,12 @@ type Snapshot struct {
 	BaseCycles int `json:"base_cycles"`
 	// Restarts holds one entry per restart, in restart order.
 	Restarts []RestartState `json:"restarts"`
+	// Flight is the convergence flight recorder's journal at capture time —
+	// an observational sidecar, not part of the determinism contract. It is
+	// absent when the interrupted run recorded nothing, and ResumeFrom
+	// restores it into ResumeOptions.Flight so the journal survives
+	// checkpoint/resume. Resume never reads it for decisions (obspurity).
+	Flight []obs.FlightSample `json:"flight,omitempty"`
 }
 
 // RestartState is the checkpoint of one restart: finished (Done set),

@@ -23,6 +23,12 @@ import (
 // tracing was requested (configuration), not anything observed, and the
 // determinism test verifies that branches guarded by it do not change
 // results.
+//
+// Recorded journals (slices of obs-declared samples, e.g. the flight
+// recorder's []obs.FlightSample) are obs values for the rules above:
+// deterministic code may carry them between obs calls, snapshot fields and
+// the wire. What it must not do is look inside — ranging over or indexing
+// into such a slice reads the recording back, and is flagged.
 var ObsPurity = &Analyzer{
 	Name:              "obspurity",
 	Doc:               "flags obs-package reads feeding back into deterministic computation",
@@ -34,6 +40,23 @@ func runObsPurity(p *Pass) {
 	for _, f := range p.Files {
 		parents := buildParents(f)
 		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.RangeStmt:
+				// Skipping the iteration variables (`for range s`) still
+				// observes the journal's length, so any range over recorded
+				// samples is a read.
+				if tv, ok := p.Info.Types[e.X]; ok && isObsSliceType(tv.Type) {
+					p.Reportf(e.Pos(), "deterministic package ranges over recorded obs samples (%s); the journal is observation-only here",
+						exprString(e.X))
+				}
+				return true
+			case *ast.IndexExpr:
+				if tv, ok := p.Info.Types[e.X]; ok && isObsSliceType(tv.Type) {
+					p.Reportf(e.Pos(), "deterministic package indexes into recorded obs samples (%s); the journal is observation-only here",
+						exprString(e.X))
+				}
+				return true
+			}
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
 				return true
@@ -42,8 +65,13 @@ func runObsPurity(p *Pass) {
 			if fn == nil {
 				return true
 			}
-			if fn.Name() == "Enabled" {
-				return true // configuration predicate, not observed data
+			if fn.Name() == "Enabled" || fn.Name() == "Valid" {
+				// Configuration predicates, not observed data: Enabled asks
+				// whether recording was requested, Valid whether a propagated
+				// trace context names a trace. Neither reflects anything the
+				// engine did, and branches guarded by them are covered by the
+				// tracing-on/off determinism test.
+				return true
 			}
 			reads := nonObsResults(fn)
 			if len(reads) == 0 {
@@ -98,17 +126,36 @@ func nonObsResults(fn *types.Func) []types.Type {
 	return out
 }
 
-// isObsType reports whether t (unwrapping pointers) is a named type declared
-// in an obs package.
+// isObsType reports whether t (unwrapping pointers and slices) is a named
+// type declared in an obs package. Slices are unwrapped so that journal
+// exports like []obs.FlightSample count as obs values: deterministic code may
+// move them between obs calls and obs-typed fields without a finding, while
+// element access is caught separately by the range/index check.
 func isObsType(t types.Type) bool {
-	if ptr, ok := t.(*types.Pointer); ok {
-		t = ptr.Elem()
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		default:
+			named, ok := t.(*types.Named)
+			if !ok || named.Obj().Pkg() == nil {
+				return false
+			}
+			return gopath.Base(named.Obj().Pkg().Path()) == "obs"
+		}
 	}
-	named, ok := t.(*types.Named)
-	if !ok || named.Obj().Pkg() == nil {
+}
+
+// isObsSliceType reports whether t is a slice whose elements are obs-declared
+// values — a recorded journal in transit.
+func isObsSliceType(t types.Type) bool {
+	if t == nil {
 		return false
 	}
-	return gopath.Base(named.Obj().Pkg().Path()) == "obs"
+	sl, ok := t.Underlying().(*types.Slice)
+	return ok && isObsType(sl.Elem())
 }
 
 // obsReadDiscarded reports whether the value of an obs read never reaches

@@ -19,6 +19,29 @@ func (h *Histogram) Observe(v float64)          { h.n++ }
 func (h *Histogram) Count() uint64              { return h.n }
 func (h *Histogram) Quantile(q float64) float64 { return 0 }
 
+// FlightSample and Flight mirror the convergence flight recorder: a bounded
+// observation-only journal whose samples deterministic code records but must
+// never read back.
+type FlightSample struct {
+	Kind    string
+	Restart int
+	Round   int
+	Value   float64
+}
+
+type Flight struct{ buf []FlightSample }
+
+func NewFlight(capacity int) *Flight { return &Flight{} }
+func (f *Flight) Enabled() bool      { return f != nil }
+func (f *Flight) Record(kind string, restart, round int, value, aux float64) {
+	if f != nil {
+		f.buf = append(f.buf, FlightSample{Kind: kind, Restart: restart, Round: round, Value: value})
+	}
+}
+func (f *Flight) Series() []FlightSample         { return f.buf }
+func (f *Flight) Restore(samples []FlightSample) {}
+func (f *Flight) Merge(samples []FlightSample)   {}
+
 // Tracer records spans; a nil Tracer is disabled.
 type Tracer struct{ events int }
 

@@ -44,6 +44,36 @@ func feedback(tr *obs.Tracer, h *obs.Histogram) float64 {
 	return budget + h.Quantile(0.5) // want "feeds back into a deterministic package"
 }
 
+// flightWrites records convergence samples and moves the journal between obs
+// calls and an obs-typed field — all observation-only shapes, never flagged.
+type checkpoint struct {
+	Flight []obs.FlightSample
+}
+
+func flightWrites(fl *obs.Flight, snap *checkpoint) *checkpoint {
+	fl.Record("round", 0, 1, 42, 0)
+	if fl.Enabled() {
+		fl.Record("cache", 0, 1, 0.5, 2)
+	}
+	fl.Restore(snap.Flight)
+	fl.Merge(fl.Series())
+	out := &checkpoint{Flight: fl.Series()}
+	return out
+}
+
+// flightReads look inside the recorded journal — every access flagged.
+func flightReads(fl *obs.Flight, snap *checkpoint) float64 {
+	total := 0.0
+	for _, s := range fl.Series() { // want "ranges over recorded obs samples"
+		total += s.Value
+	}
+	for range snap.Flight { // want "ranges over recorded obs samples"
+		total++
+	}
+	first := snap.Flight[0] // want "indexes into recorded obs samples"
+	return total + first.Value
+}
+
 // reviewed demonstrates a suppressed read: the claim is stated and audited.
 func reviewed(h *obs.Histogram) uint64 {
 	//lint:ignore obspurity logging-only diagnostic counter, reviewed in PR 5

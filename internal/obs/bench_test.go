@@ -26,6 +26,25 @@ func BenchmarkSpanEnabled(b *testing.B) {
 	}
 }
 
+// BenchmarkFlightDisabled pins the cost of flight-recorder
+// instrumentation when recording is off: 0 allocs/op, same contract as
+// the disabled tracer (TestFlightNilIsFree holds the hard assertion).
+func BenchmarkFlightDisabled(b *testing.B) {
+	var f *Flight
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Record(FlightRound, 0, i, float64(i), 0)
+	}
+}
+
+func BenchmarkFlightEnabled(b *testing.B) {
+	f := NewFlight(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Record(FlightRound, 0, i, float64(i), 0)
+	}
+}
+
 func BenchmarkCounterInc(b *testing.B) {
 	r := NewRegistry()
 	c := r.Counter("bench_total", "bench")

@@ -1,0 +1,38 @@
+package obs
+
+import "runtime/debug"
+
+// RegisterBuildInfo registers the conventional `ise_build_info` gauge on
+// r: constant value 1 with the build identity in labels (module version,
+// VCS revision when stamped, Go toolchain), so a fleet scrape can tell
+// which build every node runs. Call it once from each command's main.
+func RegisterBuildInfo(r *Registry) {
+	version, commit, goVersion := buildIdentity(debug.ReadBuildInfo())
+	r.Gauge("ise_build_info",
+		"build identity of this process; constant 1",
+		"version", version, "commit", commit, "go", goVersion).Set(1)
+}
+
+// buildIdentity extracts (version, commit, go) from build info, tolerating
+// the nil info of non-module test binaries.
+func buildIdentity(bi *debug.BuildInfo, ok bool) (version, commit, goVersion string) {
+	version, commit, goVersion = "unknown", "unknown", "unknown"
+	if !ok || bi == nil {
+		return
+	}
+	if bi.GoVersion != "" {
+		goVersion = bi.GoVersion
+	}
+	if bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" && s.Value != "" {
+			commit = s.Value
+			if len(commit) > 12 {
+				commit = commit[:12]
+			}
+		}
+	}
+	return
+}

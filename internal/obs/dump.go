@@ -1,0 +1,67 @@
+package obs
+
+// Structured registry dumps: the machine-readable form of /metrics that
+// fleet nodes exchange. Scraping the text exposition and re-parsing it
+// would lose bucket structure and invite float round-tripping; a dump
+// carries the exact counts, so the coordinator can merge histograms and
+// re-render one fleet-wide exposition (see WriteFleetExposition).
+
+// SeriesDump is one (family, label set) series' value. Histogram series
+// carry their full bucket state in Hist and leave Value 0.
+type SeriesDump struct {
+	Labels string         `json:"labels,omitempty"` // rendered `k="v",...` form
+	Value  float64        `json:"value"`
+	Hist   *HistogramDump `json:"hist,omitempty"`
+}
+
+// FamilyDump is one metric family with every series' current value.
+type FamilyDump struct {
+	Name   string       `json:"name"`
+	Help   string       `json:"help,omitempty"`
+	Kind   Kind         `json:"kind"`
+	Series []SeriesDump `json:"series,omitempty"`
+}
+
+// RegistryDump is a point-in-time snapshot of a registry, families sorted
+// by name.
+type RegistryDump struct {
+	Families []FamilyDump `json:"families,omitempty"`
+}
+
+// Dump snapshots every family of the registry. Gauge funcs are sampled
+// during the dump.
+func (r *Registry) Dump() RegistryDump {
+	var out RegistryDump
+	for _, f := range r.families() {
+		fd := FamilyDump{Name: f.name, Help: f.help, Kind: f.kind}
+		for _, s := range f.snapshotSeries() {
+			sd := SeriesDump{Labels: s.labels}
+			switch {
+			case s.c != nil:
+				sd.Value = s.c.Value()
+			case s.gf != nil:
+				sd.Value = s.gf()
+			case s.g != nil:
+				sd.Value = s.g.Value()
+			case s.h != nil:
+				h := s.h.Dump()
+				sd.Hist = &h
+			}
+			fd.Series = append(fd.Series, sd)
+		}
+		out.Families = append(out.Families, fd)
+	}
+	return out
+}
+
+// MergeDumps concatenates dumps into one, preserving family order across
+// the inputs. It is how a node folds its process-local registries (the
+// service registry plus the engine's Default) into one wire snapshot; the
+// registries hold disjoint family names by construction.
+func MergeDumps(dumps ...RegistryDump) RegistryDump {
+	var out RegistryDump
+	for _, d := range dumps {
+		out.Families = append(out.Families, d.Families...)
+	}
+	return out
+}

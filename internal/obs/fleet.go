@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Fleet metrics aggregation (DESIGN.md §16): the coordinator collects one
+// RegistryDump per node and renders them as a single Prometheus text
+// exposition in which every sample carries a `node` label naming the
+// process it came from. Histogram families additionally get a synthetic
+// `node="fleet"` series — the bucket-wise sum across nodes, legal only
+// when every node agrees on the bucket bounds — plus derived
+// `<name>_p50` / `<name>_p99` gauge families estimated from the merged
+// buckets, so one scrape answers fleet-wide latency questions.
+
+// NodeDump is one node's metrics snapshot tagged with the node's name
+// (the value of its `node` label in the merged exposition).
+type NodeDump struct {
+	Node string       `json:"node"`
+	Dump RegistryDump `json:"dump"`
+}
+
+// FleetNodeLabel tags the synthetic cross-node aggregate series in a
+// merged exposition. Real node names must not collide with it.
+const FleetNodeLabel = "fleet"
+
+// fleetSeries is one node's contribution to a family.
+type fleetSeries struct {
+	node string
+	s    SeriesDump
+}
+
+// WriteFleetExposition renders the nodes' dumps as one merged, valid
+// Prometheus text exposition. Families are the union across nodes, sorted
+// by name, each declared once; the first node to define a family fixes its
+// kind and help, and a later node's same-named family of a different kind
+// is dropped rather than mixed. Per-node histogram merges that disagree on
+// bucket bounds skip the fleet aggregate instead of summing mislabeled
+// buckets.
+func WriteFleetExposition(w io.Writer, nodes []NodeDump) error {
+	type fam struct {
+		help   string
+		kind   Kind
+		series []fleetSeries
+	}
+	fams := map[string]*fam{}
+	var order []string
+	for _, n := range nodes {
+		for _, fd := range n.Dump.Families {
+			f, ok := fams[fd.Name]
+			if !ok {
+				f = &fam{help: fd.Help, kind: fd.Kind}
+				fams[fd.Name] = f
+				order = append(order, fd.Name)
+			} else if f.kind != fd.Kind {
+				continue
+			}
+			for _, s := range fd.Series {
+				f.series = append(f.series, fleetSeries{node: n.Node, s: s})
+			}
+		}
+	}
+	sort.Strings(order)
+
+	bw := bufio.NewWriter(w)
+	for _, name := range order {
+		f := fams[name]
+		if err := writeFamilyHeader(bw, name, f.help, f.kind); err != nil {
+			return err
+		}
+		for _, fs := range f.series {
+			labels := withNodeLabel(fs.s.Labels, fs.node)
+			if f.kind == KindHistogram {
+				if fs.s.Hist == nil {
+					continue
+				}
+				if err := writeHistogramDump(bw, name, labels, *fs.s.Hist); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := writeSample(bw, name, labels, fs.s.Value); err != nil {
+				return err
+			}
+		}
+		if f.kind != KindHistogram {
+			continue
+		}
+		merged := mergeFleetHistograms(f.series)
+		for _, m := range merged {
+			if err := writeHistogramDump(bw, name,
+				withNodeLabel(m.labels, FleetNodeLabel), m.h.Dump()); err != nil {
+				return err
+			}
+		}
+		// Derived quantile gauges from the merged buckets, one family per
+		// quantile so the exposition stays well-typed.
+		for _, q := range []struct {
+			suffix string
+			q      float64
+		}{{"_p50", 0.5}, {"_p99", 0.99}} {
+			if len(merged) == 0 {
+				break
+			}
+			if err := writeFamilyHeader(bw, name+q.suffix,
+				"fleet-merged quantile of "+name, KindGauge); err != nil {
+				return err
+			}
+			for _, m := range merged {
+				if err := writeSample(bw, name+q.suffix,
+					withNodeLabel(m.labels, FleetNodeLabel), m.h.Quantile(q.q)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func writeFamilyHeader(w io.Writer, name, help string, kind Kind) error {
+	if help == "" {
+		help = name
+	}
+	_, err := io.WriteString(w, "# HELP "+name+" "+escapeHelp(help)+
+		"\n# TYPE "+name+" "+string(kind)+"\n")
+	return err
+}
+
+// writeHistogramDump renders one dumped histogram series as the
+// conventional _bucket/_sum/_count triple.
+func writeHistogramDump(w io.Writer, name, labels string, d HistogramDump) error {
+	var run uint64
+	for i, ub := range d.Upper {
+		run += d.Counts[i]
+		le := formatFloat(ub)
+		if err := writeSample(w, name+"_bucket", joinLabels(labels, `le="`+le+`"`), float64(run)); err != nil {
+			return err
+		}
+	}
+	run += d.Inf
+	if err := writeSample(w, name+"_bucket", joinLabels(labels, `le="+Inf"`), float64(run)); err != nil {
+		return err
+	}
+	if err := writeSample(w, name+"_sum", labels, d.Sum); err != nil {
+		return err
+	}
+	return writeSample(w, name+"_count", labels, float64(d.Count))
+}
+
+// mergedHist is a fleet-merged histogram for one base label set.
+type mergedHist struct {
+	labels string
+	h      *Histogram
+}
+
+// mergeFleetHistograms merges each base label set's histograms across
+// nodes. Label sets whose nodes disagree on bucket bounds are skipped
+// entirely — a mismatched merge must be rejected, not summed.
+func mergeFleetHistograms(series []fleetSeries) []mergedHist {
+	byLabels := map[string]*mergedHist{}
+	bad := map[string]bool{}
+	var order []string
+	for _, fs := range series {
+		if fs.s.Hist == nil || bad[fs.s.Labels] {
+			continue
+		}
+		m, ok := byLabels[fs.s.Labels]
+		if !ok {
+			h, err := NewHistogramFromDump(*fs.s.Hist)
+			if err != nil {
+				bad[fs.s.Labels] = true
+				continue
+			}
+			byLabels[fs.s.Labels] = &mergedHist{labels: fs.s.Labels, h: h}
+			order = append(order, fs.s.Labels)
+			continue
+		}
+		if err := m.h.AddDump(*fs.s.Hist); err != nil {
+			bad[fs.s.Labels] = true
+			delete(byLabels, fs.s.Labels)
+		}
+	}
+	out := make([]mergedHist, 0, len(byLabels))
+	for _, labels := range order {
+		if m, ok := byLabels[labels]; ok {
+			out = append(out, *m)
+		}
+	}
+	return out
+}
+
+// withNodeLabel splices `node="..."` into a rendered label set, keeping
+// the keys sorted so merged series stay canonical.
+func withNodeLabel(labels, node string) string {
+	pair := `node="` + escapeLabelValue(node) + `"`
+	if labels == "" {
+		return pair
+	}
+	var b strings.Builder
+	inserted := false
+	for i, p := range splitLabelPairs(labels) {
+		if !inserted && strings.Compare(labelKey(p), "node") > 0 {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(pair)
+			inserted = true
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p)
+	}
+	if !inserted {
+		b.WriteByte(',')
+		b.WriteString(pair)
+	}
+	return b.String()
+}
+
+func labelKey(pair string) string {
+	if eq := strings.IndexByte(pair, '='); eq >= 0 {
+		return pair[:eq]
+	}
+	return pair
+}

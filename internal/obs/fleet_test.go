@@ -1,0 +1,258 @@
+package obs
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// Histogram merge unit tests (satellite): empty, single-bucket, and
+// mismatched-bounds merges — the mismatch must be rejected, not summed.
+
+func TestHistogramMergeEmpty(t *testing.T) {
+	a := NewHistogram([]float64{1, 2})
+	b := NewHistogram([]float64{1, 2})
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("merging two empty histograms: %v", err)
+	}
+	if a.Count() != 0 || a.Sum() != 0 {
+		t.Fatalf("empty merge produced count %d sum %v", a.Count(), a.Sum())
+	}
+	a.Observe(0.5)
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("merging empty into non-empty: %v", err)
+	}
+	if a.Count() != 1 {
+		t.Fatalf("count = %d after empty merge, want 1", a.Count())
+	}
+}
+
+func TestHistogramMergeSingleBucket(t *testing.T) {
+	a := NewHistogram([]float64{1})
+	b := NewHistogram([]float64{1})
+	a.Observe(0.5)
+	b.Observe(0.7)
+	b.Observe(10) // +Inf bucket
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if a.Count() != 3 {
+		t.Fatalf("count = %d, want 3", a.Count())
+	}
+	cum, total := a.cumulative()
+	if total != 3 || cum[0] != 2 || cum[1] != 3 {
+		t.Fatalf("cumulative = %v total %d, want [2 3] total 3", cum, total)
+	}
+	if got, want := a.Sum(), 11.2; got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramMergeMismatchedBoundsRejected(t *testing.T) {
+	a := NewHistogram([]float64{1, 2})
+	a.Observe(0.5)
+	for _, bounds := range [][]float64{{1}, {1, 3}, {1, 2, 3}, nil} {
+		b := NewHistogram(bounds)
+		b.Observe(0.5)
+		if err := a.Merge(b); err == nil {
+			t.Fatalf("merge with bounds %v did not reject", bounds)
+		}
+	}
+	// A rejected merge must leave the target untouched.
+	if a.Count() != 1 {
+		t.Fatalf("rejected merge mutated the target: count %d", a.Count())
+	}
+	cum, _ := a.cumulative()
+	if cum[0] != 1 {
+		t.Fatalf("rejected merge mutated buckets: %v", cum)
+	}
+}
+
+func TestHistogramDumpRoundTrip(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(9)
+	back, err := NewHistogramFromDump(h.Dump())
+	if err != nil {
+		t.Fatalf("NewHistogramFromDump: %v", err)
+	}
+	if back.Count() != 3 || back.Sum() != 11 {
+		t.Fatalf("round trip count %d sum %v, want 3 / 11", back.Count(), back.Sum())
+	}
+	if q := back.Quantile(0.99); q != 2 {
+		t.Fatalf("round-trip p99 = %v, want largest finite bound 2", q)
+	}
+}
+
+func TestRegistryDump(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("d_total", "c").Add(3)
+	r.Gauge("d_gauge", "g", "shard", "0").Set(7)
+	r.GaugeFunc("d_live", "gf", func() float64 { return 11 })
+	r.Histogram("d_seconds", "h", []float64{1}).Observe(0.5)
+	d := r.Dump()
+	if len(d.Families) != 4 {
+		t.Fatalf("dump has %d families, want 4", len(d.Families))
+	}
+	byName := map[string]FamilyDump{}
+	for _, f := range d.Families {
+		byName[f.Name] = f
+	}
+	if v := byName["d_total"].Series[0].Value; v != 3 {
+		t.Errorf("counter dump = %v, want 3", v)
+	}
+	if s := byName["d_gauge"].Series[0]; s.Value != 7 || s.Labels != `shard="0"` {
+		t.Errorf("gauge dump = %+v", s)
+	}
+	if v := byName["d_live"].Series[0].Value; v != 11 {
+		t.Errorf("gauge-func dump = %v, want 11", v)
+	}
+	h := byName["d_seconds"].Series[0].Hist
+	if h == nil || h.Count != 1 || h.Counts[0] != 1 {
+		t.Errorf("histogram dump = %+v", h)
+	}
+}
+
+// TestWriteFleetExposition covers the merged exposition end to end: node
+// labels on every sample, one TYPE per family, fleet-merged histogram plus
+// derived quantile gauges, and the whole output accepted by
+// ValidateExposition.
+func TestWriteFleetExposition(t *testing.T) {
+	mkNode := func(node string, lat float64) NodeDump {
+		r := NewRegistry()
+		r.Counter("fleet_jobs_total", "jobs").Add(2)
+		r.Gauge("fleet_depth", "depth", "shard", "0").Set(1)
+		r.Histogram("fleet_seconds", "latency", []float64{1, 2}).Observe(lat)
+		return NodeDump{Node: node, Dump: r.Dump()}
+	}
+	var buf bytes.Buffer
+	if err := WriteFleetExposition(&buf, []NodeDump{mkNode("w0", 0.5), mkNode("w1", 1.5)}); err != nil {
+		t.Fatalf("WriteFleetExposition: %v", err)
+	}
+	text := buf.String()
+	if err := ValidateExposition(strings.NewReader(text)); err != nil {
+		t.Fatalf("merged exposition invalid: %v\n%s", err, text)
+	}
+	wants := []string{
+		`fleet_jobs_total{node="w0"} 2`,
+		`fleet_jobs_total{node="w1"} 2`,
+		`fleet_depth{node="w0",shard="0"} 1`,
+		`fleet_seconds_bucket{node="w0",le="1"} 1`,
+		`fleet_seconds_bucket{node="w1",le="2"} 1`,
+		`fleet_seconds_count{node="fleet"} 2`,
+		`fleet_seconds_bucket{node="fleet",le="+Inf"} 2`,
+		"# TYPE fleet_seconds_p50 gauge",
+		`fleet_seconds_p99{node="fleet"}`,
+	}
+	for _, want := range wants {
+		if !strings.Contains(text, want) {
+			t.Errorf("merged exposition missing %q\n%s", want, text)
+		}
+	}
+	if n := strings.Count(text, "# TYPE fleet_jobs_total counter"); n != 1 {
+		t.Errorf("TYPE fleet_jobs_total declared %d times, want 1", n)
+	}
+}
+
+// TestWriteFleetExpositionBoundMismatch pins the rejection rule at the
+// fleet level: nodes that disagree on bucket bounds keep their per-node
+// series but produce no fleet aggregate and no quantiles.
+func TestWriteFleetExpositionBoundMismatch(t *testing.T) {
+	mk := func(node string, bounds []float64) NodeDump {
+		r := NewRegistry()
+		r.Histogram("skew_seconds", "h", bounds).Observe(0.5)
+		return NodeDump{Node: node, Dump: r.Dump()}
+	}
+	var buf bytes.Buffer
+	if err := WriteFleetExposition(&buf, []NodeDump{mk("w0", []float64{1}), mk("w1", []float64{2})}); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if err := ValidateExposition(strings.NewReader(text)); err != nil {
+		t.Fatalf("mismatch exposition invalid: %v\n%s", err, text)
+	}
+	for _, want := range []string{`skew_seconds_count{node="w0"}`, `skew_seconds_count{node="w1"}`} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing per-node series %q\n%s", want, text)
+		}
+	}
+	for _, reject := range []string{`node="fleet"`, "_p50", "_p99"} {
+		if strings.Contains(text, reject) {
+			t.Errorf("mismatched bounds still produced %q\n%s", reject, text)
+		}
+	}
+}
+
+func TestTraceContextHeaders(t *testing.T) {
+	h := http.Header{}
+	TraceContext{}.Inject(h)
+	if len(h) != 0 {
+		t.Fatalf("zero context injected headers: %v", h)
+	}
+	ctx := TraceContext{TraceID: "job-7", ParentSpan: "dispatch/3"}
+	ctx.Inject(h)
+	back := TraceContextFromHeader(h)
+	if back != ctx || !back.Valid() {
+		t.Fatalf("round trip = %+v, want %+v", back, ctx)
+	}
+	if (TraceContext{}).Valid() {
+		t.Fatalf("zero context reports valid")
+	}
+}
+
+func TestClockSync(t *testing.T) {
+	var nilSync *ClockSync
+	nilSync.Observe(0, 10, http.Header{})
+	if s := nilSync.State(); s != (ClockState{}) {
+		t.Fatalf("nil ClockSync state = %+v", s)
+	}
+
+	c := &ClockSync{}
+	h := http.Header{}
+	// Server read 1000 at our midpoint 5005 → we run 4005 ahead.
+	h.Set(HeaderServerTime, "1000")
+	c.Observe(5000, 5010, h)
+	if s := c.State(); s.OffsetMicros != 4005 || s.Samples != 1 {
+		t.Fatalf("state = %+v, want offset 4005, 1 sample", s)
+	}
+	// A higher-RTT exchange must not replace the tighter estimate.
+	h.Set(HeaderServerTime, "2000")
+	c.Observe(6000, 6500, h)
+	if s := c.State(); s.OffsetMicros != 4005 || s.Samples != 2 {
+		t.Fatalf("state after loose sample = %+v, want kept offset 4005", s)
+	}
+	// An equal-or-lower-RTT exchange updates.
+	h.Set(HeaderServerTime, "3000")
+	c.Observe(7000, 7010, h)
+	if s := c.State(); s.OffsetMicros != 4005 {
+		t.Fatalf("tight sample ignored: %+v", s)
+	}
+	// Missing or malformed headers are ignored.
+	c.Observe(1, 2, http.Header{})
+	bad := http.Header{}
+	bad.Set(HeaderServerTime, "soon")
+	c.Observe(1, 2, bad)
+	if s := c.State(); s.Samples != 3 {
+		t.Fatalf("bad headers counted: %+v", s)
+	}
+}
+
+func TestRegisterBuildInfo(t *testing.T) {
+	r := NewRegistry()
+	RegisterBuildInfo(r)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{"# TYPE ise_build_info gauge", `go="`, `version="`, `commit="`} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("build info exposition missing %q:\n%s", want, text)
+		}
+	}
+	if err := ValidateExposition(strings.NewReader(text)); err != nil {
+		t.Fatalf("build info exposition invalid: %v", err)
+	}
+}

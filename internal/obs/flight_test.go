@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFlightNilIsFree(t *testing.T) {
+	var f *Flight
+	if f.Enabled() {
+		t.Fatalf("nil flight reports enabled")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		f.Record(FlightRound, 1, 2, 3, 4)
+		f.RecordEvent(FlightShard, "claim", 0, 0, 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled flight recorder allocated %v allocs/op, want 0", allocs)
+	}
+	if f.Len() != 0 || f.Series() != nil {
+		t.Fatalf("nil flight holds samples")
+	}
+	f.Restore([]FlightSample{{Kind: "x"}})
+	f.Merge([]FlightSample{{Kind: "x"}})
+	f.SetSink(func(FlightSample) {})
+}
+
+func TestFlightRingBound(t *testing.T) {
+	f := NewFlight(4)
+	for i := 0; i < 10; i++ {
+		f.Record(FlightRound, 0, i, float64(i), 0)
+	}
+	if f.Len() != 4 {
+		t.Fatalf("Len = %d, want ring cap 4", f.Len())
+	}
+	s := f.Series()
+	if len(s) != 4 {
+		t.Fatalf("Series len = %d, want 4", len(s))
+	}
+	// The ring keeps the newest window: rounds 6..9.
+	for i, smp := range s {
+		if smp.Round != 6+i || smp.Value != float64(6+i) {
+			t.Fatalf("series[%d] = %+v, want round %d", i, smp, 6+i)
+		}
+	}
+}
+
+// TestFlightSeriesCanonical is the checkpoint/resume identity argument in
+// miniature: replayed rounds re-record the same (kind, restart, round)
+// samples, and Series must collapse them so an interrupted run reports the
+// same series as an uninterrupted one.
+func TestFlightSeriesCanonical(t *testing.T) {
+	uninterrupted := NewFlight(0)
+	for round := 0; round < 5; round++ {
+		uninterrupted.Record(FlightRound, 0, round, float64(100-round), 0)
+	}
+
+	resumed := NewFlight(0)
+	for round := 0; round < 3; round++ {
+		resumed.Record(FlightRound, 0, round, float64(100-round), 0)
+	}
+	// Checkpoint, restore, replay round 2 and continue.
+	snap := resumed.Series()
+	resumed = NewFlight(0)
+	resumed.Restore(snap)
+	for round := 2; round < 5; round++ {
+		resumed.Record(FlightRound, 0, round, float64(100-round), 0)
+	}
+
+	if got, want := resumed.Series(), uninterrupted.Series(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("resumed series %+v, want %+v", got, want)
+	}
+}
+
+func TestFlightSeriesSortsAcrossRestarts(t *testing.T) {
+	f := NewFlight(0)
+	f.Record(FlightRound, 1, 0, 7, 0)
+	f.Record(FlightRound, 0, 1, 8, 0)
+	f.Record(FlightCache, 0, 0, 0.5, 10)
+	f.Record(FlightRound, 0, 0, 9, 0)
+	got := f.Series()
+	want := []FlightSample{
+		{Kind: FlightCache, Restart: 0, Round: 0, Value: 0.5, Aux: 10},
+		{Kind: FlightRound, Restart: 0, Round: 0, Value: 9},
+		{Kind: FlightRound, Restart: 0, Round: 1, Value: 8},
+		{Kind: FlightRound, Restart: 1, Round: 0, Value: 7},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Series = %+v, want %+v", got, want)
+	}
+}
+
+func TestFlightMergeAndEvents(t *testing.T) {
+	shard := NewFlight(0)
+	shard.Record(FlightRound, 2, 0, 42, 1)
+	job := NewFlight(0)
+	job.RecordEvent(FlightShard, "claim", 0, 0, 0)
+	job.Merge(shard.Series())
+	s := job.Series()
+	if len(s) != 2 {
+		t.Fatalf("merged series = %+v, want 2 samples", s)
+	}
+	if s[0].Kind != FlightRound || s[1].Label != "claim" {
+		t.Fatalf("merged series order = %+v", s)
+	}
+}
+
+func TestFlightSink(t *testing.T) {
+	f := NewFlight(0)
+	var got []FlightSample
+	f.SetSink(func(s FlightSample) { got = append(got, s) })
+	f.Record(FlightRound, 0, 0, 1, 0)
+	f.SetSink(nil)
+	f.Record(FlightRound, 0, 1, 2, 0)
+	if len(got) != 1 || got[0].Round != 0 {
+		t.Fatalf("sink saw %+v, want exactly the first sample", got)
+	}
+}
+
+func TestFlightRestoreClipsToCapacity(t *testing.T) {
+	f := NewFlight(2)
+	f.Restore([]FlightSample{
+		{Kind: FlightRound, Round: 0}, {Kind: FlightRound, Round: 1}, {Kind: FlightRound, Round: 2},
+	})
+	s := f.Series()
+	if len(s) != 2 || s[0].Round != 1 || s[1].Round != 2 {
+		t.Fatalf("restore kept %+v, want newest two rounds", s)
+	}
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"sync/atomic"
@@ -63,6 +64,85 @@ func (h *Histogram) Count() uint64 { return h.n.Load() }
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sum.Load())
+}
+
+// HistogramDump is a histogram's state in wire form: non-cumulative
+// per-bucket counts plus the implicit +Inf bucket, the sum and the total.
+// It is what /metrics?format=dump ships between fleet nodes and what
+// fleet aggregation merges.
+type HistogramDump struct {
+	Upper  []float64 `json:"upper,omitempty"` // finite bounds, ascending
+	Counts []uint64  `json:"counts,omitempty"`
+	Inf    uint64    `json:"inf,omitempty"`
+	Sum    float64   `json:"sum"`
+	Count  uint64    `json:"count"`
+}
+
+// Dump snapshots the histogram. Buckets, sum and count are each exact but
+// not sampled at one instant (same consistency as scraping).
+func (h *Histogram) Dump() HistogramDump {
+	d := HistogramDump{
+		Upper:  append([]float64(nil), h.upper...),
+		Counts: make([]uint64, len(h.counts)),
+		Inf:    h.inf.Load(),
+		Sum:    h.Sum(),
+		Count:  h.n.Load(),
+	}
+	for i := range h.counts {
+		d.Counts[i] = h.counts[i].Load()
+	}
+	return d
+}
+
+// boundsEqual reports whether the dump's bucket bounds match h's exactly.
+func (h *Histogram) boundsEqual(d HistogramDump) bool {
+	if len(d.Upper) != len(h.upper) || len(d.Counts) != len(h.upper) {
+		return false
+	}
+	for i, b := range h.upper {
+		if d.Upper[i] != b {
+			return false
+		}
+	}
+	return true
+}
+
+// AddDump folds a dumped histogram into h. The bucket bounds must match
+// exactly: summing buckets with different bounds would silently mislabel
+// observations, so a mismatch is rejected with an error and h is left
+// untouched.
+func (h *Histogram) AddDump(d HistogramDump) error {
+	if !h.boundsEqual(d) {
+		return fmt.Errorf("obs: histogram merge with mismatched bounds %v vs %v", d.Upper, h.upper)
+	}
+	for i, c := range d.Counts {
+		h.counts[i].Add(c)
+	}
+	h.inf.Add(d.Inf)
+	addFloat(&h.sum, d.Sum)
+	h.n.Add(d.Count)
+	return nil
+}
+
+// Merge folds o's observations into h. Bounds must match exactly; on
+// mismatch h is unchanged and an error is returned.
+func (h *Histogram) Merge(o *Histogram) error {
+	return h.AddDump(o.Dump())
+}
+
+// NewHistogramFromDump reconstructs a histogram from its dump, the
+// receiving half of fleet aggregation.
+func NewHistogramFromDump(d HistogramDump) (*Histogram, error) {
+	h := NewHistogram(d.Upper)
+	if len(d.Upper) == 0 {
+		// NewHistogram(nil) substitutes DefBuckets; an explicitly empty
+		// dump means "no finite buckets".
+		h = &Histogram{}
+	}
+	if err := h.AddDump(d); err != nil {
+		return nil, err
+	}
+	return h, nil
 }
 
 // cumulative returns the per-bucket cumulative counts (including +Inf last)

@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"sort"
 	"sync"
 	"time"
 )
@@ -17,18 +18,22 @@ import (
 // Track layout convention used by this repo: tid 0 carries process-level
 // spans (service job phases); tid r+1 carries the spans of restart r, so
 // parallel restarts render as parallel tracks. SetPID groups tracks into a
-// named process row per exploration block.
+// named process row per exploration block; in a merged fleet trace each
+// worker node gets its own pid row (see Import).
 type Tracer struct {
 	mu     sync.Mutex
-	events []traceEvent // guarded by mu
+	events []TraceEvent // guarded by mu
 	start  time.Time
-	pid    int            // guarded by mu
-	proc   string         // guarded by mu — process name for pid
-	names  map[int]string // guarded by mu — tid display names
+	pid    int               // guarded by mu — pid stamped on new events
+	procs  map[int]string    // guarded by mu — pid → process display name
+	names  map[[2]int]string // guarded by mu — {pid, tid} → track display name
 }
 
-// traceEvent is one Chrome trace-event object.
-type traceEvent struct {
+// TraceEvent is one Chrome trace-event object. It is exported so worker
+// nodes can ship their buffered spans to the coordinator inside a
+// TraceExport (see Export/Import); ordinary instrumentation never touches
+// it directly.
+type TraceEvent struct {
 	Name string         `json:"name"`
 	Ph   string         `json:"ph"`
 	Ts   int64          `json:"ts"` // microseconds since trace start
@@ -40,7 +45,11 @@ type traceEvent struct {
 
 // NewTracer returns an enabled tracer whose timestamps are relative to now.
 func NewTracer() *Tracer {
-	return &Tracer{start: time.Now(), names: make(map[int]string)}
+	return &Tracer{
+		start: time.Now(),
+		procs: make(map[int]string),
+		names: make(map[[2]int]string),
+	}
 }
 
 // Enabled reports whether spans recorded on t are kept. It is the
@@ -56,7 +65,9 @@ func (t *Tracer) SetPID(pid int, name string) {
 	}
 	t.mu.Lock()
 	t.pid = pid
-	t.proc = name
+	if name != "" {
+		t.procs[pid] = name
+	}
 	t.mu.Unlock()
 }
 
@@ -115,7 +126,7 @@ func (s Span) End() {
 		}
 	}
 	s.t.mu.Lock()
-	s.t.events = append(s.t.events, traceEvent{
+	s.t.events = append(s.t.events, TraceEvent{
 		Name: s.name,
 		Ph:   "X",
 		Ts:   s.begin.Microseconds(),
@@ -134,7 +145,7 @@ func (t *Tracer) Instant(name string, tid int) {
 	}
 	ts := time.Since(t.start).Microseconds()
 	t.mu.Lock()
-	t.events = append(t.events, traceEvent{
+	t.events = append(t.events, TraceEvent{
 		Name: name, Ph: "i", Ts: ts, PID: t.pid, TID: tid,
 	})
 	t.mu.Unlock()
@@ -150,51 +161,154 @@ func (t *Tracer) Len() int {
 	return len(t.events)
 }
 
+// TraceExport is a tracer's buffered state in wire form: the events plus
+// the wall-clock instant (in the exporting node's clock) that their
+// timestamps are relative to. Workers ship one with each shard result so
+// the coordinator can merge every node's spans into a single timeline.
+type TraceExport struct {
+	// StartUnixMicros is the exporter's trace epoch as Unix microseconds
+	// on the exporter's own clock; event Ts values are relative to it.
+	StartUnixMicros int64          `json:"start_unix_micros"`
+	Events          []TraceEvent   `json:"events,omitempty"`
+	Tracks          map[int]string `json:"tracks,omitempty"` // tid → name
+}
+
+// Export snapshots the tracer's events for shipping to another node. The
+// receiving tracer rebases them onto its own timeline with Import. Export
+// flattens pids: it is meant for single-process (worker-side) tracers,
+// whose events all carry the local default pid.
+func (t *Tracer) Export() TraceExport {
+	if t == nil {
+		return TraceExport{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	exp := TraceExport{StartUnixMicros: t.start.UnixMicro()}
+	exp.Events = append(exp.Events, t.events...)
+	if len(t.names) > 0 {
+		exp.Tracks = make(map[int]string, len(t.names))
+		for k, v := range t.names {
+			exp.Tracks[k[1]] = v
+		}
+	}
+	return exp
+}
+
+// Import merges an exported trace into t as process row pid (displayed as
+// proc), rebasing every timestamp onto t's timeline.
+//
+// offsetMicros is the estimated clock offset between the exporting node
+// and this node (exporter reading + offset = local reading, the value a
+// ClockSync accumulates on the exporting side). An event at exporter-
+// relative microsecond ts happened at local Unix microsecond
+// exp.StartUnixMicros + ts + offsetMicros; subtracting t's own epoch makes
+// it t-relative.
+//
+// Offset estimation carries error on the order of the RPC round trip, so
+// rebased spans could land slightly outside the local span that logically
+// contains them (the coordinator's dispatch span). loUnixMicros and
+// hiUnixMicros — local-clock Unix microseconds — bound the window the
+// imported events are known to have happened in; events are clamped into
+// it (durations shrink as needed), which keeps imported spans nested under
+// the local dispatch span and the merged timeline monotone. A
+// non-positive window (hi ≤ lo) disables clamping.
+func (t *Tracer) Import(exp TraceExport, offsetMicros int64, pid int, proc string, loUnixMicros, hiUnixMicros int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	base := t.start.UnixMicro()
+	shift := exp.StartUnixMicros + offsetMicros - base
+	lo, hi := loUnixMicros-base, hiUnixMicros-base
+	clamp := hi > lo
+	for _, ev := range exp.Events {
+		ts, dur := ev.Ts+shift, ev.Dur
+		if clamp {
+			if ts < lo {
+				if ev.Ph == "X" {
+					dur -= lo - ts
+					if dur < 0 {
+						dur = 0
+					}
+				}
+				ts = lo
+			}
+			if ts > hi {
+				ts = hi
+			}
+			if ev.Ph == "X" && ts+dur > hi {
+				dur = hi - ts
+			}
+		}
+		ev.Ts, ev.Dur, ev.PID = ts, dur, pid
+		t.events = append(t.events, ev)
+	}
+	if proc != "" {
+		t.procs[pid] = proc
+	}
+	for tid, name := range exp.Tracks {
+		t.names[[2]int{pid, tid}] = name
+	}
+}
+
 // WriteJSON writes the trace as a Chrome trace-event JSON object
-// ({"traceEvents": [...]}) ready to load into Perfetto. Safe to call while
-// spans are still being recorded; it snapshots the events under the lock.
+// ({"traceEvents": [...]}) ready to load into Perfetto. Events are sorted
+// by timestamp so merged multi-node traces read as one monotone timeline.
+// Safe to call while spans are still being recorded; it snapshots the
+// events under the lock.
 func (t *Tracer) WriteJSON(w io.Writer) error {
-	var evs []traceEvent
-	var names map[int]string
-	var pid int
-	var proc string
+	var evs []TraceEvent
+	var procs []TraceEvent
 	if t != nil {
 		t.mu.Lock()
 		evs = append(evs, t.events...)
-		pid, proc = t.pid, t.proc
-		names = make(map[int]string, len(t.names))
-		for k, v := range t.names {
-			names[k] = v
+		// Metadata events name the processes and threads in the viewer,
+		// emitted in sorted key order for stable output.
+		pids := make([]int, 0, len(t.procs))
+		for pid := range t.procs {
+			pids = append(pids, pid)
+		}
+		sort.Ints(pids)
+		for _, pid := range pids {
+			procs = append(procs, TraceEvent{
+				Name: "process_name", Ph: "M", PID: pid,
+				Args: map[string]any{"name": t.procs[pid]},
+			})
+		}
+		keys := make([][2]int, 0, len(t.names))
+		for k := range t.names {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i][0] != keys[j][0] {
+				return keys[i][0] < keys[j][0]
+			}
+			return keys[i][1] < keys[j][1]
+		})
+		for _, k := range keys {
+			procs = append(procs, TraceEvent{
+				Name: "thread_name", Ph: "M", PID: k[0], TID: k[1],
+				Args: map[string]any{"name": t.names[k]},
+			})
 		}
 		t.mu.Unlock()
 	}
-	// Metadata events name the process and threads in the viewer.
-	meta := make([]traceEvent, 0, 1+len(names))
-	if proc != "" {
-		meta = append(meta, traceEvent{
-			Name: "process_name", Ph: "M", PID: pid,
-			Args: map[string]any{"name": proc},
-		})
-	}
-	for tid, name := range names {
-		meta = append(meta, traceEvent{
-			Name: "thread_name", Ph: "M", PID: pid, TID: tid,
-			Args: map[string]any{"name": name},
-		})
-	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Ts < evs[j].Ts })
 	out := struct {
-		TraceEvents []traceEvent `json:"traceEvents"`
-	}{TraceEvents: append(meta, evs...)}
+		TraceEvents []TraceEvent `json:"traceEvents"`
+	}{TraceEvents: append(procs, evs...)}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)
 }
 
-// NameTrack assigns a display name to track tid (e.g. "restart 3").
+// NameTrack assigns a display name to track tid (e.g. "restart 3") within
+// the current pid row.
 func (t *Tracer) NameTrack(tid int, name string) {
 	if t == nil {
 		return
 	}
 	t.mu.Lock()
-	t.names[tid] = name
+	t.names[[2]int{t.pid, tid}] = name
 	t.mu.Unlock()
 }

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// decodeTrace parses a WriteJSON document back into events.
+func decodeTrace(t *testing.T, tr *Tracer) []TraceEvent {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var out struct {
+		TraceEvents []TraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("trace JSON: %v\n%s", err, buf.String())
+	}
+	return out.TraceEvents
+}
+
+// TestTracerImportRebase drives Import with a synthetic export whose clock
+// runs 1 s ahead, and checks the events land on the importer's timeline at
+// the instants they actually happened.
+func TestTracerImportRebase(t *testing.T) {
+	coord := NewTracer()
+	base := coord.start.UnixMicro()
+
+	// The worker's epoch is local instant +2000 µs, but its own clock
+	// reads 1 s ahead of ours.
+	const skew = int64(1_000_000)
+	exp := TraceExport{
+		StartUnixMicros: base + 2000 + skew,
+		Events: []TraceEvent{
+			{Name: "restart", Ph: "X", Ts: 100, Dur: 500, TID: 1},
+			{Name: "mark", Ph: "i", Ts: 300, TID: 1},
+		},
+		Tracks: map[int]string{1: "restart 0"},
+	}
+	// offset param is importer − exporter = −skew; no clamp window.
+	coord.Import(exp, -skew, 3, "worker w1", 0, 0)
+
+	evs := decodeTrace(t, coord)
+	var span, mark *TraceEvent
+	for i := range evs {
+		switch evs[i].Name {
+		case "restart":
+			span = &evs[i]
+		case "mark":
+			mark = &evs[i]
+		}
+	}
+	if span == nil || mark == nil {
+		t.Fatalf("imported events missing: %+v", evs)
+	}
+	if span.Ts != 2100 || span.Dur != 500 || span.PID != 3 || span.TID != 1 {
+		t.Fatalf("span = %+v, want ts 2100 dur 500 pid 3 tid 1", span)
+	}
+	if mark.Ts != 2300 {
+		t.Fatalf("instant ts = %d, want 2300", mark.Ts)
+	}
+	// Process and track metadata for the imported pid.
+	var gotProc, gotTrack bool
+	for _, e := range evs {
+		if e.Ph != "M" {
+			continue
+		}
+		if e.Name == "process_name" && e.PID == 3 && e.Args["name"] == "worker w1" {
+			gotProc = true
+		}
+		if e.Name == "thread_name" && e.PID == 3 && e.TID == 1 && e.Args["name"] == "restart 0" {
+			gotTrack = true
+		}
+	}
+	if !gotProc || !gotTrack {
+		t.Fatalf("imported metadata missing (proc %v track %v): %+v", gotProc, gotTrack, evs)
+	}
+}
+
+// TestTracerImportClamp pins the nesting guarantee: offset-estimation
+// error cannot push imported spans outside the dispatch window they are
+// clamped into.
+func TestTracerImportClamp(t *testing.T) {
+	coord := NewTracer()
+	base := coord.start.UnixMicro()
+	lo, hi := base+1000, base+2000
+	exp := TraceExport{
+		StartUnixMicros: base,
+		Events: []TraceEvent{
+			{Name: "early", Ph: "X", Ts: 500, Dur: 800, TID: 1},   // starts before lo
+			{Name: "late", Ph: "X", Ts: 1800, Dur: 900, TID: 1},   // overruns hi
+			{Name: "beyond", Ph: "X", Ts: 2500, Dur: 100, TID: 1}, // entirely after hi
+			{Name: "inside", Ph: "i", Ts: 1500, TID: 1},
+		},
+	}
+	coord.Import(exp, 0, 2, "w", lo, hi)
+	for _, e := range decodeTrace(t, coord) {
+		if e.Ph == "M" {
+			continue
+		}
+		if e.Ts < 1000 || e.Ts > 2000 || e.Ts+e.Dur > 2000 {
+			t.Errorf("event %q [%d, %d] escapes clamp window [1000, 2000]", e.Name, e.Ts, e.Ts+e.Dur)
+		}
+		switch e.Name {
+		case "early":
+			if e.Ts != 1000 || e.Dur != 300 {
+				t.Errorf("early = [%d, dur %d], want [1000, dur 300]", e.Ts, e.Dur)
+			}
+		case "late":
+			if e.Ts != 1800 || e.Dur != 200 {
+				t.Errorf("late = [%d, dur %d], want [1800, dur 200]", e.Ts, e.Dur)
+			}
+		case "beyond":
+			if e.Ts != 2000 || e.Dur != 0 {
+				t.Errorf("beyond = [%d, dur %d], want [2000, dur 0]", e.Ts, e.Dur)
+			}
+		}
+	}
+}
+
+func TestTracerExportRoundTrip(t *testing.T) {
+	w := NewTracer()
+	w.NameTrack(1, "restart 4")
+	w.Begin("round", 1).Arg("round", 1).End()
+	exp := w.Export()
+	if len(exp.Events) != 1 || exp.Tracks[1] != "restart 4" {
+		t.Fatalf("export = %+v", exp)
+	}
+	if exp.StartUnixMicros == 0 {
+		t.Fatalf("export carries no epoch")
+	}
+	// Wire round trip: the export must survive JSON encoding.
+	raw, err := json.Marshal(exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back TraceExport
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.StartUnixMicros != exp.StartUnixMicros || len(back.Events) != 1 || back.Tracks[1] != "restart 4" {
+		t.Fatalf("wire round trip = %+v, want %+v", back, exp)
+	}
+	var nilT *Tracer
+	if e := nilT.Export(); len(e.Events) != 0 {
+		t.Fatalf("nil export = %+v", e)
+	}
+	nilT.Import(exp, 0, 1, "w", 0, 0) // must not panic
+}
+
+// TestTracerWriteJSONSorted pins the monotone-output rule merged traces
+// rely on.
+func TestTracerWriteJSONSorted(t *testing.T) {
+	tr := NewTracer()
+	tr.SetPID(0, "coordinator")
+	sp := tr.Begin("outer", 0)
+	time.Sleep(2 * time.Millisecond)
+	tr.Instant("mid", 0)
+	sp.End() // recorded after "mid" but starts before it
+	last := int64(-1)
+	for _, e := range decodeTrace(t, tr) {
+		if e.Ph == "M" {
+			continue
+		}
+		if e.Ts < last {
+			t.Fatalf("events not monotone: %d after %d", e.Ts, last)
+		}
+		last = e.Ts
+	}
+}

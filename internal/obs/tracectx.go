@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// RPC headers carrying the distributed-trace context and the server clock
+// between cluster nodes (DESIGN.md §16). They live in obs so every use of
+// the propagated context stays inside the observability layer: engine code
+// moves TraceContext and ClockState values around but never turns them
+// into decisions.
+const (
+	// HeaderTraceID identifies one distributed trace (one distributed
+	// job). The coordinator mints it; workers echo it on every RPC of the
+	// shards they run for that trace.
+	HeaderTraceID = "X-Ise-Trace-Id"
+	// HeaderParentSpan names the span the receiving node's work nests
+	// under (e.g. the coordinator's dispatch span for a claimed shard).
+	HeaderParentSpan = "X-Ise-Parent-Span"
+	// HeaderServerTime is the responding server's clock as Unix
+	// microseconds, stamped on every cluster RPC response so clients can
+	// estimate their clock offset (see ClockSync).
+	HeaderServerTime = "X-Ise-Server-Time"
+)
+
+// TraceContext is the propagated identity of one distributed trace: which
+// trace the work belongs to and which span it nests under. The zero value
+// is "no trace".
+type TraceContext struct {
+	TraceID    string `json:"trace_id,omitempty"`
+	ParentSpan string `json:"parent_span,omitempty"`
+}
+
+// Valid reports whether the context names a trace.
+func (c TraceContext) Valid() bool { return c.TraceID != "" }
+
+// Inject writes the context into RPC headers. A zero context writes
+// nothing.
+func (c TraceContext) Inject(h http.Header) {
+	if c.TraceID != "" {
+		h.Set(HeaderTraceID, c.TraceID)
+	}
+	if c.ParentSpan != "" {
+		h.Set(HeaderParentSpan, c.ParentSpan)
+	}
+}
+
+// TraceContextFromHeader reads a propagated context back out of RPC
+// headers; absent headers yield the zero (invalid) context.
+func TraceContextFromHeader(h http.Header) TraceContext {
+	return TraceContext{
+		TraceID:    h.Get(HeaderTraceID),
+		ParentSpan: h.Get(HeaderParentSpan),
+	}
+}
+
+// StampServerTime records the server's clock on an RPC response.
+func StampServerTime(h http.Header, now time.Time) {
+	h.Set(HeaderServerTime, strconv.FormatInt(now.UnixMicro(), 10))
+}
+
+// ClockSync estimates the offset between this node's clock and a server's
+// from RPC request/response timing: if a request was sent at local
+// microsecond w0, answered with server reading c (HeaderServerTime) and
+// received at local w1, then c was read near the local midpoint
+// (w0+w1)/2, so offset ≈ (w0+w1)/2 − c and local ≈ server + offset. The
+// estimate's error is bounded by half the round trip. ClockSync keeps the
+// estimate from the lowest-round-trip exchange seen, the one with the
+// tightest bound. A nil *ClockSync ignores samples and reports offset 0.
+type ClockSync struct {
+	mu      sync.Mutex
+	offset  int64 // guarded by mu — local − server, microseconds
+	rtt     int64 // guarded by mu — round trip of the kept sample
+	samples int   // guarded by mu
+}
+
+// Observe feeds one RPC exchange: request sent at local Unix microsecond
+// sentUnixMicros, response received at recvUnixMicros, with the server's
+// HeaderServerTime in h. Responses without the header are ignored.
+func (c *ClockSync) Observe(sentUnixMicros, recvUnixMicros int64, h http.Header) {
+	if c == nil {
+		return
+	}
+	raw := h.Get(HeaderServerTime)
+	if raw == "" {
+		return
+	}
+	server, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return
+	}
+	rtt := recvUnixMicros - sentUnixMicros
+	if rtt < 0 {
+		return
+	}
+	mid := sentUnixMicros + rtt/2
+	c.mu.Lock()
+	if c.samples == 0 || rtt <= c.rtt {
+		c.offset, c.rtt = mid-server, rtt
+	}
+	c.samples++
+	c.mu.Unlock()
+}
+
+// ClockState is a ClockSync's current estimate in wire form: how far this
+// node's clock runs ahead of the server's. Workers ship it with shard
+// results; the coordinator feeds OffsetMicros straight into
+// Tracer.Import (local = worker − offset ⇒ the worker's events move onto
+// the coordinator timeline by subtracting it from the worker's epoch,
+// which Import expresses as adding the negated value).
+type ClockState struct {
+	// OffsetMicros is local − server in microseconds: positive means
+	// this node's clock runs ahead of the server it synced against.
+	OffsetMicros int64 `json:"offset_micros"`
+	// Samples counts the RPC exchanges folded into the estimate; 0 means
+	// no estimate (treat the offset as unknown, not as exactly 0).
+	Samples int `json:"samples,omitempty"`
+}
+
+// State returns the current estimate.
+func (c *ClockSync) State() ClockState {
+	if c == nil {
+		return ClockState{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ClockState{OffsetMicros: c.offset, Samples: c.samples}
+}

@@ -3,6 +3,8 @@ package service
 import (
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Event is one entry in a job's progress stream, delivered over SSE by
@@ -41,6 +43,10 @@ type Event struct {
 	Shard   int `json:"shard,omitempty"`
 	Shards  int `json:"shards,omitempty"`
 	Retries int `json:"retries,omitempty"`
+	// Flight carries one convergence flight-recorder sample ("flight"
+	// events) — the incremental feed of GET /v1/jobs/{id}/flight, emitted
+	// live as the recorder's sink fires.
+	Flight *obs.FlightSample `json:"flight,omitempty"`
 }
 
 // Event types.
@@ -49,6 +55,7 @@ const (
 	EventStarted      = "started"
 	EventRestart      = "restart"
 	EventShardDone    = "shard_done"
+	EventFlight       = "flight"
 	EventBlockDone    = "block_done"
 	EventCheckpointed = "checkpointed"
 	EventDone         = "done"

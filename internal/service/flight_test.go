@@ -1,0 +1,198 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// flightRounds renders a journal's deterministic convergence samples — kind
+// "round" only, the part of the flight recorder covered by the determinism
+// contract — as canonical JSON for byte-for-byte comparison.
+func flightRounds(t *testing.T, samples []obs.FlightSample) string {
+	t.Helper()
+	var rounds []obs.FlightSample
+	for _, s := range samples {
+		if s.Kind == obs.FlightRound {
+			rounds = append(rounds, s)
+		}
+	}
+	b, err := json.Marshal(rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestFlightJournalSurvivesDrainResume pins the flight recorder's
+// persistence contract: the convergence journal rides the job checkpoint, so
+// a job drained mid-run and resumed by a fresh manager process finishes with
+// the identical round series an uninterrupted run records — and the journal
+// streams incrementally as "flight" SSE events while the job runs.
+func TestFlightJournalSurvivesDrainResume(t *testing.T) {
+	spec := heavySpec(1)
+
+	// Reference: uninterrupted run.
+	ref := newTestManager(t, Config{Runners: 1})
+	refSt, err := ref.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, ref, refSt.ID, StateDone)
+	refSamples, err := ref.Flight(refSt.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := flightRounds(t, refSamples)
+	if want == "null" {
+		t.Fatal("reference run recorded no round samples")
+	}
+
+	// Interrupted run: drain once restart progress (and at least one live
+	// flight event) has streamed.
+	dir := t.TempDir()
+	m1, err := New(Config{Runners: 1, StateDir: dir, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, cancelSub, err := m1.Subscribe(st.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progressed, flightEvents := false, 0
+	for ev := range ch {
+		if ev.Type == EventFlight {
+			if ev.Flight == nil {
+				t.Fatal("flight event without a sample payload")
+			}
+			flightEvents++
+		}
+		if ev.Type == EventRestart && flightEvents > 0 {
+			progressed = true
+			break
+		}
+		if ev.Type == EventDone {
+			break
+		}
+	}
+	cancelSub()
+	if !progressed {
+		t.Fatalf("job finished before restart progress (flight events seen: %d); cannot interrupt", flightEvents)
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	if err := m1.Drain(drainCtx); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+
+	// The checkpoint on disk carries the journal accumulated so far.
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cps, errs := store.Load()
+	if len(errs) != 0 || len(cps) != 1 {
+		t.Fatalf("checkpoint load: %d checkpoints, errors %v", len(cps), errs)
+	}
+	if len(cps[0].Flight) == 0 {
+		t.Fatal("drained checkpoint carries no flight samples")
+	}
+
+	// Fresh manager on the same state dir: the reloaded job exposes the
+	// checkpointed journal immediately, then finishes with the reference
+	// series.
+	m2 := newTestManager(t, Config{Runners: 1, StateDir: dir})
+	reloaded, err := m2.Flight(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reloaded) == 0 {
+		t.Fatal("reloaded job has an empty flight journal before resuming")
+	}
+	waitState(t, m2, st.ID, StateDone)
+	resumed, err := m2.Flight(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := flightRounds(t, resumed); got != want {
+		t.Fatalf("round series diverged across drain/resume:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestHTTPFlightAndFleetEndpoints covers the new read-only surface on a
+// non-coordinator daemon: the flight journal of a finished job is served as
+// JSON, /v1/fleet/metrics 404s (this server is no coordinator), and
+// /metrics?format=dump returns the machine-readable registry dump fleet
+// coordinators scrape.
+func TestHTTPFlightAndFleetEndpoints(t *testing.T) {
+	srv, _ := newTestServer(t, Config{Runners: 1})
+	st, _ := postJob(t, srv, testSpec(1))
+	waitDoneHTTP(t, srv, st.ID)
+
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + st.ID + "/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Job     string             `json:"job"`
+		Samples []obs.FlightSample `json:"samples"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || body.Job != st.ID {
+		t.Fatalf("flight: status %d, job %q", resp.StatusCode, body.Job)
+	}
+	if rounds := flightRounds(t, body.Samples); rounds == "null" {
+		t.Fatalf("finished job served no round samples (%d total)", len(body.Samples))
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/jobs/nope/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("flight of unknown job: status %d, want 404", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/fleet/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("fleet metrics without a coordinator: status %d, want 404", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/metrics?format=dump")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump obs.RegistryDump
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(dump.Families) == 0 {
+		t.Fatalf("metrics dump: status %d, %d families", resp.StatusCode, len(dump.Families))
+	}
+	found := false
+	for _, f := range dump.Families {
+		if f.Name == "jobs_done_total" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("metrics dump missing the service registry family jobs_done_total")
+	}
+}

@@ -18,9 +18,14 @@ import (
 //	DELETE /v1/jobs/{id}        cancel (404, 409 already finished)
 //	GET    /v1/jobs/{id}/events SSE progress stream (supports Last-Event-ID)
 //	GET    /v1/jobs/{id}/trace  Chrome trace-event JSON (404 if not traced)
+//	GET    /v1/jobs/{id}/flight convergence flight-recorder journal (JSON)
+//	GET    /v1/fleet/metrics    merged fleet exposition, node-labeled (404
+//	                            unless this server is a coordinator)
 //	GET    /healthz             200 ok / 503 draining
 //	GET    /metrics             Prometheus text exposition (?format=json for
-//	                            the legacy JSON counters)
+//	                            the legacy JSON counters, ?format=dump for
+//	                            the machine-readable registry dump that
+//	                            fleet coordinators scrape)
 func NewMux(m *Manager) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
@@ -57,6 +62,28 @@ func NewMux(m *Manager) *http.ServeMux {
 		w.Header().Set("Content-Type", "application/json")
 		_ = tr.WriteJSON(w)
 	})
+	mux.HandleFunc("GET /v1/jobs/{id}/flight", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		samples, err := m.Flight(id)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"job":     id,
+			"samples": samples,
+		})
+	})
+	mux.HandleFunc("GET /v1/fleet/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if m.cfg.Coordinator == nil {
+			writeError(w, ErrNoFleet)
+			return
+		}
+		w.Header().Set("Content-Type", obs.ContentType)
+		if err := m.WriteFleetMetrics(r.Context(), w); err != nil {
+			m.logf("service: write /v1/fleet/metrics: %v", err)
+		}
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		if m.Draining() {
 			http.Error(w, "draining", http.StatusServiceUnavailable)
@@ -66,8 +93,12 @@ func NewMux(m *Manager) *http.ServeMux {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Query().Get("format") == "json" {
+		switch r.URL.Query().Get("format") {
+		case "json":
 			writeJSON(w, http.StatusOK, m.Metrics())
+			return
+		case "dump":
+			writeJSON(w, http.StatusOK, m.MetricsDump())
 			return
 		}
 		w.Header().Set("Content-Type", obs.ContentType)
@@ -167,7 +198,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 func writeError(w http.ResponseWriter, err error) {
 	code := http.StatusBadRequest
 	switch {
-	case errors.Is(err, ErrNotFound), errors.Is(err, ErrNoTrace):
+	case errors.Is(err, ErrNotFound), errors.Is(err, ErrNoTrace), errors.Is(err, ErrNoFleet):
 		code = http.StatusNotFound
 	case errors.Is(err, ErrQueueFull):
 		code = http.StatusTooManyRequests

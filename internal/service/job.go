@@ -87,13 +87,19 @@ func blockResult(d *dfg.DFG, r *core.Result) BlockResult {
 }
 
 // job is the manager's record of one submission. The immutable identity
-// fields (id, spec, submitted, events) are set before the job is shared;
-// everything mutable is owned by the Manager and guarded by its mu.
+// fields (id, spec, submitted, events, flight) are set before the job is
+// shared; everything mutable is owned by the Manager and guarded by its mu.
 type job struct {
 	id        string
 	spec      JobSpec
 	submitted time.Time
 	events    *bus
+	// flight is the job's convergence flight recorder, always on
+	// (DESIGN.md §16). The pointer is immutable; the recorder has its own
+	// lock. It spans the job's whole life — blocks, drains and process
+	// restarts (the journal rides the checkpoint) — and serves
+	// GET /v1/jobs/{id}/flight plus the "flight" SSE events.
+	flight *obs.Flight
 
 	state    State                   // guarded by Manager.mu
 	errMsg   string                  // guarded by Manager.mu

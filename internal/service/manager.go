@@ -31,6 +31,9 @@ var (
 	// ErrNoTrace reports a job that has no trace — submitted without
 	// "trace": true, or not started yet (404).
 	ErrNoTrace = errors.New("service: job has no trace")
+	// ErrNoFleet reports a fleet-only endpoint on a server that is not a
+	// coordinator (404).
+	ErrNoFleet = errors.New("service: this server is not a coordinator")
 )
 
 // Cancel causes, distinguished via context.Cause so the runner knows
@@ -172,14 +175,18 @@ func (m *Manager) registerGauges() {
 	}
 }
 
-// reload re-queues one persisted checkpoint as a resumable job.
+// reload re-queues one persisted checkpoint as a resumable job, restoring
+// its convergence journal from the checkpoint sidecar so the flight series
+// spans the daemon restart.
 func (m *Manager) reload(cp *Checkpoint) {
 	j := &job{
 		id:        cp.JobID,
 		spec:      cp.Spec,
 		submitted: cp.SubmittedAt,
 		events:    newBus(),
+		flight:    obs.NewFlight(0),
 	}
+	j.flight.Restore(cp.Flight)
 	m.mu.Lock()
 	j.state = StateQueued
 	j.resumed = true
@@ -216,6 +223,7 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 		spec:      spec,
 		submitted: time.Now(),
 		events:    newBus(),
+		flight:    obs.NewFlight(0),
 	}
 	cp := &Checkpoint{JobID: j.id, Spec: spec, SubmittedAt: j.submitted}
 
@@ -368,6 +376,19 @@ func (m *Manager) Trace(id string) (*obs.Tracer, error) {
 		return nil, ErrNoTrace
 	}
 	return j.trace, nil
+}
+
+// Flight returns a job's convergence journal in canonical form for
+// GET /v1/jobs/{id}/flight. The recorder is always on, so any known job
+// answers — an unstarted one with an empty series.
+func (m *Manager) Flight(id string) ([]obs.FlightSample, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j.flight.Series(), nil
 }
 
 // Subscribe opens a job's event stream from sequence `from` (0 = full
@@ -538,6 +559,15 @@ func (m *Manager) run(j *job) {
 		m.mu.Unlock()
 	}
 
+	// Live flight feed: every recorded convergence sample becomes a
+	// "flight" SSE event while this run holds the job. The tap is removed
+	// on exit so a drained job does not publish into a re-subscribed bus
+	// from a stale runner.
+	j.flight.SetSink(func(s obs.FlightSample) {
+		j.events.publish(Event{Type: EventFlight, Time: time.Now(), Flight: &s})
+	})
+	defer j.flight.SetSink(nil)
+
 	blocks := append([]BlockResult(nil), cp.Blocks...)
 	startBlock, snap := cp.Block, cp.Snapshot
 	if startBlock > len(dfgs) {
@@ -547,9 +577,10 @@ func (m *Manager) run(j *job) {
 	}
 	for bi := startBlock; bi < len(dfgs); bi++ {
 		d := dfgs[bi]
+		j.flight.SetBlock(bi)
 		if j.spec.Distributed != nil {
 			blockSpan := tr.Begin("block", 0).Arg("block", int64(bi))
-			res, rerr := m.runDistributed(ctx, j, bi, len(dfgs), d.Name)
+			res, rerr := m.runDistributed(ctx, j, tr, bi, len(dfgs), d.Name)
 			blockSpan.End()
 			if rerr != nil {
 				// Fleet blocks have no local snapshot: a drained distributed
@@ -566,6 +597,7 @@ func (m *Manager) run(j *job) {
 		opts := core.ResumeOptions{
 			Cache:   cache,
 			Trace:   tr,
+			Flight:  j.flight,
 			Scratch: m.scratch,
 			OnRestartDone: func(ev core.RestartEvent) {
 				e := Event{
@@ -613,10 +645,11 @@ func (m *Manager) run(j *job) {
 // checkpoint past the block, persist it, and emit the progress event.
 func (m *Manager) blockDone(j *job, blocks []BlockResult, br BlockResult, bi, total int, name string) []BlockResult {
 	blocks = append(blocks, br)
+	fl := j.flight.Series() // before m.mu: the recorder has its own lock
 	m.mu.Lock()
 	j.blocks = append([]BlockResult(nil), blocks...)
 	j.cp = &Checkpoint{JobID: j.id, Spec: j.spec, SubmittedAt: j.submitted,
-		Blocks: j.blocks, Block: bi + 1}
+		Blocks: j.blocks, Block: bi + 1, Flight: fl}
 	ncp := j.cp
 	m.mu.Unlock()
 	m.met.addCache(br.CacheHits, br.CacheMisses)
@@ -638,14 +671,20 @@ func (m *Manager) blockDone(j *job, blocks []BlockResult, br BlockResult, bi, to
 }
 
 // runDistributed runs one block on the fleet via the manager's coordinator,
-// streaming per-shard completion into the job's event bus.
-func (m *Manager) runDistributed(ctx context.Context, j *job, bi, total int, name string) (*core.Result, error) {
+// streaming per-shard completion into the job's event bus. The job's tracer
+// and flight recorder ride along as BlockOptions, so the coordinator's
+// dispatch spans, the workers' re-based shard spans and the shards'
+// convergence samples all land in the same per-job trace and journal the
+// local path feeds.
+func (m *Manager) runDistributed(ctx context.Context, j *job, tr *obs.Tracer, bi, total int, name string) (*core.Result, error) {
 	shards := 1
 	if d := j.spec.Distributed; d != nil && d.Shards > 0 {
 		shards = d.Shards
 	}
 	return m.cfg.Coordinator.ExploreBlock(ctx, j.spec.workload(), bi, cluster.BlockOptions{
 		Shards: shards,
+		Trace:  tr,
+		Flight: j.flight,
 		OnShardDone: func(ev cluster.ShardEvent) {
 			j.events.publish(Event{
 				Type:       EventShardDone,
@@ -673,9 +712,11 @@ func (m *Manager) interrupted(j *job, ctx context.Context, blocks []BlockResult,
 	case errors.Is(cause, errDrainCause) || (m.runCtx.Err() != nil && !errors.Is(cause, errCancelCause) && !errors.Is(cause, errDeadlineCause)):
 		// Drain (explicit cause, or the manager-wide context died first):
 		// persist the snapshot and return the job to the queue for the
-		// next process.
+		// next process. The flight journal rides along so the convergence
+		// series survives the restart (the core snapshot carries its own
+		// mid-block sidecar; Series() canonicalization collapses overlap).
 		cp := &Checkpoint{JobID: j.id, Spec: j.spec, SubmittedAt: j.submitted,
-			Blocks: blocks, Block: bi, Snapshot: snap}
+			Blocks: blocks, Block: bi, Snapshot: snap, Flight: j.flight.Series()}
 		m.mu.Lock()
 		j.state = StateQueued
 		j.cancel = nil

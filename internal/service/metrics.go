@@ -1,7 +1,11 @@
 package service
 
 import (
+	"context"
+	"encoding/json"
+	"fmt"
 	"io"
+	"net/http"
 	"time"
 
 	"repro/internal/obs"
@@ -110,4 +114,69 @@ func (m *Manager) WritePrometheus(w io.Writer) error {
 		return err
 	}
 	return obs.Default.WritePrometheus(w)
+}
+
+// MetricsDump snapshots this node's registries — the service registry plus
+// the process-global engine registry — as one machine-readable dump: the
+// body of GET /metrics?format=dump, which fleet coordinators scrape instead
+// of re-parsing the text exposition (exact histogram buckets, no float
+// round-tripping).
+func (m *Manager) MetricsDump() obs.RegistryDump {
+	return obs.MergeDumps(m.met.reg.Dump(), obs.Default.Dump())
+}
+
+// fleetScrapeTimeout bounds each worker scrape of WriteFleetMetrics so one
+// hung worker cannot stall the whole fleet exposition.
+const fleetScrapeTimeout = 5 * time.Second
+
+// WriteFleetMetrics renders the merged fleet exposition for
+// GET /v1/fleet/metrics: this coordinator's own dump under node
+// "coordinator" plus one dump per registered worker that advertised a
+// metrics URL, every sample tagged with its `node` label and histogram
+// families summed into a synthetic node="fleet" series
+// (obs.WriteFleetExposition). Workers that fail to answer within the scrape
+// timeout are logged and skipped — a flaky node must not take the fleet
+// view down. ErrNoFleet when this server is not a coordinator.
+func (m *Manager) WriteFleetMetrics(ctx context.Context, w io.Writer) error {
+	coord := m.cfg.Coordinator
+	if coord == nil {
+		return ErrNoFleet
+	}
+	nodes := []obs.NodeDump{{Node: "coordinator", Dump: m.MetricsDump()}}
+	for _, n := range coord.FleetNodes() {
+		if n.MetricsURL == "" {
+			continue // registered but not scrapable: listed by FleetNodes only
+		}
+		d, err := scrapeDump(ctx, n.MetricsURL)
+		if err != nil {
+			m.logf("service: fleet scrape %s (%s): %v", n.Name, n.MetricsURL, err)
+			continue
+		}
+		nodes = append(nodes, obs.NodeDump{Node: n.Name, Dump: d})
+	}
+	return obs.WriteFleetExposition(w, nodes)
+}
+
+// scrapeDump fetches one worker's registry dump from its advertised
+// /metrics endpoint (the ?format=dump body).
+func scrapeDump(ctx context.Context, metricsURL string) (obs.RegistryDump, error) {
+	ctx, cancel := context.WithTimeout(ctx, fleetScrapeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, metricsURL+"?format=dump", nil)
+	if err != nil {
+		return obs.RegistryDump{}, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return obs.RegistryDump{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return obs.RegistryDump{}, fmt.Errorf("scrape status %s", resp.Status)
+	}
+	var d obs.RegistryDump
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 16<<20)).Decode(&d); err != nil {
+		return obs.RegistryDump{}, fmt.Errorf("decode dump: %w", err)
+	}
+	return d, nil
 }

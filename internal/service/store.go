@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // CheckpointVersion is the on-disk checkpoint format version. Bump on any
@@ -30,6 +31,12 @@ type Checkpoint struct {
 	Blocks      []BlockResult  `json:"blocks,omitempty"`
 	Block       int            `json:"block"`
 	Snapshot    *core.Snapshot `json:"snapshot,omitempty"`
+	// Flight is the job's convergence journal at capture time — an
+	// observational sidecar, not part of the determinism contract. A
+	// reloaded job restores it, so /v1/jobs/{id}/flight shows the whole
+	// convergence history across daemon restarts. Old checkpoints without
+	// it reload with an empty journal.
+	Flight []obs.FlightSample `json:"flight,omitempty"`
 }
 
 // Store persists checkpoints as one JSON file per job under a state
